@@ -1,0 +1,227 @@
+//! Nine-valued ATPG logic: a good/faulty pair of three-valued signals.
+//!
+//! The classic PODEM five values (0, 1, X, D, D̄) are the subset where both
+//! components are known or both unknown; keeping the full product of
+//! `{0, 1, X} × {0, 1, X}` makes implication strictly more precise at no
+//! extra cost.
+
+/// A three-valued logic level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum T3 {
+    /// Logic 0.
+    Zero,
+    /// Logic 1.
+    One,
+    /// Unknown.
+    X,
+}
+
+impl T3 {
+    pub(crate) fn from_bool(b: bool) -> T3 {
+        if b {
+            T3::One
+        } else {
+            T3::Zero
+        }
+    }
+
+    fn and(self, other: T3) -> T3 {
+        match (self, other) {
+            (T3::Zero, _) | (_, T3::Zero) => T3::Zero,
+            (T3::One, T3::One) => T3::One,
+            _ => T3::X,
+        }
+    }
+
+    fn or(self, other: T3) -> T3 {
+        match (self, other) {
+            (T3::One, _) | (_, T3::One) => T3::One,
+            (T3::Zero, T3::Zero) => T3::Zero,
+            _ => T3::X,
+        }
+    }
+
+    fn xor(self, other: T3) -> T3 {
+        match (self, other) {
+            (T3::X, _) | (_, T3::X) => T3::X,
+            (a, b) => T3::from_bool((a == T3::One) != (b == T3::One)),
+        }
+    }
+
+    fn not(self) -> T3 {
+        match self {
+            T3::Zero => T3::One,
+            T3::One => T3::Zero,
+            T3::X => T3::X,
+        }
+    }
+
+    fn mux(sel: T3, a: T3, b: T3) -> T3 {
+        match sel {
+            T3::Zero => a,
+            T3::One => b,
+            T3::X => {
+                if a == b && a != T3::X {
+                    a
+                } else {
+                    T3::X
+                }
+            }
+        }
+    }
+}
+
+/// A nine-valued signal: the value in the good machine paired with the value
+/// in the faulty machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct V9 {
+    pub(crate) good: T3,
+    pub(crate) faulty: T3,
+}
+
+impl V9 {
+    /// Completely unknown.
+    pub const X: V9 = V9 {
+        good: T3::X,
+        faulty: T3::X,
+    };
+    /// Constant 0 in both machines.
+    pub const ZERO: V9 = V9 {
+        good: T3::Zero,
+        faulty: T3::Zero,
+    };
+    /// Constant 1 in both machines.
+    pub const ONE: V9 = V9 {
+        good: T3::One,
+        faulty: T3::One,
+    };
+    /// The classic D: good 1, faulty 0.
+    pub const D: V9 = V9 {
+        good: T3::One,
+        faulty: T3::Zero,
+    };
+    /// The classic D̄: good 0, faulty 1.
+    pub const DBAR: V9 = V9 {
+        good: T3::Zero,
+        faulty: T3::One,
+    };
+
+    /// Lifts a known boolean (same in both machines).
+    pub fn known(b: bool) -> V9 {
+        if b {
+            V9::ONE
+        } else {
+            V9::ZERO
+        }
+    }
+
+    /// Whether the fault effect is visible here (both known, different).
+    pub fn is_fault_visible(self) -> bool {
+        self.good != T3::X && self.faulty != T3::X && self.good != self.faulty
+    }
+
+    /// Whether the good-machine component is known.
+    pub fn good_known(self) -> Option<bool> {
+        match self.good {
+            T3::Zero => Some(false),
+            T3::One => Some(true),
+            T3::X => None,
+        }
+    }
+
+    /// Whether either component is still unknown.
+    pub fn has_x(self) -> bool {
+        self.good == T3::X || self.faulty == T3::X
+    }
+
+    /// AND of two signals.
+    pub fn and(self, o: V9) -> V9 {
+        V9 {
+            good: self.good.and(o.good),
+            faulty: self.faulty.and(o.faulty),
+        }
+    }
+
+    /// OR of two signals.
+    pub fn or(self, o: V9) -> V9 {
+        V9 {
+            good: self.good.or(o.good),
+            faulty: self.faulty.or(o.faulty),
+        }
+    }
+
+    /// XOR of two signals.
+    pub fn xor(self, o: V9) -> V9 {
+        V9 {
+            good: self.good.xor(o.good),
+            faulty: self.faulty.xor(o.faulty),
+        }
+    }
+
+    /// Inversion.
+    pub fn not(self) -> V9 {
+        V9 {
+            good: self.good.not(),
+            faulty: self.faulty.not(),
+        }
+    }
+
+    /// 2:1 mux (`a` when `sel` is 0).
+    pub fn mux(sel: V9, a: V9, b: V9) -> V9 {
+        V9 {
+            good: T3::mux(sel.good, a.good, b.good),
+            faulty: T3::mux(sel.faulty, a.faulty, b.faulty),
+        }
+    }
+
+    /// Forces the faulty component (fault injection at the site).
+    pub fn with_faulty(self, value: bool) -> V9 {
+        V9 {
+            good: self.good,
+            faulty: T3::from_bool(value),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d_propagates_through_and_with_one() {
+        assert_eq!(V9::D.and(V9::ONE), V9::D);
+        assert_eq!(V9::D.and(V9::ZERO), V9::ZERO);
+        assert_eq!(V9::D.and(V9::DBAR), V9::ZERO);
+        assert!(V9::D.and(V9::X).has_x());
+    }
+
+    #[test]
+    fn xor_of_d_and_one_is_dbar() {
+        assert_eq!(V9::D.xor(V9::ONE), V9::DBAR);
+        assert_eq!(V9::D.not(), V9::DBAR);
+    }
+
+    #[test]
+    fn mux_resolves_when_branches_agree() {
+        assert_eq!(V9::mux(V9::X, V9::ONE, V9::ONE), V9::ONE);
+        assert!(V9::mux(V9::X, V9::ONE, V9::ZERO).has_x());
+        assert_eq!(V9::mux(V9::ZERO, V9::D, V9::ONE), V9::D);
+        assert_eq!(V9::mux(V9::ONE, V9::D, V9::DBAR), V9::DBAR);
+    }
+
+    #[test]
+    fn fault_visibility() {
+        assert!(V9::D.is_fault_visible());
+        assert!(V9::DBAR.is_fault_visible());
+        assert!(!V9::ONE.is_fault_visible());
+        assert!(!V9::X.is_fault_visible());
+        assert_eq!(V9::known(true), V9::ONE);
+    }
+
+    #[test]
+    fn injection_overrides_faulty_component() {
+        assert_eq!(V9::ONE.with_faulty(false), V9::D);
+        assert_eq!(V9::ZERO.with_faulty(true), V9::DBAR);
+        assert_eq!(V9::ZERO.with_faulty(false), V9::ZERO);
+    }
+}

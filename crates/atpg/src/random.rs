@@ -1,0 +1,72 @@
+//! Deterministic pseudo-random pattern helpers.
+//!
+//! ATPG flows traditionally seed deterministic generation with a random
+//! phase; these helpers keep that phase reproducible without pulling the
+//! full `rand` machinery into hot loops.
+
+use soctest_fault::PatternSet;
+
+/// One step of the xorshift64 generator (never returns 0 for non-zero
+/// input; pass any non-zero seed).
+#[inline]
+pub fn xorshift64(mut x: u64) -> u64 {
+    if x == 0 {
+        x = 0x9e37_79b9_7f4a_7c15;
+    }
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x
+}
+
+/// Generates `count` random rows of `width` booleans.
+pub fn random_rows(count: usize, width: usize, seed: u64) -> Vec<Vec<bool>> {
+    let mut state = seed;
+    (0..count)
+        .map(|_| {
+            (0..width)
+                .map(|_| {
+                    state = xorshift64(state);
+                    state & 1 == 1
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Generates a random [`PatternSet`] directly.
+pub fn random_pattern_set(count: usize, width: usize, seed: u64) -> PatternSet {
+    PatternSet::from_rows(width, &random_rows(count, width, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xorshift_is_deterministic_and_nonzero() {
+        assert_eq!(xorshift64(1), xorshift64(1));
+        assert_ne!(xorshift64(1), xorshift64(2));
+        assert_ne!(xorshift64(0), 0);
+    }
+
+    #[test]
+    fn rows_have_requested_shape() {
+        let rows = random_rows(10, 7, 99);
+        assert_eq!(rows.len(), 10);
+        assert!(rows.iter().all(|r| r.len() == 7));
+        // Extremely likely to contain both values.
+        let any_true = rows.iter().flatten().any(|&b| b);
+        let any_false = rows.iter().flatten().any(|&b| !b);
+        assert!(any_true && any_false);
+    }
+
+    #[test]
+    fn pattern_set_matches_rows() {
+        let rows = random_rows(5, 3, 7);
+        let set = random_pattern_set(5, 3, 7);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(&set.row(i), row);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [--quick] [table1 table2 table3 table4 table5 fig3 fig4 | all]
+//! ```
+//!
+//! `--quick` uses the reduced experiment budget (CI-sized); without it the
+//! paper's configuration runs (4,096 BIST patterns etc.) — build with
+//! `--release` for that.
+
+use std::time::Instant;
+
+use soctest_bench::{
+    render_fig3, render_fig4, render_table1, render_table2, render_table3, render_table4,
+    render_table5,
+};
+use soctest_core::casestudy::CaseStudy;
+use soctest_core::experiments::{self, Budget};
+use soctest_tech::Library;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let all = wanted.is_empty() || wanted.contains(&"all");
+    let want = |name: &str| all || wanted.contains(&name);
+
+    let budget = if quick { Budget::quick() } else { Budget::paper() };
+    let lib = Library::cmos_130nm();
+    let case = CaseStudy::paper().expect("case study builds");
+    println!(
+        "# soctest repro — budget: {} ({} BIST patterns)\n",
+        if quick { "quick" } else { "paper" },
+        budget.bist_patterns
+    );
+
+    if want("table1") {
+        println!("{}", render_table1(&experiments::table1(&case)));
+    }
+    if want("table2") {
+        let t = experiments::table2(&case, &lib).expect("table 2");
+        println!("{}", render_table2(&t));
+    }
+    if want("table3") {
+        let started = Instant::now();
+        let rows = experiments::table3(&case, &budget).expect("table 3");
+        println!("{}", render_table3(&rows));
+        println!("(table 3 total wall time: {:.1?})\n", started.elapsed());
+    }
+    if want("table4") {
+        let t = experiments::table4(&case, &lib).expect("table 4");
+        println!("{}", render_table4(&t));
+    }
+    if want("table5") {
+        let started = Instant::now();
+        let rows = experiments::table5(&case, &budget).expect("table 5");
+        println!("{}", render_table5(&rows));
+        println!("(table 5 total wall time: {:.1?})\n", started.elapsed());
+    }
+    if want("fig3") {
+        let checkpoints: Vec<u64> = if quick {
+            vec![64, 128, 256]
+        } else {
+            vec![256, 512, 1024, 2048, 4096]
+        };
+        let pts = experiments::fig3(&case, &checkpoints).expect("fig 3");
+        println!("{}", render_fig3(&pts));
+    }
+    if want("fig4") {
+        let max = if quick { 256 } else { budget.bist_patterns };
+        for (m, name) in ["BIT_NODE", "CHECK_NODE", "CONTROL_UNIT"].iter().enumerate() {
+            let curve = experiments::fig4(&case, m, max, 8).expect("fig 4");
+            println!("{}", render_fig4(name, &curve));
+        }
+    }
+}

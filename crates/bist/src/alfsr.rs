@@ -1,0 +1,219 @@
+//! The autonomous LFSR (ALFSR) pattern source.
+
+use std::fmt;
+
+/// Primitive-polynomial tap positions (1-based flip-flop indices, XAPP052
+/// style) for register lengths 2..=32. Each entry yields a maximal-length
+/// sequence of period `2^n - 1`.
+const TAPS: [&[u32]; 31] = [
+    &[2, 1],          // 2
+    &[3, 2],          // 3
+    &[4, 3],          // 4
+    &[5, 3],          // 5
+    &[6, 5],          // 6
+    &[7, 6],          // 7
+    &[8, 6, 5, 4],    // 8
+    &[9, 5],          // 9
+    &[10, 7],         // 10
+    &[11, 9],         // 11
+    &[12, 6, 4, 1],   // 12
+    &[13, 4, 3, 1],   // 13
+    &[14, 5, 3, 1],   // 14
+    &[15, 14],        // 15
+    &[16, 15, 13, 4], // 16
+    &[17, 14],        // 17
+    &[18, 11],        // 18
+    &[19, 6, 2, 1],   // 19
+    &[20, 17],        // 20
+    &[21, 19],        // 21
+    &[22, 21],        // 22
+    &[23, 18],        // 23
+    &[24, 23, 22, 17],// 24
+    &[25, 22],        // 25
+    &[26, 6, 2, 1],   // 26
+    &[27, 5, 2, 1],   // 27
+    &[28, 25],        // 28
+    &[29, 27],        // 29
+    &[30, 6, 4, 1],   // 30
+    &[31, 28],        // 31
+    &[32, 22, 2, 1],  // 32
+];
+
+/// An autonomous linear feedback shift register in XNOR (complemented
+/// feedback) form.
+///
+/// The XNOR form makes the all-zeros state — the natural power-on state of
+/// reset flip-flops — a *valid* sequence member (the lock-up state is
+/// all-ones instead), so the structural implementation needs no seed
+/// injection logic. The sequence has period `2^width − 1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alfsr {
+    width: usize,
+    taps_mask: u64,
+    state: u64,
+}
+
+impl Alfsr {
+    /// Creates an ALFSR of the given width (2..=32), starting from the
+    /// all-zeros reset state.
+    ///
+    /// Returns `None` for widths outside the polynomial table.
+    pub fn new(width: usize) -> Option<Self> {
+        if !(2..=32).contains(&width) {
+            return None;
+        }
+        let taps = TAPS[width - 2];
+        let mut mask = 0u64;
+        for &t in taps {
+            mask |= 1u64 << (t - 1);
+        }
+        Some(Alfsr {
+            width,
+            taps_mask: mask,
+            state: 0,
+        })
+    }
+
+    /// Register width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The feedback tap mask (bit *i* set = flip-flop *i+1* is tapped).
+    pub fn taps_mask(&self) -> u64 {
+        self.taps_mask
+    }
+
+    /// Current state (also the current output word: every stage is visible,
+    /// as in the paper's pattern generator).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Resets to the all-zeros state.
+    pub fn reset(&mut self) {
+        self.state = 0;
+    }
+
+    /// Advances one clock and returns the *new* state.
+    pub fn step(&mut self) -> u64 {
+        let parity = (self.state & self.taps_mask).count_ones() & 1;
+        let feedback = (parity ^ 1) as u64; // XNOR form
+        self.state = ((self.state << 1) | feedback) & self.mask();
+        self.state
+    }
+
+    /// The state value after exactly `n` steps from reset (replayable
+    /// stimulus for the windowed fault simulator).
+    pub fn state_at(&self, n: u64) -> u64 {
+        let mut copy = Alfsr {
+            width: self.width,
+            taps_mask: self.taps_mask,
+            state: 0,
+        };
+        for _ in 0..n {
+            copy.step();
+        }
+        copy.state
+    }
+
+    fn mask(&self) -> u64 {
+        if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        }
+    }
+
+    /// Replicates the state over `width` output bits (paper case (b)/(d):
+    /// port wider than the ALFSR).
+    pub fn replicated(&self, width: usize) -> Vec<bool> {
+        (0..width)
+            .map(|i| (self.state >> (i % self.width)) & 1 == 1)
+            .collect()
+    }
+}
+
+impl fmt::Display for Alfsr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "alfsr{}(state={:0w$b})",
+            self.width,
+            self.state,
+            w = self.width
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn widths_outside_table_are_rejected() {
+        assert!(Alfsr::new(1).is_none());
+        assert!(Alfsr::new(33).is_none());
+        assert!(Alfsr::new(2).is_some());
+        assert!(Alfsr::new(32).is_some());
+    }
+
+    #[test]
+    fn small_alfsrs_are_maximal_length() {
+        for width in 2..=12 {
+            let mut a = Alfsr::new(width).unwrap();
+            let period = 1u64 << width;
+            let mut seen = HashSet::new();
+            seen.insert(a.state());
+            for _ in 0..period {
+                a.step();
+                if !seen.insert(a.state()) {
+                    break;
+                }
+            }
+            assert_eq!(
+                seen.len() as u64,
+                period - 1,
+                "width {width} should visit 2^{width}-1 states"
+            );
+        }
+    }
+
+    #[test]
+    fn all_ones_is_the_lockup_state() {
+        for width in 2..=10 {
+            let mut a = Alfsr::new(width).unwrap();
+            let ones = (1u64 << width) - 1;
+            for _ in 0..(1u64 << width) {
+                assert_ne!(a.state(), ones, "width {width} reached lock-up");
+                a.step();
+            }
+        }
+    }
+
+    #[test]
+    fn state_at_matches_stepping() {
+        let mut a = Alfsr::new(20).unwrap();
+        for n in [0u64, 1, 17, 100] {
+            assert_eq!(a.state_at(n), {
+                a.reset();
+                for _ in 0..n {
+                    a.step();
+                }
+                a.state()
+            });
+        }
+    }
+
+    #[test]
+    fn replication_wraps_bits() {
+        let mut a = Alfsr::new(4).unwrap();
+        a.step();
+        let r = a.replicated(10);
+        assert_eq!(r.len(), 10);
+        for i in 0..10 {
+            assert_eq!(r[i], (a.state() >> (i % 4)) & 1 == 1);
+        }
+    }
+}

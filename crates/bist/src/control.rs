@@ -1,0 +1,188 @@
+//! The BIST control unit (behavioral model).
+
+/// Commands the control unit accepts (in the silicon these arrive through
+/// the P1500 wrapper's WCDR register — see `soctest-p1500`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BistCommand {
+    /// Return to idle, clear the pattern counter and signatures.
+    Reset,
+    /// Load the number of patterns to apply (truncated to the counter
+    /// width).
+    LoadPatternCount(u64),
+    /// Start pattern application.
+    Start,
+    /// Select which result register the output selector exposes.
+    SelectResult(u8),
+}
+
+/// The test-execution phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BistPhase {
+    /// Waiting for a start command.
+    #[default]
+    Idle,
+    /// Applying patterns (`test_enable` asserted).
+    Running,
+    /// All patterns applied (`end_test` asserted).
+    Done,
+}
+
+/// Behavioral model of the BIST control unit: a pattern counter
+/// (12 bits in the case study, allowing up to 4,096 patterns per
+/// execution), the `test_enable`/`end_test` handshake, and result
+/// selection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControlUnit {
+    counter_bits: usize,
+    target: u64,
+    counter: u64,
+    phase: BistPhase,
+    result_select: u8,
+}
+
+impl ControlUnit {
+    /// A control unit with the given pattern-counter width (1..=32).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counter_bits` is outside 1..=32.
+    pub fn new(counter_bits: usize) -> Self {
+        assert!((1..=32).contains(&counter_bits), "counter width 1..=32");
+        ControlUnit {
+            counter_bits,
+            target: 0,
+            counter: 0,
+            phase: BistPhase::Idle,
+            result_select: 0,
+        }
+    }
+
+    /// Counter width in bits.
+    pub fn counter_bits(&self) -> usize {
+        self.counter_bits
+    }
+
+    /// Maximum pattern count (`2^counter_bits`).
+    pub fn max_patterns(&self) -> u64 {
+        1u64 << self.counter_bits
+    }
+
+    /// Applies a command.
+    pub fn command(&mut self, cmd: BistCommand) {
+        match cmd {
+            BistCommand::Reset => {
+                self.counter = 0;
+                self.phase = BistPhase::Idle;
+            }
+            BistCommand::LoadPatternCount(n) => {
+                self.target = n.min(self.max_patterns());
+            }
+            BistCommand::Start => {
+                if self.phase == BistPhase::Idle && self.target > 0 {
+                    self.counter = 0;
+                    self.phase = BistPhase::Running;
+                }
+            }
+            BistCommand::SelectResult(s) => {
+                self.result_select = s;
+            }
+        }
+    }
+
+    /// One clock: counts applied patterns while running.
+    pub fn clock(&mut self) {
+        if self.phase == BistPhase::Running {
+            self.counter += 1;
+            if self.counter >= self.target {
+                self.phase = BistPhase::Done;
+            }
+        }
+    }
+
+    /// Whether patterns are being applied this cycle.
+    pub fn test_enable(&self) -> bool {
+        self.phase == BistPhase::Running
+    }
+
+    /// Whether the test has finished.
+    pub fn end_test(&self) -> bool {
+        self.phase == BistPhase::Done
+    }
+
+    /// The current phase.
+    pub fn phase(&self) -> BistPhase {
+        self.phase
+    }
+
+    /// Patterns applied so far.
+    pub fn pattern_counter(&self) -> u64 {
+        self.counter
+    }
+
+    /// The loaded pattern target.
+    pub fn target(&self) -> u64 {
+        self.target
+    }
+
+    /// The result-selection value (drives the output selector).
+    pub fn result_select(&self) -> u8 {
+        self.result_select
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_test_sequence() {
+        let mut cu = ControlUnit::new(12);
+        assert_eq!(cu.max_patterns(), 4096);
+        cu.command(BistCommand::LoadPatternCount(10));
+        assert!(!cu.test_enable());
+        cu.command(BistCommand::Start);
+        assert!(cu.test_enable());
+        for _ in 0..9 {
+            cu.clock();
+            assert!(!cu.end_test());
+        }
+        cu.clock();
+        assert!(cu.end_test());
+        assert!(!cu.test_enable());
+        assert_eq!(cu.pattern_counter(), 10);
+    }
+
+    #[test]
+    fn start_requires_a_target() {
+        let mut cu = ControlUnit::new(12);
+        cu.command(BistCommand::Start);
+        assert_eq!(cu.phase(), BistPhase::Idle);
+    }
+
+    #[test]
+    fn reset_returns_to_idle() {
+        let mut cu = ControlUnit::new(8);
+        cu.command(BistCommand::LoadPatternCount(4));
+        cu.command(BistCommand::Start);
+        cu.clock();
+        cu.command(BistCommand::Reset);
+        assert_eq!(cu.phase(), BistPhase::Idle);
+        assert_eq!(cu.pattern_counter(), 0);
+        // Target persists across reset, as a loaded configuration register.
+        assert_eq!(cu.target(), 4);
+    }
+
+    #[test]
+    fn target_saturates_at_counter_capacity() {
+        let mut cu = ControlUnit::new(4);
+        cu.command(BistCommand::LoadPatternCount(1_000_000));
+        assert_eq!(cu.target(), 16);
+    }
+
+    #[test]
+    fn result_select_round_trips() {
+        let mut cu = ControlUnit::new(12);
+        cu.command(BistCommand::SelectResult(2));
+        assert_eq!(cu.result_select(), 2);
+    }
+}

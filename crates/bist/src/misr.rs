@@ -1,0 +1,179 @@
+//! Multiple-input signature registers and the XOR cascade.
+
+/// Folds an arbitrary-width response word down to `width` bits by XOR
+/// cascading (bit *i* of the result is the XOR of all input bits whose
+/// index is congruent to *i* modulo `width`).
+///
+/// This is the paper's "xor cascade" in front of each MISR: module output
+/// ports are wider than the 16-bit signature registers, so responses are
+/// compacted space-wise before time-wise compaction in the MISR. The same
+/// folding is used by the fault simulator's MISR observation mode, so
+/// behavioral, structural, and fault-sim views all agree.
+pub fn fold_xor(bits: &[bool], width: usize) -> u64 {
+    assert!(width >= 1 && width <= 64, "fold width 1..=64");
+    let mut out = 0u64;
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            out ^= 1u64 << (i % width);
+        }
+    }
+    out
+}
+
+/// A multiple-input signature register.
+///
+/// Update rule (matching `soctest-fault`'s MISR observation mode): with
+/// feedback `fb` = the last stage, stage `j` becomes
+/// `state[j-1] ⊕ (taps_j · fb) ⊕ in[j]` (stage 0 uses no predecessor).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Misr {
+    width: usize,
+    taps: u64,
+    state: u64,
+}
+
+impl Misr {
+    /// The workspace's default tap set for a given width (bit 0 always
+    /// fed back). Kept identical to
+    /// `soctest_fault::ObserveMode::misr_default`.
+    pub fn default_taps(width: usize) -> u64 {
+        (0b101_1011u64 | 1) & ((1u64 << width) - 1).max(1)
+    }
+
+    /// A MISR of `width` bits (2..=64) with the default taps, state 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside 2..=64.
+    pub fn new(width: usize) -> Self {
+        Self::with_taps(width, Self::default_taps(width))
+    }
+
+    /// A MISR with explicit taps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside 2..=64 or bit 0 of `taps` is clear.
+    pub fn with_taps(width: usize, taps: u64) -> Self {
+        assert!((2..=64).contains(&width), "MISR width 2..=64");
+        assert!(taps & 1 == 1, "tap bit 0 must be set");
+        Misr {
+            width,
+            taps,
+            state: 0,
+        }
+    }
+
+    /// Register width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The tap mask.
+    pub fn taps(&self) -> u64 {
+        self.taps
+    }
+
+    /// Clears the signature.
+    pub fn reset(&mut self) {
+        self.state = 0;
+    }
+
+    /// Absorbs one response word (low `width` bits used).
+    pub fn absorb(&mut self, input: u64) {
+        let fb = (self.state >> (self.width - 1)) & 1;
+        let mut next = (self.state << 1) & self.mask();
+        if fb == 1 {
+            next ^= self.taps;
+        }
+        next ^= input & self.mask();
+        self.state = next;
+    }
+
+    /// Absorbs a wide response through the XOR cascade.
+    pub fn absorb_folded(&mut self, bits: &[bool]) {
+        let folded = fold_xor(bits, self.width);
+        self.absorb(folded);
+    }
+
+    /// The current signature.
+    pub fn signature(&self) -> u64 {
+        self.state
+    }
+
+    fn mask(&self) -> u64 {
+        if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_xor_reduces_modulo_width() {
+        // bits 0 and 4 fold onto position 0 of a 4-bit fold: they cancel.
+        let bits = [true, false, false, false, true, true];
+        // positions: 0^4 -> bit0 twice (cancels), 5 -> bit1.
+        assert_eq!(fold_xor(&bits, 4), 0b0010);
+    }
+
+    #[test]
+    fn different_streams_give_different_signatures() {
+        let mut a = Misr::new(16);
+        let mut b = Misr::new(16);
+        for i in 0..100u64 {
+            a.absorb(i & 0xFFFF);
+            b.absorb((i ^ 1) & 0xFFFF);
+        }
+        assert_ne!(a.signature(), b.signature());
+    }
+
+    #[test]
+    fn identical_streams_agree() {
+        let mut a = Misr::new(16);
+        let mut b = Misr::new(16);
+        for i in 0..50u64 {
+            a.absorb(i * 7);
+            b.absorb(i * 7);
+        }
+        assert_eq!(a.signature(), b.signature());
+    }
+
+    #[test]
+    fn single_bit_error_always_changes_the_signature() {
+        // A single injected error can never alias (aliasing needs ≥2
+        // errors); check over a few positions and times.
+        for flip_t in [3u64, 17, 63] {
+            for flip_bit in [0u64, 7, 15] {
+                let mut clean = Misr::new(16);
+                let mut dirty = Misr::new(16);
+                for t in 0..80u64 {
+                    let w = (t.wrapping_mul(0x9E37)) & 0xFFFF;
+                    clean.absorb(w);
+                    let e = if t == flip_t { 1u64 << flip_bit } else { 0 };
+                    dirty.absorb(w ^ e);
+                }
+                assert_ne!(clean.signature(), dirty.signature());
+            }
+        }
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut m = Misr::new(8);
+        m.absorb(0xAB);
+        m.reset();
+        assert_eq!(m.signature(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn width_bounds_are_enforced() {
+        let _ = Misr::new(1);
+    }
+}

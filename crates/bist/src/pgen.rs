@@ -1,0 +1,334 @@
+//! The pattern generator: ALFSR plus constraint generators, wired onto
+//! module input ports (paper §3.1, cases (a)–(d)).
+
+use std::fmt;
+
+use soctest_fault::SeqStimulus;
+
+use crate::Alfsr;
+
+/// A generator for *constrained* module inputs.
+///
+/// Pure pseudo-random values on control-style inputs (mode selectors,
+/// opcode fields) thrash the datapath configuration every cycle and never
+/// let any configuration do real work. A constraint generator produces a
+/// deterministic, slowly-evolving sequence instead; the paper's case study
+/// drives a 4-bit path selector this way.
+///
+/// Implementations must be a pure function of the cycle number so that the
+/// windowed fault simulator can replay them.
+pub trait ConstraintGenerator: fmt::Debug {
+    /// Output width in bits.
+    fn width(&self) -> usize;
+
+    /// The value driven on cycle `cycle` (low [`width`](Self::width) bits).
+    fn value_at(&self, cycle: u64) -> u64;
+}
+
+/// The workhorse [`ConstraintGenerator`]: cycles through a value list,
+/// holding each entry for `hold` cycles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HoldCycler {
+    width: usize,
+    values: Vec<u64>,
+    hold: u64,
+}
+
+impl HoldCycler {
+    /// Cycles through `values` (each masked to `width` bits), holding each
+    /// for `hold` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or `hold` is 0.
+    pub fn new(width: usize, values: Vec<u64>, hold: u64) -> Self {
+        assert!(!values.is_empty(), "need at least one value");
+        assert!(hold > 0, "hold must be positive");
+        HoldCycler {
+            width,
+            values,
+            hold,
+        }
+    }
+
+    /// All values the cycler visits.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// The hold time per value.
+    pub fn hold(&self) -> u64 {
+        self.hold
+    }
+}
+
+impl ConstraintGenerator for HoldCycler {
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn value_at(&self, cycle: u64) -> u64 {
+        let idx = (cycle / self.hold) as usize % self.values.len();
+        self.values[idx] & mask(self.width)
+    }
+}
+
+fn mask(width: usize) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Where one module-input bit comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BitSource {
+    /// ALFSR stage `i % alfsr_width` (replication handles wide ports —
+    /// cases (b)/(d)).
+    Alfsr(usize),
+    /// Bit `bit` of constraint generator `cg`.
+    Cg {
+        /// Index into the pattern generator's CG list.
+        cg: usize,
+        /// Bit within that generator's output.
+        bit: usize,
+    },
+    /// A constant tie-off.
+    Const(bool),
+}
+
+/// The wiring of one module's input port to the pattern-generation
+/// resources.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortWiring {
+    bits: Vec<BitSource>,
+}
+
+impl PortWiring {
+    /// Case (a)/(b): every input bit comes from the (replicated) ALFSR.
+    pub fn direct(width: usize) -> Self {
+        PortWiring {
+            bits: (0..width).map(BitSource::Alfsr).collect(),
+        }
+    }
+
+    /// Case (c)/(d): bits listed in `constrained` (positions within the
+    /// port) come from constraint generator `cg`, in order; the remaining
+    /// bits take (replicated) ALFSR stages.
+    pub fn with_cg(width: usize, cg: usize, constrained: &[usize]) -> Self {
+        let mut bits = Vec::with_capacity(width);
+        let mut alfsr_next = 0usize;
+        for i in 0..width {
+            if let Some(slot) = constrained.iter().position(|&c| c == i) {
+                bits.push(BitSource::Cg { cg, bit: slot });
+            } else {
+                bits.push(BitSource::Alfsr(alfsr_next));
+                alfsr_next += 1;
+            }
+        }
+        PortWiring { bits }
+    }
+
+    /// Fully custom wiring.
+    pub fn custom(bits: Vec<BitSource>) -> Self {
+        PortWiring { bits }
+    }
+
+    /// Port width.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// The per-bit sources.
+    pub fn bits(&self) -> &[BitSource] {
+        &self.bits
+    }
+}
+
+/// The assembled pattern generator: one shared ALFSR, a set of constraint
+/// generators, and one [`PortWiring`] per module under test.
+#[derive(Debug)]
+pub struct PatternGenerator {
+    alfsr: Alfsr,
+    cgs: Vec<Box<dyn ConstraintGenerator + Send + Sync>>,
+    wirings: Vec<PortWiring>,
+}
+
+impl PatternGenerator {
+    /// Builds a generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a wiring references a missing constraint generator.
+    pub fn new(
+        alfsr: Alfsr,
+        cgs: Vec<Box<dyn ConstraintGenerator + Send + Sync>>,
+        wirings: Vec<PortWiring>,
+    ) -> Self {
+        for w in &wirings {
+            for b in w.bits() {
+                if let BitSource::Cg { cg, bit } = b {
+                    assert!(*cg < cgs.len(), "wiring references missing CG {cg}");
+                    assert!(
+                        *bit < cgs[*cg].width(),
+                        "wiring references missing CG bit {bit}"
+                    );
+                }
+            }
+        }
+        PatternGenerator {
+            alfsr,
+            cgs,
+            wirings,
+        }
+    }
+
+    /// The shared ALFSR.
+    pub fn alfsr(&self) -> &Alfsr {
+        &self.alfsr
+    }
+
+    /// Number of modules wired.
+    pub fn module_count(&self) -> usize {
+        self.wirings.len()
+    }
+
+    /// The wiring of module `m`.
+    pub fn wiring(&self, m: usize) -> &PortWiring {
+        &self.wirings[m]
+    }
+
+    /// The input row for module `m` at cycle `cycle` (pure function — the
+    /// ALFSR state is recomputed from reset, so prefer
+    /// [`PatternGenerator::stimulus`] for long streams).
+    pub fn row_at(&self, m: usize, cycle: u64) -> Vec<bool> {
+        let state = self.alfsr.state_at(cycle + 1);
+        self.row_from_state(m, state, cycle)
+    }
+
+    /// The input row for module `m` given an explicit ALFSR state (used by
+    /// the streaming engine, which owns the live ALFSR).
+    pub fn row_from_state(&self, m: usize, alfsr_state: u64, cycle: u64) -> Vec<bool> {
+        let w = self.alfsr.width();
+        self.wirings[m]
+            .bits()
+            .iter()
+            .map(|src| match *src {
+                BitSource::Alfsr(i) => (alfsr_state >> (i % w)) & 1 == 1,
+                BitSource::Cg { cg, bit } => (self.cgs[cg].value_at(cycle) >> bit) & 1 == 1,
+                BitSource::Const(b) => b,
+            })
+            .collect()
+    }
+
+    /// A sequential stimulus for module `m` over `cycles` clock cycles,
+    /// suitable for [`soctest_fault::SeqFaultSim`].
+    pub fn stimulus(&self, m: usize, cycles: u64) -> BistStimulus<'_> {
+        BistStimulus {
+            pgen: self,
+            module: m,
+            cycles,
+            alfsr: {
+                let mut a = self.alfsr.clone();
+                a.reset();
+                a
+            },
+        }
+    }
+}
+
+/// A replayable per-module stimulus produced by a [`PatternGenerator`];
+/// implements [`SeqStimulus`] for the fault simulators.
+#[derive(Debug)]
+pub struct BistStimulus<'a> {
+    pgen: &'a PatternGenerator,
+    module: usize,
+    cycles: u64,
+    alfsr: Alfsr,
+}
+
+impl SeqStimulus for BistStimulus<'_> {
+    fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    fn fill(&mut self, t: u64, out: &mut [bool]) {
+        let state = self.alfsr.step();
+        let row = self.pgen.row_from_state(self.module, state, t);
+        assert_eq!(
+            row.len(),
+            out.len(),
+            "module {} wiring width vs stimulus width",
+            self.module
+        );
+        out.copy_from_slice(&row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hold_cycler_holds_and_cycles() {
+        let cg = HoldCycler::new(4, vec![0b0001, 0b1000, 0b0110], 8);
+        assert_eq!(cg.value_at(0), 0b0001);
+        assert_eq!(cg.value_at(7), 0b0001);
+        assert_eq!(cg.value_at(8), 0b1000);
+        assert_eq!(cg.value_at(24), 0b0001, "wraps around");
+    }
+
+    #[test]
+    fn direct_wiring_replicates() {
+        let pg = PatternGenerator::new(
+            Alfsr::new(4).unwrap(),
+            vec![],
+            vec![PortWiring::direct(10)],
+        );
+        let row = pg.row_at(0, 5);
+        assert_eq!(row.len(), 10);
+        for i in 0..10 {
+            assert_eq!(row[i], row[i % 4], "replicated bits must match");
+        }
+    }
+
+    #[test]
+    fn cg_bits_land_on_constrained_positions() {
+        let cg = HoldCycler::new(2, vec![0b11], 1);
+        let pg = PatternGenerator::new(
+            Alfsr::new(8).unwrap(),
+            vec![Box::new(cg)],
+            vec![PortWiring::with_cg(6, 0, &[1, 4])],
+        );
+        let row = pg.row_at(0, 3);
+        assert!(row[1], "constrained bit 1 carries CG bit 0 (=1)");
+        assert!(row[4], "constrained bit 4 carries CG bit 1 (=1)");
+    }
+
+    #[test]
+    fn stimulus_matches_row_at() {
+        use soctest_fault::SeqStimulus;
+        let pg = PatternGenerator::new(
+            Alfsr::new(6).unwrap(),
+            vec![Box::new(HoldCycler::new(2, vec![1, 2], 4))],
+            vec![PortWiring::with_cg(9, 0, &[0, 8])],
+        );
+        let mut stim = pg.stimulus(0, 16);
+        let mut out = vec![false; 9];
+        for t in 0..16 {
+            stim.fill(t, &mut out);
+            assert_eq!(out, pg.row_at(0, t), "cycle {t}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "missing CG")]
+    fn wiring_validation() {
+        let _ = PatternGenerator::new(
+            Alfsr::new(4).unwrap(),
+            vec![],
+            vec![PortWiring::with_cg(4, 0, &[0])],
+        );
+    }
+}

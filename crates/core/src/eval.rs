@@ -1,0 +1,241 @@
+//! The three-step evaluation flow of §3.2.
+
+use soctest_fault::{
+    DiagnosticMatrix, EquivalentClassStats, FaultSimResult, FaultUniverse, ObserveMode,
+    SeqFaultSim, SeqFaultSimConfig,
+};
+use soctest_ldpc::code::LdpcCode;
+use soctest_ldpc::decoder::{DecoderConfig, DecoderStats, SerialDecoder};
+use soctest_netlist::NetlistError;
+use soctest_sim::{SeqSim, ToggleMonitor, ToggleReport};
+
+use crate::casestudy::CaseStudy;
+
+/// Fault model selector shared by steps 2 and 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultModel {
+    /// Single stuck-at faults.
+    StuckAt,
+    /// Gross-delay transition faults.
+    Transition,
+}
+
+impl FaultModel {
+    fn universe(self, netlist: &soctest_netlist::Netlist) -> FaultUniverse {
+        match self {
+            FaultModel::StuckAt => FaultUniverse::stuck_at(netlist),
+            FaultModel::Transition => FaultUniverse::transition(netlist),
+        }
+    }
+}
+
+/// Step-1 outcome: statement coverage (behavioral RTL) and toggle activity
+/// (gate level), per the Fig. 3 loop.
+#[derive(Debug, Clone)]
+pub struct Step1Report {
+    /// Statement coverage of the behavioral decoder under ALFSR-derived
+    /// stimuli, in percent.
+    pub statement_coverage: f64,
+    /// Merged statement counters (for the designer's feedback loop).
+    pub statements: DecoderStats,
+    /// Per-module toggle activity under the BIST pattern generator.
+    pub toggle: Vec<(String, ToggleReport)>,
+}
+
+impl Step1Report {
+    /// Mean toggle activity across the modules, in percent.
+    pub fn mean_toggle_percent(&self) -> f64 {
+        if self.toggle.is_empty() {
+            return 0.0;
+        }
+        self.toggle
+            .iter()
+            .map(|(_, r)| r.activity_percent())
+            .sum::<f64>()
+            / self.toggle.len() as f64
+    }
+}
+
+/// Runs step 1: applies `npatterns` pseudo-random patterns to the RTL
+/// (behavioral) model and the gate-level modules, measuring statement
+/// coverage and toggle activity.
+///
+/// # Errors
+///
+/// Propagates simulator-construction errors.
+pub fn step1(case: &CaseStudy, npatterns: u64) -> Result<Step1Report, NetlistError> {
+    // Statement coverage: decode words whose LLRs come from the ALFSR, so
+    // the stimulus source is the same pseudo-random machinery the BIST
+    // engine uses.
+    let code = LdpcCode::gallager(96, 3, 6, 7).expect("fixed configuration is valid");
+    let mut alfsr = soctest_bist::Alfsr::new(20).expect("supported width");
+    let mut dec = SerialDecoder::new(&code, DecoderConfig::default());
+    let mut merged = DecoderStats::default();
+    let attempts = (npatterns / 256).max(1);
+    for _ in 0..attempts {
+        let llrs: Vec<i32> = (0..code.n())
+            .map(|_| {
+                let s = alfsr.step();
+                let mag = (s & 0x1F) as i32 + 1;
+                if (s >> 6) & 1 == 1 {
+                    -mag
+                } else {
+                    mag
+                }
+            })
+            .collect();
+        let out = dec.decode(&llrs, 8);
+        merged.merge(&out.stats);
+    }
+
+    // Toggle activity: gate level under the real pattern generator.
+    let pgen = case.pattern_generator();
+    let mut toggle = Vec::new();
+    for (m, module) in case.modules().iter().enumerate() {
+        let mut sim = SeqSim::new(module)?;
+        let mut mon = ToggleMonitor::new(module);
+        let inputs = module.primary_inputs();
+        let mut stim = pgen.stimulus(m, npatterns);
+        let mut row = vec![false; inputs.len()];
+        for t in 0..npatterns {
+            use soctest_fault::SeqStimulus;
+            stim.fill(t, &mut row);
+            for (&net, &bit) in inputs.iter().zip(&row) {
+                sim.set_input_bit(net, bit);
+            }
+            sim.eval_comb();
+            mon.sample(sim.comb().values());
+            sim.clock();
+        }
+        toggle.push((module.name().to_owned(), mon.report()));
+    }
+
+    Ok(Step1Report {
+        statement_coverage: merged.statement_coverage(),
+        statements: merged,
+        toggle,
+    })
+}
+
+/// Runs step 2 for one module: fault coverage under the BIST pattern
+/// generator, repeating with doubled pattern counts until `target_percent`
+/// is reached or `max_patterns` is exceeded — the Fig. 4 loop.
+///
+/// Returns every `(pattern_count, result)` iteration of the loop, last one
+/// final.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn step2(
+    case: &CaseStudy,
+    module: usize,
+    model: FaultModel,
+    start_patterns: u64,
+    target_percent: f64,
+    max_patterns: u64,
+) -> Result<Vec<(u64, FaultSimResult)>, NetlistError> {
+    let universe = model.universe(&case.modules()[module]);
+    let pgen = case.pattern_generator();
+    let mut npatterns = start_patterns.max(1);
+    let mut out = Vec::new();
+    loop {
+        let mut stim = pgen.stimulus(module, npatterns);
+        let sim = SeqFaultSim::new(&universe, SeqFaultSimConfig::default());
+        let result = sim.run(&mut stim)?;
+        let coverage = result.coverage_percent();
+        out.push((npatterns, result));
+        if coverage >= target_percent || npatterns >= max_patterns {
+            return Ok(out);
+        }
+        npatterns = (npatterns * 2).min(max_patterns);
+    }
+}
+
+/// Step-3 outcome for one module and pattern source.
+#[derive(Debug, Clone)]
+pub struct Step3Report {
+    /// Equivalent-class statistics (Table 5's max/med sizes).
+    pub stats: EquivalentClassStats,
+    /// Fault coverage achieved by the same run (signature-observed).
+    pub coverage_percent: f64,
+    /// Faults analyzed (after sampling).
+    pub faults: usize,
+}
+
+/// Runs step 3 for one module: collects MISR-observed syndromes under the
+/// BIST pattern generator, builds the diagnostic matrix, and reports the
+/// equivalent-fault-class statistics.
+///
+/// `sample_stride` keeps one fault in `stride` to bound runtime (class
+/// statistics on a uniform sample remain representative); `read_every`
+/// sets the signature-read granularity, the diagnosis knob of §3.2.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn step3(
+    case: &CaseStudy,
+    module: usize,
+    model: FaultModel,
+    npatterns: u64,
+    read_every: u64,
+    sample_stride: usize,
+) -> Result<Step3Report, NetlistError> {
+    let mut universe = model.universe(&case.modules()[module]);
+    universe.retain_sample(sample_stride);
+    let pgen = case.pattern_generator();
+    let mut stim = pgen.stimulus(module, npatterns);
+    let sim = SeqFaultSim::new(
+        &universe,
+        SeqFaultSimConfig {
+            observe: ObserveMode::misr_default(case.spec().misr_width, read_every),
+            collect_syndromes: true,
+            ..Default::default()
+        },
+    );
+    let result = sim.run(&mut stim)?;
+    let matrix = DiagnosticMatrix::from_syndromes(result.syndromes.as_ref().expect("collected"));
+    Ok(Step3Report {
+        stats: matrix.stats(),
+        coverage_percent: result.coverage_percent(),
+        faults: universe.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step1_reports_coverage_and_toggle() {
+        let case = CaseStudy::paper().unwrap();
+        let r = step1(&case, 256).unwrap();
+        assert!(r.statement_coverage > 50.0);
+        assert_eq!(r.toggle.len(), 3);
+        assert!(r.mean_toggle_percent() > 30.0, "got {}", r.mean_toggle_percent());
+    }
+
+    #[test]
+    fn step2_loop_grows_until_target_or_cap() {
+        let case = CaseStudy::paper().unwrap();
+        // CONTROL_UNIT is the smallest module; an unreachable target makes
+        // the loop run to the cap.
+        let runs = step2(&case, 2, FaultModel::StuckAt, 32, 101.0, 128).unwrap();
+        assert_eq!(runs.len(), 3, "32 → 64 → 128");
+        assert!(runs.last().unwrap().0 == 128);
+        let c0 = runs[0].1.coverage_percent();
+        let c2 = runs[2].1.coverage_percent();
+        assert!(c2 >= c0, "more patterns cannot lose coverage");
+    }
+
+    #[test]
+    fn step3_builds_class_statistics() {
+        let case = CaseStudy::paper().unwrap();
+        let r = step3(&case, 2, FaultModel::StuckAt, 128, 32, 4).unwrap();
+        assert!(r.faults > 50);
+        assert!(r.stats.classes > 0);
+        assert!(r.stats.max_size >= 1);
+        assert!(r.stats.mean_size >= 1.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Live BIST sessions: the behavioral engine co-simulated against the
+//! module netlists, pluggable behind the P1500 wrapper.
+
+use soctest_bist::{BistCommand, BistEngine};
+use soctest_netlist::{NetId, Netlist, NetlistError};
+use soctest_p1500::BistBackend;
+use soctest_sim::SeqSim;
+
+use crate::casestudy::CaseStudy;
+
+/// The wrapped core: the BIST engine and one gate-level simulator per
+/// module, advancing in lock-step. Implements [`BistBackend`], so a
+/// [`soctest_p1500::TapDriver`] can run complete test sessions against it
+/// — load pattern count, start, burst at speed, read signatures.
+#[derive(Debug)]
+pub struct WrappedCore<'a> {
+    engine: BistEngine,
+    sims: Vec<SeqSim<'a>>,
+    inputs: Vec<Vec<NetId>>,
+    outputs: Vec<Vec<NetId>>,
+}
+
+impl<'a> WrappedCore<'a> {
+    /// Builds the backend for a case study.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator-construction errors.
+    pub fn new(case: &'a CaseStudy) -> Result<Self, NetlistError> {
+        let engine = case.engine();
+        let mut sims = Vec::new();
+        let mut inputs = Vec::new();
+        let mut outputs = Vec::new();
+        for module in case.modules() {
+            sims.push(SeqSim::new(module)?);
+            inputs.push(module.primary_inputs());
+            outputs.push(module.primary_outputs());
+        }
+        Ok(WrappedCore {
+            engine,
+            sims,
+            inputs,
+            outputs,
+        })
+    }
+
+    /// The engine (e.g. to inspect per-module signatures).
+    pub fn engine(&self) -> &BistEngine {
+        &self.engine
+    }
+
+    /// The module netlists being exercised.
+    pub fn netlists(&self) -> Vec<&Netlist> {
+        self.sims.iter().map(|s| s.netlist()).collect()
+    }
+
+    /// Runs a complete fault-free session (reset → load → start → run to
+    /// completion) and returns every module's signature. Used to compute
+    /// golden signatures.
+    ///
+    /// # Errors
+    ///
+    /// None currently; the `Result` mirrors the construction API.
+    pub fn rehearse(&mut self, npatterns: u64) -> Result<Vec<u64>, NetlistError> {
+        self.command(BistCommand::Reset);
+        self.command(BistCommand::LoadPatternCount(npatterns));
+        self.command(BistCommand::Start);
+        for sim in &mut self.sims {
+            sim.reset();
+        }
+        let mut guard = npatterns + 4;
+        while !self.engine.control().end_test() && guard > 0 {
+            self.functional_clock();
+            guard -= 1;
+        }
+        Ok((0..self.sims.len()).map(|m| self.engine.signature(m)).collect())
+    }
+}
+
+impl BistBackend for WrappedCore<'_> {
+    fn command(&mut self, cmd: BistCommand) {
+        // A reset command also returns the modules to their power-on state
+        // (the BIST clr pulse would do this in silicon over a few cycles).
+        if cmd == BistCommand::Reset {
+            for sim in &mut self.sims {
+                sim.reset();
+            }
+        }
+        self.engine.command(cmd);
+    }
+
+    fn functional_clock(&mut self) {
+        if !self.engine.control().test_enable() {
+            return;
+        }
+        let mut responses = Vec::with_capacity(self.sims.len());
+        for (m, sim) in self.sims.iter_mut().enumerate() {
+            let row = self.engine.inputs(m);
+            for (&net, &bit) in self.inputs[m].iter().zip(&row) {
+                sim.set_input_bit(net, bit);
+            }
+            sim.eval_comb();
+            let outs: Vec<bool> = self.outputs[m]
+                .iter()
+                .map(|&net| sim.get(net) & 1 == 1)
+                .collect();
+            sim.clock();
+            responses.push(outs);
+        }
+        self.engine.clock(&responses);
+    }
+
+    fn end_test(&self) -> bool {
+        self.engine.control().end_test()
+    }
+
+    fn selected_signature(&self) -> u64 {
+        self.engine.selected_signature()
+    }
+
+    fn signature_width(&self) -> usize {
+        self.engine.misr_width()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soctest_p1500::TapDriver;
+
+    #[test]
+    fn rehearsal_is_deterministic() {
+        let case = CaseStudy::paper().unwrap();
+        let mut a = WrappedCore::new(&case).unwrap();
+        let mut b = WrappedCore::new(&case).unwrap();
+        assert_eq!(a.rehearse(128).unwrap(), b.rehearse(128).unwrap());
+    }
+
+    #[test]
+    fn signatures_depend_on_length() {
+        let case = CaseStudy::paper().unwrap();
+        let mut w = WrappedCore::new(&case).unwrap();
+        let short = w.rehearse(64).unwrap();
+        let long = w.rehearse(65).unwrap();
+        assert_ne!(short, long);
+    }
+
+    #[test]
+    fn rehearsal_can_be_repeated_on_the_same_backend() {
+        let case = CaseStudy::paper().unwrap();
+        let mut w = WrappedCore::new(&case).unwrap();
+        let first = w.rehearse(100).unwrap();
+        let second = w.rehearse(100).unwrap();
+        assert_eq!(first, second, "reset must clear all state");
+    }
+
+    #[test]
+    fn tap_session_matches_rehearsal() {
+        let case = CaseStudy::paper().unwrap();
+        let golden = case.golden_signatures(96).unwrap();
+        let backend = WrappedCore::new(&case).unwrap();
+        let mut ate = TapDriver::new(backend);
+        ate.reset();
+        ate.bist_load_pattern_count(96);
+        ate.bist_start();
+        assert!(ate.wait_for_done(32, 10));
+        for (m, &gold) in golden.iter().enumerate() {
+            ate.bist_select_result(m as u8);
+            let (done, sig) = ate.read_status();
+            assert!(done);
+            assert_eq!(sig, gold, "module {m} signature");
+        }
+        assert!(ate.tck() > 100, "protocol cost is accounted");
+    }
+}

@@ -1,0 +1,554 @@
+//! PPSFP combinational fault simulation (64 patterns per pass, single fault,
+//! event-driven forward propagation) — the engine behind the full-scan
+//! baseline of Table 3.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::time::Instant;
+
+use soctest_netlist::{GateKind, NetId, Netlist, NetlistError};
+
+use crate::{FaultKind, FaultSimResult, FaultUniverse, Syndrome};
+
+/// A set of input patterns for a combinational view, stored bit-parallel:
+/// 64 patterns per block, one word per input position.
+///
+/// Input positions follow [`Netlist::primary_inputs`] order of the fault
+/// view — for a scan view this means real primary inputs first, then the
+/// pseudo-primary inputs contributed by scan cells.
+#[derive(Debug, Clone, Default)]
+pub struct PatternSet {
+    width: usize,
+    count: usize,
+    /// `blocks[b][i]` = word of input `i` for patterns `64b..64b+63`.
+    blocks: Vec<Vec<u64>>,
+}
+
+impl PatternSet {
+    /// An empty pattern set over `width` input positions.
+    pub fn new(width: usize) -> Self {
+        PatternSet {
+            width,
+            count: 0,
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Builds a set from explicit rows (`rows[p][i]` = input `i` of pattern
+    /// `p`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have inconsistent widths.
+    pub fn from_rows(width: usize, rows: &[Vec<bool>]) -> Self {
+        let mut set = PatternSet::new(width);
+        for row in rows {
+            set.push(row);
+        }
+        set
+    }
+
+    /// Appends one pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != width`.
+    pub fn push(&mut self, row: &[bool]) {
+        assert_eq!(row.len(), self.width, "pattern width");
+        let lane = self.count % 64;
+        if lane == 0 {
+            self.blocks.push(vec![0u64; self.width]);
+        }
+        let block = self.blocks.last_mut().expect("block allocated");
+        for (i, &b) in row.iter().enumerate() {
+            if b {
+                block[i] |= 1u64 << lane;
+            }
+        }
+        self.count += 1;
+    }
+
+    /// Number of patterns.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Number of input positions.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The 64-pattern blocks.
+    pub fn blocks(&self) -> &[Vec<u64>] {
+        &self.blocks
+    }
+
+    /// Lane mask of valid patterns within block `b`.
+    fn lane_mask(&self, b: usize) -> u64 {
+        let full = self.count / 64;
+        if b < full {
+            u64::MAX
+        } else {
+            let rem = self.count % 64;
+            (1u64 << rem) - 1
+        }
+    }
+
+    /// Reads pattern `p` back as a row of booleans.
+    pub fn row(&self, p: usize) -> Vec<bool> {
+        let (b, lane) = (p / 64, p % 64);
+        (0..self.width)
+            .map(|i| (self.blocks[b][i] >> lane) & 1 == 1)
+            .collect()
+    }
+}
+
+/// PPSFP fault simulator over a combinational view.
+///
+/// Flip-flops, if present in the view, are treated as constant-0 sources;
+/// scan flows should pass a scan view where state elements have been
+/// converted to pseudo-ports (see `soctest-atpg`).
+#[derive(Debug)]
+pub struct CombFaultSim<'a> {
+    universe: &'a FaultUniverse,
+    collect_syndromes: bool,
+}
+
+impl<'a> CombFaultSim<'a> {
+    /// Creates a simulator over a fault universe.
+    pub fn new(universe: &'a FaultUniverse) -> Self {
+        CombFaultSim {
+            universe,
+            collect_syndromes: false,
+        }
+    }
+
+    /// Enables per-fault syndrome collection (disables fault dropping).
+    pub fn with_syndromes(mut self) -> Self {
+        self.collect_syndromes = true;
+        self
+    }
+
+    /// Runs stuck-at fault simulation over the pattern set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a levelization error if the view is cyclic.
+    pub fn run_stuck_at(&self, patterns: &PatternSet) -> Result<FaultSimResult, NetlistError> {
+        self.run(patterns, None, 0, None)
+    }
+
+    /// Continues a stuck-at campaign over additional patterns, carrying the
+    /// detection state forward. `offset` is the global index of the first
+    /// pattern in `patterns` (used for detection bookkeeping); faults
+    /// already marked detected in `detection` are skipped.
+    ///
+    /// This is the hook the ATPG loop uses: generate a pattern block, fault
+    /// simulate it, drop what it detects, and target the next survivor.
+    ///
+    /// # Errors
+    ///
+    /// Returns a levelization error if the view is cyclic.
+    pub fn resume_stuck_at(
+        &self,
+        patterns: &PatternSet,
+        offset: u64,
+        detection: &mut [Option<u64>],
+    ) -> Result<(), NetlistError> {
+        let r = self.run(patterns, None, offset, Some(detection))?;
+        drop(r);
+        Ok(())
+    }
+
+    /// Continues a transition campaign; see [`CombFaultSim::resume_stuck_at`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a levelization error if the view is cyclic.
+    pub fn resume_transition(
+        &self,
+        patterns: &PatternSet,
+        state_map: &[(NetId, NetId)],
+        offset: u64,
+        detection: &mut [Option<u64>],
+    ) -> Result<(), NetlistError> {
+        let r = self.run(patterns, Some(state_map), offset, Some(detection))?;
+        drop(r);
+        Ok(())
+    }
+
+    /// Runs transition fault simulation in launch-on-capture style.
+    ///
+    /// Every pattern is applied twice: the first evaluation launches
+    /// transitions, then `state_map` (pairs of pseudo-input net and the
+    /// pseudo-output net that feeds it, i.e. the scan cell's `q`/`d`) is
+    /// used to advance the state by one functional cycle, and the second
+    /// evaluation captures. A slow transition at the fault site holds the
+    /// launch value into the capture cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns a levelization error if the view is cyclic.
+    pub fn run_transition(
+        &self,
+        patterns: &PatternSet,
+        state_map: &[(NetId, NetId)],
+    ) -> Result<FaultSimResult, NetlistError> {
+        self.run(patterns, Some(state_map), 0, None)
+    }
+
+    fn run(
+        &self,
+        patterns: &PatternSet,
+        transition: Option<&[(NetId, NetId)]>,
+        offset: u64,
+        resume: Option<&mut [Option<u64>]>,
+    ) -> Result<FaultSimResult, NetlistError> {
+        let start = Instant::now();
+        let view = self.universe.view();
+        let faults = self.universe.faults();
+        let pis = view.primary_inputs();
+        assert_eq!(
+            patterns.width(),
+            pis.len(),
+            "pattern width must match the view's primary-input count"
+        );
+        let order = view.levelize()?;
+        let mut pos = vec![0u32; view.len()];
+        for (i, &id) in order.iter().enumerate() {
+            pos[id.index()] = i as u32 + 1;
+        }
+        let fanouts = view.fanouts();
+        let obs = self.universe.observe_nets();
+
+        let mut values = vec![0u64; view.len()];
+        for (id, gate) in view.iter() {
+            if gate.kind == GateKind::Const1 {
+                values[id.index()] = u64::MAX;
+            }
+        }
+        let mut launch = vec![0u64; view.len()];
+
+        let mut local: Vec<Option<u64>>;
+        let detection: &mut [Option<u64>] = match resume {
+            Some(d) => {
+                assert_eq!(d.len(), faults.len(), "detection state size");
+                d
+            }
+            None => {
+                local = vec![None; faults.len()];
+                &mut local
+            }
+        };
+        let mut syndromes = if self.collect_syndromes {
+            vec![Syndrome::new(); faults.len()]
+        } else {
+            Vec::new()
+        };
+        let mut scratch = Propagator::new(view.len());
+
+        for (b, block) in patterns.blocks().iter().enumerate() {
+            let mask = patterns.lane_mask(b);
+            // Good evaluation (launch pass for transition mode).
+            for (i, &pi) in pis.iter().enumerate() {
+                values[pi.index()] = block[i];
+            }
+            eval_all(view, &order, &mut values);
+            if let Some(map) = transition {
+                launch.copy_from_slice(&values);
+                for &(ppi, ppo) in map {
+                    values[ppi.index()] = launch[ppo.index()];
+                }
+                eval_all(view, &order, &mut values);
+            }
+
+            for (fi, fault) in faults.iter().enumerate() {
+                if detection[fi].is_some() && !self.collect_syndromes {
+                    continue;
+                }
+                let site = fault.net;
+                let good = values[site.index()];
+                let faulty = match fault.kind {
+                    FaultKind::Sa0 => 0,
+                    FaultKind::Sa1 => u64::MAX,
+                    FaultKind::SlowToRise => {
+                        // Excited where launch=0 and capture=1; holds 0.
+                        good & !( !launch[site.index()] & good)
+                    }
+                    FaultKind::SlowToFall => good | (launch[site.index()] & !good),
+                };
+                let excite = (good ^ faulty) & mask;
+                if excite == 0 {
+                    continue;
+                }
+                let det = scratch.propagate(
+                    view,
+                    &pos,
+                    &fanouts,
+                    &values,
+                    site,
+                    faulty,
+                    obs,
+                    mask,
+                    if self.collect_syndromes {
+                        Some((&mut syndromes[fi], b as u64))
+                    } else {
+                        None
+                    },
+                );
+                if det != 0 && detection[fi].is_none() {
+                    let lane = det.trailing_zeros() as u64;
+                    detection[fi] = Some(offset + b as u64 * 64 + lane);
+                }
+            }
+        }
+
+        Ok(FaultSimResult {
+            detection: detection.to_vec(),
+            cycles: patterns.len() as u64,
+            wall: start.elapsed(),
+            syndromes: if self.collect_syndromes {
+                Some(syndromes)
+            } else {
+                None
+            },
+        })
+    }
+}
+
+fn eval_all(view: &Netlist, order: &[NetId], values: &mut [u64]) {
+    let mut pins = [0u64; 3];
+    for &id in order {
+        let gate = view.gate(id);
+        for (i, &p) in gate.pins.iter().enumerate() {
+            pins[i] = values[p.index()];
+        }
+        values[id.index()] = gate.kind.eval_word(&pins[..gate.pins.len()]);
+    }
+}
+
+/// Event-driven single-fault forward propagation scratchpad.
+#[derive(Debug)]
+struct Propagator {
+    delta: HashMap<u32, u64>,
+    visited: Vec<bool>,
+    touched: Vec<u32>,
+    queue: BinaryHeap<Reverse<(u32, u32)>>,
+}
+
+impl Propagator {
+    fn new(nets: usize) -> Self {
+        Propagator {
+            delta: HashMap::new(),
+            visited: vec![false; nets],
+            touched: Vec::new(),
+            queue: BinaryHeap::new(),
+        }
+    }
+
+    /// Propagates a faulty word at `site` forward; returns the lane mask of
+    /// patterns whose deviation reaches an observation net.
+    #[allow(clippy::too_many_arguments)]
+    fn propagate(
+        &mut self,
+        view: &Netlist,
+        pos: &[u32],
+        fanouts: &[Vec<(NetId, u8)>],
+        good: &[u64],
+        site: NetId,
+        faulty: u64,
+        obs: &[NetId],
+        mask: u64,
+        mut syndrome: Option<(&mut Syndrome, u64)>,
+    ) -> u64 {
+        self.delta.clear();
+        for &t in &self.touched {
+            self.visited[t as usize] = false;
+        }
+        self.touched.clear();
+        self.queue.clear();
+
+        self.delta.insert(site.0, faulty);
+        for &(sink, _) in &fanouts[site.index()] {
+            self.enqueue(sink, pos);
+        }
+        let mut pins = [0u64; 3];
+        while let Some(Reverse((_, net))) = self.queue.pop() {
+            let id = NetId(net);
+            let gate = view.gate(id);
+            if gate.kind.is_source() {
+                continue;
+            }
+            for (i, &p) in gate.pins.iter().enumerate() {
+                pins[i] = *self.delta.get(&p.0).unwrap_or(&good[p.index()]);
+            }
+            let w = gate.kind.eval_word(&pins[..gate.pins.len()]);
+            if w != good[id.index()] {
+                self.delta.insert(net, w);
+                for &(sink, _) in &fanouts[id.index()] {
+                    self.enqueue(sink, pos);
+                }
+            }
+        }
+
+        let mut detected = 0u64;
+        for (oi, &o) in obs.iter().enumerate() {
+            if let Some(&w) = self.delta.get(&o.0) {
+                let diff = (w ^ good[o.index()]) & mask;
+                if diff != 0 {
+                    detected |= diff;
+                    if let Some((syn, block)) = syndrome.as_mut() {
+                        // One event per deviating pattern and output.
+                        let mut lanes = diff;
+                        while lanes != 0 {
+                            let lane = lanes.trailing_zeros() as u64;
+                            lanes &= lanes - 1;
+                            syn.record(*block * 64 + lane, oi as u64);
+                        }
+                    }
+                }
+            }
+        }
+        detected
+    }
+
+    fn enqueue(&mut self, sink: NetId, pos: &[u32]) {
+        if !self.visited[sink.index()] {
+            self.visited[sink.index()] = true;
+            self.touched.push(sink.0);
+            self.queue.push(Reverse((pos[sink.index()], sink.0)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soctest_netlist::ModuleBuilder;
+
+    /// A redundancy-free full adder: every collapsed fault is testable.
+    fn comb_block() -> Netlist {
+        let mut mb = ModuleBuilder::new("fa");
+        let a = mb.input("a");
+        let b = mb.input("b");
+        let cin = mb.input("cin");
+        let ab = mb.xor(a, b);
+        let s = mb.xor(ab, cin);
+        let m1 = mb.and(a, b);
+        let m2 = mb.and(ab, cin);
+        let cout = mb.or(m1, m2);
+        mb.output("s", s);
+        mb.output("cout", cout);
+        mb.finish().unwrap()
+    }
+
+    fn exhaustive(width: u32) -> Vec<Vec<bool>> {
+        (0..1u64 << width)
+            .map(|v| (0..width as usize).map(|i| (v >> i) & 1 == 1).collect())
+            .collect()
+    }
+
+    #[test]
+    fn exhaustive_gets_full_coverage() {
+        let nl = comb_block();
+        let u = FaultUniverse::stuck_at(&nl);
+        let pats = PatternSet::from_rows(3, &exhaustive(3));
+        let r = CombFaultSim::new(&u).run_stuck_at(&pats).unwrap();
+        assert_eq!(
+            r.coverage_percent(),
+            100.0,
+            "undetected: {:?}",
+            r.undetected().iter().map(|&i| u.describe(i)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn partial_patterns_get_partial_coverage() {
+        let nl = comb_block();
+        let u = FaultUniverse::stuck_at(&nl);
+        let pats = PatternSet::from_rows(3, &exhaustive(3)[..2]);
+        let r = CombFaultSim::new(&u).run_stuck_at(&pats).unwrap();
+        assert!(r.coverage_percent() > 0.0);
+        assert!(r.coverage_percent() < 100.0);
+    }
+
+    #[test]
+    fn detection_index_is_a_pattern_number() {
+        let nl = comb_block();
+        let u = FaultUniverse::stuck_at(&nl);
+        let pats = PatternSet::from_rows(3, &exhaustive(3));
+        let r = CombFaultSim::new(&u).run_stuck_at(&pats).unwrap();
+        for d in r.detection.iter().flatten() {
+            assert!(*d < 8);
+        }
+    }
+
+    #[test]
+    fn syndromes_build_a_matrix() {
+        let nl = comb_block();
+        let u = FaultUniverse::stuck_at(&nl);
+        let pats = PatternSet::from_rows(3, &exhaustive(3));
+        let r = CombFaultSim::new(&u)
+            .with_syndromes()
+            .run_stuck_at(&pats)
+            .unwrap();
+        let m = crate::DiagnosticMatrix::from_syndromes(r.syndromes.as_ref().unwrap());
+        assert_eq!(m.detected(), r.detected_count());
+        // Exhaustive patterns distinguish collapsed faults well.
+        assert!(m.stats().mean_size < 2.5);
+    }
+
+    #[test]
+    fn pattern_set_round_trips() {
+        let rows = exhaustive(4);
+        let pats = PatternSet::from_rows(4, &rows);
+        assert_eq!(pats.len(), 16);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(&pats.row(i), row);
+        }
+    }
+
+    #[test]
+    fn lane_mask_limits_partial_blocks() {
+        let pats = PatternSet::from_rows(2, &vec![vec![true, false]; 3]);
+        assert_eq!(pats.lane_mask(0), 0b111);
+    }
+
+    #[test]
+    fn transition_mode_on_registered_block() {
+        // A scan view whose logic is fed from the state: launching a
+        // pattern and capturing one functional cycle later excites real
+        // transitions inside the adder.
+        let mut vb = ModuleBuilder::new("pipe_view");
+        let ppi = vb.input_bus("ppi", 6);
+        let a: Vec<_> = ppi[..3].to_vec();
+        let b: Vec<_> = ppi[3..].to_vec();
+        let s = vb.add(&a, &b);
+        let nb = vb.not_w(&b);
+        let mut ppo = s.sum.clone();
+        ppo.extend(nb);
+        vb.output_bus("ppo", &ppo);
+        let view_src = vb.finish().unwrap();
+        let u = FaultUniverse::transition(&view_src);
+        let map: Vec<(NetId, NetId)> = view_src
+            .port("ppi")
+            .unwrap()
+            .bits()
+            .iter()
+            .copied()
+            .zip(u.view().port("ppo").unwrap().bits().iter().copied())
+            .collect();
+        let pats = PatternSet::from_rows(6, &exhaustive(6));
+        let r = CombFaultSim::new(&u).run_transition(&pats, &map).unwrap();
+        assert!(
+            r.coverage_percent() > 50.0,
+            "got {:.1}%",
+            r.coverage_percent()
+        );
+    }
+}

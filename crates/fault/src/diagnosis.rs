@@ -1,0 +1,197 @@
+//! Diagnosis support: syndromes, the diagnostic matrix, and equivalent
+//! fault classes (paper §3.2 step 3 and Table 5).
+
+use std::collections::HashMap;
+
+/// A running digest of a fault's observable behaviour over a test.
+///
+/// Two faults are *equivalent under the applied test* when their syndromes
+/// are identical — the test cannot tell them apart, so they fall into the
+/// same equivalent fault class of the diagnostic matrix. The digest is a
+/// 64-bit FNV-1a stream over `(when, what)` observation events plus an
+/// event counter (collisions would need identical hashes *and* counts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Syndrome {
+    hash: u64,
+    events: u32,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Syndrome {
+    /// A fresh syndrome with no recorded events.
+    pub fn new() -> Self {
+        Syndrome {
+            hash: FNV_OFFSET,
+            events: 0,
+        }
+    }
+
+    /// Records one observation event, e.g. `(cycle, output_index)` for a
+    /// per-cycle mismatch or `(read_index, signature)` for a MISR readout.
+    pub fn record(&mut self, when: u64, what: u64) {
+        for word in [when, what] {
+            for byte in word.to_le_bytes() {
+                self.hash ^= byte as u64;
+                self.hash = self.hash.wrapping_mul(FNV_PRIME);
+            }
+        }
+        self.events = self.events.saturating_add(1);
+    }
+
+    /// Whether no event was ever recorded (fault-free behaviour).
+    pub fn is_clean(&self) -> bool {
+        self.events == 0
+    }
+
+    /// Number of recorded events.
+    pub fn events(&self) -> u32 {
+        self.events
+    }
+}
+
+impl Default for Syndrome {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The diagnostic matrix, reduced to its equivalence structure: groups of
+/// detected faults whose syndromes are identical.
+#[derive(Debug, Clone)]
+pub struct DiagnosticMatrix {
+    classes: Vec<Vec<usize>>,
+    detected: usize,
+}
+
+impl DiagnosticMatrix {
+    /// Builds the matrix from per-fault syndromes.
+    ///
+    /// Faults with a clean syndrome (undetected by the test) are excluded:
+    /// the paper's class sizes measure how precisely *detected* faults can
+    /// be located.
+    pub fn from_syndromes(syndromes: &[Syndrome]) -> Self {
+        let mut by_syndrome: HashMap<Syndrome, Vec<usize>> = HashMap::new();
+        let mut detected = 0;
+        for (i, s) in syndromes.iter().enumerate() {
+            if s.is_clean() {
+                continue;
+            }
+            detected += 1;
+            by_syndrome.entry(*s).or_default().push(i);
+        }
+        let mut classes: Vec<Vec<usize>> = by_syndrome.into_values().collect();
+        classes.sort_by(|a, b| b.len().cmp(&a.len()).then(a[0].cmp(&b[0])));
+        DiagnosticMatrix { classes, detected }
+    }
+
+    /// The equivalent fault classes, largest first.
+    pub fn classes(&self) -> &[Vec<usize>] {
+        &self.classes
+    }
+
+    /// Number of faults contributing (detected faults).
+    pub fn detected(&self) -> usize {
+        self.detected
+    }
+
+    /// Aggregate class-size statistics (Table 5's "Max size" / "Med size").
+    pub fn stats(&self) -> EquivalentClassStats {
+        let max_size = self.classes.first().map_or(0, Vec::len);
+        let mean_size = if self.classes.is_empty() {
+            0.0
+        } else {
+            self.detected as f64 / self.classes.len() as f64
+        };
+        let singletons = self.classes.iter().filter(|c| c.len() == 1).count();
+        EquivalentClassStats {
+            classes: self.classes.len(),
+            detected: self.detected,
+            max_size,
+            mean_size,
+            singletons,
+        }
+    }
+
+    /// Diagnostic resolution: fraction of detected faults that are uniquely
+    /// locatable (singleton classes).
+    pub fn resolution(&self) -> f64 {
+        if self.detected == 0 {
+            return 0.0;
+        }
+        let singles = self.classes.iter().filter(|c| c.len() == 1).count();
+        singles as f64 / self.detected as f64
+    }
+}
+
+/// Summary statistics of the equivalent fault classes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EquivalentClassStats {
+    /// Number of distinct classes.
+    pub classes: usize,
+    /// Number of detected faults partitioned into those classes.
+    pub detected: usize,
+    /// Size of the largest class (paper: "Max size").
+    pub max_size: usize,
+    /// Mean class size (paper: "Med size").
+    pub mean_size: f64,
+    /// Number of singleton classes (uniquely diagnosable faults).
+    pub singletons: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_streams_collide_different_ones_do_not() {
+        let mut a = Syndrome::new();
+        let mut b = Syndrome::new();
+        let mut c = Syndrome::new();
+        for t in 0..10 {
+            a.record(t, 1);
+            b.record(t, 1);
+            c.record(t, 2);
+        }
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn order_matters() {
+        let mut a = Syndrome::new();
+        a.record(1, 0);
+        a.record(2, 0);
+        let mut b = Syndrome::new();
+        b.record(2, 0);
+        b.record(1, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn matrix_groups_and_excludes_clean() {
+        let mut s1 = Syndrome::new();
+        s1.record(5, 3);
+        let s2 = s1; // same behaviour
+        let mut s3 = Syndrome::new();
+        s3.record(5, 4);
+        let clean = Syndrome::new();
+        let m = DiagnosticMatrix::from_syndromes(&[s1, s2, s3, clean]);
+        assert_eq!(m.detected(), 3);
+        let stats = m.stats();
+        assert_eq!(stats.classes, 2);
+        assert_eq!(stats.max_size, 2);
+        assert!((stats.mean_size - 1.5).abs() < 1e-9);
+        assert_eq!(stats.singletons, 1);
+        assert!((m.resolution() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_matrix_is_benign() {
+        let m = DiagnosticMatrix::from_syndromes(&[Syndrome::new()]);
+        assert_eq!(m.stats().classes, 0);
+        assert_eq!(m.stats().max_size, 0);
+        assert_eq!(m.resolution(), 0.0);
+    }
+}

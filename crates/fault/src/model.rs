@@ -1,0 +1,131 @@
+//! Fault kinds and fault records.
+
+use std::fmt;
+
+use soctest_netlist::NetId;
+
+/// The supported single-fault models.
+///
+/// Stuck-at faults tie a net to a constant; transition (gross-delay) faults
+/// make a net too slow in one direction: with a delay larger than the clock
+/// period, a slow-to-rise net still shows its previous value whenever it
+/// should have risen (and symmetrically for slow-to-fall). These are exactly
+/// the SAF and TDF models of the paper's Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// Stuck-at-0.
+    Sa0,
+    /// Stuck-at-1.
+    Sa1,
+    /// Transition fault, slow-to-rise.
+    SlowToRise,
+    /// Transition fault, slow-to-fall.
+    SlowToFall,
+}
+
+impl FaultKind {
+    /// Whether this is one of the two stuck-at kinds.
+    pub fn is_stuck_at(self) -> bool {
+        matches!(self, FaultKind::Sa0 | FaultKind::Sa1)
+    }
+
+    /// Whether this is one of the two transition kinds.
+    pub fn is_transition(self) -> bool {
+        !self.is_stuck_at()
+    }
+
+    /// The polarity bit: 0 for `Sa0`/`SlowToRise`, 1 for `Sa1`/`SlowToFall`.
+    ///
+    /// Inverting gates flip polarity when propagating equivalences; the
+    /// mapping pairs `Sa0` with `SlowToRise` because both keep the net from
+    /// reaching logic 1.
+    pub fn polarity(self) -> bool {
+        matches!(self, FaultKind::Sa1 | FaultKind::SlowToFall)
+    }
+
+    /// Returns the kind of the same family with the given polarity.
+    pub fn with_polarity(self, polarity: bool) -> FaultKind {
+        match (self.is_stuck_at(), polarity) {
+            (true, false) => FaultKind::Sa0,
+            (true, true) => FaultKind::Sa1,
+            (false, false) => FaultKind::SlowToRise,
+            (false, true) => FaultKind::SlowToFall,
+        }
+    }
+
+    /// Short mnemonic used in fault names (`sa0`, `sa1`, `str`, `stf`).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FaultKind::Sa0 => "sa0",
+            FaultKind::Sa1 => "sa1",
+            FaultKind::SlowToRise => "str",
+            FaultKind::SlowToFall => "stf",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A single fault: a kind attached to a net of the fault-view netlist.
+///
+/// Fanout branches are materialized as buffer gates by
+/// [`crate::FaultUniverse`], so a net-based site addresses every classical
+/// pin fault as well.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fault {
+    /// The faulted net (in the fault-view netlist).
+    pub net: NetId,
+    /// The fault model applied to it.
+    pub kind: FaultKind,
+}
+
+impl Fault {
+    /// Creates a fault record.
+    pub fn new(net: NetId, kind: FaultKind) -> Self {
+        Fault { net, kind }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.net, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polarity_round_trips() {
+        for kind in [
+            FaultKind::Sa0,
+            FaultKind::Sa1,
+            FaultKind::SlowToRise,
+            FaultKind::SlowToFall,
+        ] {
+            assert_eq!(kind.with_polarity(kind.polarity()), kind);
+        }
+    }
+
+    #[test]
+    fn family_checks() {
+        assert!(FaultKind::Sa0.is_stuck_at());
+        assert!(FaultKind::SlowToFall.is_transition());
+        assert_eq!(FaultKind::Sa0.with_polarity(true), FaultKind::Sa1);
+        assert_eq!(
+            FaultKind::SlowToRise.with_polarity(true),
+            FaultKind::SlowToFall
+        );
+    }
+
+    #[test]
+    fn display_format() {
+        let f = Fault::new(NetId(7), FaultKind::Sa1);
+        assert_eq!(f.to_string(), "n7/sa1");
+    }
+}

@@ -1,0 +1,131 @@
+//! Result types for fault-simulation campaigns.
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::Syndrome;
+
+/// Outcome of a fault-simulation campaign over a collapsed universe.
+#[derive(Debug, Clone)]
+pub struct FaultSimResult {
+    /// First-detection cycle per collapsed fault (index-aligned with
+    /// [`crate::FaultUniverse::faults`]); `None` means undetected.
+    pub detection: Vec<Option<u64>>,
+    /// Number of clock cycles (or scan patterns) applied.
+    pub cycles: u64,
+    /// Wall-clock time the simulation took (the paper reports CPU time in
+    /// Table 3; we report wall time for shape).
+    pub wall: Duration,
+    /// Per-fault syndromes, when syndrome collection was enabled.
+    pub syndromes: Option<Vec<Syndrome>>,
+}
+
+impl FaultSimResult {
+    /// Number of detected faults.
+    pub fn detected_count(&self) -> usize {
+        self.detection.iter().filter(|d| d.is_some()).count()
+    }
+
+    /// Total faults simulated.
+    pub fn fault_count(&self) -> usize {
+        self.detection.len()
+    }
+
+    /// Fault coverage in percent.
+    pub fn coverage_percent(&self) -> f64 {
+        if self.detection.is_empty() {
+            return 0.0;
+        }
+        100.0 * self.detected_count() as f64 / self.detection.len() as f64
+    }
+
+    /// Indices of undetected faults (for ATPG targeting or CG redesign).
+    pub fn undetected(&self) -> Vec<usize> {
+        self.detection
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_none())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The latest first-detection cycle — i.e. the test length actually
+    /// needed to reach this coverage.
+    pub fn last_useful_cycle(&self) -> Option<u64> {
+        self.detection.iter().flatten().copied().max()
+    }
+
+    /// Cumulative detected-fault counts at the given cycle checkpoints
+    /// (used for the Fig. 4 coverage-vs-patterns curve).
+    pub fn coverage_curve(&self, checkpoints: &[u64]) -> Vec<(u64, usize)> {
+        checkpoints
+            .iter()
+            .map(|&c| {
+                let n = self
+                    .detection
+                    .iter()
+                    .flatten()
+                    .filter(|&&d| d <= c)
+                    .count();
+                (c, n)
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for FaultSimResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} faults detected ({:.1}%) in {} cycles, {:?}",
+            self.detected_count(),
+            self.fault_count(),
+            self.coverage_percent(),
+            self.cycles,
+            self.wall
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FaultSimResult {
+        FaultSimResult {
+            detection: vec![Some(3), None, Some(10), Some(3)],
+            cycles: 16,
+            wall: Duration::from_millis(1),
+            syndromes: None,
+        }
+    }
+
+    #[test]
+    fn coverage_math() {
+        let r = sample();
+        assert_eq!(r.detected_count(), 3);
+        assert_eq!(r.fault_count(), 4);
+        assert!((r.coverage_percent() - 75.0).abs() < 1e-9);
+        assert_eq!(r.undetected(), vec![1]);
+        assert_eq!(r.last_useful_cycle(), Some(10));
+    }
+
+    #[test]
+    fn curve_is_cumulative() {
+        let r = sample();
+        let curve = r.coverage_curve(&[2, 3, 10, 16]);
+        assert_eq!(curve, vec![(2, 0), (3, 2), (10, 3), (16, 3)]);
+    }
+
+    #[test]
+    fn empty_result_is_zero_coverage() {
+        let r = FaultSimResult {
+            detection: vec![],
+            cycles: 0,
+            wall: Duration::ZERO,
+            syndromes: None,
+        };
+        assert_eq!(r.coverage_percent(), 0.0);
+        assert!(r.to_string().contains("0/0"));
+    }
+}

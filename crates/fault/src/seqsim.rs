@@ -1,0 +1,585 @@
+//! Parallel-fault sequential fault simulation.
+//!
+//! The good machine and up to 63 faulty machines share the 64 lanes of the
+//! bit-parallel simulation kernel: lane 0 is fault-free and lane *i* carries
+//! machine *i*'s deviation. All machines receive the same per-cycle stimulus
+//! — exactly the situation of a BIST run, where the pattern generator feeds
+//! every module one pattern per clock.
+//!
+//! Simulation proceeds in *windows*: after each window, detected faults are
+//! dropped and the survivors (which carry their flip-flop state, their MISR
+//! state, and the previous value of their fault site for transition faults)
+//! are repacked into fewer, denser lane groups. Random patterns detect most
+//! faults early, so the survivor tail is short and the windowed schedule
+//! approaches good-machine-only cost.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use soctest_netlist::{GateKind, NetId, Netlist, NetlistError};
+
+use crate::stimulus::StimulusMatrix;
+use crate::{FaultKind, FaultSimResult, FaultUniverse, SeqStimulus, Syndrome};
+
+/// How fault effects are observed.
+#[derive(Debug, Clone)]
+pub enum ObserveMode {
+    /// Compare the universe's observation nets (default: primary outputs)
+    /// to the good machine every cycle — the ideal "fault simulator tool"
+    /// view used for the paper's coverage figures.
+    Outputs,
+    /// Compare an explicit set of nets every cycle.
+    Nets(Vec<NetId>),
+    /// Compact the observation nets into a multiple-input signature
+    /// register and compare *signatures* at read boundaries only. This
+    /// models the BIST Result Collector, including aliasing.
+    Misr {
+        /// Signature register width in bits (at most 64).
+        width: usize,
+        /// Feedback taps: bit *j* set feeds the last stage back into stage
+        /// *j*. Bit 0 must be set.
+        taps: u64,
+        /// Read (and compare) the signature every this many cycles; a final
+        /// read always happens on the last cycle.
+        read_every: u64,
+    },
+}
+
+impl ObserveMode {
+    /// A MISR observation with the workspace's default primitive-style tap
+    /// set, mirroring the 16-bit MISRs of the case study.
+    pub fn misr_default(width: usize, read_every: u64) -> Self {
+        assert!(width >= 2 && width <= 64, "MISR width must be in 2..=64");
+        let taps = (0b101_1011u64 | 1) & ((1u64 << width) - 1).max(1);
+        ObserveMode::Misr {
+            width,
+            taps,
+            read_every,
+        }
+    }
+}
+
+/// Configuration for [`SeqFaultSim`].
+#[derive(Debug, Clone)]
+pub struct SeqFaultSimConfig {
+    /// Window length in cycles between fault-dropping/repacking points.
+    pub window: u64,
+    /// Observation mode.
+    pub observe: ObserveMode,
+    /// Collect per-fault syndromes for diagnosis. Implies simulating every
+    /// fault over the full test (no dropping), which is slower.
+    pub collect_syndromes: bool,
+}
+
+impl Default for SeqFaultSimConfig {
+    fn default() -> Self {
+        SeqFaultSimConfig {
+            window: 256,
+            observe: ObserveMode::Outputs,
+            collect_syndromes: false,
+        }
+    }
+}
+
+/// The parallel-fault sequential fault simulator.
+///
+/// See the [crate example](crate) for usage.
+#[derive(Debug)]
+pub struct SeqFaultSim<'a> {
+    universe: &'a FaultUniverse,
+    config: SeqFaultSimConfig,
+}
+
+#[derive(Debug, Clone)]
+struct ActiveFault {
+    idx: usize,
+    /// Packed state: flip-flop bits, then the fault site's previous value
+    /// (for transition faults), then MISR stage bits.
+    state: Vec<u64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InjEntry {
+    lane: u8,
+    kind: FaultKind,
+    prev: bool,
+}
+
+impl<'a> SeqFaultSim<'a> {
+    /// Creates a simulator over a fault universe.
+    pub fn new(universe: &'a FaultUniverse, config: SeqFaultSimConfig) -> Self {
+        SeqFaultSim { universe, config }
+    }
+
+    /// Runs the whole campaign over the given stimulus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the fault view cannot
+    /// be levelized (it can always be levelized if the original could).
+    pub fn run(&self, stimulus: &mut dyn SeqStimulus) -> Result<FaultSimResult, NetlistError> {
+        let start = Instant::now();
+        let view = self.universe.view();
+        let pis = view.primary_inputs();
+        let stim = StimulusMatrix::materialize(stimulus, pis.len());
+        let order = view.levelize()?;
+        let dff_pairs: Vec<(NetId, NetId)> = view
+            .dffs()
+            .iter()
+            .map(|&q| (q, view.gate(q).pins[0]))
+            .collect();
+        let obs: Vec<NetId> = match &self.config.observe {
+            ObserveMode::Outputs => self.universe.observe_nets().to_vec(),
+            ObserveMode::Nets(nets) => nets.clone(),
+            ObserveMode::Misr { .. } => self.universe.observe_nets().to_vec(),
+        };
+        let (misr_width, misr_taps, misr_read) = match self.config.observe {
+            ObserveMode::Misr {
+                width,
+                taps,
+                read_every,
+            } => (width, taps, read_every.max(1)),
+            _ => (0, 0, 0),
+        };
+
+        let faults = self.universe.faults();
+        let ndff = dff_pairs.len();
+        let nstate = ndff + 1 + misr_width; // +1: previous-value bit
+        let state_words = nstate.div_ceil(64).max(1);
+        let cycles = stim.cycles;
+
+        let mut detection: Vec<Option<u64>> = vec![None; faults.len()];
+        let mut syndromes: Vec<Syndrome> = if self.config.collect_syndromes {
+            vec![Syndrome::new(); faults.len()]
+        } else {
+            Vec::new()
+        };
+
+        let mut active: Vec<ActiveFault> = (0..faults.len())
+            .map(|idx| ActiveFault {
+                idx,
+                state: vec![0u64; state_words],
+            })
+            .collect();
+        let mut good_state = vec![0u64; state_words];
+
+        // Scratch value buffer: constants set once, everything else is
+        // rewritten every cycle.
+        let mut values = vec![0u64; view.len()];
+        for (id, gate) in view.iter() {
+            if gate.kind == GateKind::Const1 {
+                values[id.index()] = u64::MAX;
+            }
+        }
+
+        let mut window_start = 0u64;
+        while window_start < cycles && !active.is_empty() {
+            let wlen = self.config.window.min(cycles - window_start);
+            let mut next_good: Option<Vec<u64>> = None;
+            for chunk in active.chunks_mut(63) {
+                let lane0_state = self.run_window(
+                    view,
+                    &order,
+                    &dff_pairs,
+                    &pis,
+                    &obs,
+                    &stim,
+                    chunk,
+                    &good_state,
+                    window_start,
+                    wlen,
+                    &mut values,
+                    &mut detection,
+                    &mut syndromes,
+                    (misr_width, misr_taps, misr_read),
+                    cycles,
+                    ndff,
+                );
+                next_good.get_or_insert(lane0_state);
+            }
+            if let Some(g) = next_good {
+                good_state = g;
+            }
+            if !self.config.collect_syndromes {
+                active.retain(|af| detection[af.idx].is_none());
+            }
+            window_start += wlen;
+        }
+
+        Ok(FaultSimResult {
+            detection,
+            cycles,
+            wall: start.elapsed(),
+            syndromes: if self.config.collect_syndromes {
+                Some(syndromes)
+            } else {
+                None
+            },
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_window(
+        &self,
+        view: &Netlist,
+        order: &[NetId],
+        dff_pairs: &[(NetId, NetId)],
+        pis: &[NetId],
+        obs: &[NetId],
+        stim: &StimulusMatrix,
+        chunk: &mut [ActiveFault],
+        good_state: &[u64],
+        window_start: u64,
+        wlen: u64,
+        values: &mut [u64],
+        detection: &mut [Option<u64>],
+        syndromes: &mut [Syndrome],
+        (misr_width, misr_taps, misr_read): (usize, u64, u64),
+        total_cycles: u64,
+        ndff: usize,
+    ) -> Vec<u64> {
+        let faults = self.universe.faults();
+        let get_bit = |state: &[u64], j: usize| (state[j / 64] >> (j % 64)) & 1 == 1;
+        let set_bit = |state: &mut [u64], j: usize, v: bool| {
+            if v {
+                state[j / 64] |= 1u64 << (j % 64);
+            } else {
+                state[j / 64] &= !(1u64 << (j % 64));
+            }
+        };
+
+        // Load flip-flop lane words from the good state + per-fault states.
+        for (j, &(q, _)) in dff_pairs.iter().enumerate() {
+            let mut w = if get_bit(good_state, j) { u64::MAX } else { 0 };
+            for (l, af) in chunk.iter().enumerate() {
+                let lane = l + 1;
+                if get_bit(&af.state, j) != get_bit(good_state, j) {
+                    w ^= 1u64 << lane;
+                }
+            }
+            values[q.index()] = w;
+        }
+        // Load MISR lane words similarly.
+        let mut misr: Vec<u64> = (0..misr_width)
+            .map(|j| {
+                let sj = ndff + 1 + j;
+                let mut w = if get_bit(good_state, sj) { u64::MAX } else { 0 };
+                for (l, af) in chunk.iter().enumerate() {
+                    if get_bit(&af.state, sj) != get_bit(good_state, sj) {
+                        w ^= 1u64 << (l + 1);
+                    }
+                }
+                w
+            })
+            .collect();
+
+        // Build injection tables.
+        let mut inj: HashMap<u32, Vec<InjEntry>> = HashMap::new();
+        for (l, af) in chunk.iter().enumerate() {
+            let f = faults[af.idx];
+            inj.entry(f.net.0).or_default().push(InjEntry {
+                lane: (l + 1) as u8,
+                kind: f.kind,
+                prev: get_bit(&af.state, ndff),
+            });
+        }
+        let mut inj_flag = vec![false; view.len()];
+        let mut src_inj: Vec<u32> = Vec::new();
+        for &net in inj.keys() {
+            inj_flag[net as usize] = true;
+            if view.gate(NetId(net)).kind.is_source() {
+                src_inj.push(net);
+            }
+        }
+
+        let apply =
+            |w: u64, entries: &mut [InjEntry], first_ever: bool| -> u64 {
+                let mut out = w;
+                for e in entries.iter_mut() {
+                    let m = 1u64 << e.lane;
+                    match e.kind {
+                        FaultKind::Sa0 => out &= !m,
+                        FaultKind::Sa1 => out |= m,
+                        FaultKind::SlowToRise | FaultKind::SlowToFall => {
+                            let cur = (out >> e.lane) & 1 == 1;
+                            let faulty = if first_ever {
+                                cur
+                            } else if e.kind == FaultKind::SlowToRise {
+                                cur && e.prev
+                            } else {
+                                cur || e.prev
+                            };
+                            if faulty {
+                                out |= m;
+                            } else {
+                                out &= !m;
+                            }
+                            e.prev = faulty;
+                        }
+                    }
+                }
+                out
+            };
+
+        let mut pins = [0u64; 3];
+        for t in window_start..window_start + wlen {
+            let first_ever = t == 0;
+            // Drive primary inputs (same value on every lane).
+            for (k, &pi) in pis.iter().enumerate() {
+                values[pi.index()] = if stim.get(t, k) { u64::MAX } else { 0 };
+            }
+            // Source-site injections (PI nets and flip-flop outputs).
+            for &net in &src_inj {
+                let entries = inj.get_mut(&net).expect("registered");
+                values[net as usize] = apply(values[net as usize], entries, first_ever);
+            }
+            // Combinational evaluation with inline injections.
+            for &id in order {
+                let gate = view.gate(id);
+                for (i, &p) in gate.pins.iter().enumerate() {
+                    pins[i] = values[p.index()];
+                }
+                let mut w = gate.kind.eval_word(&pins[..gate.pins.len()]);
+                if inj_flag[id.index()] {
+                    let entries = inj.get_mut(&id.0).expect("registered");
+                    w = apply(w, entries, first_ever);
+                }
+                values[id.index()] = w;
+            }
+            // Observation.
+            if misr_width == 0 {
+                for (oi, &o) in obs.iter().enumerate() {
+                    let w = values[o.index()];
+                    let good = 0u64.wrapping_sub(w & 1);
+                    let mut diff = w ^ good;
+                    while diff != 0 {
+                        let lane = diff.trailing_zeros() as usize;
+                        diff &= diff - 1;
+                        if lane == 0 || lane > chunk.len() {
+                            continue;
+                        }
+                        let idx = chunk[lane - 1].idx;
+                        if detection[idx].is_none() {
+                            detection[idx] = Some(t);
+                        }
+                        if !syndromes.is_empty() {
+                            syndromes[idx].record(t, oi as u64);
+                        }
+                    }
+                }
+            } else {
+                // Fold observation nets into MISR inputs and update.
+                let fb = misr[misr_width - 1];
+                let mut next = vec![0u64; misr_width];
+                for (j, n) in next.iter_mut().enumerate() {
+                    let mut w = if j > 0 { misr[j - 1] } else { 0 };
+                    if (misr_taps >> j) & 1 == 1 {
+                        w ^= fb;
+                    }
+                    *n = w;
+                }
+                for (oi, &o) in obs.iter().enumerate() {
+                    next[oi % misr_width] ^= values[o.index()];
+                }
+                misr = next;
+                let is_read = (t + 1) % misr_read == 0 || t + 1 == total_cycles;
+                if is_read {
+                    let read_idx = t / misr_read;
+                    // Per-lane signature extraction and comparison.
+                    let mut good_sig = 0u64;
+                    for (j, &w) in misr.iter().enumerate() {
+                        good_sig |= (w & 1) << j;
+                    }
+                    for (l, af) in chunk.iter().enumerate() {
+                        let lane = l + 1;
+                        let mut sig = 0u64;
+                        for (j, &w) in misr.iter().enumerate() {
+                            sig |= ((w >> lane) & 1) << j;
+                        }
+                        if sig != good_sig {
+                            if detection[af.idx].is_none() {
+                                detection[af.idx] = Some(t);
+                            }
+                            if !syndromes.is_empty() {
+                                syndromes[af.idx].record(read_idx, sig);
+                            }
+                        }
+                    }
+                }
+            }
+            // Clock every flip-flop.
+            for &(q, d) in dff_pairs {
+                values[q.index()] = values[d.index()];
+            }
+        }
+
+        // Extract survivor states (and lane 0 as the new good state).
+        let state_words = good_state.len();
+        let mut lane0 = vec![0u64; state_words];
+        for (j, &(q, _)) in dff_pairs.iter().enumerate() {
+            set_bit(&mut lane0, j, values[q.index()] & 1 == 1);
+        }
+        for (j, &w) in misr.iter().enumerate() {
+            set_bit(&mut lane0, ndff + 1 + j, w & 1 == 1);
+        }
+        for (l, af) in chunk.iter_mut().enumerate() {
+            let lane = l + 1;
+            for (j, &(q, _)) in dff_pairs.iter().enumerate() {
+                set_bit(&mut af.state, j, (values[q.index()] >> lane) & 1 == 1);
+            }
+            let f = faults[af.idx];
+            if let Some(entries) = inj.get(&f.net.0) {
+                if let Some(e) = entries.iter().find(|e| e.lane as usize == lane) {
+                    set_bit(&mut af.state, ndff, e.prev);
+                }
+            }
+            for (j, &w) in misr.iter().enumerate() {
+                set_bit(&mut af.state, ndff + 1 + j, (w >> lane) & 1 == 1);
+            }
+        }
+        lane0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VectorStimulus;
+    use soctest_netlist::ModuleBuilder;
+
+    /// Combinational XOR/AND block behind a register.
+    fn small_seq() -> Netlist {
+        let mut mb = ModuleBuilder::new("blk");
+        let a = mb.input_bus("a", 4);
+        let x0 = mb.xor(a[0], a[1]);
+        let x1 = mb.and(a[2], a[3]);
+        let o = mb.or(x0, x1);
+        let q = mb.register(&[x0, x1, o]);
+        mb.output_bus("q", &q);
+        mb.finish().unwrap()
+    }
+
+    fn exhaustive_patterns(width: u32, repeats: usize) -> Vec<u64> {
+        let mut v: Vec<u64> = (0..(1u64 << width)).collect();
+        for _ in 0..repeats {
+            v.extend(0..(1u64 << width));
+        }
+        v
+    }
+
+    #[test]
+    fn exhaustive_patterns_reach_full_stuck_at_coverage() {
+        let nl = small_seq();
+        let u = FaultUniverse::stuck_at(&nl);
+        let mut stim = VectorStimulus::new(exhaustive_patterns(4, 1));
+        let sim = SeqFaultSim::new(&u, SeqFaultSimConfig::default());
+        let r = sim.run(&mut stim).unwrap();
+        assert_eq!(
+            r.coverage_percent(),
+            100.0,
+            "undetected: {:?}",
+            r.undetected()
+                .iter()
+                .map(|&i| u.describe(i))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn transition_faults_need_pattern_pairs() {
+        let nl = small_seq();
+        let u = FaultUniverse::transition(&nl);
+        // Repeating the exhaustive sweep provides launch/capture pairs.
+        let mut stim = VectorStimulus::new(exhaustive_patterns(4, 3));
+        let sim = SeqFaultSim::new(&u, SeqFaultSimConfig::default());
+        let r = sim.run(&mut stim).unwrap();
+        assert!(
+            r.coverage_percent() > 90.0,
+            "got {:.1}%",
+            r.coverage_percent()
+        );
+    }
+
+    #[test]
+    fn single_constant_pattern_detects_little() {
+        let nl = small_seq();
+        let u = FaultUniverse::stuck_at(&nl);
+        let mut stim = VectorStimulus::new(vec![0u64; 16]);
+        let sim = SeqFaultSim::new(&u, SeqFaultSimConfig::default());
+        let r = sim.run(&mut stim).unwrap();
+        assert!(r.coverage_percent() < 60.0);
+    }
+
+    #[test]
+    fn small_window_matches_large_window() {
+        let nl = small_seq();
+        let u = FaultUniverse::stuck_at(&nl);
+        let run = |window| {
+            let mut stim = VectorStimulus::new(exhaustive_patterns(4, 1));
+            let sim = SeqFaultSim::new(
+                &u,
+                SeqFaultSimConfig {
+                    window,
+                    ..Default::default()
+                },
+            );
+            sim.run(&mut stim).unwrap().detection
+        };
+        assert_eq!(run(4), run(1024), "windowing must not change results");
+    }
+
+    #[test]
+    fn misr_observation_detects_with_aliasing_bound() {
+        let nl = small_seq();
+        let u = FaultUniverse::stuck_at(&nl);
+        let mut stim = VectorStimulus::new(exhaustive_patterns(4, 1));
+        let sim = SeqFaultSim::new(
+            &u,
+            SeqFaultSimConfig {
+                observe: ObserveMode::misr_default(16, 8),
+                ..Default::default()
+            },
+        );
+        let r = sim.run(&mut stim).unwrap();
+        // MISR compaction may alias a fault or two but must stay close to
+        // the ideal per-cycle coverage (100% here).
+        assert!(
+            r.coverage_percent() >= 90.0,
+            "got {:.1}%",
+            r.coverage_percent()
+        );
+    }
+
+    #[test]
+    fn syndromes_distinguish_most_detected_faults() {
+        let nl = small_seq();
+        let u = FaultUniverse::stuck_at(&nl);
+        let mut stim = VectorStimulus::new(exhaustive_patterns(4, 1));
+        let sim = SeqFaultSim::new(
+            &u,
+            SeqFaultSimConfig {
+                collect_syndromes: true,
+                ..Default::default()
+            },
+        );
+        let r = sim.run(&mut stim).unwrap();
+        let syn = r.syndromes.as_ref().unwrap();
+        let m = crate::DiagnosticMatrix::from_syndromes(syn);
+        assert_eq!(m.detected(), r.detected_count());
+        assert!(m.stats().classes > 1);
+        assert!(m.stats().max_size <= m.detected());
+    }
+
+    #[test]
+    fn detection_cycles_are_recorded_in_order() {
+        let nl = small_seq();
+        let u = FaultUniverse::stuck_at(&nl);
+        let mut stim = VectorStimulus::new(exhaustive_patterns(4, 1));
+        let sim = SeqFaultSim::new(&u, SeqFaultSimConfig::default());
+        let r = sim.run(&mut stim).unwrap();
+        for d in r.detection.iter().flatten() {
+            assert!(*d < r.cycles);
+        }
+        assert!(r.last_useful_cycle().is_some());
+    }
+}

@@ -1,0 +1,149 @@
+//! Stimulus sources for sequential fault simulation.
+
+/// A per-cycle stimulus for the sequential fault simulator.
+///
+/// The simulator *materializes* the stimulus into a bit matrix before
+/// running (windowed simulation replays the same cycles for many fault
+/// groups), so implementations only need to produce each cycle once, in
+/// order.
+pub trait SeqStimulus {
+    /// Total number of clock cycles to apply.
+    fn cycles(&self) -> u64;
+
+    /// Fills `out[i]` with the value of primary input `i` at cycle `t`.
+    ///
+    /// Called exactly once per cycle, with `t` strictly increasing.
+    fn fill(&mut self, t: u64, out: &mut [bool]);
+}
+
+/// A stimulus from a pre-built vector list; each `u64` packs the primary
+/// inputs LSB-first (suitable for circuits with at most 64 inputs).
+#[derive(Debug, Clone)]
+pub struct VectorStimulus {
+    vectors: Vec<u64>,
+}
+
+impl VectorStimulus {
+    /// Wraps packed input vectors.
+    pub fn new(vectors: Vec<u64>) -> Self {
+        VectorStimulus { vectors }
+    }
+
+    /// The underlying vectors.
+    pub fn vectors(&self) -> &[u64] {
+        &self.vectors
+    }
+}
+
+impl SeqStimulus for VectorStimulus {
+    fn cycles(&self) -> u64 {
+        self.vectors.len() as u64
+    }
+
+    fn fill(&mut self, t: u64, out: &mut [bool]) {
+        assert!(
+            out.len() <= 64,
+            "VectorStimulus supports at most 64 primary inputs"
+        );
+        let v = self.vectors[t as usize];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = (v >> i) & 1 == 1;
+        }
+    }
+}
+
+impl<F: FnMut(u64, &mut [bool])> SeqStimulus for (u64, F) {
+    fn cycles(&self) -> u64 {
+        self.0
+    }
+
+    fn fill(&mut self, t: u64, out: &mut [bool]) {
+        (self.1)(t, out)
+    }
+}
+
+/// A dense, materialized stimulus: `bits[t]` holds the packed input row for
+/// cycle `t`. Built by the simulator from any [`SeqStimulus`].
+#[derive(Debug, Clone)]
+pub(crate) struct StimulusMatrix {
+    pub cycles: u64,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl StimulusMatrix {
+    pub fn materialize(stim: &mut dyn SeqStimulus, num_inputs: usize) -> Self {
+        let cycles = stim.cycles();
+        let words_per_row = num_inputs.div_ceil(64).max(1);
+        let mut bits = vec![0u64; words_per_row * cycles as usize];
+        let mut row = vec![false; num_inputs];
+        for t in 0..cycles {
+            stim.fill(t, &mut row);
+            let base = t as usize * words_per_row;
+            for (i, &b) in row.iter().enumerate() {
+                if b {
+                    bits[base + i / 64] |= 1u64 << (i % 64);
+                }
+            }
+        }
+        StimulusMatrix {
+            cycles,
+            words_per_row,
+            bits,
+        }
+    }
+
+    #[inline]
+    pub fn get(&self, t: u64, input: usize) -> bool {
+        let base = t as usize * self.words_per_row;
+        (self.bits[base + input / 64] >> (input % 64)) & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_stimulus_unpacks() {
+        let mut s = VectorStimulus::new(vec![0b101, 0b010]);
+        let mut out = vec![false; 3];
+        s.fill(0, &mut out);
+        assert_eq!(out, [true, false, true]);
+        s.fill(1, &mut out);
+        assert_eq!(out, [false, true, false]);
+        assert_eq!(s.cycles(), 2);
+    }
+
+    #[test]
+    fn closure_stimulus_works() {
+        let mut s = (4u64, |t: u64, out: &mut [bool]| {
+            out[0] = t % 2 == 0;
+        });
+        let mut out = vec![false; 1];
+        s.fill(2, &mut out);
+        assert!(out[0]);
+        assert_eq!(s.cycles(), 4);
+    }
+
+    #[test]
+    fn matrix_round_trips() {
+        let mut s = VectorStimulus::new(vec![0b11, 0b01, 0b10]);
+        let m = StimulusMatrix::materialize(&mut s, 2);
+        assert!(m.get(0, 0) && m.get(0, 1));
+        assert!(m.get(1, 0) && !m.get(1, 1));
+        assert!(!m.get(2, 0) && m.get(2, 1));
+    }
+
+    #[test]
+    fn matrix_handles_wide_inputs() {
+        let mut s = (1u64, |_t: u64, out: &mut [bool]| {
+            out[70] = true;
+            out[0] = true;
+        });
+        let m = StimulusMatrix::materialize(&mut s, 80);
+        assert!(m.get(0, 70));
+        assert!(m.get(0, 0));
+        assert!(!m.get(0, 40));
+    }
+}

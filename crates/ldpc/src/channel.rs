@@ -1,0 +1,194 @@
+//! Channels producing quantized LLRs, and BER bookkeeping.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Saturation bound of the decoder's LLR quantization (sign + 7 bits of
+/// magnitude, matching the 8-bit message datapath of the gate-level
+/// modules).
+pub const LLR_MAX: i32 = 127;
+
+/// A binary symmetric channel: each transmitted bit flips with probability
+/// `p`; received values are mapped to ±LLR of fixed reliability.
+#[derive(Debug, Clone)]
+pub struct Bsc {
+    p: f64,
+    seed: u64,
+}
+
+impl Bsc {
+    /// A BSC with crossover probability `p` (0..0.5) and a noise seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 0.5)`.
+    pub fn new(p: f64, seed: u64) -> Self {
+        assert!((0.0..0.5).contains(&p), "crossover probability in [0, 0.5)");
+        Bsc { p, seed }
+    }
+
+    /// The channel LLR magnitude `ln((1-p)/p)`, scaled into the quantized
+    /// range.
+    pub fn llr_magnitude(&self) -> i32 {
+        if self.p == 0.0 {
+            return LLR_MAX;
+        }
+        let lr = ((1.0 - self.p) / self.p).ln();
+        ((lr * 8.0).round() as i32).clamp(1, LLR_MAX)
+    }
+
+    /// Transmits a codeword; returns per-bit LLRs (positive = likely 0).
+    pub fn transmit(&self, bits: &[bool]) -> Vec<i32> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mag = self.llr_magnitude();
+        bits.iter()
+            .map(|&b| {
+                let flipped = rng.gen_bool(self.p);
+                let received = b ^ flipped;
+                if received {
+                    -mag
+                } else {
+                    mag
+                }
+            })
+            .collect()
+    }
+}
+
+/// A quantized binary-input AWGN channel (BPSK, LLR = 2y/σ²).
+#[derive(Debug, Clone)]
+pub struct QuantizedAwgn {
+    snr_db: f64,
+    seed: u64,
+}
+
+impl QuantizedAwgn {
+    /// A channel at the given Eb/N0 (dB) for a rate-`rate` code.
+    pub fn new(snr_db: f64, seed: u64) -> Self {
+        QuantizedAwgn { snr_db, seed }
+    }
+
+    /// Transmits a codeword at code rate `rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not in `(0, 1]`.
+    pub fn transmit(&self, bits: &[bool], rate: f64) -> Vec<i32> {
+        assert!(rate > 0.0 && rate <= 1.0, "code rate in (0,1]");
+        let ebn0 = 10f64.powf(self.snr_db / 10.0);
+        let sigma2 = 1.0 / (2.0 * rate * ebn0);
+        let sigma = sigma2.sqrt();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        bits.iter()
+            .map(|&b| {
+                let x = if b { -1.0 } else { 1.0 };
+                // Box–Muller gaussian.
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                let y = x + sigma * g;
+                let llr = 2.0 * y / sigma2;
+                ((llr * 4.0).round() as i32).clamp(-LLR_MAX, LLR_MAX)
+            })
+            .collect()
+    }
+}
+
+/// Bit-error-rate bookkeeping across decode attempts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BerCounter {
+    /// Bits compared.
+    pub bits: u64,
+    /// Bit errors after decoding.
+    pub bit_errors: u64,
+    /// Codewords compared.
+    pub words: u64,
+    /// Codewords with at least one residual error.
+    pub word_errors: u64,
+}
+
+impl BerCounter {
+    /// A fresh counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one decoded word against the transmitted word.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn record(&mut self, tx: &[bool], rx: &[bool]) {
+        assert_eq!(tx.len(), rx.len(), "word lengths");
+        let errs = tx.iter().zip(rx).filter(|(a, b)| a != b).count() as u64;
+        self.bits += tx.len() as u64;
+        self.bit_errors += errs;
+        self.words += 1;
+        if errs > 0 {
+            self.word_errors += 1;
+        }
+    }
+
+    /// Bit error rate.
+    pub fn ber(&self) -> f64 {
+        if self.bits == 0 {
+            0.0
+        } else {
+            self.bit_errors as f64 / self.bits as f64
+        }
+    }
+
+    /// Word (frame) error rate.
+    pub fn wer(&self) -> f64 {
+        if self.words == 0 {
+            0.0
+        } else {
+            self.word_errors as f64 / self.words as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bsc_flips_roughly_p_bits() {
+        let ch = Bsc::new(0.1, 42);
+        let tx = vec![false; 10_000];
+        let llrs = ch.transmit(&tx);
+        let flips = llrs.iter().filter(|&&l| l < 0).count();
+        assert!((800..1200).contains(&flips), "got {flips} flips");
+    }
+
+    #[test]
+    fn clean_channel_never_flips() {
+        let ch = Bsc::new(0.0, 1);
+        let tx = vec![true; 100];
+        assert!(ch.transmit(&tx).iter().all(|&l| l == -LLR_MAX));
+    }
+
+    #[test]
+    fn awgn_llr_sign_tracks_bits_at_high_snr() {
+        let ch = QuantizedAwgn::new(12.0, 7);
+        let tx: Vec<bool> = (0..200).map(|i| i % 3 == 0).collect();
+        let llrs = ch.transmit(&tx, 0.5);
+        let agree = tx
+            .iter()
+            .zip(&llrs)
+            .filter(|(&b, &l)| (l < 0) == b)
+            .count();
+        assert!(agree > 195, "high SNR should rarely flip: {agree}/200");
+    }
+
+    #[test]
+    fn ber_counter_math() {
+        let mut c = BerCounter::new();
+        c.record(&[false, true, false], &[false, false, false]);
+        c.record(&[true, true, true], &[true, true, true]);
+        assert_eq!(c.bit_errors, 1);
+        assert_eq!(c.word_errors, 1);
+        assert!((c.ber() - 1.0 / 6.0).abs() < 1e-12);
+        assert!((c.wer() - 0.5).abs() < 1e-12);
+    }
+}

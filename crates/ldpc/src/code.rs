@@ -1,0 +1,364 @@
+//! LDPC codes: parity-check matrices, the bipartite graph, and encoding.
+
+use std::error::Error;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Errors raised while constructing codes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodeError {
+    /// The requested degree profile does not divide evenly.
+    DegreeMismatch {
+        /// Bit-node count.
+        n: usize,
+        /// Bit degree.
+        dv: usize,
+        /// Check degree.
+        dc: usize,
+    },
+    /// The decoder architecture caps the graph size (512 CN / 1,024 BN).
+    TooLarge {
+        /// Bit nodes requested.
+        bits: usize,
+        /// Check nodes requested.
+        checks: usize,
+    },
+}
+
+impl fmt::Display for CodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodeError::DegreeMismatch { n, dv, dc } => {
+                write!(f, "n·dv must be divisible by dc (n={n}, dv={dv}, dc={dc})")
+            }
+            CodeError::TooLarge { bits, checks } => {
+                write!(
+                    f,
+                    "graph exceeds the serial architecture ({bits} bit nodes, {checks} check nodes; max 1024/512)"
+                )
+            }
+        }
+    }
+}
+
+impl Error for CodeError {}
+
+/// A binary LDPC code given by its sparse parity-check matrix.
+///
+/// Stored as the bipartite graph of the paper's Fig. 6: per check node the
+/// participating bit nodes, and the transpose.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LdpcCode {
+    n: usize,
+    m: usize,
+    check_to_bits: Vec<Vec<u32>>,
+    bit_to_checks: Vec<Vec<u32>>,
+}
+
+impl LdpcCode {
+    /// Builds a Gallager-style regular `(dv, dc)` code of length `n`.
+    ///
+    /// Rows are grouped into `dv` bands; the first band is a staircase of
+    /// `dc`-bit blocks and every other band is a seeded random column
+    /// permutation of it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::DegreeMismatch`] if `n·dv % dc != 0` or
+    /// `n % dc != 0`, and [`CodeError::TooLarge`] beyond the architecture
+    /// limits.
+    pub fn gallager(n: usize, dv: usize, dc: usize, seed: u64) -> Result<Self, CodeError> {
+        if n == 0 || dv == 0 || dc == 0 || (n * dv) % dc != 0 || n % dc != 0 {
+            return Err(CodeError::DegreeMismatch { n, dv, dc });
+        }
+        let m = n * dv / dc;
+        if n > 1024 || m > 512 {
+            return Err(CodeError::TooLarge { bits: n, checks: m });
+        }
+        let rows_per_band = n / dc;
+        let mut check_to_bits: Vec<Vec<u32>> = Vec::with_capacity(m);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for band in 0..dv {
+            let mut perm: Vec<u32> = (0..n as u32).collect();
+            if band > 0 {
+                perm.shuffle(&mut rng);
+            }
+            for r in 0..rows_per_band {
+                let cols: Vec<u32> = (0..dc).map(|k| perm[r * dc + k]).collect();
+                check_to_bits.push(cols);
+            }
+        }
+        Ok(Self::from_graph(n, check_to_bits))
+    }
+
+    /// Builds a code from an explicit check→bits adjacency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an adjacency entry references a bit node `>= n`.
+    pub fn from_graph(n: usize, check_to_bits: Vec<Vec<u32>>) -> Self {
+        let m = check_to_bits.len();
+        let mut bit_to_checks: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (c, bits) in check_to_bits.iter().enumerate() {
+            for &b in bits {
+                assert!((b as usize) < n, "bit node {b} out of range");
+                bit_to_checks[b as usize].push(c as u32);
+            }
+        }
+        LdpcCode {
+            n,
+            m,
+            check_to_bits,
+            bit_to_checks,
+        }
+    }
+
+    /// Code length (bit nodes).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of parity checks (check nodes).
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Design rate `1 - m/n` (actual rate may be higher if rows are
+    /// dependent).
+    pub fn design_rate(&self) -> f64 {
+        1.0 - self.m as f64 / self.n as f64
+    }
+
+    /// Bits participating in check `c`.
+    pub fn check_bits(&self, c: usize) -> &[u32] {
+        &self.check_to_bits[c]
+    }
+
+    /// Checks covering bit `b`.
+    pub fn bit_checks(&self, b: usize) -> &[u32] {
+        &self.bit_to_checks[b]
+    }
+
+    /// Total number of graph edges.
+    pub fn edges(&self) -> usize {
+        self.check_to_bits.iter().map(Vec::len).sum()
+    }
+
+    /// Maximum check-node degree.
+    pub fn max_check_degree(&self) -> usize {
+        self.check_to_bits.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Maximum bit-node degree.
+    pub fn max_bit_degree(&self) -> usize {
+        self.bit_to_checks.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Whether `word` satisfies every parity check.
+    pub fn is_codeword(&self, word: &[bool]) -> bool {
+        assert_eq!(word.len(), self.n, "word length");
+        self.check_to_bits.iter().all(|bits| {
+            bits.iter().fold(false, |acc, &b| acc ^ word[b as usize]) == false
+        })
+    }
+
+    /// The syndrome weight (number of violated checks).
+    pub fn syndrome_weight(&self, word: &[bool]) -> usize {
+        self.check_to_bits
+            .iter()
+            .filter(|bits| bits.iter().fold(false, |acc, &b| acc ^ word[b as usize]))
+            .count()
+    }
+
+    /// Derives a systematic encoder by GF(2) elimination.
+    pub fn encoder(&self) -> Encoder {
+        Encoder::for_code(self)
+    }
+}
+
+/// A systematic encoder derived from the parity-check matrix by Gaussian
+/// elimination over GF(2).
+///
+/// After elimination the matrix has full-rank rows pivoting on a set of
+/// *parity positions*; the remaining *information positions* carry the
+/// message and each parity bit is a XOR of information bits.
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    n: usize,
+    info_positions: Vec<usize>,
+    /// For each pivot (parity) position: the information positions XORed
+    /// into it.
+    parity_rules: Vec<(usize, Vec<usize>)>,
+}
+
+impl Encoder {
+    fn for_code(code: &LdpcCode) -> Self {
+        let n = code.n();
+        let words = n.div_ceil(64);
+        // Dense row-major copy of H.
+        let mut rows: Vec<Vec<u64>> = (0..code.m())
+            .map(|c| {
+                let mut row = vec![0u64; words];
+                for &b in code.check_bits(c) {
+                    // Duplicated edges cancel over GF(2).
+                    row[b as usize / 64] ^= 1u64 << (b % 64);
+                }
+                row
+            })
+            .collect();
+        let get = |row: &[u64], j: usize| (row[j / 64] >> (j % 64)) & 1 == 1;
+        let mut pivot_cols: Vec<usize> = Vec::new();
+        let mut rank = 0usize;
+        for col in 0..n {
+            let Some(pr) = (rank..rows.len()).find(|&r| get(&rows[r], col)) else {
+                continue;
+            };
+            rows.swap(rank, pr);
+            let pivot_row = rows[rank].clone();
+            for (r, row) in rows.iter_mut().enumerate() {
+                if r != rank && get(row, col) {
+                    for (w, p) in row.iter_mut().zip(&pivot_row) {
+                        *w ^= p;
+                    }
+                }
+            }
+            pivot_cols.push(col);
+            rank += 1;
+            if rank == rows.len() {
+                break;
+            }
+        }
+        let is_pivot = {
+            let mut v = vec![false; n];
+            for &c in &pivot_cols {
+                v[c] = true;
+            }
+            v
+        };
+        let info_positions: Vec<usize> = (0..n).filter(|&c| !is_pivot[c]).collect();
+        let parity_rules: Vec<(usize, Vec<usize>)> = pivot_cols
+            .iter()
+            .enumerate()
+            .map(|(r, &pc)| {
+                let deps: Vec<usize> = info_positions
+                    .iter()
+                    .copied()
+                    .filter(|&c| get(&rows[r], c))
+                    .collect();
+                (pc, deps)
+            })
+            .collect();
+        Encoder {
+            n,
+            info_positions,
+            parity_rules,
+        }
+    }
+
+    /// Message length (information bits).
+    pub fn k(&self) -> usize {
+        self.info_positions.len()
+    }
+
+    /// Codeword length.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Encodes a `k()`-bit message into an `n()`-bit codeword.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `message.len() != k()`.
+    pub fn encode(&self, message: &[bool]) -> Vec<bool> {
+        assert_eq!(message.len(), self.k(), "message length");
+        let mut word = vec![false; self.n];
+        for (&pos, &bit) in self.info_positions.iter().zip(message) {
+            word[pos] = bit;
+        }
+        for (pc, deps) in &self.parity_rules {
+            word[*pc] = deps.iter().fold(false, |acc, &d| acc ^ word[d]);
+        }
+        word
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gallager_shape() {
+        let code = LdpcCode::gallager(24, 3, 6, 1).unwrap();
+        assert_eq!(code.n(), 24);
+        assert_eq!(code.m(), 12);
+        assert_eq!(code.edges(), 72);
+        assert_eq!(code.max_check_degree(), 6);
+        assert!(code.max_bit_degree() >= 3);
+        assert!((code.design_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degree_mismatch_rejected() {
+        assert!(matches!(
+            LdpcCode::gallager(25, 3, 6, 1),
+            Err(CodeError::DegreeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn architecture_limit_enforced() {
+        assert!(matches!(
+            LdpcCode::gallager(2052, 3, 6, 1),
+            Err(CodeError::TooLarge { .. })
+        ));
+        // The paper's maximum configuration fits: 1,024 BN / 512 CN.
+        assert!(LdpcCode::gallager(1024, 4, 8, 1).is_ok());
+    }
+
+    #[test]
+    fn zero_word_is_always_a_codeword() {
+        let code = LdpcCode::gallager(48, 3, 6, 3).unwrap();
+        assert!(code.is_codeword(&vec![false; 48]));
+        assert_eq!(code.syndrome_weight(&vec![false; 48]), 0);
+    }
+
+    #[test]
+    fn encoder_emits_codewords() {
+        let code = LdpcCode::gallager(48, 3, 6, 5).unwrap();
+        let enc = code.encoder();
+        assert!(enc.k() >= 24, "rank deficiency only helps the rate");
+        let mut seed = 0x1234u64;
+        for _ in 0..20 {
+            let msg: Vec<bool> = (0..enc.k())
+                .map(|_| {
+                    seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    seed >> 63 == 1
+                })
+                .collect();
+            let word = enc.encode(&msg);
+            assert!(code.is_codeword(&word));
+        }
+    }
+
+    #[test]
+    fn encoder_is_systematic() {
+        let code = LdpcCode::gallager(24, 3, 6, 9).unwrap();
+        let enc = code.encoder();
+        let msg = vec![true; enc.k()];
+        let word = enc.encode(&msg);
+        let recovered: Vec<bool> = enc.info_positions.iter().map(|&p| word[p]).collect();
+        assert_eq!(recovered, msg);
+    }
+
+    #[test]
+    fn seeds_change_the_graph() {
+        let a = LdpcCode::gallager(48, 3, 6, 1).unwrap();
+        let b = LdpcCode::gallager(48, 3, 6, 2).unwrap();
+        assert_ne!(a, b);
+    }
+}

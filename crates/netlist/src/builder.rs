@@ -1,0 +1,701 @@
+//! "RTL-lite" construction layer: word-level operators over the gate graph.
+//!
+//! The builder is how every synthetic module in this workspace is written:
+//! the LDPC decoder datapaths, the BIST blocks, the P1500 wrapper logic and
+//! the scan-inserted variants are all composed from these operators, which
+//! expand to balanced trees of the primitive gates in [`crate::GateKind`].
+
+use crate::{GateKind, NetId, Netlist, NetlistError, PortDir};
+
+/// A little-endian bus of nets (`word[0]` is the LSB).
+pub type Word = Vec<NetId>;
+
+/// Result of an addition: the sum word plus the final carry-out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddResult {
+    /// Sum bits, same width as the operands.
+    pub sum: Word,
+    /// Carry out of the most significant bit.
+    pub carry: NetId,
+}
+
+/// A priority-ordered finite-state-machine specification for
+/// [`ModuleBuilder::fsm`].
+///
+/// The machine has `states` states encoded in binary in a register of
+/// `ceil(log2(states))` bits, resetting to state 0. Each transition fires
+/// when the machine is in `from` and `cond` (if any) is 1; earlier entries
+/// take priority. Absent any firing transition the machine holds its state.
+#[derive(Debug, Clone)]
+pub struct FsmSpec {
+    /// Number of states (must be at least 2).
+    pub states: usize,
+    /// `(from, cond, to)` transitions in priority order; `cond == None`
+    /// means unconditional.
+    pub transitions: Vec<(usize, Option<NetId>, usize)>,
+}
+
+/// Builder for a [`Netlist`] with word-level convenience operators.
+///
+/// See the [crate-level example](crate) for basic usage.
+#[derive(Debug)]
+pub struct ModuleBuilder {
+    netlist: Netlist,
+    zero: Option<NetId>,
+    one: Option<NetId>,
+    errors: Vec<NetlistError>,
+}
+
+impl ModuleBuilder {
+    /// Creates a builder for a module with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ModuleBuilder {
+            netlist: Netlist::new(name),
+            zero: None,
+            one: None,
+            errors: Vec::new(),
+        }
+    }
+
+    /// Finishes the module: validates the netlist and checks it levelizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first construction error (width mismatches, duplicate
+    /// ports) or a validation/levelization error.
+    pub fn finish(self) -> Result<Netlist, NetlistError> {
+        if let Some(e) = self.errors.into_iter().next() {
+            return Err(e);
+        }
+        self.netlist.validate()?;
+        self.netlist.levelize()?;
+        Ok(self.netlist)
+    }
+
+    /// Read-only access to the netlist under construction.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Mutable access for advanced wiring (e.g. closing feedback manually).
+    pub fn netlist_mut(&mut self) -> &mut Netlist {
+        &mut self.netlist
+    }
+
+    fn record(&mut self, e: NetlistError) {
+        self.errors.push(e);
+    }
+
+    // ---- sources and ports -------------------------------------------------
+
+    /// Declares an input port of `width` bits and returns its nets.
+    pub fn input_bus(&mut self, name: &str, width: usize) -> Word {
+        let bits: Word = (0..width)
+            .map(|i| {
+                let id = self.netlist.add_gate(GateKind::Input, vec![]);
+                self.netlist.set_label(id, format!("{name}[{i}]"));
+                id
+            })
+            .collect();
+        if let Err(e) = self
+            .netlist
+            .add_port(PortDir::Input, name, bits.clone())
+        {
+            self.record(e);
+        }
+        bits
+    }
+
+    /// Declares a single-bit input port.
+    pub fn input(&mut self, name: &str) -> NetId {
+        self.input_bus(name, 1)[0]
+    }
+
+    /// Declares an output port over existing nets.
+    pub fn output_bus(&mut self, name: &str, bits: &[NetId]) {
+        for (i, &b) in bits.iter().enumerate() {
+            if self.netlist.label(b).is_none() {
+                self.netlist.set_label(b, format!("{name}[{i}]"));
+            }
+        }
+        if let Err(e) = self
+            .netlist
+            .add_port(PortDir::Output, name, bits.to_vec())
+        {
+            self.record(e);
+        }
+    }
+
+    /// Declares a single-bit output port.
+    pub fn output(&mut self, name: &str, bit: NetId) {
+        self.output_bus(name, &[bit]);
+    }
+
+    /// The shared constant-0 net.
+    pub fn zero(&mut self) -> NetId {
+        match self.zero {
+            Some(z) => z,
+            None => {
+                let z = self.netlist.add_gate(GateKind::Const0, vec![]);
+                self.zero = Some(z);
+                z
+            }
+        }
+    }
+
+    /// The shared constant-1 net.
+    pub fn one(&mut self) -> NetId {
+        match self.one {
+            Some(o) => o,
+            None => {
+                let o = self.netlist.add_gate(GateKind::Const1, vec![]);
+                self.one = Some(o);
+                o
+            }
+        }
+    }
+
+    /// A `width`-bit constant word holding `value` (LSB first).
+    pub fn constant(&mut self, value: u64, width: usize) -> Word {
+        (0..width)
+            .map(|i| {
+                if (value >> i) & 1 == 1 {
+                    self.one()
+                } else {
+                    self.zero()
+                }
+            })
+            .collect()
+    }
+
+    // ---- bit-level gates ---------------------------------------------------
+
+    /// 2-input AND.
+    pub fn and(&mut self, a: NetId, b: NetId) -> NetId {
+        self.netlist.add_gate(GateKind::And, vec![a, b])
+    }
+
+    /// 2-input OR.
+    pub fn or(&mut self, a: NetId, b: NetId) -> NetId {
+        self.netlist.add_gate(GateKind::Or, vec![a, b])
+    }
+
+    /// 2-input XOR.
+    pub fn xor(&mut self, a: NetId, b: NetId) -> NetId {
+        self.netlist.add_gate(GateKind::Xor, vec![a, b])
+    }
+
+    /// 2-input NAND.
+    pub fn nand(&mut self, a: NetId, b: NetId) -> NetId {
+        self.netlist.add_gate(GateKind::Nand, vec![a, b])
+    }
+
+    /// 2-input NOR.
+    pub fn nor(&mut self, a: NetId, b: NetId) -> NetId {
+        self.netlist.add_gate(GateKind::Nor, vec![a, b])
+    }
+
+    /// 2-input XNOR.
+    pub fn xnor(&mut self, a: NetId, b: NetId) -> NetId {
+        self.netlist.add_gate(GateKind::Xnor, vec![a, b])
+    }
+
+    /// Inverter.
+    pub fn not(&mut self, a: NetId) -> NetId {
+        self.netlist.add_gate(GateKind::Not, vec![a])
+    }
+
+    /// Buffer.
+    pub fn buf(&mut self, a: NetId) -> NetId {
+        self.netlist.add_gate(GateKind::Buf, vec![a])
+    }
+
+    /// Bit multiplexer: `a` when `sel == 0`, `b` when `sel == 1`.
+    pub fn mux(&mut self, sel: NetId, a: NetId, b: NetId) -> NetId {
+        self.netlist.add_gate(GateKind::Mux2, vec![sel, a, b])
+    }
+
+    /// Single D flip-flop.
+    pub fn dff(&mut self, d: NetId) -> NetId {
+        self.netlist.add_gate(GateKind::Dff, vec![d])
+    }
+
+    // ---- word-level logic --------------------------------------------------
+
+    fn check_widths(&mut self, a: &[NetId], b: &[NetId], op: &'static str) -> bool {
+        if a.len() != b.len() {
+            self.record(NetlistError::WidthMismatch {
+                left: a.len(),
+                right: b.len(),
+                op,
+            });
+            false
+        } else {
+            true
+        }
+    }
+
+    /// Element-wise NOT.
+    pub fn not_w(&mut self, a: &[NetId]) -> Word {
+        a.iter().map(|&x| self.not(x)).collect()
+    }
+
+    /// Element-wise AND.
+    pub fn and_w(&mut self, a: &[NetId], b: &[NetId]) -> Word {
+        if !self.check_widths(a, b, "and_w") {
+            return a.to_vec();
+        }
+        a.iter().zip(b).map(|(&x, &y)| self.and(x, y)).collect()
+    }
+
+    /// Element-wise OR.
+    pub fn or_w(&mut self, a: &[NetId], b: &[NetId]) -> Word {
+        if !self.check_widths(a, b, "or_w") {
+            return a.to_vec();
+        }
+        a.iter().zip(b).map(|(&x, &y)| self.or(x, y)).collect()
+    }
+
+    /// Element-wise XOR.
+    pub fn xor_w(&mut self, a: &[NetId], b: &[NetId]) -> Word {
+        if !self.check_widths(a, b, "xor_w") {
+            return a.to_vec();
+        }
+        a.iter().zip(b).map(|(&x, &y)| self.xor(x, y)).collect()
+    }
+
+    /// Word multiplexer: `a` when `sel == 0`, `b` when `sel == 1`.
+    pub fn mux_w(&mut self, sel: NetId, a: &[NetId], b: &[NetId]) -> Word {
+        if !self.check_widths(a, b, "mux_w") {
+            return a.to_vec();
+        }
+        a.iter().zip(b).map(|(&x, &y)| self.mux(sel, x, y)).collect()
+    }
+
+    /// AND of a word with a single enable bit.
+    pub fn mask_w(&mut self, en: NetId, a: &[NetId]) -> Word {
+        a.iter().map(|&x| self.and(en, x)).collect()
+    }
+
+    /// Balanced-tree AND reduction; returns constant 1 for an empty word.
+    pub fn reduce_and(&mut self, a: &[NetId]) -> NetId {
+        self.reduce(a, GateKind::And, true)
+    }
+
+    /// Balanced-tree OR reduction; returns constant 0 for an empty word.
+    pub fn reduce_or(&mut self, a: &[NetId]) -> NetId {
+        self.reduce(a, GateKind::Or, false)
+    }
+
+    /// Balanced-tree XOR reduction; returns constant 0 for an empty word.
+    pub fn reduce_xor(&mut self, a: &[NetId]) -> NetId {
+        self.reduce(a, GateKind::Xor, false)
+    }
+
+    fn reduce(&mut self, a: &[NetId], kind: GateKind, empty_one: bool) -> NetId {
+        match a.len() {
+            0 => {
+                if empty_one {
+                    self.one()
+                } else {
+                    self.zero()
+                }
+            }
+            1 => a[0],
+            _ => {
+                let mut layer: Vec<NetId> = a.to_vec();
+                while layer.len() > 1 {
+                    let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+                    for pair in layer.chunks(2) {
+                        if pair.len() == 2 {
+                            next.push(self.netlist.add_gate(kind, vec![pair[0], pair[1]]));
+                        } else {
+                            next.push(pair[0]);
+                        }
+                    }
+                    layer = next;
+                }
+                layer[0]
+            }
+        }
+    }
+
+    /// Binary select: `options[sel]` where `sel` is a binary-encoded word.
+    ///
+    /// Options beyond `options.len()` fold onto the last option. All options
+    /// must share a width.
+    pub fn select(&mut self, sel: &[NetId], options: &[Word]) -> Word {
+        assert!(!options.is_empty(), "select needs at least one option");
+        let mut current: Vec<Word> = options.to_vec();
+        for &s in sel {
+            let mut next = Vec::with_capacity(current.len().div_ceil(2));
+            for pair in current.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(self.mux_w(s, &pair[0], &pair[1]));
+                } else {
+                    next.push(pair[0].clone());
+                }
+            }
+            current = next;
+            if current.len() == 1 {
+                break;
+            }
+        }
+        current.swap_remove(0)
+    }
+
+    /// One-hot decode of a binary word: output `i` is 1 iff `value == i`.
+    pub fn decode(&mut self, sel: &[NetId], count: usize) -> Vec<NetId> {
+        let inverted = self.not_w(sel);
+        (0..count)
+            .map(|i| {
+                let minterm: Vec<NetId> = sel
+                    .iter()
+                    .enumerate()
+                    .map(|(bit, &s)| {
+                        if (i >> bit) & 1 == 1 {
+                            s
+                        } else {
+                            inverted[bit]
+                        }
+                    })
+                    .collect();
+                self.reduce_and(&minterm)
+            })
+            .collect()
+    }
+
+    // ---- arithmetic ---------------------------------------------------------
+
+    /// Ripple-carry addition.
+    pub fn add(&mut self, a: &[NetId], b: &[NetId]) -> AddResult {
+        if !self.check_widths(a, b, "add") {
+            return AddResult {
+                sum: a.to_vec(),
+                carry: self.zero(),
+            };
+        }
+        let mut carry = self.zero();
+        let mut sum = Vec::with_capacity(a.len());
+        for (&x, &y) in a.iter().zip(b) {
+            let xy = self.xor(x, y);
+            sum.push(self.xor(xy, carry));
+            let maj1 = self.and(x, y);
+            let maj2 = self.and(xy, carry);
+            carry = self.or(maj1, maj2);
+        }
+        AddResult { sum, carry }
+    }
+
+    /// Modular (wrapping) addition: like [`ModuleBuilder::add`] but without
+    /// the final carry-out gates. Use this when the carry would be dropped —
+    /// an unused carry-out is dead logic carrying untestable faults.
+    pub fn add_mod(&mut self, a: &[NetId], b: &[NetId]) -> Word {
+        if !self.check_widths(a, b, "add_mod") {
+            return a.to_vec();
+        }
+        let mut carry = self.zero();
+        let mut sum = Vec::with_capacity(a.len());
+        let last = a.len().saturating_sub(1);
+        for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+            let xy = self.xor(x, y);
+            sum.push(self.xor(xy, carry));
+            if i != last {
+                let maj1 = self.and(x, y);
+                let maj2 = self.and(xy, carry);
+                carry = self.or(maj1, maj2);
+            }
+        }
+        sum
+    }
+
+    /// Adds a constant.
+    pub fn add_const(&mut self, a: &[NetId], value: u64) -> AddResult {
+        let c = self.constant(value, a.len());
+        self.add(a, &c)
+    }
+
+    /// Increment by one.
+    pub fn inc(&mut self, a: &[NetId]) -> AddResult {
+        self.add_const(a, 1)
+    }
+
+    /// Subtraction `a - b`; `borrow` is 1 when `a < b` (unsigned).
+    pub fn sub(&mut self, a: &[NetId], b: &[NetId]) -> AddResult {
+        if !self.check_widths(a, b, "sub") {
+            return AddResult {
+                sum: a.to_vec(),
+                carry: self.zero(),
+            };
+        }
+        let nb = self.not_w(b);
+        let mut carry = self.one();
+        let mut diff = Vec::with_capacity(a.len());
+        for (&x, &y) in a.iter().zip(&nb) {
+            let xy = self.xor(x, y);
+            diff.push(self.xor(xy, carry));
+            let maj1 = self.and(x, y);
+            let maj2 = self.and(xy, carry);
+            carry = self.or(maj1, maj2);
+        }
+        let borrow = self.not(carry);
+        AddResult {
+            sum: diff,
+            carry: borrow,
+        }
+    }
+
+    /// Unsigned `a < b`.
+    ///
+    /// Synthesizes only the borrow chain (no difference bits), so no dead
+    /// logic is created when the comparison result is all that is used —
+    /// dead logic would carry structurally untestable faults.
+    pub fn lt_u(&mut self, a: &[NetId], b: &[NetId]) -> NetId {
+        if !self.check_widths(a, b, "lt_u") {
+            return self.zero();
+        }
+        let nb = self.not_w(b);
+        let mut carry = self.one();
+        for (&x, &y) in a.iter().zip(&nb) {
+            let xy = self.xor(x, y);
+            let maj1 = self.and(x, y);
+            let maj2 = self.and(xy, carry);
+            carry = self.or(maj1, maj2);
+        }
+        self.not(carry)
+    }
+
+    /// Equality comparison of two words.
+    pub fn eq_w(&mut self, a: &[NetId], b: &[NetId]) -> NetId {
+        if !self.check_widths(a, b, "eq_w") {
+            return self.zero();
+        }
+        let x = self.xnor_w(a, b);
+        self.reduce_and(&x)
+    }
+
+    /// Element-wise XNOR.
+    pub fn xnor_w(&mut self, a: &[NetId], b: &[NetId]) -> Word {
+        if !self.check_widths(a, b, "xnor_w") {
+            return a.to_vec();
+        }
+        a.iter().zip(b).map(|(&x, &y)| self.xnor(x, y)).collect()
+    }
+
+    /// Equality against a constant.
+    pub fn eq_const(&mut self, a: &[NetId], value: u64) -> NetId {
+        let c = self.constant(value, a.len());
+        self.eq_w(a, &c)
+    }
+
+    /// Unsigned minimum of two words (and the `a < b` flag).
+    pub fn min_u(&mut self, a: &[NetId], b: &[NetId]) -> (Word, NetId) {
+        let lt = self.lt_u(a, b);
+        (self.mux_w(lt, b, a), lt)
+    }
+
+    /// Unsigned maximum of two words.
+    pub fn max_u(&mut self, a: &[NetId], b: &[NetId]) -> Word {
+        let lt = self.lt_u(a, b);
+        self.mux_w(lt, a, b)
+    }
+
+    /// Unsigned saturating addition: clamps to all-ones on carry-out.
+    pub fn sat_add(&mut self, a: &[NetId], b: &[NetId]) -> Word {
+        let r = self.add(a, b);
+        let ones = vec![self.one(); a.len()];
+        self.mux_w(r.carry, &r.sum, &ones)
+    }
+
+    // ---- sequential ----------------------------------------------------------
+
+    /// A bank of flip-flops whose `d` pins are *not yet connected*; close the
+    /// loop with [`ModuleBuilder::connect`]. This is how feedback registers
+    /// (counters, LFSRs, FSM state) are built.
+    pub fn dff_bank(&mut self, width: usize) -> Word {
+        (0..width)
+            .map(|_| {
+                // Temporarily self-referential; `connect` rewires pin 0.
+                let id = NetId(self.netlist.len() as u32);
+                self.netlist.add_gate_unchecked(GateKind::Dff, vec![id])
+            })
+            .collect()
+    }
+
+    /// Connects the `d` pins of a [`ModuleBuilder::dff_bank`] word.
+    pub fn connect(&mut self, q: &[NetId], d: &[NetId]) {
+        if !self.check_widths(q, d, "connect") {
+            return;
+        }
+        for (&qq, &dd) in q.iter().zip(d) {
+            self.netlist.set_pin(qq, 0, dd);
+        }
+    }
+
+    /// A simple pipeline register: `q` follows `d` one cycle later.
+    pub fn register(&mut self, d: &[NetId]) -> Word {
+        d.iter().map(|&x| self.dff(x)).collect()
+    }
+
+    /// A register with a load enable: holds its value when `en == 0`.
+    pub fn register_en(&mut self, en: NetId, d: &[NetId]) -> Word {
+        let q = self.dff_bank(d.len());
+        let next = self.mux_w(en, &q, d);
+        self.connect(&q, &next);
+        q
+    }
+
+    /// A register with synchronous clear (`clr` wins over `en`).
+    pub fn register_en_clr(&mut self, en: NetId, clr: NetId, d: &[NetId]) -> Word {
+        let q = self.dff_bank(d.len());
+        let loaded = self.mux_w(en, &q, d);
+        let cleared = self.mask_w_not(clr, &loaded);
+        self.connect(&q, &cleared);
+        q
+    }
+
+    fn mask_w_not(&mut self, clr: NetId, a: &[NetId]) -> Word {
+        let nclr = self.not(clr);
+        a.iter().map(|&x| self.and(nclr, x)).collect()
+    }
+
+    /// A binary up-counter with enable and synchronous clear; returns `q`.
+    pub fn counter(&mut self, width: usize, en: NetId, clr: NetId) -> Word {
+        let q = self.dff_bank(width);
+        let plus1 = self.inc(&q).sum;
+        let next = self.mux_w(en, &q, &plus1);
+        let cleared = self.mask_w_not(clr, &next);
+        self.connect(&q, &cleared);
+        q
+    }
+
+    /// A binary-encoded FSM per [`FsmSpec`]; returns the state word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has fewer than 2 states or a transition references
+    /// an out-of-range state.
+    pub fn fsm(&mut self, spec: &FsmSpec) -> Word {
+        assert!(spec.states >= 2, "fsm needs at least 2 states");
+        let width = usize::BITS as usize - (spec.states - 1).leading_zeros() as usize;
+        let state = self.dff_bank(width);
+        // Default: hold.
+        let mut next = state.clone();
+        // Apply transitions lowest priority first so that the first entry in
+        // the spec ends up outermost (highest priority).
+        for &(from, cond, to) in spec.transitions.iter().rev() {
+            assert!(from < spec.states && to < spec.states, "state out of range");
+            let in_state = self.eq_const(&state, from as u64);
+            let fire = match cond {
+                Some(c) => self.and(in_state, c),
+                None => in_state,
+            };
+            let target = self.constant(to as u64, width);
+            next = self.mux_w(fire, &next, &target);
+        }
+        self.connect(&state, &next);
+        state
+    }
+
+    /// Static left shift by `k` with zero fill (pure rewiring).
+    pub fn shl(&mut self, a: &[NetId], k: usize) -> Word {
+        let z = self.zero();
+        let mut out = vec![z; a.len()];
+        for i in k..a.len() {
+            out[i] = a[i - k];
+        }
+        out
+    }
+
+    /// Static right shift by `k` with zero fill (pure rewiring).
+    pub fn shr(&mut self, a: &[NetId], k: usize) -> Word {
+        let z = self.zero();
+        let mut out = vec![z; a.len()];
+        for i in 0..a.len().saturating_sub(k) {
+            out[i] = a[i + k];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adder_width_mismatch_is_reported() {
+        let mut mb = ModuleBuilder::new("bad");
+        let a = mb.input_bus("a", 4);
+        let b = mb.input_bus("b", 5);
+        let _ = mb.add(&a, &b);
+        assert!(matches!(
+            mb.finish(),
+            Err(NetlistError::WidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn constants_are_shared() {
+        let mut mb = ModuleBuilder::new("c");
+        let w1 = mb.constant(0b1010, 4);
+        let w2 = mb.constant(0b0101, 4);
+        assert_eq!(w1[1], w2[0]);
+        assert_eq!(w1[0], w2[1]);
+    }
+
+    #[test]
+    fn counter_builds_and_levelizes() {
+        let mut mb = ModuleBuilder::new("cnt");
+        let en = mb.input("en");
+        let clr = mb.input("clr");
+        let q = mb.counter(8, en, clr);
+        mb.output_bus("q", &q);
+        let nl = mb.finish().unwrap();
+        assert_eq!(nl.dff_count(), 8);
+    }
+
+    #[test]
+    fn fsm_builds() {
+        let mut mb = ModuleBuilder::new("fsm");
+        let go = mb.input("go");
+        let stop = mb.input("stop");
+        let state = mb.fsm(&FsmSpec {
+            states: 3,
+            transitions: vec![(0, Some(go), 1), (1, Some(stop), 2), (2, None, 0)],
+        });
+        mb.output_bus("state", &state);
+        let nl = mb.finish().unwrap();
+        assert_eq!(nl.dff_count(), 2);
+    }
+
+    #[test]
+    fn decode_is_one_hot_shaped() {
+        let mut mb = ModuleBuilder::new("dec");
+        let sel = mb.input_bus("sel", 2);
+        let hot = mb.decode(&sel, 4);
+        assert_eq!(hot.len(), 4);
+        mb.output_bus("hot", &hot);
+        assert!(mb.finish().is_ok());
+    }
+
+    #[test]
+    fn select_folds_options() {
+        let mut mb = ModuleBuilder::new("sel");
+        let s = mb.input_bus("s", 2);
+        let opts: Vec<Word> = (0..3).map(|v| mb.constant(v, 4)).collect();
+        let out = mb.select(&s, &opts);
+        mb.output_bus("out", &out);
+        assert!(mb.finish().is_ok());
+    }
+
+    #[test]
+    fn shifts_rewire() {
+        let mut mb = ModuleBuilder::new("sh");
+        let a = mb.input_bus("a", 4);
+        let l = mb.shl(&a, 2);
+        let r = mb.shr(&a, 2);
+        assert_eq!(l[2], a[0]);
+        assert_eq!(r[0], a[2]);
+        assert_eq!(l[0], r[2]); // both zero
+    }
+}

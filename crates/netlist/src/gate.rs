@@ -1,0 +1,230 @@
+//! Primitive gate types and identifiers.
+
+use std::fmt;
+
+/// Identifier of a net — and, because every gate drives exactly one net,
+/// also the index of the driving [`Gate`] inside its [`crate::Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetId(pub u32);
+
+impl NetId {
+    /// Returns the net id as a `usize` index into the gate vector.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Index of an input pin on a gate (0-based).
+pub type PinIndex = u8;
+
+/// The primitive cell alphabet.
+///
+/// All multi-input logic is decomposed into these fixed-arity primitives by
+/// [`crate::ModuleBuilder`]; this keeps fault enumeration (one fault site per
+/// pin and per output) and technology mapping one-to-one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Primary input (no pins).
+    Input,
+    /// Constant logic 0 (no pins).
+    Const0,
+    /// Constant logic 1 (no pins).
+    Const1,
+    /// Non-inverting buffer, 1 pin.
+    Buf,
+    /// Inverter, 1 pin.
+    Not,
+    /// 2-input AND.
+    And,
+    /// 2-input OR.
+    Or,
+    /// 2-input NAND.
+    Nand,
+    /// 2-input NOR.
+    Nor,
+    /// 2-input XOR.
+    Xor,
+    /// 2-input XNOR.
+    Xnor,
+    /// 2-to-1 multiplexer; pins are `[sel, a, b]` and the output is `a` when
+    /// `sel == 0`, `b` when `sel == 1`.
+    Mux2,
+    /// D flip-flop on the implicit common clock; pin 0 is `d`. Resets to 0.
+    Dff,
+}
+
+impl GateKind {
+    /// Number of input pins this gate kind carries.
+    #[inline]
+    pub fn arity(self) -> usize {
+        match self {
+            GateKind::Input | GateKind::Const0 | GateKind::Const1 => 0,
+            GateKind::Buf | GateKind::Not | GateKind::Dff => 1,
+            GateKind::And
+            | GateKind::Or
+            | GateKind::Nand
+            | GateKind::Nor
+            | GateKind::Xor
+            | GateKind::Xnor => 2,
+            GateKind::Mux2 => 3,
+        }
+    }
+
+    /// Whether this gate is a sequential element.
+    #[inline]
+    pub fn is_sequential(self) -> bool {
+        matches!(self, GateKind::Dff)
+    }
+
+    /// Whether this gate is a combinational source (no combinational
+    /// predecessors): primary inputs, constants, and flip-flop outputs.
+    #[inline]
+    pub fn is_source(self) -> bool {
+        matches!(
+            self,
+            GateKind::Input | GateKind::Const0 | GateKind::Const1 | GateKind::Dff
+        )
+    }
+
+    /// Short lowercase mnemonic used in reports and fault names.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            GateKind::Input => "in",
+            GateKind::Const0 => "tie0",
+            GateKind::Const1 => "tie1",
+            GateKind::Buf => "buf",
+            GateKind::Not => "not",
+            GateKind::And => "and2",
+            GateKind::Or => "or2",
+            GateKind::Nand => "nand2",
+            GateKind::Nor => "nor2",
+            GateKind::Xor => "xor2",
+            GateKind::Xnor => "xnor2",
+            GateKind::Mux2 => "mux2",
+            GateKind::Dff => "dff",
+        }
+    }
+
+    /// Evaluates the gate on bit-parallel 64-wide words.
+    ///
+    /// `pins` must have exactly [`GateKind::arity`] entries. Sources
+    /// (inputs, constants, flip-flops) are not evaluated here — the caller
+    /// supplies their values — and this returns 0 for them.
+    #[inline]
+    pub fn eval_word(self, pins: &[u64]) -> u64 {
+        match self {
+            GateKind::Buf => pins[0],
+            GateKind::Not => !pins[0],
+            GateKind::And => pins[0] & pins[1],
+            GateKind::Or => pins[0] | pins[1],
+            GateKind::Nand => !(pins[0] & pins[1]),
+            GateKind::Nor => !(pins[0] | pins[1]),
+            GateKind::Xor => pins[0] ^ pins[1],
+            GateKind::Xnor => !(pins[0] ^ pins[1]),
+            GateKind::Mux2 => (!pins[0] & pins[1]) | (pins[0] & pins[2]),
+            GateKind::Const1 => u64::MAX,
+            GateKind::Input | GateKind::Const0 | GateKind::Dff => 0,
+        }
+    }
+
+    /// All gate kinds, in a stable order (useful for statistics tables).
+    pub const ALL: [GateKind; 13] = [
+        GateKind::Input,
+        GateKind::Const0,
+        GateKind::Const1,
+        GateKind::Buf,
+        GateKind::Not,
+        GateKind::And,
+        GateKind::Or,
+        GateKind::Nand,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Mux2,
+        GateKind::Dff,
+    ];
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// One primitive gate instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gate {
+    /// The primitive kind.
+    pub kind: GateKind,
+    /// Driven input pins; length equals `kind.arity()`.
+    pub pins: Vec<NetId>,
+}
+
+impl Gate {
+    /// Creates a gate, checking the pin count against the kind's arity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pins.len() != kind.arity()`; gate construction is a
+    /// programming-error boundary, not a runtime one.
+    pub fn new(kind: GateKind, pins: Vec<NetId>) -> Self {
+        assert_eq!(
+            pins.len(),
+            kind.arity(),
+            "gate {kind} expects {} pins, got {}",
+            kind.arity(),
+            pins.len()
+        );
+        Gate { kind, pins }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_eval_requirements() {
+        for kind in GateKind::ALL {
+            let pins = vec![0u64; kind.arity().max(3)];
+            // Must not panic when given at least `arity` pins.
+            let _ = kind.eval_word(&pins[..kind.arity().max(1).min(pins.len())]);
+        }
+    }
+
+    #[test]
+    fn eval_truth_tables() {
+        let a = 0b1100u64;
+        let b = 0b1010u64;
+        assert_eq!(GateKind::And.eval_word(&[a, b]) & 0xF, 0b1000);
+        assert_eq!(GateKind::Or.eval_word(&[a, b]) & 0xF, 0b1110);
+        assert_eq!(GateKind::Nand.eval_word(&[a, b]) & 0xF, 0b0111);
+        assert_eq!(GateKind::Nor.eval_word(&[a, b]) & 0xF, 0b0001);
+        assert_eq!(GateKind::Xor.eval_word(&[a, b]) & 0xF, 0b0110);
+        assert_eq!(GateKind::Xnor.eval_word(&[a, b]) & 0xF, 0b1001);
+        assert_eq!(GateKind::Not.eval_word(&[a]) & 0xF, 0b0011);
+        assert_eq!(GateKind::Buf.eval_word(&[a]) & 0xF, 0b1100);
+    }
+
+    #[test]
+    fn mux_selects() {
+        let sel = 0b01u64;
+        let a = 0b10u64;
+        let b = 0b11u64;
+        // bit0: sel=1 -> b=1; bit1: sel=0 -> a=1.
+        assert_eq!(GateKind::Mux2.eval_word(&[sel, a, b]) & 0b11, 0b11);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects")]
+    fn gate_new_checks_arity() {
+        let _ = Gate::new(GateKind::And, vec![NetId(0)]);
+    }
+}

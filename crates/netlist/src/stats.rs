@@ -1,0 +1,90 @@
+//! Gate-count statistics for reports and the area model.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::{GateKind, Netlist};
+
+/// Aggregate counts over a [`Netlist`], used by area reports (Table 2) and
+/// the README inventory.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NetlistStats {
+    /// Gate count per kind (only kinds that occur).
+    pub by_kind: BTreeMap<&'static str, usize>,
+    /// Total number of gates (= nets).
+    pub gates: usize,
+    /// Number of flip-flops.
+    pub dffs: usize,
+    /// Number of primary-input bits.
+    pub inputs: usize,
+    /// Number of primary-output bits.
+    pub outputs: usize,
+    /// Total number of input pins across all gates.
+    pub pins: usize,
+    /// Combinational gates (everything that is not a source).
+    pub combinational: usize,
+}
+
+impl NetlistStats {
+    /// Computes statistics for a netlist.
+    pub fn of(netlist: &Netlist) -> Self {
+        let mut by_kind: BTreeMap<&'static str, usize> = BTreeMap::new();
+        let mut dffs = 0;
+        let mut pins = 0;
+        let mut combinational = 0;
+        for gate in netlist.gates() {
+            *by_kind.entry(gate.kind.mnemonic()).or_insert(0) += 1;
+            pins += gate.pins.len();
+            if gate.kind == GateKind::Dff {
+                dffs += 1;
+            }
+            if !gate.kind.is_source() {
+                combinational += 1;
+            }
+        }
+        NetlistStats {
+            by_kind,
+            gates: netlist.len(),
+            dffs,
+            inputs: netlist.input_width(),
+            outputs: netlist.output_width(),
+            pins,
+            combinational,
+        }
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "gates: {} (comb {}, dff {}), pins: {}, PI: {}, PO: {}",
+            self.gates, self.combinational, self.dffs, self.pins, self.inputs, self.outputs
+        )?;
+        for (kind, count) in &self.by_kind {
+            writeln!(f, "  {kind:>6}: {count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModuleBuilder;
+
+    #[test]
+    fn stats_count_correctly() {
+        let mut mb = ModuleBuilder::new("m");
+        let a = mb.input_bus("a", 4);
+        let q = mb.register(&a);
+        mb.output_bus("q", &q);
+        let nl = mb.finish().unwrap();
+        let s = nl.stats();
+        assert_eq!(s.inputs, 4);
+        assert_eq!(s.outputs, 4);
+        assert_eq!(s.dffs, 4);
+        assert_eq!(s.by_kind["dff"], 4);
+        assert!(!s.to_string().is_empty());
+    }
+}

@@ -1,0 +1,211 @@
+//! The ATE model: a high-level driver that operates the TAP pins.
+
+use soctest_bist::BistCommand;
+
+use crate::{BistBackend, TapController, TapInstruction, Wrapper, WrapperInstruction};
+
+/// Drives a [`TapController`] the way an external tester would: composing
+/// TMS/TDI sequences for instruction and data scans, issuing BIST commands
+/// through the wrapper's WCDR, and reading status/signatures through the
+/// WDR. Every operation pays its true cost in TCK cycles, which the driver
+/// counts — this is where the protocol-level test-time numbers come from.
+#[derive(Debug, Clone)]
+pub struct TapDriver<B> {
+    tap: TapController<B>,
+    functional_cycles: u64,
+}
+
+impl<B: BistBackend> TapDriver<B> {
+    /// Wraps a backend in a P1500 wrapper, attaches a TAP, and the driver.
+    pub fn new(backend: B) -> Self {
+        TapDriver {
+            tap: TapController::new(backend),
+            functional_cycles: 0,
+        }
+    }
+
+    /// The TAP (and through it the wrapper and backend).
+    pub fn tap(&self) -> &TapController<B> {
+        &self.tap
+    }
+
+    /// The wrapped backend.
+    pub fn backend(&self) -> &B {
+        self.tap.wrapper().backend()
+    }
+
+    /// Mutable backend access (for co-simulation hookups).
+    pub fn backend_mut(&mut self) -> &mut B {
+        self.tap.wrapper_mut().backend_mut()
+    }
+
+    /// TCK cycles spent so far.
+    pub fn tck(&self) -> u64 {
+        self.tap.tck()
+    }
+
+    /// Functional (at-speed) cycles spent so far.
+    pub fn functional_cycles(&self) -> u64 {
+        self.functional_cycles
+    }
+
+    /// Hardware reset: five TMS-high cycles, then into Run-Test/Idle.
+    pub fn reset(&mut self) {
+        for _ in 0..5 {
+            self.tap.tick(true, false);
+        }
+        self.tap.tick(false, false);
+    }
+
+    /// Loads a TAP instruction (assumes Run-Test/Idle; returns there).
+    pub fn load_tap_ir(&mut self, instr: TapInstruction) {
+        self.tap.tick(true, false); // SelectDrScan
+        self.tap.tick(true, false); // SelectIrScan
+        self.tap.tick(false, false); // CaptureIr
+        self.tap.tick(false, false); // capture; -> ShiftIr
+        let code = instr.encode();
+        for i in 0..TapInstruction::LENGTH {
+            let last = i == TapInstruction::LENGTH - 1;
+            self.tap.tick(last, (code >> i) & 1 == 1);
+        }
+        self.tap.tick(true, false); // Exit1Ir -> UpdateIr
+        self.tap.tick(false, false); // update; -> RTI
+    }
+
+    /// Performs a DR scan of `bits`, returning the bits shifted out.
+    /// (Assumes Run-Test/Idle; returns there.)
+    pub fn shift_dr(&mut self, bits: &[bool]) -> Vec<bool> {
+        self.tap.tick(true, false); // SelectDrScan
+        self.tap.tick(false, false); // -> CaptureDr
+        self.tap.tick(false, false); // capture; -> ShiftDr
+        let mut out = Vec::with_capacity(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            let last = i == bits.len() - 1;
+            out.push(self.tap.tick(last, b));
+        }
+        self.tap.tick(true, false); // Exit1Dr -> UpdateDr
+        self.tap.tick(false, false); // update; -> RTI
+        out
+    }
+
+    /// Loads a *wrapper* instruction through the WIR path, leaving the TAP
+    /// pointed at the selected wrapper data register.
+    pub fn wrapper_instruction(&mut self, wi: WrapperInstruction) {
+        self.load_tap_ir(TapInstruction::WrapperInstr);
+        let code = wi.encode();
+        let bits: Vec<bool> = (0..WrapperInstruction::LENGTH)
+            .map(|i| (code >> i) & 1 == 1)
+            .collect();
+        self.shift_dr(&bits);
+        self.load_tap_ir(TapInstruction::WrapperData);
+    }
+
+    /// Issues a BIST command through the WCDR (selects the command register
+    /// if needed).
+    pub fn bist_command(&mut self, cmd: BistCommand) {
+        if self.tap.wrapper().instruction() != WrapperInstruction::CommandReg {
+            self.wrapper_instruction(WrapperInstruction::CommandReg);
+        }
+        let bits = Wrapper::<B>::encode_command(cmd);
+        self.shift_dr(&bits);
+    }
+
+    /// Loads the pattern count.
+    pub fn bist_load_pattern_count(&mut self, n: u64) {
+        self.bist_command(BistCommand::LoadPatternCount(n));
+    }
+
+    /// Starts the test.
+    pub fn bist_start(&mut self) {
+        self.bist_command(BistCommand::Start);
+    }
+
+    /// Selects which MISR the output selector exposes.
+    pub fn bist_select_result(&mut self, idx: u8) {
+        self.bist_command(BistCommand::SelectResult(idx));
+    }
+
+    /// Runs the core at functional speed for `cycles` clocks (the at-speed
+    /// burst between TAP operations).
+    pub fn run_functional(&mut self, cycles: u64) {
+        self.functional_cycles += cycles;
+        self.tap.wrapper_mut().run_functional(cycles);
+    }
+
+    /// Reads the WDR: returns `(end_test, selected signature)`.
+    pub fn read_status(&mut self) -> (bool, u64) {
+        if self.tap.wrapper().instruction() != WrapperInstruction::StatusReg {
+            self.wrapper_instruction(WrapperInstruction::StatusReg);
+        }
+        let n = self.tap.wrapper().wdr_length();
+        let out = self.shift_dr(&vec![false; n]);
+        let done = out[0];
+        let sig = out[1..]
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i));
+        (done, sig)
+    }
+
+    /// Polls the status register until `end_test`, running the core in
+    /// bursts of `burst` functional cycles, up to `max_bursts` times.
+    /// Returns `true` when the test completed.
+    pub fn wait_for_done(&mut self, burst: u64, max_bursts: u32) -> bool {
+        for _ in 0..max_bursts {
+            let (done, _) = self.read_status();
+            if done {
+                return true;
+            }
+            self.run_functional(burst);
+        }
+        self.read_status().0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MockBackend;
+
+    #[test]
+    fn full_session_through_the_tap() {
+        let mut drv = TapDriver::new(MockBackend::new(16, 100));
+        drv.reset();
+        drv.bist_load_pattern_count(100);
+        drv.bist_start();
+        assert!(drv.wait_for_done(40, 10));
+        let (done, sig) = drv.read_status();
+        assert!(done);
+        assert_eq!(sig, drv.backend().expected_signature());
+        assert_eq!(drv.functional_cycles(), 120, "3 bursts of 40");
+    }
+
+    #[test]
+    fn tck_accounting_is_nonzero_and_monotonic() {
+        let mut drv = TapDriver::new(MockBackend::new(8, 4));
+        drv.reset();
+        let t0 = drv.tck();
+        drv.bist_load_pattern_count(4);
+        let t1 = drv.tck();
+        assert!(t1 > t0);
+        drv.bist_start();
+        drv.run_functional(4);
+        let (done, _) = drv.read_status();
+        assert!(done);
+        assert!(drv.tck() > t1);
+    }
+
+    #[test]
+    fn select_result_changes_signature_view() {
+        let mut drv = TapDriver::new(MockBackend::new(16, 1));
+        drv.reset();
+        drv.bist_load_pattern_count(5);
+        drv.bist_start();
+        drv.run_functional(1);
+        drv.bist_select_result(0);
+        let (_, s0) = drv.read_status();
+        drv.bist_select_result(1);
+        let (_, s1) = drv.read_status();
+        assert_ne!(s0, s1, "mock signature depends on the selection");
+    }
+}

@@ -1,0 +1,302 @@
+//! The IEEE 1149.1 TAP controller (16-state FSM) routing to the P1500
+//! wrapper.
+
+use crate::{BistBackend, Wrapper, WrapperPins};
+
+/// The sixteen TAP controller states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum TapState {
+    TestLogicReset,
+    RunTestIdle,
+    SelectDrScan,
+    CaptureDr,
+    ShiftDr,
+    Exit1Dr,
+    PauseDr,
+    Exit2Dr,
+    UpdateDr,
+    SelectIrScan,
+    CaptureIr,
+    ShiftIr,
+    Exit1Ir,
+    PauseIr,
+    Exit2Ir,
+    UpdateIr,
+}
+
+impl TapState {
+    /// The 1149.1 state transition function.
+    pub fn next(self, tms: bool) -> TapState {
+        use TapState::*;
+        match (self, tms) {
+            (TestLogicReset, false) => RunTestIdle,
+            (TestLogicReset, true) => TestLogicReset,
+            (RunTestIdle, false) => RunTestIdle,
+            (RunTestIdle, true) => SelectDrScan,
+            (SelectDrScan, false) => CaptureDr,
+            (SelectDrScan, true) => SelectIrScan,
+            (CaptureDr, false) => ShiftDr,
+            (CaptureDr, true) => Exit1Dr,
+            (ShiftDr, false) => ShiftDr,
+            (ShiftDr, true) => Exit1Dr,
+            (Exit1Dr, false) => PauseDr,
+            (Exit1Dr, true) => UpdateDr,
+            (PauseDr, false) => PauseDr,
+            (PauseDr, true) => Exit2Dr,
+            (Exit2Dr, false) => ShiftDr,
+            (Exit2Dr, true) => UpdateDr,
+            (UpdateDr, false) => RunTestIdle,
+            (UpdateDr, true) => SelectDrScan,
+            (SelectIrScan, false) => CaptureIr,
+            (SelectIrScan, true) => TestLogicReset,
+            (CaptureIr, false) => ShiftIr,
+            (CaptureIr, true) => Exit1Ir,
+            (ShiftIr, false) => ShiftIr,
+            (ShiftIr, true) => Exit1Ir,
+            (Exit1Ir, false) => PauseIr,
+            (Exit1Ir, true) => UpdateIr,
+            (PauseIr, false) => PauseIr,
+            (PauseIr, true) => Exit2Ir,
+            (Exit2Ir, false) => ShiftIr,
+            (Exit2Ir, true) => UpdateIr,
+            (UpdateIr, false) => RunTestIdle,
+            (UpdateIr, true) => SelectDrScan,
+        }
+    }
+}
+
+/// TAP instructions (4-bit IR).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TapInstruction {
+    /// Mandatory 1-bit bypass (IR all-ones per the standard).
+    #[default]
+    Bypass,
+    /// 32-bit identification register.
+    Idcode,
+    /// DR scans reach the wrapper with `SelectWIR` asserted.
+    WrapperInstr,
+    /// DR scans reach the register selected by the wrapper's WIR.
+    WrapperData,
+}
+
+impl TapInstruction {
+    /// IR length in bits.
+    pub const LENGTH: usize = 4;
+
+    /// 4-bit encoding.
+    pub fn encode(self) -> u8 {
+        match self {
+            TapInstruction::Bypass => 0b1111,
+            TapInstruction::Idcode => 0b0001,
+            TapInstruction::WrapperInstr => 0b0010,
+            TapInstruction::WrapperData => 0b0011,
+        }
+    }
+
+    /// Decode; unknown codes select bypass.
+    pub fn decode(bits: u8) -> Self {
+        match bits & 0b1111 {
+            0b0001 => TapInstruction::Idcode,
+            0b0010 => TapInstruction::WrapperInstr,
+            0b0011 => TapInstruction::WrapperData,
+            _ => TapInstruction::Bypass,
+        }
+    }
+}
+
+/// The IDCODE value presented by this model.
+pub(crate) const IDCODE: u32 = 0x5050_1501;
+
+/// A TAP controller connected to a P1500 wrapper.
+#[derive(Debug, Clone)]
+pub struct TapController<B> {
+    state: TapState,
+    ir_shift: u8,
+    ir: TapInstruction,
+    bypass: bool,
+    idcode_shift: u32,
+    wrapper: Wrapper<B>,
+    tck: u64,
+}
+
+impl<B: BistBackend> TapController<B> {
+    /// Creates a controller in Test-Logic-Reset with the wrapper attached.
+    pub fn new(backend: B) -> Self {
+        TapController {
+            state: TapState::TestLogicReset,
+            ir_shift: 0,
+            ir: TapInstruction::Bypass,
+            bypass: false,
+            idcode_shift: IDCODE,
+            wrapper: Wrapper::new(backend),
+            tck: 0,
+        }
+    }
+
+    /// Current FSM state.
+    pub fn state(&self) -> TapState {
+        self.state
+    }
+
+    /// Current instruction.
+    pub fn instruction(&self) -> TapInstruction {
+        self.ir
+    }
+
+    /// TCK cycles applied so far (the ATE-side test-time metric).
+    pub fn tck(&self) -> u64 {
+        self.tck
+    }
+
+    /// The attached wrapper.
+    pub fn wrapper(&self) -> &Wrapper<B> {
+        &self.wrapper
+    }
+
+    /// Mutable access to the wrapper (e.g. to run functional bursts).
+    pub fn wrapper_mut(&mut self) -> &mut Wrapper<B> {
+        &mut self.wrapper
+    }
+
+    fn wrapper_pins(&self, shift: bool, capture: bool, update: bool, tdi: bool) -> WrapperPins {
+        WrapperPins {
+            wsi: tdi,
+            select_wir: self.ir == TapInstruction::WrapperInstr,
+            shift_wr: shift,
+            capture_wr: capture,
+            update_wr: update,
+            wrstn: true,
+        }
+    }
+
+    /// One TCK cycle: performs the current state's action, then moves by
+    /// TMS. Returns TDO.
+    pub fn tick(&mut self, tms: bool, tdi: bool) -> bool {
+        self.tck += 1;
+        let mut tdo = false;
+        match self.state {
+            TapState::TestLogicReset => {
+                self.ir = TapInstruction::Bypass;
+                // Reset the wrapper too.
+                self.wrapper.clock(WrapperPins {
+                    wrstn: false,
+                    ..Default::default()
+                });
+                self.idcode_shift = IDCODE;
+            }
+            TapState::CaptureIr => {
+                // Standard: capture `...01` into the IR shift stage.
+                self.ir_shift = 0b0101;
+            }
+            TapState::ShiftIr => {
+                tdo = self.ir_shift & 1 == 1;
+                self.ir_shift =
+                    (self.ir_shift >> 1) | ((tdi as u8) << (TapInstruction::LENGTH - 1));
+            }
+            TapState::UpdateIr => {
+                self.ir = TapInstruction::decode(self.ir_shift);
+            }
+            TapState::CaptureDr => match self.ir {
+                TapInstruction::Bypass => self.bypass = false,
+                TapInstruction::Idcode => self.idcode_shift = IDCODE,
+                _ => {
+                    self.wrapper.clock(self.wrapper_pins(false, true, false, tdi));
+                }
+            },
+            TapState::ShiftDr => match self.ir {
+                TapInstruction::Bypass => {
+                    tdo = self.bypass;
+                    self.bypass = tdi;
+                }
+                TapInstruction::Idcode => {
+                    tdo = self.idcode_shift & 1 == 1;
+                    self.idcode_shift = (self.idcode_shift >> 1) | ((tdi as u32) << 31);
+                }
+                _ => {
+                    tdo = self.wrapper.clock(self.wrapper_pins(true, false, false, tdi));
+                }
+            },
+            TapState::UpdateDr => {
+                if !matches!(self.ir, TapInstruction::Bypass | TapInstruction::Idcode) {
+                    self.wrapper.clock(self.wrapper_pins(false, false, true, tdi));
+                }
+            }
+            _ => {}
+        }
+        self.state = self.state.next(tms);
+        tdo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MockBackend;
+
+    #[test]
+    fn five_ones_reach_test_logic_reset_from_anywhere() {
+        use TapState::*;
+        for start in [
+            RunTestIdle,
+            ShiftDr,
+            PauseIr,
+            UpdateDr,
+            Exit2Ir,
+            CaptureDr,
+        ] {
+            let mut s = start;
+            for _ in 0..5 {
+                s = s.next(true);
+            }
+            assert_eq!(s, TestLogicReset, "from {start:?}");
+        }
+    }
+
+    #[test]
+    fn instruction_encoding_round_trips() {
+        for i in [
+            TapInstruction::Bypass,
+            TapInstruction::Idcode,
+            TapInstruction::WrapperInstr,
+            TapInstruction::WrapperData,
+        ] {
+            assert_eq!(TapInstruction::decode(i.encode()), i);
+        }
+    }
+
+    #[test]
+    fn idcode_shifts_out_after_reset() {
+        let mut tap = TapController::new(MockBackend::new(8, 1));
+        // Reset, go to RTI, load IDCODE instruction.
+        for _ in 0..5 {
+            tap.tick(true, false);
+        }
+        tap.tick(false, false); // -> RTI
+        // IR scan: 1,1,0,0 then shift 4 bits (last with tms=1).
+        tap.tick(true, false);
+        tap.tick(true, false);
+        tap.tick(false, false); // CaptureIr entered
+        tap.tick(false, false); // capture happens, -> ShiftIr
+        let code = TapInstruction::Idcode.encode();
+        for i in 0..4 {
+            let last = i == 3;
+            tap.tick(last, (code >> i) & 1 == 1);
+        }
+        tap.tick(true, false); // Exit1Ir -> UpdateIr
+        tap.tick(false, false); // update happens -> RTI
+        assert_eq!(tap.instruction(), TapInstruction::Idcode);
+        // DR scan of 32 bits.
+        tap.tick(true, false);
+        tap.tick(false, false); // -> CaptureDr
+        tap.tick(false, false); // capture -> ShiftDr
+        let mut id = 0u32;
+        for i in 0..32 {
+            let last = i == 31;
+            let bit = tap.tick(last, false);
+            id |= (bit as u32) << i;
+        }
+        assert_eq!(id, IDCODE);
+        assert!(tap.tck() > 40, "every operation costs TCK cycles");
+    }
+}

@@ -1,0 +1,96 @@
+//! Additive area reporting (the Table 2 machinery).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use soctest_netlist::Netlist;
+
+use crate::Library;
+
+/// An area report for one netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaReport {
+    /// Total cell area in µm².
+    pub total_um2: f64,
+    /// Area per gate kind (mnemonic → µm²).
+    pub by_kind: BTreeMap<&'static str, f64>,
+    /// Gate count contributing.
+    pub gates: usize,
+}
+
+impl AreaReport {
+    /// Overhead of `self` relative to a base area, in percent —
+    /// `100 · self / base` (Table 2 reports DfT blocks this way).
+    pub fn overhead_percent(&self, base_um2: f64) -> f64 {
+        if base_um2 <= 0.0 {
+            return 0.0;
+        }
+        100.0 * self.total_um2 / base_um2
+    }
+}
+
+impl fmt::Display for AreaReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "total: {:.2} µm² over {} gates", self.total_um2, self.gates)?;
+        for (kind, area) in &self.by_kind {
+            writeln!(f, "  {kind:>6}: {area:.2} µm²")?;
+        }
+        Ok(())
+    }
+}
+
+impl Library {
+    /// Computes the additive cell area of a netlist.
+    pub fn area(&self, netlist: &Netlist) -> AreaReport {
+        let mut by_kind: BTreeMap<&'static str, f64> = BTreeMap::new();
+        let mut total = 0.0;
+        let mut gates = 0;
+        for gate in netlist.gates() {
+            let spec = self.spec(gate.kind);
+            if spec.area_um2 > 0.0 {
+                *by_kind.entry(gate.kind.mnemonic()).or_insert(0.0) += spec.area_um2;
+                total += spec.area_um2;
+                gates += 1;
+            }
+        }
+        AreaReport {
+            total_um2: total,
+            by_kind,
+            gates,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soctest_netlist::ModuleBuilder;
+
+    #[test]
+    fn area_is_additive() {
+        let lib = Library::cmos_130nm();
+        let mut mb = ModuleBuilder::new("m");
+        let a = mb.input("a");
+        let b = mb.input("b");
+        let x = mb.and(a, b);
+        let q = mb.register(&[x]);
+        mb.output_bus("q", &q);
+        let nl = mb.finish().unwrap();
+        let r = lib.area(&nl);
+        let expect = lib.spec(soctest_netlist::GateKind::And).area_um2
+            + lib.spec(soctest_netlist::GateKind::Dff).area_um2;
+        assert!((r.total_um2 - expect).abs() < 1e-9);
+        assert_eq!(r.gates, 2);
+    }
+
+    #[test]
+    fn overhead_math() {
+        let r = AreaReport {
+            total_um2: 20.0,
+            by_kind: BTreeMap::new(),
+            gates: 1,
+        };
+        assert!((r.overhead_percent(100.0) - 20.0).abs() < 1e-9);
+        assert_eq!(r.overhead_percent(0.0), 0.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! The cell library: per-gate area and delay.
+
+use soctest_netlist::GateKind;
+
+/// Area and delay of one library cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellSpec {
+    /// Cell area in µm².
+    pub area_um2: f64,
+    /// Worst pin-to-pin propagation delay in ps.
+    pub delay_ps: f64,
+}
+
+/// A technology library: one [`CellSpec`] per primitive, plus the
+/// flip-flop timing arcs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Library {
+    name: &'static str,
+    inv: CellSpec,
+    buf: CellSpec,
+    and2: CellSpec,
+    or2: CellSpec,
+    nand2: CellSpec,
+    nor2: CellSpec,
+    xor2: CellSpec,
+    xnor2: CellSpec,
+    mux2: CellSpec,
+    dff: CellSpec,
+    /// Flip-flop clock-to-Q delay in ps.
+    pub clk_q_ps: f64,
+    /// Flip-flop setup time in ps.
+    pub setup_ps: f64,
+}
+
+impl Library {
+    /// A representative 0.13 µm standard-cell library. Delay values are
+    /// calibrated so the unmodified case-study core lands near the paper's
+    /// 438.6 MHz — a pure scale factor; every *relative* figure (Table 2
+    /// overheads, Table 4 deltas) is scale-invariant.
+    pub fn cmos_130nm() -> Self {
+        Library {
+            name: "generic-130nm",
+            inv: CellSpec {
+                area_um2: 2.6,
+                delay_ps: 16.5,
+            },
+            buf: CellSpec {
+                area_um2: 3.3,
+                delay_ps: 25.5,
+            },
+            and2: CellSpec {
+                area_um2: 4.7,
+                delay_ps: 34.5,
+            },
+            or2: CellSpec {
+                area_um2: 4.7,
+                delay_ps: 36.0,
+            },
+            nand2: CellSpec {
+                area_um2: 3.7,
+                delay_ps: 22.5,
+            },
+            nor2: CellSpec {
+                area_um2: 3.7,
+                delay_ps: 27.0,
+            },
+            xor2: CellSpec {
+                area_um2: 7.5,
+                delay_ps: 48.0,
+            },
+            xnor2: CellSpec {
+                area_um2: 7.5,
+                delay_ps: 48.0,
+            },
+            mux2: CellSpec {
+                area_um2: 7.9,
+                delay_ps: 43.5,
+            },
+            dff: CellSpec {
+                area_um2: 21.0,
+                delay_ps: 0.0,
+            },
+            clk_q_ps: 97.5,
+            setup_ps: 67.5,
+        }
+    }
+
+    /// The library name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The spec of one gate kind (inputs/constants occupy no silicon).
+    pub fn spec(&self, kind: GateKind) -> CellSpec {
+        match kind {
+            GateKind::Input | GateKind::Const0 | GateKind::Const1 => CellSpec {
+                area_um2: 0.0,
+                delay_ps: 0.0,
+            },
+            GateKind::Buf => self.buf,
+            GateKind::Not => self.inv,
+            GateKind::And => self.and2,
+            GateKind::Or => self.or2,
+            GateKind::Nand => self.nand2,
+            GateKind::Nor => self.nor2,
+            GateKind::Xor => self.xor2,
+            GateKind::Xnor => self.xnor2,
+            GateKind::Mux2 => self.mux2,
+            GateKind::Dff => self.dff,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sources_are_free() {
+        let lib = Library::cmos_130nm();
+        for kind in [GateKind::Input, GateKind::Const0, GateKind::Const1] {
+            assert_eq!(lib.spec(kind).area_um2, 0.0);
+        }
+    }
+
+    #[test]
+    fn complex_gates_cost_more_than_simple_ones() {
+        let lib = Library::cmos_130nm();
+        assert!(lib.spec(GateKind::Xor).area_um2 > lib.spec(GateKind::Nand).area_um2);
+        assert!(lib.spec(GateKind::Dff).area_um2 > lib.spec(GateKind::Mux2).area_um2);
+        assert!(lib.spec(GateKind::Not).delay_ps < lib.spec(GateKind::Xor).delay_ps);
+    }
+}

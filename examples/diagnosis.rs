@@ -1,0 +1,50 @@
+//! Diagnosis walkthrough (step 3 of the paper's flow): collect per-fault
+//! syndromes from MISR readouts, build the diagnostic matrix, and show how
+//! the signature-read granularity trades test time against fault-location
+//! precision.
+//!
+//! ```text
+//! cargo run --release --example diagnosis
+//! ```
+
+use soctest::core::casestudy::CaseStudy;
+use soctest::core::eval::{self, FaultModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let case = CaseStudy::paper()?;
+    let module = 0; // BIT_NODE
+    let patterns = 512;
+
+    println!("diagnosing {} with {patterns} BIST patterns\n", case.modules()[module].name());
+    println!(
+        "{:>12} {:>9} {:>9} {:>10} {:>11}",
+        "reads", "classes", "max size", "mean size", "resolution"
+    );
+    // Sweep the signature-read granularity: one read at the end (pure
+    // signature test) up to a read every 16 cycles (diagnosis-friendly).
+    for read_every in [patterns, 128, 64, 16] {
+        let report = eval::step3(
+            &case,
+            module,
+            FaultModel::StuckAt,
+            patterns,
+            read_every,
+            4, // analyze every 4th collapsed fault
+        )?;
+        let s = report.stats;
+        println!(
+            "{:>12} {:>9} {:>9} {:>10.2} {:>10.1}%",
+            patterns / read_every,
+            s.classes,
+            s.max_size,
+            s.mean_size,
+            100.0 * s.singletons as f64 / s.detected.max(1) as f64,
+        );
+    }
+    println!(
+        "\nmore intermediate signature reads → smaller equivalent fault\n\
+         classes → more precise fault location (the paper's §3.2 knob:\n\
+         \"adding test patterns or changing the test structure\")."
+    );
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Use the case-study core for its *mission* function: LDPC decoding over
+//! a noisy channel, with a small BER sweep — the workload the paper's
+//! introduction motivates (DVB, magnetic recording).
+//!
+//! ```text
+//! cargo run --release --example ldpc_decode
+//! ```
+
+use soctest::ldpc::channel::{BerCounter, Bsc};
+use soctest::ldpc::code::LdpcCode;
+use soctest::ldpc::decoder::{DecoderConfig, MinSumVariant, SerialDecoder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A (504, 3, 6) Gallager code — rate 1/2, within the serial
+    // architecture's 1,024-bit-node / 512-check-node budget.
+    let code = LdpcCode::gallager(504, 3, 6, 2024)?;
+    let enc = code.encoder();
+    println!(
+        "code: n={} m={} rate≈{:.2} edges={} (max deg: bit {}, check {})",
+        code.n(),
+        code.m(),
+        code.design_rate(),
+        code.edges(),
+        code.max_bit_degree(),
+        code.max_check_degree()
+    );
+
+    let mut dec = SerialDecoder::new(
+        &code,
+        DecoderConfig {
+            variant: MinSumVariant::ScaleThreeQuarters,
+        },
+    );
+
+    println!("\n{:>8} {:>10} {:>10} {:>8} {:>12}", "BSC p", "BER", "WER", "words", "avg iters");
+    for &p in &[0.01f64, 0.02, 0.03, 0.04] {
+        let mut ber = BerCounter::new();
+        let mut iters = 0u64;
+        let words = 40;
+        for w in 0..words {
+            let msg: Vec<bool> = (0..enc.k()).map(|i| (i * 7 + w) % 3 == 0).collect();
+            let tx = enc.encode(&msg);
+            let channel = Bsc::new(p, 0xC0DE + w as u64);
+            let llrs = channel.transmit(&tx);
+            let out = dec.decode(&llrs, 40);
+            iters += out.iterations as u64;
+            ber.record(&tx, &out.bits);
+        }
+        println!(
+            "{:>8.3} {:>10.2e} {:>10.3} {:>8} {:>12.1}",
+            p,
+            ber.ber(),
+            ber.wer(),
+            words,
+            iters as f64 / words as f64
+        );
+    }
+    println!("\nlower crossover probability → fewer iterations and lower BER,");
+    println!("the serial min-sum decoder earning its keep before it ever sees a tester.");
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! `soctest` — a BIST + IEEE P1500 compliant core-test kit in Rust.
+//!
+//! Facade crate re-exporting the whole workspace. Reproduction of
+//! *"Testing Logic Cores using a BIST P1500 Compliant Approach: A Case of
+//! Study"* (Bernardi, Masera, Quaglio, Sonza Reorda — DATE 2004/05).
+//!
+//! Start with:
+//!
+//! * [`core::casestudy::CaseStudy`] — the wrapped LDPC decoder core;
+//! * [`core::experiments`] — one function per table/figure of the paper;
+//! * the `examples/` directory — runnable end-to-end scenarios;
+//! * the `repro` binary (`cargo run --release -p soctest-bench --bin
+//!   repro`) — regenerates every table and figure.
+//!
+//! # Quick taste
+//!
+//! ```
+//! use soctest::core::casestudy::CaseStudy;
+//! use soctest::core::session::WrappedCore;
+//! use soctest::p1500::TapDriver;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let case = CaseStudy::paper()?;
+//! let mut ate = TapDriver::new(WrappedCore::new(&case)?);
+//! ate.reset();
+//! ate.bist_load_pattern_count(64);
+//! ate.bist_start();
+//! assert!(ate.wait_for_done(64, 4));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use soctest_atpg as atpg;
+pub use soctest_bist as bist;
+pub use soctest_core as core;
+pub use soctest_fault as fault;
+pub use soctest_ldpc as ldpc;
+pub use soctest_netlist as netlist;
+pub use soctest_p1500 as p1500;
+pub use soctest_sim as sim;
+pub use soctest_tech as tech;

@@ -1,0 +1,203 @@
+//! Property-based tests on the core data structures and simulator
+//! invariants, spanning crates.
+
+use proptest::prelude::*;
+
+use soctest::bist::{Alfsr, Misr};
+use soctest::fault::{FaultUniverse, PatternSet, SeqFaultSim, SeqFaultSimConfig, VectorStimulus};
+use soctest::netlist::{GateKind, ModuleBuilder, NetId, Netlist};
+use soctest::sim::{CombSim, SeqSim};
+
+/// A random but *valid* combinational netlist: `n_in` inputs followed by
+/// random 2-input gates over earlier nets.
+fn random_comb(n_in: usize, gates: &[(u8, u16, u16)]) -> Netlist {
+    let mut nl = Netlist::new("rand");
+    let mut nets: Vec<NetId> = (0..n_in)
+        .map(|_| nl.add_gate(GateKind::Input, vec![]))
+        .collect();
+    for &(kind, a, b) in gates {
+        let k = match kind % 6 {
+            0 => GateKind::And,
+            1 => GateKind::Or,
+            2 => GateKind::Nand,
+            3 => GateKind::Nor,
+            4 => GateKind::Xor,
+            _ => GateKind::Xnor,
+        };
+        let pa = nets[a as usize % nets.len()];
+        let pb = nets[b as usize % nets.len()];
+        nets.push(nl.add_gate(k, vec![pa, pb]));
+    }
+    let ins: Vec<NetId> = nets[..n_in].to_vec();
+    let last = *nets.last().expect("nonempty");
+    nl.add_port(soctest::netlist::PortDir::Input, "in", ins).unwrap();
+    nl.add_port(soctest::netlist::PortDir::Output, "out", vec![last])
+        .unwrap();
+    nl
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Levelization emits every combinational gate after its drivers.
+    #[test]
+    fn levelize_respects_dependencies(
+        n_in in 1usize..6,
+        gates in prop::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 1..60),
+    ) {
+        let nl = random_comb(n_in, &gates);
+        let order = nl.levelize().unwrap();
+        let mut pos = vec![usize::MAX; nl.len()];
+        for (i, id) in order.iter().enumerate() {
+            pos[id.index()] = i;
+        }
+        for (id, gate) in nl.iter() {
+            if gate.kind.is_source() { continue; }
+            for p in &gate.pins {
+                if !nl.gate(*p).kind.is_source() {
+                    prop_assert!(pos[p.index()] < pos[id.index()]);
+                }
+            }
+        }
+    }
+
+    /// Bit-parallel evaluation agrees with 64 independent single-lane runs.
+    #[test]
+    fn lanes_are_independent(
+        n_in in 1usize..5,
+        gates in prop::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 1..40),
+        stimulus in prop::collection::vec(any::<u64>(), 1..5),
+    ) {
+        let nl = random_comb(n_in, &gates);
+        let mut sim = CombSim::new(&nl).unwrap();
+        let ins = nl.port("in").unwrap().bits().to_vec();
+        let out = nl.port("out").unwrap().bits()[0];
+        for words in stimulus.chunks(n_in) {
+            let mut padded = words.to_vec();
+            padded.resize(n_in, 0);
+            for (&net, &w) in ins.iter().zip(&padded) {
+                sim.set(net, w);
+            }
+            sim.eval(&nl);
+            let parallel = sim.get(out);
+            // Re-run lane 7 alone, broadcast.
+            let mut solo = CombSim::new(&nl).unwrap();
+            for (&net, &w) in ins.iter().zip(&padded) {
+                solo.set(net, if (w >> 7) & 1 == 1 { u64::MAX } else { 0 });
+            }
+            solo.eval(&nl);
+            prop_assert_eq!((parallel >> 7) & 1, solo.get(out) & 1);
+        }
+    }
+
+    /// Fault collapsing partitions the uncollapsed universe exactly.
+    #[test]
+    fn collapsing_is_a_partition(
+        n_in in 1usize..5,
+        gates in prop::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 1..50),
+    ) {
+        let nl = random_comb(n_in, &gates);
+        let u = FaultUniverse::stuck_at(&nl);
+        let member_total: usize = (0..u.len()).map(|i| u.class(i).len()).sum();
+        prop_assert_eq!(member_total, u.total_sites());
+        for i in 0..u.len() {
+            prop_assert!(u.class(i).contains(&u.faults()[i]), "representative in class");
+        }
+    }
+
+    /// Fault-simulation results are invariant under the window length.
+    #[test]
+    fn windowing_never_changes_detection(
+        n_in in 2usize..5,
+        gates in prop::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 4..30),
+        patterns in prop::collection::vec(any::<u64>(), 8..40),
+        window in 1u64..20,
+    ) {
+        // Registered random block so state is involved.
+        let comb = random_comb(n_in, &gates);
+        let mut mb = ModuleBuilder::new("regged");
+        let ins = mb.input_bus("in", n_in);
+        let map = std::collections::HashMap::from([("in".to_owned(), ins)]);
+        let outs = mb.netlist_mut().instantiate(&comb, &map).unwrap();
+        let q = mb.register(&outs["out"]);
+        mb.output_bus("q", &q);
+        let nl = mb.finish().unwrap();
+
+        let u = FaultUniverse::stuck_at(&nl);
+        let run = |w: u64| {
+            let mut stim = VectorStimulus::new(patterns.clone());
+            SeqFaultSim::new(&u, SeqFaultSimConfig { window: w, ..Default::default() })
+                .run(&mut stim)
+                .unwrap()
+                .detection
+        };
+        prop_assert_eq!(run(window), run(1 << 20));
+    }
+
+    /// The ALFSR never locks up and `state_at` matches stepping.
+    #[test]
+    fn alfsr_streams_consistently(width in 2usize..20, n in 0u64..200) {
+        let mut a = Alfsr::new(width).unwrap();
+        let ones = (1u64 << width) - 1;
+        for _ in 0..n {
+            a.step();
+            prop_assert_ne!(a.state(), ones, "lock-up state reached");
+        }
+        prop_assert_eq!(a.state(), a.state_at(n));
+    }
+
+    /// MISR signatures distinguish any single-bit difference in a stream.
+    #[test]
+    fn misr_catches_single_flips(
+        stream in prop::collection::vec(any::<u16>(), 2..40),
+        at in any::<prop::sample::Index>(),
+        bit in 0usize..16,
+    ) {
+        let flip_at = at.index(stream.len());
+        let mut clean = Misr::new(16);
+        let mut dirty = Misr::new(16);
+        for (i, &w) in stream.iter().enumerate() {
+            clean.absorb(w as u64);
+            let e = if i == flip_at { 1u64 << bit } else { 0 };
+            dirty.absorb(w as u64 ^ e);
+        }
+        prop_assert_ne!(clean.signature(), dirty.signature());
+    }
+
+    /// Pattern sets round-trip arbitrary rows.
+    #[test]
+    fn pattern_set_round_trip(rows in prop::collection::vec(
+        prop::collection::vec(any::<bool>(), 7), 1..70)) {
+        let set = PatternSet::from_rows(7, &rows);
+        prop_assert_eq!(set.len(), rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            prop_assert_eq!(&set.row(i), row);
+        }
+    }
+
+    /// Sequential simulation is deterministic in its inputs.
+    #[test]
+    fn seq_sim_is_deterministic(
+        n_in in 1usize..4,
+        gates in prop::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 1..30),
+        drive in prop::collection::vec(any::<u64>(), 1..20),
+    ) {
+        let comb = random_comb(n_in, &gates);
+        let run = || {
+            let mut sim = SeqSim::new(&comb).unwrap();
+            let ins = comb.port("in").unwrap().bits().to_vec();
+            let out = comb.port("out").unwrap().bits()[0];
+            let mut acc = 0u64;
+            for &d in &drive {
+                for (k, &net) in ins.iter().enumerate() {
+                    sim.set_input_bit(net, (d >> k) & 1 == 1);
+                }
+                sim.step();
+                sim.eval_comb();
+                acc = acc.wrapping_mul(31).wrapping_add(sim.get(out) & 1);
+            }
+            acc
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

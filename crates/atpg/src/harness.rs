@@ -64,7 +64,7 @@ impl Default for ScanAtpg {
             chains: 1,
             random_patterns: 128,
             podem: PodemConfig::default(),
-            seed: 0xBAD5_EED,
+            seed: 0x0BAD_5EED,
             max_targets: None,
         }
     }

@@ -159,6 +159,7 @@ impl V9 {
     }
 
     /// Inversion.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> V9 {
         V9 {
             good: self.good.not(),

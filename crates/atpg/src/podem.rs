@@ -257,7 +257,7 @@ impl<'a> Podem<'a> {
                 .any(|&p| self.values[p.index()].is_fault_visible());
             if frontier {
                 let lvl = self.levels[id.index()];
-                if best.map_or(true, |(bl, _)| lvl < bl) {
+                if best.is_none_or(|(bl, _)| lvl < bl) {
                     best = Some((lvl, id));
                 }
             }

@@ -134,7 +134,7 @@ pub fn unroll(netlist: &Netlist, frames: usize) -> Result<UnrolledView, NetlistE
     let mut assignable = Vec::new();
     for port in view.input_ports() {
         let ok = port.name() != "state0";
-        assignable.extend(std::iter::repeat(ok).take(port.width()));
+        assignable.extend(std::iter::repeat_n(ok, port.width()));
     }
 
     Ok(UnrolledView {

@@ -1,31 +1,23 @@
 //! PODEM generation rate on the case-study scan view.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use soctest_atpg::{insert_scan, Podem, PodemConfig, ScanView};
+use soctest_bench::micro::bench;
 use soctest_core::casestudy::CaseStudy;
 use soctest_fault::FaultUniverse;
 
-fn bench_podem(c: &mut Criterion) {
+fn main() {
     let case = CaseStudy::paper().unwrap();
     let design = insert_scan(&case.modules()[0], 1).unwrap();
     let sv = ScanView::of(&design.netlist).unwrap();
     let universe = FaultUniverse::stuck_at(&sv.view);
-    let mut group = c.benchmark_group("podem");
-    group.sample_size(10);
-    group.bench_function("bit_node_first_64_faults", |b| {
-        b.iter(|| {
-            let mut podem = Podem::new(universe.view(), PodemConfig::default()).unwrap();
-            let mut generated = 0;
-            for &f in universe.faults().iter().take(64) {
-                if podem.generate(f).is_some() {
-                    generated += 1;
-                }
+    bench("podem/bit_node_first_64_faults", || {
+        let mut podem = Podem::new(universe.view(), PodemConfig::default()).unwrap();
+        let mut generated = 0;
+        for &f in universe.faults().iter().take(64) {
+            if podem.generate(f).is_some() {
+                generated += 1;
             }
-            generated
-        })
+        }
+        generated
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_podem);
-criterion_main!(benches);

@@ -1,49 +1,38 @@
 //! Microbenchmarks of the BIST building blocks (behavioral and
 //! structural), plus an ablation over MISR width.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soctest_bench::micro::bench;
 use soctest_bist::{structural, Alfsr, Misr};
 use soctest_netlist::Netlist;
 use soctest_sim::SeqSim;
 
-fn bench_blocks(c: &mut Criterion) {
-    c.bench_function("alfsr20_step_4096", |b| {
+fn main() {
+    bench("alfsr20_step_4096", || {
         let mut a = Alfsr::new(20).unwrap();
-        b.iter(|| {
-            let mut acc = 0u64;
-            for _ in 0..4096 {
-                acc ^= a.step();
-            }
-            acc
-        })
+        let mut acc = 0u64;
+        for _ in 0..4096 {
+            acc ^= a.step();
+        }
+        acc
     });
     // Ablation: MISR width (aliasing head-room costs nothing in time).
-    let mut group = c.benchmark_group("misr_absorb_4096");
     for width in [8usize, 16, 32] {
-        group.bench_function(BenchmarkId::from_parameter(width), |b| {
+        bench(&format!("misr_absorb_4096/{width}"), || {
             let mut m = Misr::new(width);
-            b.iter(|| {
-                for i in 0..4096u64 {
-                    m.absorb(i.wrapping_mul(0x9E37_79B9));
-                }
-                m.signature()
-            })
+            for i in 0..4096u64 {
+                m.absorb(i.wrapping_mul(0x9E37_79B9));
+            }
+            m.signature()
         });
     }
-    group.finish();
     // Structural ALFSR, gate-level simulation cost.
-    c.bench_function("structural_alfsr20_sim_256", |b| {
-        let nl: Netlist = structural::alfsr(20).unwrap();
-        b.iter(|| {
-            let mut sim = SeqSim::new(&nl).unwrap();
-            sim.drive_port("en", 1);
-            for _ in 0..256 {
-                sim.step();
-            }
-            sim.read_port_lane("q", 0)
-        })
+    let nl: Netlist = structural::alfsr(20).unwrap();
+    bench("structural_alfsr20_sim_256", || {
+        let mut sim = SeqSim::new(&nl).unwrap();
+        sim.drive_port("en", 1);
+        for _ in 0..256 {
+            sim.step();
+        }
+        sim.read_port_lane("q", 0)
     });
 }
-
-criterion_group!(benches, bench_blocks);
-criterion_main!(benches);

@@ -1,29 +1,21 @@
 //! Throughput of the parallel-fault sequential fault simulator — the
 //! workhorse behind every Table 3 row.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soctest_bench::micro::bench;
 use soctest_core::casestudy::CaseStudy;
 use soctest_fault::{FaultUniverse, SeqFaultSim, SeqFaultSimConfig};
 
-fn bench_fault_sim(c: &mut Criterion) {
+fn main() {
     let case = CaseStudy::paper().unwrap();
     let pgen = case.pattern_generator();
-    let mut group = c.benchmark_group("seq_fault_sim");
-    group.sample_size(10);
     for (m, name) in [(0usize, "bit_node"), (2, "control_unit")] {
         let universe = FaultUniverse::stuck_at(&case.modules()[m]);
-        group.bench_function(BenchmarkId::new("saf_256", name), |b| {
-            b.iter(|| {
-                let mut stim = pgen.stimulus(m, 256);
-                SeqFaultSim::new(&universe, SeqFaultSimConfig::default())
-                    .run(&mut stim)
-                    .unwrap()
-                    .detected_count()
-            })
+        bench(&format!("seq_fault_sim/saf_256/{name}"), || {
+            let mut stim = pgen.stimulus(m, 256);
+            SeqFaultSim::new(&universe, SeqFaultSimConfig::default())
+                .run(&mut stim)
+                .unwrap()
+                .detected_count()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fault_sim);
-criterion_main!(benches);

@@ -1,28 +1,21 @@
 //! Mission-mode throughput of the serial LDPC decoder.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soctest_bench::micro::bench;
 use soctest_ldpc::channel::Bsc;
 use soctest_ldpc::code::LdpcCode;
 use soctest_ldpc::decoder::{DecoderConfig, MinSumVariant, SerialDecoder};
 
-fn bench_decode(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ldpc_decode");
+fn main() {
     for n in [96usize, 504] {
         let code = LdpcCode::gallager(n, 3, 6, 7).unwrap();
         let channel = Bsc::new(0.02, 11);
         let llrs = channel.transmit(&vec![false; code.n()]);
-        group.bench_function(BenchmarkId::from_parameter(n), |b| {
-            let mut dec = SerialDecoder::new(
-                &code,
-                DecoderConfig {
-                    variant: MinSumVariant::ScaleThreeQuarters,
-                },
-            );
-            b.iter(|| dec.decode(&llrs, 20).iterations)
-        });
+        let mut dec = SerialDecoder::new(
+            &code,
+            DecoderConfig {
+                variant: MinSumVariant::ScaleThreeQuarters,
+            },
+        );
+        bench(&format!("ldpc_decode/{n}"), || dec.decode(&llrs, 20).iterations);
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_decode);
-criterion_main!(benches);

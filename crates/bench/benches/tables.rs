@@ -1,30 +1,19 @@
 //! End-to-end cost of regenerating the cheap tables (1, 2, 4) — the
 //! structural/area/timing pipeline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use soctest_bench::micro::bench;
 use soctest_core::casestudy::CaseStudy;
 use soctest_core::experiments;
 use soctest_tech::Library;
 
-fn bench_tables(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tables");
-    group.sample_size(10);
-    group.bench_function("table1", |b| {
-        let case = CaseStudy::paper().unwrap();
-        b.iter(|| experiments::table1(&case).len())
+fn main() {
+    let case = CaseStudy::paper().unwrap();
+    let lib = Library::cmos_130nm();
+    bench("tables/table1", || experiments::table1(&case).len());
+    bench("tables/table2_area", || {
+        experiments::table2(&case, &lib).unwrap().core_um2
     });
-    group.bench_function("table2_area", |b| {
-        let case = CaseStudy::paper().unwrap();
-        let lib = Library::cmos_130nm();
-        b.iter(|| experiments::table2(&case, &lib).unwrap().core_um2)
+    bench("tables/table4_sta", || {
+        experiments::table4(&case, &lib).unwrap().original_mhz
     });
-    group.bench_function("table4_sta", |b| {
-        let case = CaseStudy::paper().unwrap();
-        let lib = Library::cmos_130nm();
-        b.iter(|| experiments::table4(&case, &lib).unwrap().original_mhz)
-    });
-    group.finish();
 }
-
-criterion_group!(benches, bench_tables);
-criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! A minimal, dependency-free micro-benchmark harness.
+//!
+//! The workspace builds with no registry access, so the benches cannot link
+//! Criterion. This harness keeps the same shape — named benchmarks, warmup,
+//! repeated timed samples, median-of-samples reporting — at a fraction of
+//! the rigor, which is all the repo needs: the benches exist to catch
+//! order-of-magnitude regressions, not 2% ones.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Number of timed samples per benchmark.
+const SAMPLES: usize = 7;
+
+/// Target wall time per sample; iteration counts auto-scale to this.
+const TARGET_SAMPLE: Duration = Duration::from_millis(80);
+
+/// Runs `f` repeatedly and prints `name: median per-iteration time`.
+///
+/// The closure's result is passed through [`black_box`] so the optimizer
+/// cannot delete the measured work.
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    // Warmup + calibration: how many iterations fill one sample?
+    let start = Instant::now();
+    black_box(f());
+    let one = start.elapsed().max(Duration::from_nanos(50));
+    let iters = (TARGET_SAMPLE.as_nanos() / one.as_nanos()).clamp(1, 1 << 20) as u32;
+
+    let mut samples: Vec<Duration> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            t.elapsed() / iters
+        })
+        .collect();
+    samples.sort();
+    let median = samples[SAMPLES / 2];
+    println!("{name:<40} {median:>12.2?}/iter  ({iters} iters x {SAMPLES} samples)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_does_not_panic() {
+        bench("noop_addition", || 1u64 + 1);
+    }
+}

@@ -51,7 +51,12 @@ pub struct Alfsr {
     width: usize,
     taps_mask: u64,
     state: u64,
+    variant: u8,
 }
+
+/// Number of polynomial variants available per width (see
+/// [`Alfsr::with_variant`]).
+pub const ALFSR_VARIANTS: u8 = 2;
 
 impl Alfsr {
     /// Creates an ALFSR of the given width (2..=32), starting from the
@@ -59,19 +64,42 @@ impl Alfsr {
     ///
     /// Returns `None` for widths outside the polynomial table.
     pub fn new(width: usize) -> Option<Self> {
-        if !(2..=32).contains(&width) {
+        Self::with_variant(width, 0)
+    }
+
+    /// Creates an ALFSR using polynomial variant `variant`:
+    ///
+    /// * `0` — the table polynomial (same as [`Alfsr::new`]);
+    /// * `1` — the *reciprocal* polynomial (taps `t` replaced by `n − t`).
+    ///   The reciprocal of a primitive polynomial is primitive, so the
+    ///   sequence stays maximal-length but visits states in a different
+    ///   order — the "change the polynomial" leg of the paper's step-2
+    ///   feedback loop, available at every width with no extra tables.
+    ///
+    /// Returns `None` for widths outside 2..=32 or variants ≥
+    /// [`ALFSR_VARIANTS`].
+    pub fn with_variant(width: usize, variant: u8) -> Option<Self> {
+        if !(2..=32).contains(&width) || variant >= ALFSR_VARIANTS {
             return None;
         }
         let taps = TAPS[width - 2];
+        let n = width as u32;
         let mut mask = 0u64;
         for &t in taps {
+            let t = if variant == 1 && t != n { n - t } else { t };
             mask |= 1u64 << (t - 1);
         }
         Some(Alfsr {
             width,
             taps_mask: mask,
             state: 0,
+            variant,
         })
+    }
+
+    /// The polynomial variant this register was built with.
+    pub fn variant(&self) -> u8 {
+        self.variant
     }
 
     /// Register width in bits.
@@ -95,6 +123,14 @@ impl Alfsr {
         self.state = 0;
     }
 
+    /// Forces the register to an arbitrary state (masked to the width).
+    /// The all-ones lock-up state is remapped to all-zeros so every seed
+    /// yields a live sequence.
+    pub fn set_state(&mut self, state: u64) {
+        let s = state & self.mask();
+        self.state = if s == self.mask() { 0 } else { s };
+    }
+
     /// Advances one clock and returns the *new* state.
     pub fn step(&mut self) -> u64 {
         let parity = (self.state & self.taps_mask).count_ones() & 1;
@@ -110,6 +146,7 @@ impl Alfsr {
             width: self.width,
             taps_mask: self.taps_mask,
             state: 0,
+            variant: self.variant,
         };
         for _ in 0..n {
             copy.step();
@@ -207,13 +244,60 @@ mod tests {
     }
 
     #[test]
+    fn reciprocal_variant_is_also_maximal_length() {
+        for width in 3..=12 {
+            let mut a = Alfsr::with_variant(width, 1).unwrap();
+            let period = 1u64 << width;
+            let mut seen = HashSet::new();
+            seen.insert(a.state());
+            for _ in 0..period {
+                a.step();
+                if !seen.insert(a.state()) {
+                    break;
+                }
+            }
+            assert_eq!(
+                seen.len() as u64,
+                period - 1,
+                "reciprocal width {width} should visit 2^{width}-1 states"
+            );
+        }
+    }
+
+    #[test]
+    fn reciprocal_variant_visits_states_in_a_different_order() {
+        let mut a = Alfsr::with_variant(20, 0).unwrap();
+        let mut b = Alfsr::with_variant(20, 1).unwrap();
+        let seq_a: Vec<u64> = (0..64).map(|_| a.step()).collect();
+        let seq_b: Vec<u64> = (0..64).map(|_| b.step()).collect();
+        assert_ne!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn unknown_variants_are_rejected() {
+        assert!(Alfsr::with_variant(20, ALFSR_VARIANTS).is_none());
+        assert!(Alfsr::with_variant(1, 0).is_none());
+    }
+
+    #[test]
+    fn set_state_masks_and_avoids_lockup() {
+        let mut a = Alfsr::new(4).unwrap();
+        a.set_state(0xFFFF_FFFF);
+        assert_eq!(a.state(), 0, "lock-up seed remaps to reset state");
+        a.set_state(0b0101);
+        assert_eq!(a.state(), 0b0101);
+        a.step();
+        assert_ne!(a.state(), 0b1111, "never step into lock-up");
+    }
+
+    #[test]
     fn replication_wraps_bits() {
         let mut a = Alfsr::new(4).unwrap();
         a.step();
         let r = a.replicated(10);
         assert_eq!(r.len(), 10);
-        for i in 0..10 {
-            assert_eq!(r[i], (a.state() >> (i % 4)) & 1 == 1);
+        for (i, &bit) in r.iter().enumerate() {
+            assert_eq!(bit, (a.state() >> (i % 4)) & 1 == 1);
         }
     }
 }

@@ -1,8 +1,8 @@
 //! The assembled behavioral BIST engine.
 
 use crate::{
-    Alfsr, BistCommand, BistPhase, ConstraintGenerator, ControlUnit, Misr, PatternGenerator,
-    PortWiring,
+    Alfsr, BistCommand, BistPhase, ConstraintGenerator, ControlUnit, EngineError, Misr,
+    PatternGenerator, PortWiring,
 };
 
 /// Engine-level configuration.
@@ -58,6 +58,7 @@ pub struct BistEngine {
     names: Vec<String>,
     output_widths: Vec<usize>,
     cycle: u64,
+    seed: u64,
 }
 
 impl BistEngine {
@@ -85,7 +86,20 @@ impl BistEngine {
             names,
             output_widths,
             cycle: 0,
+            seed: 0,
         }
+    }
+
+    /// Sets the ALFSR seed loaded on the next `Reset`/`Start` (the
+    /// "choose a new seed" leg of the paper's step-2 feedback loop;
+    /// seed 0 is the power-on default).
+    pub fn set_seed(&mut self, seed: u64) {
+        self.seed = seed;
+    }
+
+    /// The configured ALFSR seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// The control unit (for issuing raw commands).
@@ -127,7 +141,7 @@ impl BistEngine {
             for m in &mut self.misrs {
                 m.reset();
             }
-            self.alfsr.reset();
+            self.alfsr.set_state(self.seed);
             self.alfsr.step();
             self.cycle = 0;
         }
@@ -150,24 +164,47 @@ impl BistEngine {
     /// # Panics
     ///
     /// Panics if `outputs` does not provide one response row per module of
-    /// the declared width.
+    /// the declared width; see [`BistEngine::try_clock`] for the
+    /// non-panicking variant.
     pub fn clock(&mut self, outputs: &[Vec<bool>]) -> bool {
-        assert_eq!(outputs.len(), self.misrs.len(), "one response per module");
+        match self.try_clock(outputs) {
+            Ok(done) => done,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Like [`BistEngine::clock`], but reports malformed response rows as
+    /// [`EngineError::ResponseArity`] instead of panicking. The engine state
+    /// is untouched when an error is returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::ResponseArity`] if `outputs` does not provide
+    /// one response row per module of the declared width.
+    pub fn try_clock(&mut self, outputs: &[Vec<bool>]) -> Result<bool, EngineError> {
+        if outputs.len() != self.misrs.len() {
+            return Err(EngineError::ResponseArity {
+                expected: self.misrs.len(),
+                got: outputs.len(),
+            });
+        }
+        for (out, width) in outputs.iter().zip(&self.output_widths) {
+            if out.len() != *width {
+                return Err(EngineError::ResponseArity {
+                    expected: *width,
+                    got: out.len(),
+                });
+            }
+        }
         if self.control.test_enable() {
-            for ((misr, out), width) in self
-                .misrs
-                .iter_mut()
-                .zip(outputs)
-                .zip(&self.output_widths)
-            {
-                assert_eq!(out.len(), *width, "module response width");
+            for (misr, out) in self.misrs.iter_mut().zip(outputs) {
                 misr.absorb_folded(out);
             }
         }
         self.control.clock();
         self.alfsr.step();
         self.cycle += 1;
-        self.control.end_test()
+        Ok(self.control.end_test())
     }
 
     /// The signature captured for module `m`.
@@ -270,6 +307,35 @@ mod tests {
         let first = run_session(&mut e, 30);
         let second = run_session(&mut e, 30);
         assert_eq!(first, second, "begin() must fully reset the engine");
+    }
+
+    #[test]
+    fn reseeding_changes_signatures() {
+        let mut e1 = engine();
+        let a = run_session(&mut e1, 40);
+        let mut e2 = engine();
+        e2.set_seed(0x5A);
+        let b = run_session(&mut e2, 40);
+        assert_ne!((a.1, a.2), (b.1, b.2), "a new seed yields a new stream");
+        let mut e3 = engine();
+        e3.set_seed(0x5A);
+        assert_eq!(b, run_session(&mut e3, 40), "reseeded runs replay");
+    }
+
+    #[test]
+    fn malformed_responses_are_typed_errors() {
+        let mut e = engine();
+        e.begin(10);
+        assert_eq!(
+            e.try_clock(&[]),
+            Err(EngineError::ResponseArity { expected: 2, got: 0 })
+        );
+        let bad = vec![vec![false; 3], vec![false; 5]];
+        assert_eq!(
+            e.try_clock(&bad),
+            Err(EngineError::ResponseArity { expected: 20, got: 5 })
+        );
+        assert_eq!(e.control().pattern_counter(), 0, "errors leave state untouched");
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! Error type for the BIST engine layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the BIST engine and its pattern-generation resources.
+///
+/// This is the innermost layer of the session error lattice:
+/// `EngineError` → `soctest_p1500::ProtocolError` → `soctest_core`'s
+/// `SessionError`, with `From` conversions at each step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// The requested ALFSR width is outside the primitive-polynomial table.
+    UnsupportedWidth {
+        /// The rejected width.
+        width: usize,
+    },
+    /// The requested polynomial variant does not exist for this width.
+    UnsupportedVariant {
+        /// The ALFSR width.
+        width: usize,
+        /// The rejected variant index.
+        variant: u8,
+    },
+    /// The engine never raised `end_test` within its cycle budget.
+    Hung {
+        /// Functional cycles spent before the watchdog expired.
+        cycles: u64,
+    },
+    /// A response row did not match the declared module output width.
+    ResponseArity {
+        /// The declared width (or module count).
+        expected: usize,
+        /// The width (or count) actually supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnsupportedWidth { width } => {
+                write!(f, "no primitive polynomial for ALFSR width {width}")
+            }
+            EngineError::UnsupportedVariant { width, variant } => {
+                write!(f, "no polynomial variant {variant} for ALFSR width {width}")
+            }
+            EngineError::Hung { cycles } => {
+                write!(f, "engine never raised end_test within {cycles} cycles")
+            }
+            EngineError::ResponseArity { expected, got } => {
+                write!(f, "response arity mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = EngineError::Hung { cycles: 42 };
+        let msg = e.to_string();
+        assert!(msg.contains("42"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EngineError>();
+    }
+}

@@ -44,11 +44,13 @@
 mod alfsr;
 mod control;
 mod engine;
+mod error;
 mod misr;
 mod pgen;
 pub mod structural;
 
-pub use alfsr::Alfsr;
+pub use alfsr::{Alfsr, ALFSR_VARIANTS};
+pub use error::EngineError;
 pub use control::{BistCommand, BistPhase, ControlUnit};
 pub use engine::{BistEngine, BistEngineConfig, ModuleHookup};
 pub use misr::{fold_xor, Misr};

@@ -10,7 +10,7 @@
 /// folding is used by the fault simulator's MISR observation mode, so
 /// behavioral, structural, and fault-sim views all agree.
 pub fn fold_xor(bits: &[bool], width: usize) -> u64 {
-    assert!(width >= 1 && width <= 64, "fold width 1..=64");
+    assert!((1..=64).contains(&width), "fold width 1..=64");
     let mut out = 0u64;
     for (i, &b) in bits.iter().enumerate() {
         if b {

@@ -6,10 +6,12 @@ use soctest_bist::structural::{
     build_alfsr, build_control_unit, build_hold_cycler, build_misr, build_xor_cascade, BistSpec,
 };
 use soctest_bist::{
-    Alfsr, BistEngine, BistEngineConfig, BitSource, HoldCycler, ModuleHookup, PatternGenerator,
-    PortWiring,
+    Alfsr, BistEngine, BistEngineConfig, BitSource, EngineError, HoldCycler, ModuleHookup,
+    PatternGenerator, PortWiring,
 };
-use soctest_netlist::{ModuleBuilder, NetId, Netlist, NetlistError, Word};
+use soctest_netlist::{ModuleBuilder, NetId, Netlist, Word};
+
+use crate::error::SessionError;
 
 /// The assembled case study: the three decoder modules plus the BIST
 /// sizing of the paper's §4.
@@ -27,18 +29,26 @@ use soctest_netlist::{ModuleBuilder, NetId, Netlist, NetlistError, Word};
 pub struct CaseStudy {
     modules: Vec<Netlist>,
     spec: BistSpec,
+    alfsr_proto: Alfsr,
 }
 
 /// Number of patterns per test execution in the paper (2^12).
 pub const PAPER_PATTERNS: u64 = 4096;
+
+/// BIST resources threaded through assembly:
+/// `(test_en, alfsr_q, cg_vals, end_test, b_rst, b_sel)`.
+type BistResources = (NetId, Word, Vec<Word>, NetId, NetId, Word);
 
 impl CaseStudy {
     /// Builds the full case study with the paper's sizing.
     ///
     /// # Errors
     ///
-    /// Propagates netlist-construction errors from the module generators.
-    pub fn paper() -> Result<Self, NetlistError> {
+    /// Propagates netlist-construction errors from the module generators,
+    /// and [`SessionError::Engine`] if the spec's ALFSR width has no
+    /// primitive polynomial (validated once here, so the accessors below
+    /// never fail).
+    pub fn paper() -> Result<Self, SessionError> {
         let modules = vec![
             soctest_ldpc::gatelevel::bit_node()?,
             soctest_ldpc::gatelevel::check_node()?,
@@ -64,15 +74,20 @@ impl CaseStudy {
             Self::wiring_for_module(&modules[1], &[("sel", 0)], &[("start", (1, 0)), ("clr", (1, 1))]),
             Self::wiring_for_module(&modules[2], &[], &[("start", (1, 0)), ("clr", (1, 1))]),
         ];
+        let spec = BistSpec {
+            alfsr_width: 20,
+            misr_width: 16,
+            counter_bits: 12,
+            cgs: vec![sel_cycler, ctl_cycler],
+            wirings,
+        };
+        let alfsr_proto = Alfsr::new(spec.alfsr_width).ok_or(EngineError::UnsupportedWidth {
+            width: spec.alfsr_width,
+        })?;
         Ok(CaseStudy {
             modules,
-            spec: BistSpec {
-                alfsr_width: 20,
-                misr_width: 16,
-                counter_bits: 12,
-                cgs: vec![sel_cycler, ctl_cycler],
-                wirings,
-            },
+            spec,
+            alfsr_proto,
         })
     }
 
@@ -82,7 +97,7 @@ impl CaseStudy {
     /// # Errors
     ///
     /// See [`CaseStudy::paper`].
-    pub fn small() -> Result<Self, NetlistError> {
+    pub fn small() -> Result<Self, SessionError> {
         Self::paper()
     }
 
@@ -121,6 +136,17 @@ impl CaseStudy {
         &self.modules
     }
 
+    /// Mutable access to module `m`'s netlist — the fault-injection hook
+    /// (e.g. [`Netlist::force_constant`] plants a stuck-at defect that a
+    /// robust session must then detect and quarantine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range.
+    pub fn module_mut(&mut self, m: usize) -> &mut Netlist {
+        &mut self.modules[m]
+    }
+
     /// Module names in order.
     pub fn module_names(&self) -> Vec<&str> {
         self.modules.iter().map(Netlist::name).collect()
@@ -140,7 +166,7 @@ impl CaseStudy {
     /// simulation stimuli).
     pub fn pattern_generator(&self) -> PatternGenerator {
         PatternGenerator::new(
-            Alfsr::new(self.spec.alfsr_width).expect("table covers the ALFSR width"),
+            self.alfsr_proto.clone(),
             self.boxed_cgs(),
             self.spec.wirings.clone(),
         )
@@ -158,6 +184,32 @@ impl CaseStudy {
 
     /// A behavioral BIST engine wired to the three modules.
     pub fn engine(&self) -> BistEngine {
+        self.build_engine(self.alfsr_proto.clone())
+    }
+
+    /// A behavioral BIST engine using ALFSR polynomial `variant` and a
+    /// non-default `seed` — the knobs a robust session turns when a
+    /// signature mismatch might be aliasing rather than a real fault
+    /// (the paper's step-2 feedback: pick another polynomial / seed and
+    /// re-run).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnsupportedVariant`] if `variant` is out of range
+    /// for the spec's ALFSR width.
+    pub fn engine_variant(&self, variant: u8, seed: u64) -> Result<BistEngine, EngineError> {
+        let alfsr = Alfsr::with_variant(self.spec.alfsr_width, variant).ok_or(
+            EngineError::UnsupportedVariant {
+                width: self.spec.alfsr_width,
+                variant,
+            },
+        )?;
+        let mut engine = self.build_engine(alfsr);
+        engine.set_seed(seed);
+        Ok(engine)
+    }
+
+    fn build_engine(&self, alfsr: Alfsr) -> BistEngine {
         let hookups = self
             .modules
             .iter()
@@ -169,7 +221,7 @@ impl CaseStudy {
             })
             .collect();
         BistEngine::new(
-            Alfsr::new(self.spec.alfsr_width).expect("supported width"),
+            alfsr,
             self.boxed_cgs(),
             hookups,
             BistEngineConfig {
@@ -184,8 +236,9 @@ impl CaseStudy {
     ///
     /// # Errors
     ///
-    /// Propagates simulator-construction errors.
-    pub fn golden_signatures(&self, npatterns: u64) -> Result<Vec<u64>, NetlistError> {
+    /// Propagates simulator-construction errors, and
+    /// [`SessionError::Engine`] if the rehearsal hangs.
+    pub fn golden_signatures(&self, npatterns: u64) -> Result<Vec<u64>, SessionError> {
         let mut backend = crate::session::WrappedCore::new(self)?;
         backend.rehearse(npatterns)
     }
@@ -200,8 +253,10 @@ impl CaseStudy {
     ///
     /// # Errors
     ///
-    /// Propagates netlist-construction errors.
-    pub fn assemble(&self, with_bist: bool) -> Result<Netlist, NetlistError> {
+    /// Propagates netlist-construction errors, and reports unsourced or
+    /// mis-sized module ports as [`SessionError::MissingSource`] /
+    /// [`SessionError::SourceWidth`].
+    pub fn assemble(&self, with_bist: bool) -> Result<Netlist, SessionError> {
         let name = if with_bist { "ldpc_core_bist" } else { "ldpc_core" };
         let mut mb = ModuleBuilder::new(name);
 
@@ -244,14 +299,19 @@ impl CaseStudy {
 
         // A helper closure result: pattern bit for wiring entry `src`.
         let pattern_bit = |mb: &mut ModuleBuilder,
-                           bist: &Option<(NetId, Word, Vec<Word>, NetId, NetId, Word)>,
+                           bist: &Option<BistResources>,
                            src: &BitSource| {
-            let (_, alfsr_q, cg_vals, ..) = bist.as_ref().expect("bist resources");
-            match *src {
-                BitSource::Alfsr(i) => alfsr_q[i % alfsr_q.len()],
-                BitSource::Cg { cg, bit } => cg_vals[cg][bit],
-                BitSource::Const(true) => mb.one(),
-                BitSource::Const(false) => mb.zero(),
+            match bist.as_ref() {
+                Some((_, alfsr_q, cg_vals, ..)) => match *src {
+                    BitSource::Alfsr(i) => alfsr_q[i % alfsr_q.len()],
+                    BitSource::Cg { cg, bit } => cg_vals[cg][bit],
+                    BitSource::Const(true) => mb.one(),
+                    BitSource::Const(false) => mb.zero(),
+                },
+                // Only reached when instantiating without BIST resources,
+                // where the mux path is never built; a constant keeps the
+                // closure total without a panic path.
+                None => mb.zero(),
             }
         };
 
@@ -351,7 +411,7 @@ impl CaseStudy {
             mb.output_bus("bist_out", &selected);
             mb.output("bist_end", *end_test);
         }
-        mb.finish()
+        Ok(mb.finish()?)
     }
 
     /// Instantiates module `m` with per-port functional sources, inserting
@@ -361,13 +421,13 @@ impl CaseStudy {
         mb: &mut ModuleBuilder,
         m: usize,
         srcs: &HashMap<&str, Word>,
-        bist: &Option<(NetId, Word, Vec<Word>, NetId, NetId, Word)>,
+        bist: &Option<BistResources>,
         pattern_bit: &dyn Fn(
             &mut ModuleBuilder,
-            &Option<(NetId, Word, Vec<Word>, NetId, NetId, Word)>,
+            &Option<BistResources>,
             &BitSource,
         ) -> NetId,
-    ) -> Result<HashMap<String, Word>, NetlistError> {
+    ) -> Result<HashMap<String, Word>, SessionError> {
         let module = &self.modules[m];
         let wiring = &self.spec.wirings[m];
         let mut input_map = HashMap::new();
@@ -380,8 +440,18 @@ impl CaseStudy {
         for (name, width) in &ports {
             let func = srcs
                 .get(name.as_str())
-                .unwrap_or_else(|| panic!("missing source for {}.{name}", module.name()));
-            assert_eq!(func.len(), *width, "source width for {}.{name}", module.name());
+                .ok_or_else(|| SessionError::MissingSource {
+                    module: module.name().to_owned(),
+                    port: name.clone(),
+                })?;
+            if func.len() != *width {
+                return Err(SessionError::SourceWidth {
+                    module: module.name().to_owned(),
+                    port: name.clone(),
+                    expected: *width,
+                    got: func.len(),
+                });
+            }
             let wired: Word = if let Some((test_en, ..)) = bist {
                 (0..*width)
                     .map(|i| {
@@ -395,16 +465,18 @@ impl CaseStudy {
             offset += width;
             input_map.insert(name.clone(), wired);
         }
-        mb.netlist_mut().instantiate(module, &input_map)
+        Ok(mb.netlist_mut().instantiate(module, &input_map)?)
     }
 
     /// The P1500-wrapped variant of [`CaseStudy::assemble`].
     ///
     /// # Errors
     ///
-    /// Propagates netlist-construction errors.
-    pub fn wrapped(&self, with_bist: bool) -> Result<Netlist, NetlistError> {
-        soctest_p1500::structural::wrap_core(&self.assemble(with_bist)?)
+    /// See [`CaseStudy::assemble`].
+    pub fn wrapped(&self, with_bist: bool) -> Result<Netlist, SessionError> {
+        Ok(soctest_p1500::structural::wrap_core(
+            &self.assemble(with_bist)?,
+        )?)
     }
 }
 

@@ -1,0 +1,157 @@
+//! The session-level error type and the conversion lattice.
+
+use std::error::Error;
+use std::fmt;
+
+use soctest_bist::EngineError;
+use soctest_ldpc::code::CodeError;
+use soctest_netlist::NetlistError;
+use soctest_p1500::ProtocolError;
+
+/// Errors raised while assembling or running a core-test session.
+///
+/// Top of the error lattice: wraps the netlist, protocol, engine, and
+/// LDPC-code layers via `From`, so `?` composes across crates. A
+/// [`ProtocolError`] that merely carries an [`EngineError`] is flattened
+/// to [`SessionError::Engine`] on conversion — callers match on the root
+/// cause, not on which layer happened to observe it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SessionError {
+    /// A netlist construction or validation failure.
+    Netlist(NetlistError),
+    /// A TAP/P1500 protocol failure.
+    Protocol(ProtocolError),
+    /// A BIST engine failure.
+    Engine(EngineError),
+    /// An LDPC code-construction failure.
+    Code(CodeError),
+    /// A module instantiation found no functional source for a port.
+    MissingSource {
+        /// The module being instantiated.
+        module: String,
+        /// The unsourced input port.
+        port: String,
+    },
+    /// A module instantiation was handed a source of the wrong width.
+    SourceWidth {
+        /// The module being instantiated.
+        module: String,
+        /// The mis-sourced input port.
+        port: String,
+        /// The port's declared width.
+        expected: usize,
+        /// The width of the supplied source.
+        got: usize,
+    },
+    /// A fault-simulation result was expected to carry syndromes but did
+    /// not (the run was not configured to collect them).
+    MissingSyndromes,
+    /// A robust session exceeded its TCK watchdog budget.
+    TckBudgetExceeded {
+        /// TCK cycles spent when the watchdog fired.
+        spent: u64,
+        /// The configured budget.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Netlist(e) => write!(f, "netlist: {e}"),
+            SessionError::Protocol(e) => write!(f, "protocol: {e}"),
+            SessionError::Engine(e) => write!(f, "engine: {e}"),
+            SessionError::Code(e) => write!(f, "ldpc code: {e}"),
+            SessionError::MissingSource { module, port } => {
+                write!(f, "missing source for {module}.{port}")
+            }
+            SessionError::SourceWidth {
+                module,
+                port,
+                expected,
+                got,
+            } => write!(
+                f,
+                "source width for {module}.{port}: expected {expected} bits, got {got}"
+            ),
+            SessionError::MissingSyndromes => {
+                write!(f, "fault-simulation result carries no syndromes")
+            }
+            SessionError::TckBudgetExceeded { spent, budget } => {
+                write!(f, "TCK watchdog: spent {spent} cycles of a {budget}-cycle budget")
+            }
+        }
+    }
+}
+
+impl Error for SessionError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SessionError::Netlist(e) => Some(e),
+            SessionError::Protocol(e) => Some(e),
+            SessionError::Engine(e) => Some(e),
+            SessionError::Code(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for SessionError {
+    fn from(e: NetlistError) -> Self {
+        SessionError::Netlist(e)
+    }
+}
+
+impl From<ProtocolError> for SessionError {
+    fn from(e: ProtocolError) -> Self {
+        match e {
+            ProtocolError::Engine(inner) => SessionError::Engine(inner),
+            other => SessionError::Protocol(other),
+        }
+    }
+}
+
+impl From<EngineError> for SessionError {
+    fn from(e: EngineError) -> Self {
+        SessionError::Engine(e)
+    }
+}
+
+impl From<CodeError> for SessionError {
+    fn from(e: CodeError) -> Self {
+        SessionError::Code(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_wrapped_engine_errors_flatten() {
+        let hung = EngineError::Hung { cycles: 9 };
+        let via_protocol: SessionError = ProtocolError::Engine(hung).into();
+        let direct: SessionError = hung.into();
+        assert_eq!(via_protocol, direct, "lattice normalizes to the root cause");
+        assert_eq!(direct, SessionError::Engine(hung));
+    }
+
+    #[test]
+    fn display_names_the_layer() {
+        let e: SessionError = NetlistError::DuplicatePort { name: "a".into() }.into();
+        assert!(e.to_string().starts_with("netlist:"));
+        let e: SessionError = ProtocolError::DoneTimeout {
+            cycles_waited: 1,
+            bursts: 1,
+        }
+        .into();
+        assert!(e.to_string().starts_with("protocol:"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SessionError>();
+    }
+}

@@ -4,12 +4,13 @@ use soctest_fault::{
     DiagnosticMatrix, EquivalentClassStats, FaultSimResult, FaultUniverse, ObserveMode,
     SeqFaultSim, SeqFaultSimConfig,
 };
+use soctest_bist::EngineError;
 use soctest_ldpc::code::LdpcCode;
 use soctest_ldpc::decoder::{DecoderConfig, DecoderStats, SerialDecoder};
-use soctest_netlist::NetlistError;
 use soctest_sim::{SeqSim, ToggleMonitor, ToggleReport};
 
 use crate::casestudy::CaseStudy;
+use crate::error::SessionError;
 
 /// Fault model selector shared by steps 2 and 3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,13 +63,14 @@ impl Step1Report {
 ///
 /// # Errors
 ///
-/// Propagates simulator-construction errors.
-pub fn step1(case: &CaseStudy, npatterns: u64) -> Result<Step1Report, NetlistError> {
+/// Propagates simulator-construction and LDPC-code errors.
+pub fn step1(case: &CaseStudy, npatterns: u64) -> Result<Step1Report, SessionError> {
     // Statement coverage: decode words whose LLRs come from the ALFSR, so
     // the stimulus source is the same pseudo-random machinery the BIST
     // engine uses.
-    let code = LdpcCode::gallager(96, 3, 6, 7).expect("fixed configuration is valid");
-    let mut alfsr = soctest_bist::Alfsr::new(20).expect("supported width");
+    let code = LdpcCode::gallager(96, 3, 6, 7)?;
+    let mut alfsr =
+        soctest_bist::Alfsr::new(20).ok_or(EngineError::UnsupportedWidth { width: 20 })?;
     let mut dec = SerialDecoder::new(&code, DecoderConfig::default());
     let mut merged = DecoderStats::default();
     let attempts = (npatterns / 256).max(1);
@@ -134,7 +136,7 @@ pub fn step2(
     start_patterns: u64,
     target_percent: f64,
     max_patterns: u64,
-) -> Result<Vec<(u64, FaultSimResult)>, NetlistError> {
+) -> Result<Vec<(u64, FaultSimResult)>, SessionError> {
     let universe = model.universe(&case.modules()[module]);
     let pgen = case.pattern_generator();
     let mut npatterns = start_patterns.max(1);
@@ -181,7 +183,7 @@ pub fn step3(
     npatterns: u64,
     read_every: u64,
     sample_stride: usize,
-) -> Result<Step3Report, NetlistError> {
+) -> Result<Step3Report, SessionError> {
     let mut universe = model.universe(&case.modules()[module]);
     universe.retain_sample(sample_stride);
     let pgen = case.pattern_generator();
@@ -195,7 +197,11 @@ pub fn step3(
         },
     );
     let result = sim.run(&mut stim)?;
-    let matrix = DiagnosticMatrix::from_syndromes(result.syndromes.as_ref().expect("collected"));
+    let syndromes = result
+        .syndromes
+        .as_ref()
+        .ok_or(SessionError::MissingSyndromes)?;
+    let matrix = DiagnosticMatrix::from_syndromes(syndromes);
     Ok(Step3Report {
         stats: matrix.stats(),
         coverage_percent: result.coverage_percent(),

@@ -11,10 +11,10 @@ use soctest_fault::{
     CombFaultSim, DiagnosticMatrix, EquivalentClassStats, FaultUniverse, SeqFaultSim,
     SeqFaultSimConfig,
 };
-use soctest_netlist::NetlistError;
 use soctest_tech::Library;
 
 use crate::casestudy::CaseStudy;
+use crate::error::SessionError;
 use crate::eval::{self, FaultModel};
 
 /// Effort knobs for the expensive experiments. [`Budget::paper`] mirrors
@@ -129,7 +129,7 @@ impl Table2 {
 /// # Errors
 ///
 /// Propagates netlist-construction errors.
-pub fn table2(case: &CaseStudy, lib: &Library) -> Result<Table2, NetlistError> {
+pub fn table2(case: &CaseStudy, lib: &Library) -> Result<Table2, SessionError> {
     let core = lib.area(&case.assemble(false)?).total_um2;
     let with_bist = lib.area(&case.assemble(true)?).total_um2;
     let wrapped = lib.area(&case.wrapped(true)?).total_um2;
@@ -176,7 +176,7 @@ pub struct Table3Row {
 /// # Errors
 ///
 /// Propagates simulator and construction errors.
-pub fn table3(case: &CaseStudy, budget: &Budget) -> Result<Vec<Table3Row>, NetlistError> {
+pub fn table3(case: &CaseStudy, budget: &Budget) -> Result<Vec<Table3Row>, SessionError> {
     let pgen = case.pattern_generator();
     let mut rows = Vec::new();
     for (m, module) in case.modules().iter().enumerate() {
@@ -264,7 +264,7 @@ pub struct Table4 {
 /// # Errors
 ///
 /// Propagates construction and timing errors.
-pub fn table4(case: &CaseStudy, lib: &Library) -> Result<Table4, NetlistError> {
+pub fn table4(case: &CaseStudy, lib: &Library) -> Result<Table4, SessionError> {
     let original = case.assemble(false)?;
     let bist = case.assemble(true)?;
     let wrapper = soctest_p1500::structural::wrap_core(&original)?;
@@ -295,7 +295,7 @@ pub struct Table5Row {
 /// # Errors
 ///
 /// Propagates simulator errors.
-pub fn table5(case: &CaseStudy, budget: &Budget) -> Result<Vec<Table5Row>, NetlistError> {
+pub fn table5(case: &CaseStudy, budget: &Budget) -> Result<Vec<Table5Row>, SessionError> {
     let pgen = case.pattern_generator();
     let mut rows = Vec::new();
     for (m, module) in case.modules().iter().enumerate() {
@@ -329,7 +329,8 @@ pub fn table5(case: &CaseStudy, budget: &Budget) -> Result<Vec<Table5Row>, Netli
                 },
             );
             let r = sim.run(&mut stim)?;
-            DiagnosticMatrix::from_syndromes(r.syndromes.as_ref().expect("collected")).stats()
+            let syn = r.syndromes.as_ref().ok_or(SessionError::MissingSyndromes)?;
+            DiagnosticMatrix::from_syndromes(syn).stats()
         };
         // Full scan: per-pattern syndromes on the scan view.
         let full_scan = {
@@ -343,7 +344,8 @@ pub fn table5(case: &CaseStudy, budget: &Budget) -> Result<Vec<Table5Row>, Netli
                 0x5CA9,
             );
             let r = CombFaultSim::new(&u).with_syndromes().run_stuck_at(&pats)?;
-            DiagnosticMatrix::from_syndromes(r.syndromes.as_ref().expect("collected")).stats()
+            let syn = r.syndromes.as_ref().ok_or(SessionError::MissingSyndromes)?;
+            DiagnosticMatrix::from_syndromes(syn).stats()
         };
         rows.push(Table5Row {
             component: module.name().to_owned(),
@@ -373,7 +375,7 @@ pub struct Fig3Point {
 /// # Errors
 ///
 /// Propagates simulator errors.
-pub fn fig3(case: &CaseStudy, checkpoints: &[u64]) -> Result<Vec<Fig3Point>, NetlistError> {
+pub fn fig3(case: &CaseStudy, checkpoints: &[u64]) -> Result<Vec<Fig3Point>, SessionError> {
     checkpoints
         .iter()
         .map(|&n| {
@@ -398,7 +400,7 @@ pub fn fig4(
     module: usize,
     max_patterns: u64,
     points: usize,
-) -> Result<Vec<(u64, f64)>, NetlistError> {
+) -> Result<Vec<(u64, f64)>, SessionError> {
     let universe = FaultUniverse::stuck_at(&case.modules()[module]);
     let pgen = case.pattern_generator();
     let mut stim = pgen.stimulus(module, max_patterns);

@@ -15,7 +15,12 @@
 //!   and toggle activity (Fig. 3), fault-coverage measurement with the
 //!   add-patterns loop (Fig. 4), and equivalent-fault-class analysis;
 //! * [`experiments`] — one function per table/figure of the paper,
-//!   returning structured rows that the `repro` binary renders.
+//!   returning structured rows that the `repro` binary renders;
+//! * [`error`] — the [`error::SessionError`] taxonomy that the whole stack
+//!   converts into, so every failure carries its root cause;
+//! * [`robust`] — fault-tolerant sessions: TCK watchdogs, retry-with-reseed
+//!   on signature mismatch (the paper's Fig. 4 feedback loop applied at
+//!   test time), majority-vote status reads, and per-module quarantine.
 //!
 //! # Example: an at-speed BIST session through the TAP
 //!
@@ -31,7 +36,7 @@
 //! ate.reset();
 //! ate.bist_load_pattern_count(64);
 //! ate.bist_start();
-//! assert!(ate.wait_for_done(64, 8));
+//! ate.wait_for_done(64, 8)?;
 //! ate.bist_select_result(0);
 //! let (_, signature) = ate.read_status();
 //! // The signature is reproducible: the golden value comes from a
@@ -43,8 +48,13 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 pub mod casestudy;
+pub mod error;
 pub mod eval;
 pub mod experiments;
+pub mod robust;
 pub mod session;
+
+pub use error::SessionError;

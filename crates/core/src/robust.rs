@@ -1,0 +1,351 @@
+//! Fault-tolerant test sessions: watchdogs, retry-with-reseed, and
+//! per-module quarantine.
+//!
+//! A plain TAP session ([`crate::session`]) assumes everything works: the
+//! engine finishes, the scans are clean, and a signature mismatch is a
+//! verdict. A production ATE cannot assume any of that. [`RobustSession`]
+//! wraps the same protocol in the defensive loop of the paper's Fig. 4
+//! applied at *test time* instead of design time:
+//!
+//! * every wait on `end_test` runs under a burst budget, and the whole
+//!   session under a TCK watchdog ([`SessionBudget`]) — a hung engine
+//!   surfaces as a typed error, never an endless poll;
+//! * WDR status reads are majority-voted
+//!   ([`soctest_p1500::TapDriver::read_status_voted`]), so a transient
+//!   upset on one scan cannot fail a good module;
+//! * a signature mismatch is retried up the [`RetryStrategy`] ladder —
+//!   re-run, switch to the reciprocal primitive polynomial, re-seed — each
+//!   retry re-rehearsing the golden signature under the same knobs. Only a
+//!   mismatch that *reproduces under every strategy* quarantines the
+//!   module; anything that clears was aliasing or noise;
+//! * the result is a structured [`SessionReport`]: per-module attempt
+//!   history, the quarantine list, and the TCK/functional-cycle bill.
+
+use soctest_bist::EngineError;
+use soctest_p1500::{ProtocolError, TapDriver};
+
+use crate::casestudy::CaseStudy;
+use crate::error::SessionError;
+use crate::session::WrappedCore;
+
+/// Watchdog and protocol budgets for one robust session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionBudget {
+    /// Hard ceiling on TCK cycles across all attempts; exceeding it aborts
+    /// the session with [`SessionError::TckBudgetExceeded`].
+    pub max_tck: u64,
+    /// Functional cycles per burst while polling `end_test`.
+    pub burst: u64,
+    /// Maximum polling bursts per attempt before the engine is declared
+    /// hung.
+    pub max_bursts: u32,
+    /// WDR reads per status query; the majority value wins.
+    pub status_votes: u32,
+}
+
+impl Default for SessionBudget {
+    fn default() -> Self {
+        SessionBudget {
+            max_tck: 100_000,
+            burst: 64,
+            max_bursts: 80,
+            status_votes: 3,
+        }
+    }
+}
+
+/// One rung of the retry ladder: how to re-run a session whose signature
+/// mismatched, to separate real faults from aliasing and noise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryStrategy {
+    /// The baseline configuration (default polynomial, default seed).
+    Rerun,
+    /// The reciprocal primitive polynomial at the same width — a different
+    /// maximal-length sequence over the same state space, so an aliasing
+    /// collision under the first polynomial almost surely breaks.
+    ReciprocalPolynomial,
+    /// The default polynomial started from a different seed.
+    Reseed(u64),
+}
+
+impl RetryStrategy {
+    /// The `(variant, seed)` engine knobs this strategy turns (see
+    /// [`CaseStudy::engine_variant`]).
+    fn engine_knobs(self) -> (u8, u64) {
+        match self {
+            RetryStrategy::Rerun => (0, 0),
+            RetryStrategy::ReciprocalPolynomial => (1, 0),
+            RetryStrategy::Reseed(seed) => (0, seed),
+        }
+    }
+}
+
+/// One attempt at one module: the strategy used, the golden signature the
+/// rehearsal predicted, and the signature the DUT produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttemptRecord {
+    /// The retry rung this attempt ran under.
+    pub strategy: RetryStrategy,
+    /// The fault-free signature from the rehearsal.
+    pub golden: u64,
+    /// The signature read back from the DUT over the TAP.
+    pub signature: u64,
+}
+
+impl AttemptRecord {
+    /// Whether the DUT matched the rehearsal.
+    pub fn matched(&self) -> bool {
+        self.golden == self.signature
+    }
+}
+
+/// The verdict on one module after the retry ladder.
+#[derive(Debug, Clone)]
+pub struct ModuleOutcome {
+    /// Module name.
+    pub module: String,
+    /// `true` when every strategy reproduced a mismatch: the module is
+    /// excluded from service pending diagnosis.
+    pub quarantined: bool,
+    /// Every attempt made on this module, in ladder order.
+    pub attempts: Vec<AttemptRecord>,
+}
+
+/// The structured outcome of a robust session.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// Per-module verdicts, in module order.
+    pub outcomes: Vec<ModuleOutcome>,
+    /// TCK cycles spent across all attempts.
+    pub tck_spent: u64,
+    /// Functional (at-speed) cycles spent across all attempts.
+    pub functional_cycles: u64,
+    /// Patterns per execution.
+    pub patterns: u64,
+}
+
+impl SessionReport {
+    /// `true` when no module was quarantined.
+    pub fn all_passed(&self) -> bool {
+        self.outcomes.iter().all(|o| !o.quarantined)
+    }
+
+    /// Names of the quarantined modules.
+    pub fn quarantined(&self) -> Vec<&str> {
+        self.outcomes
+            .iter()
+            .filter(|o| o.quarantined)
+            .map(|o| o.module.as_str())
+            .collect()
+    }
+}
+
+/// A fault-tolerant test session runner. Build one with a budget, then
+/// [`RobustSession::run`] it against a device under test.
+#[derive(Debug, Clone)]
+pub struct RobustSession {
+    budget: SessionBudget,
+    strategies: Vec<RetryStrategy>,
+}
+
+impl Default for RobustSession {
+    fn default() -> Self {
+        Self::new(SessionBudget::default())
+    }
+}
+
+impl RobustSession {
+    /// A session with the default retry ladder: re-run, reciprocal
+    /// polynomial, re-seed.
+    pub fn new(budget: SessionBudget) -> Self {
+        RobustSession {
+            budget,
+            strategies: vec![
+                RetryStrategy::Rerun,
+                RetryStrategy::ReciprocalPolynomial,
+                RetryStrategy::Reseed(0x5EED_CAFE),
+            ],
+        }
+    }
+
+    /// Replaces the retry ladder. An empty ladder is promoted to a single
+    /// [`RetryStrategy::Rerun`] so a session always makes one attempt.
+    pub fn with_strategies(mut self, strategies: Vec<RetryStrategy>) -> Self {
+        self.strategies = if strategies.is_empty() {
+            vec![RetryStrategy::Rerun]
+        } else {
+            strategies
+        };
+        self
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> SessionBudget {
+        self.budget
+    }
+
+    /// Runs the full session: for each rung of the retry ladder (while any
+    /// module is still unresolved), rehearse the golden signatures on the
+    /// fault-free `reference` hardware, run the same session on the `dut`
+    /// through the TAP, and compare per-module signatures via majority-voted
+    /// WDR reads. A module passes at its first matching attempt; a module
+    /// whose mismatch reproduces under every strategy is quarantined.
+    ///
+    /// # Errors
+    ///
+    /// * [`SessionError::Engine`] with [`EngineError::Hung`] when the
+    ///   engine (golden or DUT) never raises `end_test` within the burst
+    ///   budget — a hang is an infrastructure failure, not a module
+    ///   verdict;
+    /// * [`SessionError::TckBudgetExceeded`] when the accumulated TCK cost
+    ///   crosses [`SessionBudget::max_tck`];
+    /// * protocol errors (e.g. no status-read majority) from the TAP layer.
+    pub fn run(
+        &self,
+        reference: &CaseStudy,
+        dut: &CaseStudy,
+        npatterns: u64,
+    ) -> Result<SessionReport, SessionError> {
+        let nmodules = dut.modules().len();
+        let mut attempts: Vec<Vec<AttemptRecord>> = vec![Vec::new(); nmodules];
+        let mut resolved: Vec<bool> = vec![false; nmodules];
+        let mut tck_spent = 0u64;
+        let mut functional_cycles = 0u64;
+
+        for &strategy in &self.strategies {
+            if resolved.iter().all(|&r| r) {
+                break;
+            }
+            let (variant, seed) = strategy.engine_knobs();
+
+            // Golden signatures: a fresh rehearsal of the fault-free
+            // hardware under this strategy's polynomial and seed.
+            let golden_engine = reference.engine_variant(variant, seed)?;
+            let mut rehearsal = WrappedCore::with_engine(reference, golden_engine)?;
+            let goldens = rehearsal.rehearse(npatterns)?;
+
+            // The DUT session, driven over the TAP.
+            let dut_engine = dut.engine_variant(variant, seed)?;
+            let backend = WrappedCore::with_engine(dut, dut_engine)?;
+            let mut ate = TapDriver::new(backend);
+            ate.reset();
+            ate.bist_load_pattern_count(npatterns);
+            ate.bist_start();
+            match ate.wait_for_done(self.budget.burst, self.budget.max_bursts) {
+                Ok(_) => {}
+                Err(ProtocolError::DoneTimeout { cycles_waited, .. }) => {
+                    // At session level a timeout is a hung engine: the poll
+                    // budget covered the whole pattern count.
+                    return Err(EngineError::Hung {
+                        cycles: cycles_waited,
+                    }
+                    .into());
+                }
+                Err(e) => return Err(e.into()),
+            }
+
+            for (m, &golden) in goldens.iter().enumerate().take(nmodules) {
+                if resolved[m] {
+                    continue;
+                }
+                ate.bist_select_result(m as u8);
+                let (_, signature) = ate.read_status_voted(self.budget.status_votes)?;
+                let record = AttemptRecord {
+                    strategy,
+                    golden,
+                    signature,
+                };
+                attempts[m].push(record);
+                if record.matched() {
+                    resolved[m] = true;
+                }
+            }
+
+            tck_spent += ate.tck();
+            functional_cycles += ate.functional_cycles();
+            if tck_spent > self.budget.max_tck {
+                return Err(SessionError::TckBudgetExceeded {
+                    spent: tck_spent,
+                    budget: self.budget.max_tck,
+                });
+            }
+        }
+
+        let outcomes = dut
+            .module_names()
+            .into_iter()
+            .zip(attempts)
+            .zip(&resolved)
+            .map(|((name, attempts), &passed)| ModuleOutcome {
+                module: name.to_owned(),
+                quarantined: !passed,
+                attempts,
+            })
+            .collect();
+        Ok(SessionReport {
+            outcomes,
+            tck_spent,
+            functional_cycles,
+            patterns: npatterns,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_hardware_passes_on_the_first_rung() {
+        let reference = CaseStudy::paper().unwrap();
+        let dut = CaseStudy::paper().unwrap();
+        let report = RobustSession::default().run(&reference, &dut, 64).unwrap();
+        assert!(report.all_passed());
+        assert!(report.quarantined().is_empty());
+        for outcome in &report.outcomes {
+            assert_eq!(outcome.attempts.len(), 1, "no retries needed");
+            assert_eq!(outcome.attempts[0].strategy, RetryStrategy::Rerun);
+            assert!(outcome.attempts[0].matched());
+        }
+        assert!(report.tck_spent > 0);
+        assert!(report.functional_cycles >= 64);
+        assert_eq!(report.patterns, 64);
+    }
+
+    #[test]
+    fn tck_watchdog_aborts_an_over_budget_session() {
+        let reference = CaseStudy::paper().unwrap();
+        let dut = CaseStudy::paper().unwrap();
+        let session = RobustSession::new(SessionBudget {
+            max_tck: 10,
+            ..SessionBudget::default()
+        });
+        match session.run(&reference, &dut, 64) {
+            Err(SessionError::TckBudgetExceeded { spent, budget }) => {
+                assert!(spent > budget);
+                assert_eq!(budget, 10);
+            }
+            other => panic!("expected a budget error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_patterns_hang_is_typed() {
+        let reference = CaseStudy::paper().unwrap();
+        let dut = CaseStudy::paper().unwrap();
+        match RobustSession::default().run(&reference, &dut, 0) {
+            Err(SessionError::Engine(EngineError::Hung { .. })) => {}
+            other => panic!("expected a Hung error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_ladder_is_promoted_to_one_attempt() {
+        let session = RobustSession::default().with_strategies(Vec::new());
+        let reference = CaseStudy::paper().unwrap();
+        let dut = CaseStudy::paper().unwrap();
+        let report = session.run(&reference, &dut, 64).unwrap();
+        assert!(report.all_passed());
+        assert_eq!(report.outcomes[0].attempts.len(), 1);
+    }
+}

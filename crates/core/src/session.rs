@@ -1,12 +1,13 @@
 //! Live BIST sessions: the behavioral engine co-simulated against the
 //! module netlists, pluggable behind the P1500 wrapper.
 
-use soctest_bist::{BistCommand, BistEngine};
-use soctest_netlist::{NetId, Netlist, NetlistError};
+use soctest_bist::{BistCommand, BistEngine, EngineError};
+use soctest_netlist::{NetId, Netlist};
 use soctest_p1500::BistBackend;
 use soctest_sim::SeqSim;
 
 use crate::casestudy::CaseStudy;
+use crate::error::SessionError;
 
 /// The wrapped core: the BIST engine and one gate-level simulator per
 /// module, advancing in lock-step. Implements [`BistBackend`], so a
@@ -26,8 +27,18 @@ impl<'a> WrappedCore<'a> {
     /// # Errors
     ///
     /// Propagates simulator-construction errors.
-    pub fn new(case: &'a CaseStudy) -> Result<Self, NetlistError> {
-        let engine = case.engine();
+    pub fn new(case: &'a CaseStudy) -> Result<Self, SessionError> {
+        Self::with_engine(case, case.engine())
+    }
+
+    /// Builds the backend with a caller-supplied engine — e.g. one from
+    /// [`CaseStudy::engine_variant`] with an alternate polynomial or seed,
+    /// as a robust session's retry ladder does.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator-construction errors.
+    pub fn with_engine(case: &'a CaseStudy, engine: BistEngine) -> Result<Self, SessionError> {
         let mut sims = Vec::new();
         let mut inputs = Vec::new();
         let mut outputs = Vec::new();
@@ -60,18 +71,27 @@ impl<'a> WrappedCore<'a> {
     ///
     /// # Errors
     ///
-    /// None currently; the `Result` mirrors the construction API.
-    pub fn rehearse(&mut self, npatterns: u64) -> Result<Vec<u64>, NetlistError> {
+    /// [`SessionError::Engine`] with [`EngineError::Hung`] if the engine
+    /// never raises `end_test` within the `npatterns + 4` cycle watchdog —
+    /// e.g. a session started with a pattern count of zero, which the
+    /// control unit ignores. Earlier versions silently returned the
+    /// power-on signatures here, which compared equal between a golden
+    /// rehearsal and a defective DUT: a hung session looked like a pass.
+    pub fn rehearse(&mut self, npatterns: u64) -> Result<Vec<u64>, SessionError> {
         self.command(BistCommand::Reset);
         self.command(BistCommand::LoadPatternCount(npatterns));
         self.command(BistCommand::Start);
         for sim in &mut self.sims {
             sim.reset();
         }
-        let mut guard = npatterns + 4;
-        while !self.engine.control().end_test() && guard > 0 {
+        let budget = npatterns + 4;
+        let mut spent = 0u64;
+        while !self.engine.control().end_test() {
+            if spent >= budget {
+                return Err(EngineError::Hung { cycles: spent }.into());
+            }
             self.functional_clock();
-            guard -= 1;
+            spent += 1;
         }
         Ok((0..self.sims.len()).map(|m| self.engine.signature(m)).collect())
     }
@@ -155,6 +175,37 @@ mod tests {
     }
 
     #[test]
+    fn zero_pattern_rehearsal_is_a_typed_hang() {
+        let case = CaseStudy::paper().unwrap();
+        let mut w = WrappedCore::new(&case).unwrap();
+        // The control unit ignores Start with a zero pattern count, so
+        // end_test never rises; the watchdog must say so instead of
+        // returning power-on signatures.
+        match w.rehearse(0) {
+            Err(SessionError::Engine(EngineError::Hung { cycles })) => {
+                assert!(cycles <= 4, "watchdog fires at the budget, got {cycles}");
+            }
+            other => panic!("expected a Hung error, got {other:?}"),
+        }
+        // The backend stays usable afterwards.
+        assert!(w.rehearse(64).is_ok());
+    }
+
+    #[test]
+    fn variant_engines_give_different_signatures() {
+        let case = CaseStudy::paper().unwrap();
+        let golden = case.golden_signatures(64).unwrap();
+        let alt = case.engine_variant(1, 0).unwrap();
+        let mut w = WrappedCore::with_engine(&case, alt).unwrap();
+        let recip = w.rehearse(64).unwrap();
+        assert_ne!(golden, recip, "reciprocal polynomial changes the stream");
+        let seeded = case.engine_variant(0, 0xBEEF).unwrap();
+        let mut w = WrappedCore::with_engine(&case, seeded).unwrap();
+        let reseeded = w.rehearse(64).unwrap();
+        assert_ne!(golden, reseeded, "reseeding changes the stream");
+    }
+
+    #[test]
     fn tap_session_matches_rehearsal() {
         let case = CaseStudy::paper().unwrap();
         let golden = case.golden_signatures(96).unwrap();
@@ -163,7 +214,8 @@ mod tests {
         ate.reset();
         ate.bist_load_pattern_count(96);
         ate.bist_start();
-        assert!(ate.wait_for_done(32, 10));
+        let stats = ate.wait_for_done(32, 10).unwrap();
+        assert!(stats.cycles_waited >= 96, "at least npatterns functional cycles");
         for (m, &gold) in golden.iter().enumerate() {
             ate.bist_select_result(m as u8);
             let (done, sig) = ate.read_status();

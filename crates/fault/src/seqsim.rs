@@ -49,7 +49,7 @@ impl ObserveMode {
     /// A MISR observation with the workspace's default primitive-style tap
     /// set, mirroring the 16-bit MISRs of the case study.
     pub fn misr_default(width: usize, read_every: u64) -> Self {
-        assert!(width >= 2 && width <= 64, "MISR width must be in 2..=64");
+        assert!((2..=64).contains(&width), "MISR width must be in 2..=64");
         let taps = (0b101_1011u64 | 1) & ((1u64 << width) - 1).max(1);
         ObserveMode::Misr {
             width,

@@ -118,7 +118,7 @@ mod tests {
     #[test]
     fn closure_stimulus_works() {
         let mut s = (4u64, |t: u64, out: &mut [bool]| {
-            out[0] = t % 2 == 0;
+            out[0] = t.is_multiple_of(2);
         });
         let mut out = vec![false; 1];
         s.fill(2, &mut out);

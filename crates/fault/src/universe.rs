@@ -108,8 +108,8 @@ impl FaultUniverse {
         let mut class_of_root: Vec<Option<usize>> = vec![None; 2 * n];
         let mut members: Vec<Vec<Fault>> = Vec::new();
         let mut total_sites = 0usize;
-        for net_idx in 0..n {
-            if !eligible[net_idx] {
+        for (net_idx, &ok) in eligible.iter().enumerate().take(n) {
+            if !ok {
                 continue;
             }
             for pol in [false, true] {

@@ -1,7 +1,6 @@
 //! Channels producing quantized LLRs, and BER bookkeeping.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use soctest_prng::SplitMix64;
 
 /// Saturation bound of the decoder's LLR quantization (sign + 7 bits of
 /// magnitude, matching the 8-bit message datapath of the gate-level
@@ -39,7 +38,7 @@ impl Bsc {
 
     /// Transmits a codeword; returns per-bit LLRs (positive = likely 0).
     pub fn transmit(&self, bits: &[bool]) -> Vec<i32> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SplitMix64::new(self.seed);
         let mag = self.llr_magnitude();
         bits.iter()
             .map(|&b| {
@@ -78,15 +77,11 @@ impl QuantizedAwgn {
         let ebn0 = 10f64.powf(self.snr_db / 10.0);
         let sigma2 = 1.0 / (2.0 * rate * ebn0);
         let sigma = sigma2.sqrt();
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SplitMix64::new(self.seed);
         bits.iter()
             .map(|&b| {
                 let x = if b { -1.0 } else { 1.0 };
-                // Box–Muller gaussian.
-                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-                let u2: f64 = rng.gen_range(0.0..1.0);
-                let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-                let y = x + sigma * g;
+                let y = x + sigma * rng.gen_gaussian();
                 let llr = 2.0 * y / sigma2;
                 ((llr * 4.0).round() as i32).clamp(-LLR_MAX, LLR_MAX)
             })

@@ -3,9 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use soctest_prng::SplitMix64;
 
 /// Errors raised while constructing codes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,7 +70,7 @@ impl LdpcCode {
     /// `n % dc != 0`, and [`CodeError::TooLarge`] beyond the architecture
     /// limits.
     pub fn gallager(n: usize, dv: usize, dc: usize, seed: u64) -> Result<Self, CodeError> {
-        if n == 0 || dv == 0 || dc == 0 || (n * dv) % dc != 0 || n % dc != 0 {
+        if n == 0 || dv == 0 || dc == 0 || !(n * dv).is_multiple_of(dc) || !n.is_multiple_of(dc) {
             return Err(CodeError::DegreeMismatch { n, dv, dc });
         }
         let m = n * dv / dc;
@@ -81,11 +79,11 @@ impl LdpcCode {
         }
         let rows_per_band = n / dc;
         let mut check_to_bits: Vec<Vec<u32>> = Vec::with_capacity(m);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         for band in 0..dv {
             let mut perm: Vec<u32> = (0..n as u32).collect();
             if band > 0 {
-                perm.shuffle(&mut rng);
+                rng.shuffle(&mut perm);
             }
             for r in 0..rows_per_band {
                 let cols: Vec<u32> = (0..dc).map(|k| perm[r * dc + k]).collect();
@@ -162,7 +160,7 @@ impl LdpcCode {
     pub fn is_codeword(&self, word: &[bool]) -> bool {
         assert_eq!(word.len(), self.n, "word length");
         self.check_to_bits.iter().all(|bits| {
-            bits.iter().fold(false, |acc, &b| acc ^ word[b as usize]) == false
+            !bits.iter().fold(false, |acc, &b| acc ^ word[b as usize])
         })
     }
 
@@ -323,8 +321,8 @@ mod tests {
     #[test]
     fn zero_word_is_always_a_codeword() {
         let code = LdpcCode::gallager(48, 3, 6, 3).unwrap();
-        assert!(code.is_codeword(&vec![false; 48]));
-        assert_eq!(code.syndrome_weight(&vec![false; 48]), 0);
+        assert!(code.is_codeword(&[false; 48]));
+        assert_eq!(code.syndrome_weight(&[false; 48]), 0);
     }
 
     #[test]

@@ -191,10 +191,10 @@ impl SerialDecoder {
         assert_eq!(llrs.len(), self.code.n(), "LLR vector length");
         let mut stats = DecoderStats::default();
         // Initialization: bit→check messages start at the channel values.
-        for b in 0..self.code.n() {
+        for (b, &llr) in llrs.iter().enumerate().take(self.code.n()) {
             for &e in &self.bit_edges[b] {
                 stats.bump("cu_init_edge");
-                self.mem_a[e as usize] = llrs[b];
+                self.mem_a[e as usize] = llr;
                 stats.memory_accesses += 1;
                 stats.serial_cycles += 1;
             }
@@ -291,8 +291,8 @@ impl SerialDecoder {
     fn bit_phase(&mut self, llrs: &[i32], stats: &mut DecoderStats) -> Vec<bool> {
         stats.bump("cu_phase_bn");
         let mut hard = Vec::with_capacity(self.code.n());
-        for b in 0..self.code.n() {
-            let mut acc = llrs[b];
+        for (b, &llr) in llrs.iter().enumerate().take(self.code.n()) {
+            let mut acc = llr;
             for &e in &self.bit_edges[b] {
                 stats.memory_accesses += 1;
                 stats.serial_cycles += 1;

@@ -27,7 +27,7 @@ fn sat_add_signed(mb: &mut ModuleBuilder, a: &[NetId], b: &[NetId]) -> Word {
     // Saturation value: 0111…1 for positive overflow, 1000…0 for negative.
     let nsa = mb.not(sa);
     let mut satv = vec![sa; 1];
-    satv.extend(std::iter::repeat(nsa).take(w - 1));
+    satv.extend(std::iter::repeat_n(nsa, w - 1));
     satv.rotate_left(0);
     let mut sat_word = Vec::with_capacity(w);
     for i in 0..w - 1 {

@@ -601,8 +601,8 @@ impl ModuleBuilder {
     pub fn shl(&mut self, a: &[NetId], k: usize) -> Word {
         let z = self.zero();
         let mut out = vec![z; a.len()];
-        for i in k..a.len() {
-            out[i] = a[i - k];
+        if k < a.len() {
+            out[k..].copy_from_slice(&a[..a.len() - k]);
         }
         out
     }
@@ -611,9 +611,8 @@ impl ModuleBuilder {
     pub fn shr(&mut self, a: &[NetId], k: usize) -> Word {
         let z = self.zero();
         let mut out = vec![z; a.len()];
-        for i in 0..a.len().saturating_sub(k) {
-            out[i] = a[i + k];
-        }
+        let keep = a.len().saturating_sub(k);
+        out[..keep].copy_from_slice(&a[k..]);
         out
     }
 }

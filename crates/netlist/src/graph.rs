@@ -124,6 +124,20 @@ impl Netlist {
         self.gates[gate.index()].pins[pin as usize] = net;
     }
 
+    /// Forces net `id` to a constant: the driving gate is replaced by
+    /// `Const1`/`Const0` and its input pins are disconnected. Models a
+    /// stuck-at defect at the node for fault-injection experiments; the
+    /// netlist stays valid (constants are legal sources).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn force_constant(&mut self, id: NetId, value: bool) {
+        let gate = &mut self.gates[id.index()];
+        gate.kind = if value { GateKind::Const1 } else { GateKind::Const0 };
+        gate.pins.clear();
+    }
+
     /// The gate driving `id`.
     pub fn gate(&self, id: NetId) -> &Gate {
         &self.gates[id.index()]

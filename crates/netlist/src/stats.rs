@@ -70,7 +70,6 @@ impl fmt::Display for NetlistStats {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::ModuleBuilder;
 
     #[test]

@@ -2,17 +2,26 @@
 
 use soctest_bist::BistCommand;
 
-use crate::{BistBackend, TapController, TapInstruction, Wrapper, WrapperInstruction};
+use crate::{
+    BistBackend, PinFaults, ProtocolError, TapController, TapInstruction, WaitStats, Wrapper,
+    WrapperInstruction,
+};
 
 /// Drives a [`TapController`] the way an external tester would: composing
 /// TMS/TDI sequences for instruction and data scans, issuing BIST commands
 /// through the wrapper's WCDR, and reading status/signatures through the
 /// WDR. Every operation pays its true cost in TCK cycles, which the driver
 /// counts — this is where the protocol-level test-time numbers come from.
+///
+/// A [`PinFaults`] interposer can be armed between the ATE and the TAP to
+/// model boundary-level defects (stuck/flipped TMS/TDI/TDO, dropped TCK
+/// edges); see [`TapDriver::inject_pin_faults`].
 #[derive(Debug, Clone)]
 pub struct TapDriver<B> {
     tap: TapController<B>,
     functional_cycles: u64,
+    pin_faults: PinFaults,
+    pin_cycle: u64,
 }
 
 impl<B: BistBackend> TapDriver<B> {
@@ -21,6 +30,8 @@ impl<B: BistBackend> TapDriver<B> {
         TapDriver {
             tap: TapController::new(backend),
             functional_cycles: 0,
+            pin_faults: PinFaults::none(),
+            pin_cycle: 0,
         }
     }
 
@@ -49,42 +60,72 @@ impl<B: BistBackend> TapDriver<B> {
         self.functional_cycles
     }
 
+    /// Arms a pin-fault interposer between the ATE and the TAP. Every
+    /// subsequent TCK cycle passes through it until
+    /// [`TapDriver::clear_pin_faults`].
+    pub fn inject_pin_faults(&mut self, faults: PinFaults) {
+        self.pin_faults = faults;
+    }
+
+    /// Removes the pin-fault interposer.
+    pub fn clear_pin_faults(&mut self) {
+        self.pin_faults = PinFaults::none();
+    }
+
+    /// The currently armed interposer.
+    pub fn pin_faults(&self) -> PinFaults {
+        self.pin_faults
+    }
+
+    /// One TCK cycle through the interposer.
+    fn tick(&mut self, tms: bool, tdi: bool) -> bool {
+        self.pin_cycle += 1;
+        if self.pin_faults.drops_cycle(self.pin_cycle) {
+            // The edge never reaches the TAP; the ATE reads a dead line.
+            return false;
+        }
+        let tms = self.pin_faults.tms.map_or(tms, |f| f.apply(tms, self.pin_cycle));
+        let tdi = self.pin_faults.tdi.map_or(tdi, |f| f.apply(tdi, self.pin_cycle));
+        let tdo = self.tap.tick(tms, tdi);
+        self.pin_faults.tdo.map_or(tdo, |f| f.apply(tdo, self.pin_cycle))
+    }
+
     /// Hardware reset: five TMS-high cycles, then into Run-Test/Idle.
     pub fn reset(&mut self) {
         for _ in 0..5 {
-            self.tap.tick(true, false);
+            self.tick(true, false);
         }
-        self.tap.tick(false, false);
+        self.tick(false, false);
     }
 
     /// Loads a TAP instruction (assumes Run-Test/Idle; returns there).
     pub fn load_tap_ir(&mut self, instr: TapInstruction) {
-        self.tap.tick(true, false); // SelectDrScan
-        self.tap.tick(true, false); // SelectIrScan
-        self.tap.tick(false, false); // CaptureIr
-        self.tap.tick(false, false); // capture; -> ShiftIr
+        self.tick(true, false); // SelectDrScan
+        self.tick(true, false); // SelectIrScan
+        self.tick(false, false); // CaptureIr
+        self.tick(false, false); // capture; -> ShiftIr
         let code = instr.encode();
         for i in 0..TapInstruction::LENGTH {
             let last = i == TapInstruction::LENGTH - 1;
-            self.tap.tick(last, (code >> i) & 1 == 1);
+            self.tick(last, (code >> i) & 1 == 1);
         }
-        self.tap.tick(true, false); // Exit1Ir -> UpdateIr
-        self.tap.tick(false, false); // update; -> RTI
+        self.tick(true, false); // Exit1Ir -> UpdateIr
+        self.tick(false, false); // update; -> RTI
     }
 
     /// Performs a DR scan of `bits`, returning the bits shifted out.
     /// (Assumes Run-Test/Idle; returns there.)
     pub fn shift_dr(&mut self, bits: &[bool]) -> Vec<bool> {
-        self.tap.tick(true, false); // SelectDrScan
-        self.tap.tick(false, false); // -> CaptureDr
-        self.tap.tick(false, false); // capture; -> ShiftDr
+        self.tick(true, false); // SelectDrScan
+        self.tick(false, false); // -> CaptureDr
+        self.tick(false, false); // capture; -> ShiftDr
         let mut out = Vec::with_capacity(bits.len());
         for (i, &b) in bits.iter().enumerate() {
             let last = i == bits.len() - 1;
-            out.push(self.tap.tick(last, b));
+            out.push(self.tick(last, b));
         }
-        self.tap.tick(true, false); // Exit1Dr -> UpdateDr
-        self.tap.tick(false, false); // update; -> RTI
+        self.tick(true, false); // Exit1Dr -> UpdateDr
+        self.tick(false, false); // update; -> RTI
         out
     }
 
@@ -98,6 +139,42 @@ impl<B: BistBackend> TapDriver<B> {
             .collect();
         self.shift_dr(&bits);
         self.load_tap_ir(TapInstruction::WrapperData);
+    }
+
+    /// Like [`TapDriver::wrapper_instruction`], but re-scans the WIR after
+    /// loading and checks that the bits shifted back out match the code
+    /// shifted in — catching TDI/TDO corruption on the instruction path
+    /// before a misdecoded instruction silently selects the wrong register.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::WirReadbackMismatch`] when the readback
+    /// differs.
+    pub fn wrapper_instruction_verified(
+        &mut self,
+        wi: WrapperInstruction,
+    ) -> Result<(), ProtocolError> {
+        self.load_tap_ir(TapInstruction::WrapperInstr);
+        let code = wi.encode();
+        let bits: Vec<bool> = (0..WrapperInstruction::LENGTH)
+            .map(|i| (code >> i) & 1 == 1)
+            .collect();
+        self.shift_dr(&bits);
+        // The WIR shift stage still holds what actually arrived; scanning
+        // the same code in again streams it back out.
+        let readback = self.shift_dr(&bits);
+        let got = readback
+            .iter()
+            .enumerate()
+            .fold(0u8, |acc, (i, &b)| acc | ((b as u8) << i));
+        if got != code {
+            return Err(ProtocolError::WirReadbackMismatch {
+                expected: code,
+                got,
+            });
+        }
+        self.load_tap_ir(TapInstruction::WrapperData);
+        Ok(())
     }
 
     /// Issues a BIST command through the WCDR (selects the command register
@@ -147,25 +224,70 @@ impl<B: BistBackend> TapDriver<B> {
         (done, sig)
     }
 
+    /// Reads the WDR `votes` times and returns the majority `(end_test,
+    /// signature)` value — each scan recaptures from the backend, so a
+    /// transient upset on one read is outvoted by the clean re-reads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::NoStatusMajority`] when no value reaches a
+    /// strict majority.
+    pub fn read_status_voted(&mut self, votes: u32) -> Result<(bool, u64), ProtocolError> {
+        let votes = votes.max(1);
+        let reads: Vec<(bool, u64)> = (0..votes).map(|_| self.read_status()).collect();
+        let mut best: Option<((bool, u64), u32)> = None;
+        for &r in &reads {
+            let count = reads.iter().filter(|&&x| x == r).count() as u32;
+            if best.is_none_or(|(_, c)| count > c) {
+                best = Some((r, count));
+            }
+        }
+        match best {
+            Some((value, count)) if count * 2 > votes => Ok(value),
+            _ => Err(ProtocolError::NoStatusMajority { votes }),
+        }
+    }
+
     /// Polls the status register until `end_test`, running the core in
     /// bursts of `burst` functional cycles, up to `max_bursts` times.
-    /// Returns `true` when the test completed.
-    pub fn wait_for_done(&mut self, burst: u64, max_bursts: u32) -> bool {
-        for _ in 0..max_bursts {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::DoneTimeout`] with the cycles spent when
+    /// the budget is exhausted before `end_test` rises — the caller can
+    /// distinguish a slow test (raise the budget) from a hung engine.
+    pub fn wait_for_done(&mut self, burst: u64, max_bursts: u32) -> Result<WaitStats, ProtocolError> {
+        let mut cycles_waited = 0u64;
+        for b in 0..max_bursts {
             let (done, _) = self.read_status();
             if done {
-                return true;
+                return Ok(WaitStats {
+                    cycles_waited,
+                    bursts: b,
+                });
             }
             self.run_functional(burst);
+            cycles_waited += burst;
         }
-        self.read_status().0
+        let (done, _) = self.read_status();
+        if done {
+            Ok(WaitStats {
+                cycles_waited,
+                bursts: max_bursts,
+            })
+        } else {
+            Err(ProtocolError::DoneTimeout {
+                cycles_waited,
+                bursts: max_bursts,
+            })
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::MockBackend;
+    use crate::{FaultyBackend, MockBackend, PinFault};
 
     #[test]
     fn full_session_through_the_tap() {
@@ -173,7 +295,9 @@ mod tests {
         drv.reset();
         drv.bist_load_pattern_count(100);
         drv.bist_start();
-        assert!(drv.wait_for_done(40, 10));
+        let stats = drv.wait_for_done(40, 10).unwrap();
+        assert_eq!(stats.bursts, 3, "3 bursts of 40");
+        assert_eq!(stats.cycles_waited, 120);
         let (done, sig) = drv.read_status();
         assert!(done);
         assert_eq!(sig, drv.backend().expected_signature());
@@ -207,5 +331,78 @@ mod tests {
         drv.bist_select_result(1);
         let (_, s1) = drv.read_status();
         assert_ne!(s0, s1, "mock signature depends on the selection");
+    }
+
+    #[test]
+    fn timeout_reports_cycles_spent() {
+        let mut drv = TapDriver::new(FaultyBackend::new(8, 2).with_hang());
+        drv.reset();
+        drv.bist_load_pattern_count(2);
+        drv.bist_start();
+        assert_eq!(
+            drv.wait_for_done(16, 4),
+            Err(ProtocolError::DoneTimeout {
+                cycles_waited: 64,
+                bursts: 4
+            })
+        );
+    }
+
+    #[test]
+    fn wir_readback_passes_on_a_clean_path() {
+        let mut drv = TapDriver::new(MockBackend::new(8, 1));
+        drv.reset();
+        drv.wrapper_instruction_verified(WrapperInstruction::CommandReg)
+            .unwrap();
+        assert_eq!(
+            drv.tap().wrapper().instruction(),
+            WrapperInstruction::CommandReg
+        );
+    }
+
+    #[test]
+    fn stuck_tdi_is_caught_by_wir_readback() {
+        let mut drv = TapDriver::new(MockBackend::new(8, 1));
+        drv.reset();
+        drv.inject_pin_faults(PinFaults {
+            tdi: Some(PinFault::StuckAt(false)),
+            ..PinFaults::none()
+        });
+        let err = drv
+            .wrapper_instruction_verified(WrapperInstruction::StatusReg)
+            .unwrap_err();
+        assert!(matches!(err, ProtocolError::WirReadbackMismatch { .. }));
+    }
+
+    #[test]
+    fn voted_read_outlives_a_transient_upset() {
+        let mut drv = TapDriver::new(FaultyBackend::new(16, 1).with_transient_reads(1, 0xFF));
+        drv.reset();
+        drv.bist_load_pattern_count(3);
+        drv.bist_start();
+        drv.run_functional(1);
+        let (done, sig) = drv.read_status_voted(3).unwrap();
+        assert!(done);
+        assert_eq!(sig, drv.backend().expected_signature());
+    }
+
+    #[test]
+    fn dropped_clocks_stall_the_protocol() {
+        let mut clean = TapDriver::new(MockBackend::new(8, 1));
+        let mut dirty = TapDriver::new(MockBackend::new(8, 1));
+        dirty.inject_pin_faults(PinFaults {
+            drop_tck_every: Some(2),
+            ..PinFaults::none()
+        });
+        clean.reset();
+        dirty.reset();
+        clean.load_tap_ir(TapInstruction::Idcode);
+        dirty.load_tap_ir(TapInstruction::Idcode);
+        assert_eq!(clean.tap().instruction(), TapInstruction::Idcode);
+        assert_ne!(
+            dirty.tap().instruction(),
+            TapInstruction::Idcode,
+            "half the edges never arrived"
+        );
     }
 }

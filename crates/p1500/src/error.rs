@@ -1,0 +1,115 @@
+//! Error type for the TAP/P1500 protocol layer.
+
+use std::error::Error;
+use std::fmt;
+
+use soctest_bist::EngineError;
+
+/// Cycle accounting returned by a successful
+/// [`crate::TapDriver::wait_for_done`] poll.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitStats {
+    /// Functional cycles spent in at-speed bursts before `end_test` rose.
+    pub cycles_waited: u64,
+    /// Bursts issued before `end_test` rose.
+    pub bursts: u32,
+}
+
+/// Errors raised while driving the TAP/P1500 protocol.
+///
+/// Middle layer of the session error lattice: wraps
+/// [`soctest_bist::EngineError`] and is in turn wrapped by
+/// `soctest_core`'s `SessionError`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProtocolError {
+    /// The status register never reported `end_test` within the polling
+    /// budget.
+    DoneTimeout {
+        /// Functional cycles burst before giving up.
+        cycles_waited: u64,
+        /// Bursts issued before giving up.
+        bursts: u32,
+    },
+    /// A wrapper-instruction readback did not return the code shifted in
+    /// (TDI/TDO corruption on the WIR scan path).
+    WirReadbackMismatch {
+        /// The instruction code that was shifted in.
+        expected: u8,
+        /// The code read back out.
+        got: u8,
+    },
+    /// Repeated status reads never agreed on a majority value.
+    NoStatusMajority {
+        /// Number of reads taken.
+        votes: u32,
+    },
+    /// An engine-layer failure observed through the protocol.
+    Engine(EngineError),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::DoneTimeout {
+                cycles_waited,
+                bursts,
+            } => write!(
+                f,
+                "end_test never rose after {cycles_waited} functional cycles in {bursts} bursts"
+            ),
+            ProtocolError::WirReadbackMismatch { expected, got } => write!(
+                f,
+                "WIR readback mismatch: shifted {expected:#05b}, read back {got:#05b}"
+            ),
+            ProtocolError::NoStatusMajority { votes } => {
+                write!(f, "no majority among {votes} status reads")
+            }
+            ProtocolError::Engine(e) => write!(f, "engine: {e}"),
+        }
+    }
+}
+
+impl Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ProtocolError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EngineError> for ProtocolError {
+    fn from(e: EngineError) -> Self {
+        ProtocolError::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = ProtocolError::DoneTimeout {
+            cycles_waited: 640,
+            bursts: 10,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("640"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn engine_errors_convert_and_chain() {
+        let e: ProtocolError = EngineError::Hung { cycles: 7 }.into();
+        assert_eq!(e, ProtocolError::Engine(EngineError::Hung { cycles: 7 }));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ProtocolError>();
+    }
+}

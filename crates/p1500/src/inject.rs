@@ -1,0 +1,220 @@
+//! Protocol fault injection: a misbehaving [`BistBackend`] and a TAP pin
+//! interposer.
+//!
+//! The robustness machinery in `soctest-core` needs reproducible ways to
+//! break a test session at each layer:
+//!
+//! * [`FaultyBackend`] misbehaves *behind* the wrapper — it can hang
+//!   (never raise `end_test`), present a permanently corrupted signature
+//!   (a defective core), or glitch the first few signature captures (a
+//!   transient that majority-vote re-reads recover from);
+//! * [`PinFaults`] corrupts the *chip boundary* — stuck-at or
+//!   periodically flipped TMS/TDI/TDO pins and dropped TCK edges, applied
+//!   by [`crate::TapDriver`] between the ATE and the TAP.
+
+use std::cell::Cell;
+
+use soctest_bist::BistCommand;
+
+use crate::{BistBackend, MockBackend};
+
+/// A [`MockBackend`] wrapper with injectable misbehavior.
+#[derive(Debug, Clone)]
+pub struct FaultyBackend {
+    inner: MockBackend,
+    hang: bool,
+    signature_xor: u64,
+    transient_reads: u32,
+    transient_xor: u64,
+    captures: Cell<u32>,
+}
+
+impl FaultyBackend {
+    /// A well-behaved backend (identical to
+    /// [`MockBackend::new`]`(sig_width, needed)`); chain the `with_*`
+    /// builders to break it.
+    pub fn new(sig_width: usize, needed: u64) -> Self {
+        FaultyBackend {
+            inner: MockBackend::new(sig_width, needed),
+            hang: false,
+            signature_xor: 0,
+            transient_reads: 0,
+            transient_xor: 0,
+            captures: Cell::new(0),
+        }
+    }
+
+    /// Never raise `end_test`, no matter how long the core runs.
+    pub fn with_hang(mut self) -> Self {
+        self.hang = true;
+        self
+    }
+
+    /// XOR `mask` into every signature presented (a hard defect).
+    pub fn with_signature_xor(mut self, mask: u64) -> Self {
+        self.signature_xor = mask;
+        self
+    }
+
+    /// XOR `mask` into the first `reads` signature captures only (a
+    /// transient upset that later re-reads see past).
+    pub fn with_transient_reads(mut self, reads: u32, mask: u64) -> Self {
+        self.transient_reads = reads;
+        self.transient_xor = mask;
+        self
+    }
+
+    /// The signature a fault-free run would present.
+    pub fn expected_signature(&self) -> u64 {
+        self.inner.expected_signature()
+    }
+}
+
+impl BistBackend for FaultyBackend {
+    fn command(&mut self, cmd: BistCommand) {
+        self.inner.command(cmd);
+    }
+
+    fn functional_clock(&mut self) {
+        self.inner.functional_clock();
+    }
+
+    fn end_test(&self) -> bool {
+        !self.hang && self.inner.end_test()
+    }
+
+    fn selected_signature(&self) -> u64 {
+        let n = self.captures.get();
+        self.captures.set(n.saturating_add(1));
+        let mut sig = self.inner.selected_signature() ^ self.signature_xor;
+        if n < self.transient_reads {
+            sig ^= self.transient_xor;
+        }
+        sig
+    }
+
+    fn signature_width(&self) -> usize {
+        self.inner.signature_width()
+    }
+}
+
+/// One misbehaving pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PinFault {
+    /// The pin reads a constant regardless of what is driven.
+    StuckAt(bool),
+    /// Every `period`-th TCK cycle (1-based), the pin value is inverted.
+    FlipEvery(u64),
+}
+
+impl PinFault {
+    /// The value seen on the far side of the fault at TCK cycle `cycle`.
+    pub fn apply(self, value: bool, cycle: u64) -> bool {
+        match self {
+            PinFault::StuckAt(v) => v,
+            PinFault::FlipEvery(period) => {
+                if period > 0 && cycle.is_multiple_of(period) {
+                    !value
+                } else {
+                    value
+                }
+            }
+        }
+    }
+}
+
+/// A TAP pin interposer: faults applied between the ATE and the TAP.
+///
+/// `tms`/`tdi` corrupt what the controller receives; `tdo` corrupts what
+/// the ATE reads back; `drop_tck_every` swallows every n-th clock edge
+/// entirely (the controller does not advance, the ATE believes it did).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PinFaults {
+    /// Fault on the TMS pin, if any.
+    pub tms: Option<PinFault>,
+    /// Fault on the TDI pin, if any.
+    pub tdi: Option<PinFault>,
+    /// Fault on the TDO pin, if any.
+    pub tdo: Option<PinFault>,
+    /// Drop every n-th TCK edge (`None` = clean clock).
+    pub drop_tck_every: Option<u64>,
+}
+
+impl PinFaults {
+    /// A clean interposer (no faults).
+    pub fn none() -> Self {
+        PinFaults::default()
+    }
+
+    /// Whether any fault is armed.
+    pub fn is_active(&self) -> bool {
+        self.tms.is_some()
+            || self.tdi.is_some()
+            || self.tdo.is_some()
+            || self.drop_tck_every.is_some()
+    }
+
+    /// Whether TCK edge `cycle` (1-based) is dropped.
+    pub fn drops_cycle(&self, cycle: u64) -> bool {
+        matches!(self.drop_tck_every, Some(n) if n > 0 && cycle.is_multiple_of(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_faulty_backend_matches_mock() {
+        let mut f = FaultyBackend::new(16, 5);
+        let mut m = MockBackend::new(16, 5);
+        for b in [&mut f as &mut dyn BistBackend, &mut m] {
+            b.command(BistCommand::LoadPatternCount(5));
+            b.command(BistCommand::Start);
+            for _ in 0..5 {
+                b.functional_clock();
+            }
+        }
+        assert!(f.end_test() && m.end_test());
+        assert_eq!(f.selected_signature(), m.selected_signature());
+    }
+
+    #[test]
+    fn hang_suppresses_end_test_forever() {
+        let mut f = FaultyBackend::new(8, 2).with_hang();
+        f.command(BistCommand::LoadPatternCount(2));
+        f.command(BistCommand::Start);
+        for _ in 0..1000 {
+            f.functional_clock();
+        }
+        assert!(!f.end_test());
+    }
+
+    #[test]
+    fn transient_reads_clear_after_the_glitch() {
+        let mut f = FaultyBackend::new(8, 1).with_transient_reads(1, 0b1010);
+        f.command(BistCommand::LoadPatternCount(1));
+        f.command(BistCommand::Start);
+        f.functional_clock();
+        let first = f.selected_signature();
+        let second = f.selected_signature();
+        assert_eq!(first ^ 0b1010, second, "only the first read is upset");
+        assert_eq!(second, f.expected_signature());
+    }
+
+    #[test]
+    fn pin_fault_application() {
+        assert!(PinFault::StuckAt(true).apply(false, 3));
+        assert!(!PinFault::StuckAt(false).apply(true, 3));
+        assert!(PinFault::FlipEvery(4).apply(false, 4));
+        assert!(!PinFault::FlipEvery(4).apply(false, 5));
+        let pf = PinFaults {
+            drop_tck_every: Some(3),
+            ..PinFaults::none()
+        };
+        assert!(pf.drops_cycle(3) && pf.drops_cycle(6));
+        assert!(!pf.drops_cycle(4));
+        assert!(pf.is_active());
+        assert!(!PinFaults::none().is_active());
+    }
+}

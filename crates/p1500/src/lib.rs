@@ -37,12 +37,17 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 mod driver;
+mod error;
+mod inject;
 pub mod structural;
 mod tap;
 mod wrapper;
 
 pub use driver::TapDriver;
+pub use error::{ProtocolError, WaitStats};
+pub use inject::{FaultyBackend, PinFault, PinFaults};
 pub use tap::{TapController, TapInstruction, TapState};
 pub use wrapper::{BistBackend, MockBackend, Wrapper, WrapperInstruction, WrapperPins};

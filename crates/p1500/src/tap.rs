@@ -217,11 +217,10 @@ impl<B: BistBackend> TapController<B> {
                     tdo = self.wrapper.clock(self.wrapper_pins(true, false, false, tdi));
                 }
             },
-            TapState::UpdateDr => {
-                if !matches!(self.ir, TapInstruction::Bypass | TapInstruction::Idcode) {
+            TapState::UpdateDr
+                if !matches!(self.ir, TapInstruction::Bypass | TapInstruction::Idcode) => {
                     self.wrapper.clock(self.wrapper_pins(false, false, true, tdi));
                 }
-            }
             _ => {}
         }
         self.state = self.state.next(tms);

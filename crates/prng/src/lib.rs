@@ -1,0 +1,220 @@
+//! A tiny, dependency-free deterministic PRNG for the workspace.
+//!
+//! The registry is not always reachable where this repository builds, so
+//! nothing in the tree may depend on external crates. Everything that used
+//! to reach for `rand` — channel noise, code-construction shuffles, random
+//! test stimuli, property-style tests — goes through [`SplitMix64`]
+//! instead: a 64-bit state, a Weyl-sequence increment, and an output mix
+//! with excellent avalanche behavior (the generator PCG and xoshiro use to
+//! seed themselves).
+//!
+//! The API is intentionally small and explicit. Every stream is seeded, so
+//! every consumer is reproducible by construction.
+//!
+//! ```
+//! use soctest_prng::SplitMix64;
+//!
+//! let mut rng = SplitMix64::new(42);
+//! let a = rng.next_u64();
+//! assert_ne!(a, rng.next_u64());
+//! assert_eq!(SplitMix64::new(42).next_u64(), a, "seeded streams replay");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// SplitMix64: Sebastiano Vigna's mix of Steele et al.'s SplitMix.
+///
+/// Period 2^64 (the state is a counter), uniform output, passes BigCrush.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`. Equal seeds give equal streams.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The next 32 uniformly distributed bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform `f64` in `[0, 1)` (53 mantissa bits of randomness).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.next_f64() < p
+    }
+
+    /// A uniform integer in `[0, bound)`. Returns 0 for `bound == 0`.
+    ///
+    /// Uses Lemire's multiply-shift rejection so small bounds are unbiased.
+    pub fn gen_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        loop {
+            let x = self.next_u64();
+            let hi = ((x as u128 * bound as u128) >> 64) as u64;
+            let lo = x.wrapping_mul(bound);
+            if lo >= bound || lo >= bound.wrapping_neg() % bound {
+                return hi;
+            }
+        }
+    }
+
+    /// A uniform `usize` in `[0, bound)`. Returns 0 for `bound == 0`.
+    pub fn gen_index(&mut self, bound: usize) -> usize {
+        self.gen_below(bound as u64) as usize
+    }
+
+    /// A uniform `f64` in `[lo, hi)`.
+    pub fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// A standard-normal sample (Box–Muller; one of the pair is discarded
+    /// to keep the generator stateless beyond its 64-bit counter).
+    pub fn gen_gaussian(&mut self) -> f64 {
+        // u1 in (0, 1] so ln is finite.
+        let u1 = 1.0 - self.next_f64();
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Fills a boolean slice with fair coin flips.
+    pub fn fill_bool(&mut self, out: &mut [bool]) {
+        let mut word = 0u64;
+        for (i, b) in out.iter_mut().enumerate() {
+            if i % 64 == 0 {
+                word = self.next_u64();
+            }
+            *b = word & 1 == 1;
+            word >>= 1;
+        }
+    }
+}
+
+/// One step of the xorshift64 generator (never returns 0; zero seeds are
+/// redirected to a fixed odd constant). Kept for call sites that want a
+/// single stateless scramble rather than a stream.
+#[inline]
+pub fn xorshift64(mut x: u64) -> u64 {
+    if x == 0 {
+        x = 0x9E37_79B9_7F4A_7C15;
+    }
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_replay_and_differ_by_seed() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        let mut c = SplitMix64::new(8);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut r = SplitMix64::new(1);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_below_is_roughly_uniform_and_in_range() {
+        let mut r = SplitMix64::new(3);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            let v = r.gen_below(10);
+            assert!(v < 10);
+            counts[v as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut r = SplitMix64::new(9);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.1)).count();
+        assert!((8_000..12_000).contains(&hits), "got {hits}");
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+
+    #[test]
+    fn gaussian_has_zero_mean_unit_variance() {
+        let mut r = SplitMix64::new(11);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.gen_gaussian()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SplitMix64::new(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(v, sorted, "100 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn xorshift_never_returns_zero() {
+        assert_ne!(xorshift64(0), 0);
+        let mut x = 1u64;
+        for _ in 0..1000 {
+            x = xorshift64(x);
+            assert_ne!(x, 0);
+        }
+    }
+}

@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ate.reset();
     ate.bist_load_pattern_count(patterns);
     ate.bist_start();
-    assert!(ate.wait_for_done(256, 16), "BIST must finish");
+    ate.wait_for_done(256, 16)?;
     println!("\nsession: {} TCK cycles on the tester, {} at-speed core cycles",
         ate.tck(), ate.functional_cycles());
     for (m, &gold) in golden.iter().enumerate() {

@@ -1,0 +1,77 @@
+//! A fault-tolerant test session on a defective device: one of the three
+//! LDPC decoder modules carries a stuck-at defect, and the robust session
+//! runner detects it, retries up the polynomial/seed ladder to rule out
+//! aliasing, and quarantines exactly the bad module — while a hung engine
+//! and an over-budget session surface as typed errors.
+//!
+//! ```text
+//! cargo run --release --example robust_session
+//! ```
+
+use soctest::core::casestudy::CaseStudy;
+use soctest::core::robust::{RobustSession, SessionBudget};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let reference = CaseStudy::paper()?;
+    let patterns = 256u64;
+
+    // A healthy device: every module passes on the first attempt.
+    let healthy = CaseStudy::paper()?;
+    let report = RobustSession::default().run(&reference, &healthy, patterns)?;
+    println!("healthy device:");
+    for outcome in &report.outcomes {
+        println!(
+            "  {:<13} {} ({} attempt{})",
+            outcome.module,
+            if outcome.quarantined { "QUARANTINED" } else { "pass" },
+            outcome.attempts.len(),
+            if outcome.attempts.len() == 1 { "" } else { "s" },
+        );
+    }
+    println!(
+        "  bill: {} TCK, {} at-speed cycles\n",
+        report.tck_spent, report.functional_cycles
+    );
+
+    // A defective device: CHECK_NODE's first output is stuck at 0.
+    let mut defective = CaseStudy::paper()?;
+    let victim = defective.modules()[1].primary_outputs()[0];
+    defective.module_mut(1).force_constant(victim, false);
+    let report = RobustSession::default().run(&reference, &defective, patterns)?;
+    println!("defective device (CHECK_NODE output stuck at 0):");
+    for outcome in &report.outcomes {
+        println!(
+            "  {:<13} {}",
+            outcome.module,
+            if outcome.quarantined { "QUARANTINED" } else { "pass" }
+        );
+        for a in &outcome.attempts {
+            println!(
+                "    {:?}: dut {:#06x} vs golden {:#06x} → {}",
+                a.strategy,
+                a.signature,
+                a.golden,
+                if a.matched() { "match" } else { "MISMATCH" }
+            );
+        }
+    }
+    assert_eq!(report.quarantined(), vec!["CHECK_NODE"]);
+
+    // A session that cannot fit its TCK budget aborts with accounting.
+    let strict = RobustSession::new(SessionBudget {
+        max_tck: 100,
+        ..SessionBudget::default()
+    });
+    match strict.run(&reference, &healthy, patterns) {
+        Err(e) => println!("\nover-budget session: {e}"),
+        Ok(_) => unreachable!("100 TCK cannot cover a full session"),
+    }
+
+    // A hung engine (zero patterns: the control unit ignores Start) is a
+    // typed error, not an endless poll.
+    match RobustSession::default().run(&reference, &healthy, 0) {
+        Err(e) => println!("hung engine: {e}"),
+        Ok(_) => unreachable!("a zero-pattern session never finishes"),
+    }
+    Ok(())
+}

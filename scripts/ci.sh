@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, test, lint. Run from the repo root.
+#
+# Matches the robustness contract in DESIGN.md §6: clippy runs with
+# -D warnings, and crates/p1500 + crates/core deny unwrap/expect/panic in
+# non-test code at the crate root, so a regression there fails this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== tests =="
+cargo test --release --workspace -q
+
+echo "== clippy (-D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci: all green"

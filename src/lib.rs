@@ -25,7 +25,8 @@
 //! ate.reset();
 //! ate.bist_load_pattern_count(64);
 //! ate.bist_start();
-//! assert!(ate.wait_for_done(64, 4));
+//! let stats = ate.wait_for_done(64, 4)?;
+//! assert!(stats.cycles_waited >= 64);
 //! # Ok(())
 //! # }
 //! ```
@@ -40,5 +41,6 @@ pub use soctest_fault as fault;
 pub use soctest_ldpc as ldpc;
 pub use soctest_netlist as netlist;
 pub use soctest_p1500 as p1500;
+pub use soctest_prng as prng;
 pub use soctest_sim as sim;
 pub use soctest_tech as tech;

@@ -18,7 +18,8 @@ fn tap_driven_session_reproduces_golden_signatures() {
     ate.reset();
     ate.bist_load_pattern_count(128);
     ate.bist_start();
-    assert!(ate.wait_for_done(64, 8));
+    let stats = ate.wait_for_done(64, 8).unwrap();
+    assert!(stats.cycles_waited >= 128, "at least one cycle per pattern");
     for (m, &gold) in golden.iter().enumerate() {
         ate.bist_select_result(m as u8);
         let (done, sig) = ate.read_status();

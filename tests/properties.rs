@@ -1,12 +1,18 @@
-//! Property-based tests on the core data structures and simulator
+//! Property-style tests on the core data structures and simulator
 //! invariants, spanning crates.
-
-use proptest::prelude::*;
+//!
+//! These were originally proptest properties; they now run as plain
+//! `#[test]` loops over the in-tree seeded PRNG so the suite builds with no
+//! registry access. Each test sweeps a fixed number of random cases; the
+//! seeds are fixed, so failures replay deterministically.
 
 use soctest::bist::{Alfsr, Misr};
 use soctest::fault::{FaultUniverse, PatternSet, SeqFaultSim, SeqFaultSimConfig, VectorStimulus};
 use soctest::netlist::{GateKind, ModuleBuilder, NetId, Netlist};
+use soctest::prng::SplitMix64;
 use soctest::sim::{CombSim, SeqSim};
+
+const CASES: usize = 64;
 
 /// A random but *valid* combinational netlist: `n_in` inputs followed by
 /// random 2-input gates over earlier nets.
@@ -36,15 +42,28 @@ fn random_comb(n_in: usize, gates: &[(u8, u16, u16)]) -> Netlist {
     nl
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Draws the `(n_in, gates)` shape the old proptest strategies produced.
+fn draw_comb(rng: &mut SplitMix64, max_in: usize, max_gates: usize) -> (usize, Vec<(u8, u16, u16)>) {
+    let n_in = 1 + rng.gen_index(max_in.max(1));
+    let n_gates = 1 + rng.gen_index(max_gates.max(1));
+    let gates = (0..n_gates)
+        .map(|_| {
+            (
+                rng.next_u32() as u8,
+                rng.next_u32() as u16,
+                rng.next_u32() as u16,
+            )
+        })
+        .collect();
+    (n_in, gates)
+}
 
-    /// Levelization emits every combinational gate after its drivers.
-    #[test]
-    fn levelize_respects_dependencies(
-        n_in in 1usize..6,
-        gates in prop::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 1..60),
-    ) {
+/// Levelization emits every combinational gate after its drivers.
+#[test]
+fn levelize_respects_dependencies() {
+    let mut rng = SplitMix64::new(0x1e4e1);
+    for _ in 0..CASES {
+        let (n_in, gates) = draw_comb(&mut rng, 5, 59);
         let nl = random_comb(n_in, &gates);
         let order = nl.levelize().unwrap();
         let mut pos = vec![usize::MAX; nl.len()];
@@ -52,26 +71,30 @@ proptest! {
             pos[id.index()] = i;
         }
         for (id, gate) in nl.iter() {
-            if gate.kind.is_source() { continue; }
+            if gate.kind.is_source() {
+                continue;
+            }
             for p in &gate.pins {
                 if !nl.gate(*p).kind.is_source() {
-                    prop_assert!(pos[p.index()] < pos[id.index()]);
+                    assert!(pos[p.index()] < pos[id.index()]);
                 }
             }
         }
     }
+}
 
-    /// Bit-parallel evaluation agrees with 64 independent single-lane runs.
-    #[test]
-    fn lanes_are_independent(
-        n_in in 1usize..5,
-        gates in prop::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 1..40),
-        stimulus in prop::collection::vec(any::<u64>(), 1..5),
-    ) {
+/// Bit-parallel evaluation agrees with an independent single-lane run.
+#[test]
+fn lanes_are_independent() {
+    let mut rng = SplitMix64::new(0x1a9e5);
+    for _ in 0..CASES {
+        let (n_in, gates) = draw_comb(&mut rng, 4, 39);
         let nl = random_comb(n_in, &gates);
         let mut sim = CombSim::new(&nl).unwrap();
         let ins = nl.port("in").unwrap().bits().to_vec();
         let out = nl.port("out").unwrap().bits()[0];
+        let n_words = 1 + rng.gen_index(4);
+        let stimulus: Vec<u64> = (0..n_words).map(|_| rng.next_u64()).collect();
         for words in stimulus.chunks(n_in) {
             let mut padded = words.to_vec();
             padded.resize(n_in, 0);
@@ -86,33 +109,43 @@ proptest! {
                 solo.set(net, if (w >> 7) & 1 == 1 { u64::MAX } else { 0 });
             }
             solo.eval(&nl);
-            prop_assert_eq!((parallel >> 7) & 1, solo.get(out) & 1);
+            assert_eq!((parallel >> 7) & 1, solo.get(out) & 1);
         }
     }
+}
 
-    /// Fault collapsing partitions the uncollapsed universe exactly.
-    #[test]
-    fn collapsing_is_a_partition(
-        n_in in 1usize..5,
-        gates in prop::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 1..50),
-    ) {
+/// Fault collapsing partitions the uncollapsed universe exactly.
+#[test]
+fn collapsing_is_a_partition() {
+    let mut rng = SplitMix64::new(0xc011a);
+    for _ in 0..CASES {
+        let (n_in, gates) = draw_comb(&mut rng, 4, 49);
         let nl = random_comb(n_in, &gates);
         let u = FaultUniverse::stuck_at(&nl);
         let member_total: usize = (0..u.len()).map(|i| u.class(i).len()).sum();
-        prop_assert_eq!(member_total, u.total_sites());
+        assert_eq!(member_total, u.total_sites());
         for i in 0..u.len() {
-            prop_assert!(u.class(i).contains(&u.faults()[i]), "representative in class");
+            assert!(u.class(i).contains(&u.faults()[i]), "representative in class");
         }
     }
+}
 
-    /// Fault-simulation results are invariant under the window length.
-    #[test]
-    fn windowing_never_changes_detection(
-        n_in in 2usize..5,
-        gates in prop::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 4..30),
-        patterns in prop::collection::vec(any::<u64>(), 8..40),
-        window in 1u64..20,
-    ) {
+/// Fault-simulation results are invariant under the window length.
+#[test]
+fn windowing_never_changes_detection() {
+    let mut rng = SplitMix64::new(0x714d0);
+    for _ in 0..CASES / 4 {
+        let n_in = 2 + rng.gen_index(3);
+        let n_gates = 4 + rng.gen_index(26);
+        let gates: Vec<(u8, u16, u16)> = (0..n_gates)
+            .map(|_| {
+                (
+                    rng.next_u32() as u8,
+                    rng.next_u32() as u16,
+                    rng.next_u32() as u16,
+                )
+            })
+            .collect();
         // Registered random block so state is involved.
         let comb = random_comb(n_in, &gates);
         let mut mb = ModuleBuilder::new("regged");
@@ -123,6 +156,9 @@ proptest! {
         mb.output_bus("q", &q);
         let nl = mb.finish().unwrap();
 
+        let patterns: Vec<u64> = (0..8 + rng.gen_index(32)).map(|_| rng.next_u64()).collect();
+        let window = 1 + rng.gen_below(19);
+
         let u = FaultUniverse::stuck_at(&nl);
         let run = |w: u64| {
             let mut stim = VectorStimulus::new(patterns.clone());
@@ -131,29 +167,36 @@ proptest! {
                 .unwrap()
                 .detection
         };
-        prop_assert_eq!(run(window), run(1 << 20));
+        assert_eq!(run(window), run(1 << 20));
     }
+}
 
-    /// The ALFSR never locks up and `state_at` matches stepping.
-    #[test]
-    fn alfsr_streams_consistently(width in 2usize..20, n in 0u64..200) {
+/// The ALFSR never locks up and `state_at` matches stepping.
+#[test]
+fn alfsr_streams_consistently() {
+    let mut rng = SplitMix64::new(0xa1f58);
+    for _ in 0..CASES {
+        let width = 2 + rng.gen_index(18);
+        let n = rng.gen_below(200);
         let mut a = Alfsr::new(width).unwrap();
         let ones = (1u64 << width) - 1;
         for _ in 0..n {
             a.step();
-            prop_assert_ne!(a.state(), ones, "lock-up state reached");
+            assert_ne!(a.state(), ones, "lock-up state reached");
         }
-        prop_assert_eq!(a.state(), a.state_at(n));
+        assert_eq!(a.state(), a.state_at(n));
     }
+}
 
-    /// MISR signatures distinguish any single-bit difference in a stream.
-    #[test]
-    fn misr_catches_single_flips(
-        stream in prop::collection::vec(any::<u16>(), 2..40),
-        at in any::<prop::sample::Index>(),
-        bit in 0usize..16,
-    ) {
-        let flip_at = at.index(stream.len());
+/// MISR signatures distinguish any single-bit difference in a stream.
+#[test]
+fn misr_catches_single_flips() {
+    let mut rng = SplitMix64::new(0x315f1);
+    for _ in 0..CASES {
+        let len = 2 + rng.gen_index(38);
+        let stream: Vec<u16> = (0..len).map(|_| rng.next_u32() as u16).collect();
+        let flip_at = rng.gen_index(stream.len());
+        let bit = rng.gen_index(16);
         let mut clean = Misr::new(16);
         let mut dirty = Misr::new(16);
         for (i, &w) in stream.iter().enumerate() {
@@ -161,28 +204,39 @@ proptest! {
             let e = if i == flip_at { 1u64 << bit } else { 0 };
             dirty.absorb(w as u64 ^ e);
         }
-        prop_assert_ne!(clean.signature(), dirty.signature());
+        assert_ne!(clean.signature(), dirty.signature());
     }
+}
 
-    /// Pattern sets round-trip arbitrary rows.
-    #[test]
-    fn pattern_set_round_trip(rows in prop::collection::vec(
-        prop::collection::vec(any::<bool>(), 7), 1..70)) {
+/// Pattern sets round-trip arbitrary rows.
+#[test]
+fn pattern_set_round_trip() {
+    let mut rng = SplitMix64::new(0x9a77e);
+    for _ in 0..CASES {
+        let n_rows = 1 + rng.gen_index(69);
+        let rows: Vec<Vec<bool>> = (0..n_rows)
+            .map(|_| {
+                let mut row = vec![false; 7];
+                rng.fill_bool(&mut row);
+                row
+            })
+            .collect();
         let set = PatternSet::from_rows(7, &rows);
-        prop_assert_eq!(set.len(), rows.len());
+        assert_eq!(set.len(), rows.len());
         for (i, row) in rows.iter().enumerate() {
-            prop_assert_eq!(&set.row(i), row);
+            assert_eq!(&set.row(i), row);
         }
     }
+}
 
-    /// Sequential simulation is deterministic in its inputs.
-    #[test]
-    fn seq_sim_is_deterministic(
-        n_in in 1usize..4,
-        gates in prop::collection::vec((any::<u8>(), any::<u16>(), any::<u16>()), 1..30),
-        drive in prop::collection::vec(any::<u64>(), 1..20),
-    ) {
+/// Sequential simulation is deterministic in its inputs.
+#[test]
+fn seq_sim_is_deterministic() {
+    let mut rng = SplitMix64::new(0x5e95e);
+    for _ in 0..CASES {
+        let (n_in, gates) = draw_comb(&mut rng, 3, 29);
         let comb = random_comb(n_in, &gates);
+        let drive: Vec<u64> = (0..1 + rng.gen_index(19)).map(|_| rng.next_u64()).collect();
         let run = || {
             let mut sim = SeqSim::new(&comb).unwrap();
             let ins = comb.port("in").unwrap().bits().to_vec();
@@ -198,6 +252,6 @@ proptest! {
             }
             acc
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run());
     }
 }

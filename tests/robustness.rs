@@ -1,0 +1,184 @@
+//! Fault-injection integration tests: the robustness machinery against
+//! the three failure classes it was built for — a defective module, a
+//! noisy status path, and a hung engine.
+
+use soctest::bist::EngineError;
+use soctest::core::casestudy::CaseStudy;
+use soctest::core::robust::{RetryStrategy, RobustSession, SessionBudget};
+use soctest::core::session::WrappedCore;
+use soctest::core::SessionError;
+use soctest::p1500::{FaultyBackend, PinFault, PinFaults, ProtocolError, TapDriver, WrapperInstruction};
+
+/// Scenario 1: a stuck-at defect in one module. The retry ladder must not
+/// talk itself out of a real fault — the mismatch reproduces under every
+/// polynomial and seed, and exactly that module is quarantined.
+#[test]
+fn stuck_at_defect_quarantines_exactly_that_module() {
+    let reference = CaseStudy::paper().unwrap();
+    let mut dut = CaseStudy::paper().unwrap();
+    // Plant the defect: BIT_NODE's first output net stuck at 1.
+    let victim = dut.modules()[0].primary_outputs()[0];
+    dut.module_mut(0).force_constant(victim, true);
+
+    let report = RobustSession::default()
+        .run(&reference, &dut, 96)
+        .unwrap();
+
+    assert!(!report.all_passed());
+    assert_eq!(report.quarantined(), vec!["BIT_NODE"]);
+    // The defective module exhausted the whole ladder without a match.
+    let bad = &report.outcomes[0];
+    assert_eq!(bad.attempts.len(), 3, "full retry ladder");
+    assert!(bad.attempts.iter().all(|a| !a.matched()));
+    assert_eq!(bad.attempts[0].strategy, RetryStrategy::Rerun);
+    assert_eq!(bad.attempts[1].strategy, RetryStrategy::ReciprocalPolynomial);
+    assert!(matches!(bad.attempts[2].strategy, RetryStrategy::Reseed(_)));
+    // The healthy modules passed on the first rung.
+    for outcome in &report.outcomes[1..] {
+        assert!(!outcome.quarantined, "{} must pass", outcome.module);
+        assert_eq!(outcome.attempts.len(), 1);
+        assert!(outcome.attempts[0].matched());
+    }
+}
+
+/// Scenario 1b: the same defect stuck the other way is also caught.
+#[test]
+fn stuck_at_zero_is_also_caught() {
+    let reference = CaseStudy::paper().unwrap();
+    let mut dut = CaseStudy::paper().unwrap();
+    let victim = dut.modules()[1].primary_outputs()[0];
+    dut.module_mut(1).force_constant(victim, false);
+    let report = RobustSession::default()
+        .run(&reference, &dut, 96)
+        .unwrap();
+    assert_eq!(report.quarantined(), vec!["CHECK_NODE"]);
+}
+
+/// Scenario 2: a transient upset corrupts WDR scans. A single read would
+/// report a bogus signature; the majority-voted read outvotes the upset
+/// and the session recovers without quarantining anything.
+#[test]
+fn transient_wdr_corruption_is_outvoted() {
+    // One poisoned read (signature XORed with 0xFF), then clean.
+    let mut ate = TapDriver::new(FaultyBackend::new(16, 4).with_transient_reads(1, 0xFF));
+    ate.reset();
+    ate.bist_load_pattern_count(4);
+    ate.bist_start();
+    ate.run_functional(4);
+    let (done, sig) = ate.read_status_voted(3).unwrap();
+    assert!(done);
+    assert_eq!(sig, ate.backend().expected_signature(), "upset outvoted");
+}
+
+/// Scenario 2b: when every read is corrupted differently there is no
+/// majority, and the driver says so instead of guessing.
+#[test]
+fn unstable_status_path_yields_no_majority() {
+    // TDO flips every third cycle; the flip pattern drifts across scans
+    // (a scan is 22 cycles, not a multiple of 3), so the reads disagree.
+    let mut ate = TapDriver::new(FaultyBackend::new(16, 2));
+    ate.reset();
+    ate.bist_load_pattern_count(2);
+    ate.bist_start();
+    ate.wait_for_done(2, 4).unwrap();
+    ate.inject_pin_faults(PinFaults {
+        tdo: Some(PinFault::FlipEvery(3)),
+        ..PinFaults::none()
+    });
+    let err = ate.read_status_voted(4).unwrap_err();
+    assert_eq!(err, ProtocolError::NoStatusMajority { votes: 4 });
+}
+
+/// Scenario 2c: corruption on the instruction path is caught by the WIR
+/// readback before a misdecoded instruction selects the wrong register.
+#[test]
+fn wir_readback_guards_the_instruction_path() {
+    let mut ate = TapDriver::new(FaultyBackend::new(16, 2));
+    ate.reset();
+    ate.inject_pin_faults(PinFaults {
+        tdi: Some(PinFault::StuckAt(true)),
+        ..PinFaults::none()
+    });
+    let err = ate
+        .wrapper_instruction_verified(WrapperInstruction::CommandReg)
+        .unwrap_err();
+    assert!(matches!(err, ProtocolError::WirReadbackMismatch { .. }));
+    // Clean pins: the verified load succeeds and the session proceeds.
+    ate.clear_pin_faults();
+    ate.reset();
+    ate.wrapper_instruction_verified(WrapperInstruction::CommandReg)
+        .unwrap();
+}
+
+/// Scenario 3: a hung engine. Both the behavioral rehearsal and the
+/// TAP-driven session must report a typed hang, never loop forever or
+/// return power-on signatures.
+#[test]
+fn hung_engine_is_a_typed_error_everywhere() {
+    // Rehearsal path: a zero pattern count is ignored by the control unit,
+    // so end_test never rises.
+    let case = CaseStudy::paper().unwrap();
+    let mut core = WrappedCore::new(&case).unwrap();
+    match core.rehearse(0) {
+        Err(SessionError::Engine(EngineError::Hung { .. })) => {}
+        other => panic!("rehearse must hang with a typed error, got {other:?}"),
+    }
+
+    // TAP path: a backend whose end_test is stuck low times out with the
+    // cycles spent, which the session layer reports as a hang.
+    let mut ate = TapDriver::new(FaultyBackend::new(16, 2).with_hang());
+    ate.reset();
+    ate.bist_load_pattern_count(2);
+    ate.bist_start();
+    let err = ate.wait_for_done(8, 4).unwrap_err();
+    assert_eq!(
+        err,
+        ProtocolError::DoneTimeout {
+            cycles_waited: 32,
+            bursts: 4
+        }
+    );
+
+    // Robust-session path: the watchdog converts the stall into Hung.
+    let reference = CaseStudy::paper().unwrap();
+    let dut = CaseStudy::paper().unwrap();
+    match RobustSession::default().run(&reference, &dut, 0) {
+        Err(SessionError::Engine(EngineError::Hung { .. })) => {}
+        other => panic!("robust session must report Hung, got {other:?}"),
+    }
+}
+
+/// The TCK watchdog: a session that cannot fit its budget aborts with the
+/// exact accounting instead of running open-loop.
+#[test]
+fn tck_watchdog_fires_with_accounting() {
+    let reference = CaseStudy::paper().unwrap();
+    let dut = CaseStudy::paper().unwrap();
+    let session = RobustSession::new(SessionBudget {
+        max_tck: 50,
+        ..SessionBudget::default()
+    });
+    match session.run(&reference, &dut, 64) {
+        Err(SessionError::TckBudgetExceeded { spent, budget: 50 }) => {
+            assert!(spent > 50);
+        }
+        other => panic!("expected the TCK watchdog, got {other:?}"),
+    }
+}
+
+/// Dropped TCK edges stall the protocol: the TAP never decodes the
+/// instruction stream, which shows up as a done-timeout rather than a
+/// silent wrong answer.
+#[test]
+fn dropped_clocks_surface_as_timeout() {
+    let mut ate = TapDriver::new(FaultyBackend::new(16, 2));
+    ate.inject_pin_faults(PinFaults {
+        drop_tck_every: Some(2),
+        ..PinFaults::none()
+    });
+    ate.reset();
+    ate.bist_load_pattern_count(2);
+    ate.bist_start();
+    // Commands never arrive intact; the engine never starts.
+    assert!(ate.wait_for_done(4, 4).is_err());
+}

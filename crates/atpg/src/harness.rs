@@ -4,7 +4,8 @@
 use std::time::{Duration, Instant};
 
 use soctest_fault::{
-    CombFaultSim, Fault, FaultSimResult, FaultUniverse, PatternSet, SeqFaultSim, SeqFaultSimConfig,
+    CombFaultSim, Fault, FaultSimResult, FaultUniverse, ParallelPolicy, PatternSet, SeqFaultSim,
+    SeqFaultSimConfig,
 };
 use soctest_netlist::{Netlist, NetlistError};
 
@@ -56,6 +57,8 @@ pub struct ScanAtpg {
     pub seed: u64,
     /// Cap on deterministically targeted faults (None = all undetected).
     pub max_targets: Option<usize>,
+    /// Worker-thread policy for the fault-simulation phases.
+    pub parallel: ParallelPolicy,
 }
 
 impl Default for ScanAtpg {
@@ -66,6 +69,7 @@ impl Default for ScanAtpg {
             podem: PodemConfig::default(),
             seed: 0x0BAD_5EED,
             max_targets: None,
+            parallel: ParallelPolicy::default(),
         }
     }
 }
@@ -85,18 +89,17 @@ impl ScanAtpg {
         let width = sv.view.primary_inputs().len();
 
         let mut patterns = random_pattern_set(self.random_patterns, width, self.seed);
-        let mut detection: Vec<Option<u64>> = vec![None; saf.len()];
-        let sim = CombFaultSim::new(&saf);
-        sim.resume_stuck_at(&patterns, 0, &mut detection)?;
+        let sim = CombFaultSim::new(&saf).with_parallelism(self.parallel);
+        let mut campaign = sim.campaign();
+        sim.resume_stuck_at(&patterns, &mut campaign)?;
 
         // Deterministic phase: target survivors, simulate in 64-blocks.
         let mut podem = Podem::new(saf.view(), self.podem.clone())?;
         let mut seed = self.seed | 1;
         let mut buffer = PatternSet::new(width);
-        let mut offset = patterns.len() as u64;
         let mut targeted = 0usize;
         for fi in 0..saf.len() {
-            if detection[fi].is_some() {
+            if campaign.detection[fi].is_some() {
                 continue;
             }
             if let Some(cap) = self.max_targets {
@@ -108,8 +111,7 @@ impl ScanAtpg {
             if let Some(cube) = podem.generate(saf.faults()[fi]) {
                 buffer.push(&cube.fill_random(&mut seed));
                 if buffer.len() == 64 {
-                    sim.resume_stuck_at(&buffer, offset, &mut detection)?;
-                    offset += 64;
+                    sim.resume_stuck_at(&buffer, &mut campaign)?;
                     for p in 0..buffer.len() {
                         patterns.push(&buffer.row(p));
                     }
@@ -118,33 +120,28 @@ impl ScanAtpg {
             }
         }
         if !buffer.is_empty() {
-            sim.resume_stuck_at(&buffer, offset, &mut detection)?;
+            sim.resume_stuck_at(&buffer, &mut campaign)?;
             for p in 0..buffer.len() {
                 patterns.push(&buffer.row(p));
             }
         }
 
         let stuck_patterns = patterns.len();
-        let stuck_at = FaultSimResult {
-            detection,
-            cycles: stuck_patterns as u64,
-            wall: start.elapsed(),
-            syndromes: None,
-        };
+        let stuck_at = campaign.into_result();
 
         // Transition phase: replay the stuck-at set launch-on-capture, then
         // deterministically top up survivors on a two-frame broadside view.
         let tdf = FaultUniverse::transition(&sv.view);
-        let tdf_sim = CombFaultSim::new(&tdf);
-        let mut tdf_detection: Vec<Option<u64>> = vec![None; tdf.len()];
-        tdf_sim.resume_transition(&patterns, &sv.state_map(), 0, &mut tdf_detection)?;
+        let tdf_sim = CombFaultSim::new(&tdf).with_parallelism(self.parallel);
+        let mut tdf_campaign = tdf_sim.campaign();
+        tdf_sim.resume_transition(&patterns, &sv.state_map(), &mut tdf_campaign)?;
 
         let tf = TwoFrameView::of(tdf.view())?;
         let mut podem_tdf = Podem::new(&tf.view, self.podem.clone())?;
         podem_tdf.set_observe(tf.observe.clone());
         let mut tdf_targeted = 0usize;
         for fi in 0..tdf.len() {
-            if tdf_detection[fi].is_some() {
+            if tdf_campaign.detection[fi].is_some() {
                 continue;
             }
             if let Some(cap) = self.max_targets {
@@ -168,25 +165,15 @@ impl ScanAtpg {
                     let row = cube.fill_random(&mut seed);
                     let mut single = PatternSet::new(width);
                     single.push(&row);
-                    tdf_sim.resume_transition(
-                        &single,
-                        &sv.state_map(),
-                        patterns.len() as u64,
-                        &mut tdf_detection,
-                    )?;
+                    tdf_sim.resume_transition(&single, &sv.state_map(), &mut tdf_campaign)?;
                     patterns.push(&row);
-                    if tdf_detection[fi].is_some() {
+                    if tdf_campaign.detection[fi].is_some() {
                         break;
                     }
                 }
             }
         }
-        let transition = FaultSimResult {
-            detection: tdf_detection,
-            cycles: patterns.len() as u64,
-            wall: start.elapsed(),
-            syndromes: None,
-        };
+        let transition = tdf_campaign.into_result();
 
         let stuck_schedule = ScanSchedule::new(&design, stuck_patterns);
         let tdf_schedule = ScanSchedule::new(&design, patterns.len());
@@ -298,6 +285,8 @@ pub struct SequentialAtpgConfig {
     pub max_targets: Option<usize>,
     /// Fault-simulation window (see [`SeqFaultSimConfig`]).
     pub window: u64,
+    /// Worker-thread policy for the fault-simulation phases.
+    pub parallel: ParallelPolicy,
 }
 
 impl Default for SequentialAtpgConfig {
@@ -309,6 +298,7 @@ impl Default for SequentialAtpgConfig {
             seed: 0x5E9_5EED,
             max_targets: Some(512),
             window: 256,
+            parallel: ParallelPolicy::default(),
         }
     }
 }
@@ -345,6 +335,7 @@ impl SequentialAtpg {
 
         let seq_cfg = SeqFaultSimConfig {
             window: cfg.window,
+            parallel: cfg.parallel,
             ..Default::default()
         };
         let prelim = {

@@ -1,19 +1,61 @@
 //! Throughput of the parallel-fault sequential fault simulator — the
-//! workhorse behind every Table 3 row.
+//! workhorse behind every Table 3 row — serial vs all-cores, plus the
+//! combinational PPSFP engine used by the scan flow.
 
 use soctest_bench::micro::bench;
 use soctest_core::casestudy::CaseStudy;
-use soctest_fault::{FaultUniverse, SeqFaultSim, SeqFaultSimConfig};
+use soctest_fault::{
+    CombFaultSim, FaultUniverse, ParallelPolicy, PatternSet, SeqFaultSim, SeqFaultSimConfig,
+};
 
 fn main() {
     let case = CaseStudy::paper().unwrap();
     let pgen = case.pattern_generator();
     for (m, name) in [(0usize, "bit_node"), (2, "control_unit")] {
         let universe = FaultUniverse::stuck_at(&case.modules()[m]);
-        bench(&format!("seq_fault_sim/saf_256/{name}"), || {
-            let mut stim = pgen.stimulus(m, 256);
-            SeqFaultSim::new(&universe, SeqFaultSimConfig::default())
-                .run(&mut stim)
+        for (policy, tag) in [
+            (ParallelPolicy::serial(), "serial"),
+            (ParallelPolicy::default(), "par"),
+        ] {
+            bench(&format!("seq_fault_sim/saf_256/{name}/{tag}"), || {
+                let mut stim = pgen.stimulus(m, 256);
+                let cfg = SeqFaultSimConfig {
+                    parallel: policy,
+                    ..Default::default()
+                };
+                SeqFaultSim::new(&universe, cfg)
+                    .run(&mut stim)
+                    .unwrap()
+                    .detected_count()
+            });
+        }
+    }
+
+    // Combinational PPSFP over pseudo-random full-scan patterns.
+    let module = &case.modules()[0];
+    let universe = FaultUniverse::stuck_at(module);
+    let ninputs = module.primary_inputs().len();
+    let rows: Vec<Vec<bool>> = (0..256u64)
+        .map(|p| {
+            (0..ninputs)
+                .map(|i| {
+                    let x = p
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(i as u64 * 0xBF58_476D_1CE4_E5B9);
+                    (x >> 17) & 1 == 1
+                })
+                .collect()
+        })
+        .collect();
+    let patterns = PatternSet::from_rows(ninputs, &rows);
+    for (policy, tag) in [
+        (ParallelPolicy::serial(), "serial"),
+        (ParallelPolicy::default(), "par"),
+    ] {
+        bench(&format!("comb_fault_sim/saf_256/bit_node/{tag}"), || {
+            CombFaultSim::new(&universe)
+                .with_parallelism(policy)
+                .run_stuck_at(&patterns)
                 .unwrap()
                 .detected_count()
         });

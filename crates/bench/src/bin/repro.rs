@@ -1,13 +1,19 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick] [table1 table2 table3 table4 table5 fig3 fig4 | all]
+//! repro [--quick] [--bench-faultsim] [table1 table2 table3 table4 table5 fig3 fig4 | all]
 //! ```
 //!
 //! `--quick` uses the reduced experiment budget (CI-sized); without it the
 //! paper's configuration runs (4,096 BIST patterns etc.) — build with
 //! `--release` for that.
+//!
+//! `--bench-faultsim` skips the tables and instead benchmarks the
+//! fault-simulation hot path per module — one serial and one all-cores
+//! stuck-at campaign each, asserting bit-identical detection before timing
+//! is trusted — and writes the measurements to `BENCH_faultsim.json`.
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
 use soctest_bench::{
@@ -16,7 +22,105 @@ use soctest_bench::{
 };
 use soctest_core::casestudy::CaseStudy;
 use soctest_core::experiments::{self, Budget};
+use soctest_fault::{FaultUniverse, ParallelPolicy, SeqFaultSim, SeqFaultSimConfig};
 use soctest_tech::Library;
+
+/// One module's serial-vs-parallel measurement for `BENCH_faultsim.json`.
+struct FaultSimBench {
+    name: &'static str,
+    patterns: u64,
+    faults: usize,
+    serial_wall_s: f64,
+    parallel_wall_s: f64,
+    threads: usize,
+    identical: bool,
+}
+
+impl FaultSimBench {
+    fn speedup(&self) -> f64 {
+        if self.parallel_wall_s > 0.0 {
+            self.serial_wall_s / self.parallel_wall_s
+        } else {
+            0.0
+        }
+    }
+
+    fn faults_per_s(&self) -> f64 {
+        if self.parallel_wall_s > 0.0 {
+            self.faults as f64 / self.parallel_wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs the serial and parallel stuck-at campaigns for every module,
+/// prints the per-run [`soctest_fault::FaultSimStats`], and writes
+/// `BENCH_faultsim.json` (hand-rendered; the workspace has no serde).
+fn bench_faultsim(case: &CaseStudy, patterns: u64) {
+    let host_threads = ParallelPolicy::default().effective_threads();
+    let pgen = case.pattern_generator();
+    let mut rows: Vec<FaultSimBench> = Vec::new();
+
+    for (m, name) in ["BIT_NODE", "CHECK_NODE", "CONTROL_UNIT"].iter().enumerate() {
+        let universe = FaultUniverse::stuck_at(&case.modules()[m]);
+
+        let run = |policy: ParallelPolicy| {
+            let mut stim = pgen.stimulus(m, patterns);
+            let cfg = SeqFaultSimConfig {
+                parallel: policy,
+                ..Default::default()
+            };
+            SeqFaultSim::new(&universe, cfg)
+                .run(&mut stim)
+                .expect("fault sim")
+        };
+
+        let serial = run(ParallelPolicy::serial());
+        let parallel = run(ParallelPolicy::default());
+        println!("{name}: serial   {}", serial.stats);
+        println!("{name}: parallel {}", parallel.stats);
+
+        let identical = serial.detection == parallel.detection;
+        assert!(identical, "{name}: parallel run diverged from serial");
+
+        rows.push(FaultSimBench {
+            name,
+            patterns,
+            faults: universe.len(),
+            serial_wall_s: serial.stats.wall.as_secs_f64(),
+            parallel_wall_s: parallel.stats.wall.as_secs_f64(),
+            threads: parallel.stats.threads,
+            identical,
+        });
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"host_threads\": {host_threads},");
+    json.push_str("  \"modules\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"patterns\": {}, \"faults\": {}, \
+             \"serial_wall_s\": {:.6}, \"parallel_wall_s\": {:.6}, \
+             \"threads\": {}, \"speedup\": {:.3}, \"faults_per_s\": {:.1}, \
+             \"identical\": {}}}",
+            r.name,
+            r.patterns,
+            r.faults,
+            r.serial_wall_s,
+            r.parallel_wall_s,
+            r.threads,
+            r.speedup(),
+            r.faults_per_s(),
+            r.identical,
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_faultsim.json", &json).expect("write BENCH_faultsim.json");
+    println!("\nwrote BENCH_faultsim.json ({host_threads} host thread(s) available)");
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,6 +136,14 @@ fn main() {
     let budget = if quick { Budget::quick() } else { Budget::paper() };
     let lib = Library::cmos_130nm();
     let case = CaseStudy::paper().expect("case study builds");
+
+    if args.iter().any(|a| a == "--bench-faultsim") {
+        let patterns = if quick { 192 } else { 4096 };
+        println!("# soctest fault-sim bench — {patterns} patterns/module\n");
+        bench_faultsim(&case, patterns);
+        return;
+    }
+
     println!(
         "# soctest repro — budget: {} ({} BIST patterns)\n",
         if quick { "quick" } else { "paper" },

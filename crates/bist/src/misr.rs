@@ -37,7 +37,13 @@ impl Misr {
     /// fed back). Kept identical to
     /// `soctest_fault::ObserveMode::misr_default`.
     pub fn default_taps(width: usize) -> u64 {
-        (0b101_1011u64 | 1) & ((1u64 << width) - 1).max(1)
+        // `1u64 << 64` is a shift overflow, so width 64 takes the full mask
+        // explicitly instead of computing `(1 << width) - 1`.
+        let mask = match width {
+            64.. => u64::MAX,
+            w => (1u64 << w) - 1,
+        };
+        (0b101_1011u64 | 1) & mask.max(1)
     }
 
     /// A MISR of `width` bits (2..=64) with the default taps, state 0.
@@ -175,5 +181,32 @@ mod tests {
     #[should_panic(expected = "width")]
     fn width_bounds_are_enforced() {
         let _ = Misr::new(1);
+    }
+
+    #[test]
+    fn width_64_is_not_degenerate() {
+        // Regression: `(1u64 << 64) - 1` overflowed, collapsing the taps to
+        // `1` (release) or panicking (debug). The full documented range
+        // must yield the primitive-style tap set.
+        let m = Misr::new(64);
+        assert_eq!(m.taps(), 0b101_1011, "width 64 keeps the default taps");
+        assert_eq!(Misr::default_taps(64), Misr::default_taps(63));
+    }
+
+    #[test]
+    fn width_64_catches_single_flips() {
+        for flip_t in [0u64, 9, 31] {
+            for flip_bit in [0u64, 33, 63] {
+                let mut clean = Misr::new(64);
+                let mut dirty = Misr::new(64);
+                for t in 0..40u64 {
+                    let w = t.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    clean.absorb(w);
+                    let e = if t == flip_t { 1u64 << flip_bit } else { 0 };
+                    dirty.absorb(w ^ e);
+                }
+                assert_ne!(clean.signature(), dirty.signature());
+            }
+        }
     }
 }

@@ -2,7 +2,7 @@
 
 use soctest_fault::{
     DiagnosticMatrix, EquivalentClassStats, FaultSimResult, FaultUniverse, ObserveMode,
-    SeqFaultSim, SeqFaultSimConfig,
+    ParallelPolicy, SeqFaultSim, SeqFaultSimConfig,
 };
 use soctest_bist::EngineError;
 use soctest_ldpc::code::LdpcCode;
@@ -136,6 +136,7 @@ pub fn step2(
     start_patterns: u64,
     target_percent: f64,
     max_patterns: u64,
+    parallel: ParallelPolicy,
 ) -> Result<Vec<(u64, FaultSimResult)>, SessionError> {
     let universe = model.universe(&case.modules()[module]);
     let pgen = case.pattern_generator();
@@ -143,7 +144,13 @@ pub fn step2(
     let mut out = Vec::new();
     loop {
         let mut stim = pgen.stimulus(module, npatterns);
-        let sim = SeqFaultSim::new(&universe, SeqFaultSimConfig::default());
+        let sim = SeqFaultSim::new(
+            &universe,
+            SeqFaultSimConfig {
+                parallel,
+                ..Default::default()
+            },
+        );
         let result = sim.run(&mut stim)?;
         let coverage = result.coverage_percent();
         out.push((npatterns, result));
@@ -183,6 +190,7 @@ pub fn step3(
     npatterns: u64,
     read_every: u64,
     sample_stride: usize,
+    parallel: ParallelPolicy,
 ) -> Result<Step3Report, SessionError> {
     let mut universe = model.universe(&case.modules()[module]);
     universe.retain_sample(sample_stride);
@@ -193,6 +201,7 @@ pub fn step3(
         SeqFaultSimConfig {
             observe: ObserveMode::misr_default(case.spec().misr_width, read_every),
             collect_syndromes: true,
+            parallel,
             ..Default::default()
         },
     );
@@ -227,7 +236,16 @@ mod tests {
         let case = CaseStudy::paper().unwrap();
         // CONTROL_UNIT is the smallest module; an unreachable target makes
         // the loop run to the cap.
-        let runs = step2(&case, 2, FaultModel::StuckAt, 32, 101.0, 128).unwrap();
+        let runs = step2(
+            &case,
+            2,
+            FaultModel::StuckAt,
+            32,
+            101.0,
+            128,
+            ParallelPolicy::default(),
+        )
+        .unwrap();
         assert_eq!(runs.len(), 3, "32 → 64 → 128");
         assert!(runs.last().unwrap().0 == 128);
         let c0 = runs[0].1.coverage_percent();
@@ -238,7 +256,16 @@ mod tests {
     #[test]
     fn step3_builds_class_statistics() {
         let case = CaseStudy::paper().unwrap();
-        let r = step3(&case, 2, FaultModel::StuckAt, 128, 32, 4).unwrap();
+        let r = step3(
+            &case,
+            2,
+            FaultModel::StuckAt,
+            128,
+            32,
+            4,
+            ParallelPolicy::default(),
+        )
+        .unwrap();
         assert!(r.faults > 50);
         assert!(r.stats.classes > 0);
         assert!(r.stats.max_size >= 1);

@@ -8,8 +8,8 @@ use std::time::Duration;
 
 use soctest_atpg::{ScanAtpg, SequentialAtpg, SequentialAtpgConfig};
 use soctest_fault::{
-    CombFaultSim, DiagnosticMatrix, EquivalentClassStats, FaultUniverse, SeqFaultSim,
-    SeqFaultSimConfig,
+    CombFaultSim, DiagnosticMatrix, EquivalentClassStats, FaultUniverse, ParallelPolicy,
+    SeqFaultSim, SeqFaultSimConfig,
 };
 use soctest_tech::Library;
 
@@ -35,6 +35,8 @@ pub struct Budget {
     pub diag_patterns: u64,
     /// Keep one fault in `stride` for diagnosis.
     pub diag_stride: usize,
+    /// Worker-thread policy for every fault-simulation phase.
+    pub parallel: ParallelPolicy,
 }
 
 impl Budget {
@@ -48,6 +50,7 @@ impl Budget {
             scan_max_targets: None,
             diag_patterns: 1024,
             diag_stride: 8,
+            parallel: ParallelPolicy::default(),
         }
     }
 
@@ -61,6 +64,7 @@ impl Budget {
             scan_max_targets: Some(16),
             diag_patterns: 96,
             diag_stride: 32,
+            parallel: ParallelPolicy::default(),
         }
     }
 }
@@ -185,13 +189,17 @@ pub fn table3(case: &CaseStudy, budget: &Budget) -> Result<Vec<Table3Row>, Sessi
         let tdf_u = FaultUniverse::transition(module);
         let bist = {
             let started = std::time::Instant::now();
+            let seq_cfg = SeqFaultSimConfig {
+                parallel: budget.parallel,
+                ..Default::default()
+            };
             let saf = {
                 let mut stim = pgen.stimulus(m, budget.bist_patterns);
-                SeqFaultSim::new(&saf_u, SeqFaultSimConfig::default()).run(&mut stim)?
+                SeqFaultSim::new(&saf_u, seq_cfg.clone()).run(&mut stim)?
             };
             let tdf = {
                 let mut stim = pgen.stimulus(m, budget.bist_patterns);
-                SeqFaultSim::new(&tdf_u, SeqFaultSimConfig::default()).run(&mut stim)?
+                SeqFaultSim::new(&tdf_u, seq_cfg).run(&mut stim)?
             };
             Table3Cell {
                 faults: saf_u.len(),
@@ -207,6 +215,7 @@ pub fn table3(case: &CaseStudy, budget: &Budget) -> Result<Vec<Table3Row>, Sessi
             let outcome = SequentialAtpg::new(SequentialAtpgConfig {
                 random_cycles: budget.seq_random_cycles,
                 max_targets: Some(budget.seq_max_targets),
+                parallel: budget.parallel,
                 ..Default::default()
             })
             .run(module)?;
@@ -224,6 +233,7 @@ pub fn table3(case: &CaseStudy, budget: &Budget) -> Result<Vec<Table3Row>, Sessi
             let run = ScanAtpg {
                 random_patterns: budget.scan_random,
                 max_targets: budget.scan_max_targets,
+                parallel: budget.parallel,
                 ..Default::default()
             }
             .run(module)?;
@@ -307,6 +317,7 @@ pub fn table5(case: &CaseStudy, budget: &Budget) -> Result<Vec<Table5Row>, Sessi
             budget.diag_patterns,
             (budget.diag_patterns / 16).max(1),
             budget.diag_stride,
+            budget.parallel,
         )?
         .stats;
         // Sequential: random functional sequence, per-cycle syndromes.
@@ -325,6 +336,7 @@ pub fn table5(case: &CaseStudy, budget: &Budget) -> Result<Vec<Table5Row>, Sessi
                 &u,
                 SeqFaultSimConfig {
                     collect_syndromes: true,
+                    parallel: budget.parallel,
                     ..Default::default()
                 },
             );
@@ -343,7 +355,10 @@ pub fn table5(case: &CaseStudy, budget: &Budget) -> Result<Vec<Table5Row>, Sessi
                 sv.view.primary_inputs().len(),
                 0x5CA9,
             );
-            let r = CombFaultSim::new(&u).with_syndromes().run_stuck_at(&pats)?;
+            let r = CombFaultSim::new(&u)
+                .with_syndromes()
+                .with_parallelism(budget.parallel)
+                .run_stuck_at(&pats)?;
             let syn = r.syndromes.as_ref().ok_or(SessionError::MissingSyndromes)?;
             DiagnosticMatrix::from_syndromes(syn).stats()
         };
@@ -401,10 +416,32 @@ pub fn fig4(
     max_patterns: u64,
     points: usize,
 ) -> Result<Vec<(u64, f64)>, SessionError> {
+    fig4_with(case, module, max_patterns, points, ParallelPolicy::default())
+}
+
+/// [`fig4`] with an explicit worker-thread policy.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig4_with(
+    case: &CaseStudy,
+    module: usize,
+    max_patterns: u64,
+    points: usize,
+    parallel: ParallelPolicy,
+) -> Result<Vec<(u64, f64)>, SessionError> {
     let universe = FaultUniverse::stuck_at(&case.modules()[module]);
     let pgen = case.pattern_generator();
     let mut stim = pgen.stimulus(module, max_patterns);
-    let result = SeqFaultSim::new(&universe, SeqFaultSimConfig::default()).run(&mut stim)?;
+    let result = SeqFaultSim::new(
+        &universe,
+        SeqFaultSimConfig {
+            parallel,
+            ..Default::default()
+        },
+    )
+    .run(&mut stim)?;
     let checkpoints: Vec<u64> = (1..=points as u64)
         .map(|i| i * max_patterns / points as u64)
         .collect();

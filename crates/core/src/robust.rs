@@ -22,10 +22,12 @@
 //!   history, the quarantine list, and the TCK/functional-cycle bill.
 
 use soctest_bist::EngineError;
+use soctest_fault::ParallelPolicy;
 use soctest_p1500::{ProtocolError, TapDriver};
 
 use crate::casestudy::CaseStudy;
 use crate::error::SessionError;
+use crate::eval::{self, FaultModel, Step3Report};
 use crate::session::WrappedCore;
 
 /// Watchdog and protocol budgets for one robust session.
@@ -140,12 +142,24 @@ impl SessionReport {
     }
 }
 
+/// One quarantined module's post-session diagnosis: the step-3 equivalent
+/// fault-class statistics, computed by fault-simulating the module with
+/// syndrome collection under the BIST pattern generator.
+#[derive(Debug, Clone)]
+pub struct Diagnosis {
+    /// Module name (matches [`SessionReport::quarantined`]).
+    pub module: String,
+    /// The step-3 diagnostic report for this module.
+    pub report: Step3Report,
+}
+
 /// A fault-tolerant test session runner. Build one with a budget, then
 /// [`RobustSession::run`] it against a device under test.
 #[derive(Debug, Clone)]
 pub struct RobustSession {
     budget: SessionBudget,
     strategies: Vec<RetryStrategy>,
+    parallel: ParallelPolicy,
 }
 
 impl Default for RobustSession {
@@ -165,7 +179,16 @@ impl RobustSession {
                 RetryStrategy::ReciprocalPolynomial,
                 RetryStrategy::Reseed(0x5EED_CAFE),
             ],
+            parallel: ParallelPolicy::default(),
         }
+    }
+
+    /// Sets the worker-thread policy used by [`RobustSession::diagnose`]'s
+    /// fault simulations. The session protocol itself is single-threaded
+    /// (it models one serial TAP); only diagnosis fans out.
+    pub fn with_parallelism(mut self, parallel: ParallelPolicy) -> Self {
+        self.parallel = parallel;
+        self
     }
 
     /// Replaces the retry ladder. An empty ladder is promoted to a single
@@ -289,6 +312,51 @@ impl RobustSession {
             patterns: npatterns,
         })
     }
+
+    /// Diagnoses the quarantined modules of a finished session: each one is
+    /// fault-simulated (stuck-at, MISR-observed, syndrome-collecting) under
+    /// the BIST pattern generator and reduced to its step-3 equivalent
+    /// fault-class statistics — the shortlist a failure analyst would start
+    /// from. Healthy modules are skipped; a clean report returns an empty
+    /// vector.
+    ///
+    /// The simulations run under this session's [`ParallelPolicy`] (see
+    /// [`RobustSession::with_parallelism`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors from the underlying step-3 runs.
+    pub fn diagnose(
+        &self,
+        case: &CaseStudy,
+        report: &SessionReport,
+        npatterns: u64,
+    ) -> Result<Vec<Diagnosis>, SessionError> {
+        let names = case.module_names();
+        let mut out = Vec::new();
+        for outcome in &report.outcomes {
+            if !outcome.quarantined {
+                continue;
+            }
+            let Some(m) = names.iter().position(|n| *n == outcome.module) else {
+                continue;
+            };
+            let step3 = eval::step3(
+                case,
+                m,
+                FaultModel::StuckAt,
+                npatterns,
+                (npatterns / 16).max(1),
+                1,
+                self.parallel,
+            )?;
+            out.push(Diagnosis {
+                module: outcome.module.clone(),
+                report: step3,
+            });
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -337,6 +405,33 @@ mod tests {
             Err(SessionError::Engine(EngineError::Hung { .. })) => {}
             other => panic!("expected a Hung error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn clean_report_diagnoses_nothing() {
+        let reference = CaseStudy::paper().unwrap();
+        let dut = CaseStudy::paper().unwrap();
+        let session = RobustSession::default();
+        let report = session.run(&reference, &dut, 64).unwrap();
+        let diagnoses = session.diagnose(&reference, &report, 64).unwrap();
+        assert!(diagnoses.is_empty());
+    }
+
+    #[test]
+    fn quarantined_module_gets_a_diagnosis() {
+        let reference = CaseStudy::paper().unwrap();
+        let mut dut = CaseStudy::paper().unwrap();
+        let victim = dut.modules()[2].primary_outputs()[0];
+        dut.module_mut(2).force_constant(victim, true);
+        let session = RobustSession::default().with_parallelism(ParallelPolicy::serial());
+        let report = session.run(&reference, &dut, 96).unwrap();
+        assert_eq!(report.quarantined(), vec!["CONTROL_UNIT"]);
+
+        let diagnoses = session.diagnose(&reference, &report, 96).unwrap();
+        assert_eq!(diagnoses.len(), 1);
+        assert_eq!(diagnoses[0].module, "CONTROL_UNIT");
+        assert!(diagnoses[0].report.faults > 0);
+        assert!(diagnoses[0].report.stats.classes > 0);
     }
 
     #[test]

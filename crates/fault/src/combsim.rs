@@ -1,6 +1,14 @@
 //! PPSFP combinational fault simulation (64 patterns per pass, single fault,
 //! event-driven forward propagation) — the engine behind the full-scan
 //! baseline of Table 3.
+//!
+//! The good machine is evaluated once per 64-pattern block; the per-fault
+//! excite/propagate loop is then sharded across worker threads
+//! ([`ParallelPolicy`]), each with its own [`Propagator`] scratchpad.
+//! Shards are contiguous fault ranges, every fault sees the blocks in
+//! order, and detection/syndrome slots are disjoint per shard, so the
+//! parallel run is bit-identical to the serial one (first detection =
+//! lowest absolute pattern index).
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -8,7 +16,9 @@ use std::time::Instant;
 
 use soctest_netlist::{GateKind, NetId, Netlist, NetlistError};
 
-use crate::{FaultKind, FaultSimResult, FaultUniverse, Syndrome};
+use crate::{
+    FaultKind, FaultSimResult, FaultSimStats, FaultUniverse, ParallelPolicy, Syndrome,
+};
 
 /// A set of input patterns for a combinational view, stored bit-parallel:
 /// 64 patterns per block, one word per input position.
@@ -108,6 +118,44 @@ impl PatternSet {
     }
 }
 
+/// Incremental state of a resumed combinational campaign: detection and
+/// syndrome state carried across [`CombFaultSim::resume_stuck_at`] /
+/// [`CombFaultSim::resume_transition`] calls, plus the running pattern
+/// offset so syndrome events and detection indices stay absolute.
+///
+/// Syndromes accumulate across resumed calls with absolute pattern indices,
+/// so a campaign split into arbitrary batches digests to exactly the same
+/// per-fault syndromes (and hence the same equivalent fault classes) as a
+/// single-batch run.
+#[derive(Debug, Clone)]
+pub struct CombCampaign {
+    /// First-detection pattern index per fault (absolute across batches).
+    pub detection: Vec<Option<u64>>,
+    /// Per-fault syndromes (present when the simulator collects them).
+    pub syndromes: Option<Vec<Syndrome>>,
+    /// Patterns applied so far — the base index of the next batch.
+    pub applied: u64,
+    stats: FaultSimStats,
+}
+
+impl CombCampaign {
+    /// Scheduling counters accumulated so far.
+    pub fn stats(&self) -> &FaultSimStats {
+        &self.stats
+    }
+
+    /// Consumes the campaign into a [`FaultSimResult`].
+    pub fn into_result(self) -> FaultSimResult {
+        FaultSimResult {
+            detection: self.detection,
+            cycles: self.applied,
+            wall: self.stats.wall,
+            syndromes: self.syndromes,
+            stats: self.stats,
+        }
+    }
+}
+
 /// PPSFP fault simulator over a combinational view.
 ///
 /// Flip-flops, if present in the view, are treated as constant-0 sources;
@@ -117,6 +165,7 @@ impl PatternSet {
 pub struct CombFaultSim<'a> {
     universe: &'a FaultUniverse,
     collect_syndromes: bool,
+    parallel: ParallelPolicy,
 }
 
 impl<'a> CombFaultSim<'a> {
@@ -125,6 +174,7 @@ impl<'a> CombFaultSim<'a> {
         CombFaultSim {
             universe,
             collect_syndromes: false,
+            parallel: ParallelPolicy::default(),
         }
     }
 
@@ -134,52 +184,37 @@ impl<'a> CombFaultSim<'a> {
         self
     }
 
+    /// Sets the worker-thread policy (default: all cores).
+    pub fn with_parallelism(mut self, parallel: ParallelPolicy) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Starts an empty campaign for this simulator's universe, ready for
+    /// [`CombFaultSim::resume_stuck_at`] / [`CombFaultSim::resume_transition`].
+    pub fn campaign(&self) -> CombCampaign {
+        CombCampaign {
+            detection: vec![None; self.universe.len()],
+            syndromes: self
+                .collect_syndromes
+                .then(|| vec![Syndrome::new(); self.universe.len()]),
+            applied: 0,
+            stats: FaultSimStats {
+                threads: self.parallel.effective_threads(),
+                ..FaultSimStats::default()
+            },
+        }
+    }
+
     /// Runs stuck-at fault simulation over the pattern set.
     ///
     /// # Errors
     ///
     /// Returns a levelization error if the view is cyclic.
     pub fn run_stuck_at(&self, patterns: &PatternSet) -> Result<FaultSimResult, NetlistError> {
-        self.run(patterns, None, 0, None)
-    }
-
-    /// Continues a stuck-at campaign over additional patterns, carrying the
-    /// detection state forward. `offset` is the global index of the first
-    /// pattern in `patterns` (used for detection bookkeeping); faults
-    /// already marked detected in `detection` are skipped.
-    ///
-    /// This is the hook the ATPG loop uses: generate a pattern block, fault
-    /// simulate it, drop what it detects, and target the next survivor.
-    ///
-    /// # Errors
-    ///
-    /// Returns a levelization error if the view is cyclic.
-    pub fn resume_stuck_at(
-        &self,
-        patterns: &PatternSet,
-        offset: u64,
-        detection: &mut [Option<u64>],
-    ) -> Result<(), NetlistError> {
-        let r = self.run(patterns, None, offset, Some(detection))?;
-        drop(r);
-        Ok(())
-    }
-
-    /// Continues a transition campaign; see [`CombFaultSim::resume_stuck_at`].
-    ///
-    /// # Errors
-    ///
-    /// Returns a levelization error if the view is cyclic.
-    pub fn resume_transition(
-        &self,
-        patterns: &PatternSet,
-        state_map: &[(NetId, NetId)],
-        offset: u64,
-        detection: &mut [Option<u64>],
-    ) -> Result<(), NetlistError> {
-        let r = self.run(patterns, Some(state_map), offset, Some(detection))?;
-        drop(r);
-        Ok(())
+        let mut campaign = self.campaign();
+        self.resume_stuck_at(patterns, &mut campaign)?;
+        Ok(campaign.into_result())
     }
 
     /// Runs transition fault simulation in launch-on-capture style.
@@ -199,16 +234,49 @@ impl<'a> CombFaultSim<'a> {
         patterns: &PatternSet,
         state_map: &[(NetId, NetId)],
     ) -> Result<FaultSimResult, NetlistError> {
-        self.run(patterns, Some(state_map), 0, None)
+        let mut campaign = self.campaign();
+        self.resume_transition(patterns, state_map, &mut campaign)?;
+        Ok(campaign.into_result())
+    }
+
+    /// Continues a stuck-at campaign over an additional pattern batch,
+    /// carrying detection *and* syndrome state forward; faults already
+    /// marked detected are skipped (unless syndromes are being collected).
+    ///
+    /// This is the hook the ATPG loop uses: generate a pattern block, fault
+    /// simulate it, drop what it detects, and target the next survivor.
+    ///
+    /// # Errors
+    ///
+    /// Returns a levelization error if the view is cyclic.
+    pub fn resume_stuck_at(
+        &self,
+        patterns: &PatternSet,
+        campaign: &mut CombCampaign,
+    ) -> Result<(), NetlistError> {
+        self.run(patterns, None, campaign)
+    }
+
+    /// Continues a transition campaign; see [`CombFaultSim::resume_stuck_at`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a levelization error if the view is cyclic.
+    pub fn resume_transition(
+        &self,
+        patterns: &PatternSet,
+        state_map: &[(NetId, NetId)],
+        campaign: &mut CombCampaign,
+    ) -> Result<(), NetlistError> {
+        self.run(patterns, Some(state_map), campaign)
     }
 
     fn run(
         &self,
         patterns: &PatternSet,
         transition: Option<&[(NetId, NetId)]>,
-        offset: u64,
-        resume: Option<&mut [Option<u64>]>,
-    ) -> Result<FaultSimResult, NetlistError> {
+        campaign: &mut CombCampaign,
+    ) -> Result<(), NetlistError> {
         let start = Instant::now();
         let view = self.universe.view();
         let faults = self.universe.faults();
@@ -217,6 +285,11 @@ impl<'a> CombFaultSim<'a> {
             patterns.width(),
             pis.len(),
             "pattern width must match the view's primary-input count"
+        );
+        assert_eq!(
+            campaign.detection.len(),
+            faults.len(),
+            "campaign state size"
         );
         let order = view.levelize()?;
         let mut pos = vec![0u32; view.len()];
@@ -234,91 +307,168 @@ impl<'a> CombFaultSim<'a> {
         }
         let mut launch = vec![0u64; view.len()];
 
-        let mut local: Vec<Option<u64>>;
-        let detection: &mut [Option<u64>] = match resume {
-            Some(d) => {
-                assert_eq!(d.len(), faults.len(), "detection state size");
-                d
-            }
-            None => {
-                local = vec![None; faults.len()];
-                &mut local
-            }
-        };
-        let mut syndromes = if self.collect_syndromes {
-            vec![Syndrome::new(); faults.len()]
-        } else {
-            Vec::new()
-        };
-        let mut scratch = Propagator::new(view.len());
+        let nthreads = self
+            .parallel
+            .effective_threads()
+            .min(faults.len().max(1));
+        campaign.stats.threads = nthreads;
+        let collect = self.collect_syndromes;
+        let offset = campaign.applied;
+
+        let mut scratches: Vec<Propagator> =
+            (0..nthreads).map(|_| Propagator::new(view.len())).collect();
+        let mut empty_syndromes: Vec<Syndrome> = Vec::new();
 
         for (b, block) in patterns.blocks().iter().enumerate() {
             let mask = patterns.lane_mask(b);
+            let base = offset + b as u64 * 64;
             // Good evaluation (launch pass for transition mode).
             for (i, &pi) in pis.iter().enumerate() {
                 values[pi.index()] = block[i];
             }
             eval_all(view, &order, &mut values);
+            campaign.stats.good_cycles += 1;
             if let Some(map) = transition {
                 launch.copy_from_slice(&values);
                 for &(ppi, ppo) in map {
                     values[ppi.index()] = launch[ppo.index()];
                 }
                 eval_all(view, &order, &mut values);
+                campaign.stats.good_cycles += 1;
             }
 
-            for (fi, fault) in faults.iter().enumerate() {
-                if detection[fi].is_some() && !self.collect_syndromes {
-                    continue;
-                }
-                let site = fault.net;
-                let good = values[site.index()];
-                let faulty = match fault.kind {
-                    FaultKind::Sa0 => 0,
-                    FaultKind::Sa1 => u64::MAX,
-                    FaultKind::SlowToRise => {
-                        // Excited where launch=0 and capture=1; holds 0.
-                        good & !( !launch[site.index()] & good)
-                    }
-                    FaultKind::SlowToFall => good | (launch[site.index()] & !good),
-                };
-                let excite = (good ^ faulty) & mask;
-                if excite == 0 {
-                    continue;
-                }
-                let det = scratch.propagate(
+            let syndromes: &mut [Syndrome] = match campaign.syndromes.as_mut() {
+                Some(s) => s,
+                None => &mut empty_syndromes,
+            };
+            let propagations = if nthreads == 1 {
+                simulate_block(
                     view,
                     &pos,
                     &fanouts,
-                    &values,
-                    site,
-                    faulty,
                     obs,
+                    faults,
+                    &values,
+                    &launch,
                     mask,
-                    if self.collect_syndromes {
-                        Some((&mut syndromes[fi], b as u64))
+                    base,
+                    &mut campaign.detection,
+                    syndromes,
+                    collect,
+                    &mut scratches[0],
+                )
+            } else {
+                // Shard the fault range contiguously; detection/syndrome
+                // slots are disjoint per shard, so workers write directly.
+                let shard = faults.len().div_ceil(nthreads);
+                let values_ref: &[u64] = &values;
+                let launch_ref: &[u64] = &launch;
+                let fanouts_ref = &fanouts;
+                let pos_ref: &[u32] = &pos;
+                std::thread::scope(|s| {
+                    let mut handles = Vec::with_capacity(nthreads);
+                    let det_shards = campaign.detection.chunks_mut(shard);
+                    let mut syn_iter = if collect {
+                        Some(syndromes.chunks_mut(shard))
                     } else {
                         None
-                    },
-                );
-                if det != 0 && detection[fi].is_none() {
-                    let lane = det.trailing_zeros() as u64;
-                    detection[fi] = Some(offset + b as u64 * 64 + lane);
-                }
-            }
+                    };
+                    for ((t, det), scratch) in
+                        det_shards.enumerate().zip(scratches.iter_mut())
+                    {
+                        let f0 = t * shard;
+                        let fault_shard = &faults[f0..(f0 + det.len())];
+                        let syn_shard: &mut [Syndrome] = match syn_iter.as_mut() {
+                            Some(it) => it.next().expect("syndromes shard"),
+                            None => &mut [],
+                        };
+                        handles.push(s.spawn(move || {
+                            simulate_block(
+                                view, pos_ref, fanouts_ref, obs, fault_shard, values_ref,
+                                launch_ref, mask, base, det, syn_shard, collect, scratch,
+                            )
+                        }));
+                    }
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("fault-sim worker panicked"))
+                        .sum::<u64>()
+                })
+            };
+            campaign.stats.faulty_cycles += propagations;
+            campaign.stats.windows += 1;
+            campaign
+                .stats
+                .survivors
+                .push(campaign.detection.iter().filter(|d| d.is_none()).count());
         }
 
-        Ok(FaultSimResult {
-            detection: detection.to_vec(),
-            cycles: patterns.len() as u64,
-            wall: start.elapsed(),
-            syndromes: if self.collect_syndromes {
-                Some(syndromes)
+        campaign.applied += patterns.len() as u64;
+        campaign.stats.wall += start.elapsed();
+        Ok(())
+    }
+}
+
+/// Simulates one 64-pattern block for a contiguous shard of faults.
+/// `detection[i]`/`syndromes[i]` correspond to `faults[i]`; `base` is the
+/// absolute pattern index of lane 0. Returns the number of propagation
+/// passes performed (the faulty-machine work counter).
+#[allow(clippy::too_many_arguments)]
+fn simulate_block(
+    view: &Netlist,
+    pos: &[u32],
+    fanouts: &[Vec<(NetId, u8)>],
+    obs: &[NetId],
+    faults: &[crate::Fault],
+    values: &[u64],
+    launch: &[u64],
+    mask: u64,
+    base: u64,
+    detection: &mut [Option<u64>],
+    syndromes: &mut [Syndrome],
+    collect: bool,
+    scratch: &mut Propagator,
+) -> u64 {
+    let mut propagations = 0u64;
+    for (fi, fault) in faults.iter().enumerate() {
+        if detection[fi].is_some() && !collect {
+            continue;
+        }
+        let site = fault.net;
+        let good = values[site.index()];
+        let faulty = match fault.kind {
+            FaultKind::Sa0 => 0,
+            FaultKind::Sa1 => u64::MAX,
+            // Excited where launch=0 and capture=1; holds the launch 0.
+            FaultKind::SlowToRise => good & launch[site.index()],
+            FaultKind::SlowToFall => good | launch[site.index()],
+        };
+        let excite = (good ^ faulty) & mask;
+        if excite == 0 {
+            continue;
+        }
+        propagations += 1;
+        let det = scratch.propagate(
+            view,
+            pos,
+            fanouts,
+            values,
+            site,
+            faulty,
+            obs,
+            mask,
+            if collect {
+                Some((&mut syndromes[fi], base))
             } else {
                 None
             },
-        })
+        );
+        if det != 0 && detection[fi].is_none() {
+            let lane = det.trailing_zeros() as u64;
+            detection[fi] = Some(base + lane);
+        }
     }
+    propagations
 }
 
 fn eval_all(view: &Netlist, order: &[NetId], values: &mut [u64]) {
@@ -352,7 +502,8 @@ impl Propagator {
     }
 
     /// Propagates a faulty word at `site` forward; returns the lane mask of
-    /// patterns whose deviation reaches an observation net.
+    /// patterns whose deviation reaches an observation net. Syndrome events
+    /// are recorded as `(base + lane, output)` — absolute pattern indices.
     #[allow(clippy::too_many_arguments)]
     fn propagate(
         &mut self,
@@ -397,19 +548,29 @@ impl Propagator {
         }
 
         let mut detected = 0u64;
+        let mut devs: Vec<(u64, u64)> = Vec::new();
         for (oi, &o) in obs.iter().enumerate() {
             if let Some(&w) = self.delta.get(&o.0) {
                 let diff = (w ^ good[o.index()]) & mask;
                 if diff != 0 {
                     detected |= diff;
-                    if let Some((syn, block)) = syndrome.as_mut() {
-                        // One event per deviating pattern and output.
-                        let mut lanes = diff;
-                        while lanes != 0 {
-                            let lane = lanes.trailing_zeros() as u64;
-                            lanes &= lanes - 1;
-                            syn.record(*block * 64 + lane, oi as u64);
-                        }
+                    if syndrome.is_some() {
+                        devs.push((oi as u64, diff));
+                    }
+                }
+            }
+        }
+        if let Some((syn, base)) = syndrome.as_mut() {
+            // One event per deviating pattern and output, in canonical
+            // (absolute pattern, output) order so a campaign split into
+            // arbitrary batches streams the events identically.
+            let mut lanes = detected;
+            while lanes != 0 {
+                let lane = lanes.trailing_zeros() as u64;
+                lanes &= lanes - 1;
+                for &(oi, diff) in &devs {
+                    if (diff >> lane) & 1 == 1 {
+                        syn.record(*base + lane, oi);
                     }
                 }
             }
@@ -465,6 +626,9 @@ mod tests {
             "undetected: {:?}",
             r.undetected().iter().map(|&i| u.describe(i)).collect::<Vec<_>>()
         );
+        assert_eq!(r.stats.windows, 1);
+        assert_eq!(r.stats.survivors.last(), Some(&0));
+        assert!(r.stats.threads >= 1);
     }
 
     #[test]
@@ -550,5 +714,126 @@ mod tests {
             "got {:.1}%",
             r.coverage_percent()
         );
+    }
+
+    /// A wider registered-style scan view (ppi/ppo buses) so fault shards
+    /// actually span threads and transition mode has a real state map.
+    fn wide_view() -> Netlist {
+        let mut mb = ModuleBuilder::new("wide_view");
+        let ppi = mb.input_bus("ppi", 10);
+        let a: Vec<_> = ppi[..5].to_vec();
+        let b: Vec<_> = ppi[5..].to_vec();
+        let s = mb.add(&a, &b);
+        let nb = mb.not_w(&b);
+        let (mn, _) = mb.min_u(&s.sum, &nb);
+        let mut ppo = s.sum.clone();
+        ppo.extend(mn);
+        mb.output_bus("ppo", &ppo);
+        mb.finish().unwrap()
+    }
+
+    fn wide_state_map(nl: &Netlist) -> Vec<(NetId, NetId)> {
+        nl.port("ppi")
+            .unwrap()
+            .bits()
+            .iter()
+            .copied()
+            .zip(nl.port("ppo").unwrap().bits().iter().copied())
+            .collect()
+    }
+
+    #[test]
+    fn parallel_stuck_at_is_bit_identical_to_serial() {
+        let nl = wide_view();
+        let u = FaultUniverse::stuck_at(&nl);
+        let pats = PatternSet::from_rows(10, &exhaustive(10)[..200]);
+        let run = |threads: usize| {
+            CombFaultSim::new(&u)
+                .with_syndromes()
+                .with_parallelism(ParallelPolicy::with_threads(threads))
+                .run_stuck_at(&pats)
+                .unwrap()
+        };
+        let serial = run(1);
+        assert!(serial.detected_count() > 0);
+        for threads in [2, 3, 8] {
+            let par = run(threads);
+            assert_eq!(par.detection, serial.detection, "threads={threads}");
+            assert_eq!(par.syndromes, serial.syndromes, "threads={threads}");
+            assert_eq!(par.stats.windows, serial.stats.windows);
+            assert_eq!(par.stats.survivors, serial.stats.survivors);
+            assert_eq!(par.stats.good_cycles, serial.stats.good_cycles);
+            assert_eq!(par.stats.faulty_cycles, serial.stats.faulty_cycles);
+        }
+    }
+
+    #[test]
+    fn parallel_transition_is_bit_identical_to_serial() {
+        let nl = wide_view();
+        let u = FaultUniverse::transition(&nl);
+        let map = wide_state_map(&nl);
+        let pats = PatternSet::from_rows(10, &exhaustive(10)[..200]);
+        let run = |threads: usize| {
+            CombFaultSim::new(&u)
+                .with_syndromes()
+                .with_parallelism(ParallelPolicy::with_threads(threads))
+                .run_transition(&pats, &map)
+                .unwrap()
+        };
+        let serial = run(1);
+        assert!(serial.detected_count() > 0);
+        for threads in [2, 5] {
+            let par = run(threads);
+            assert_eq!(par.detection, serial.detection, "threads={threads}");
+            assert_eq!(par.syndromes, serial.syndromes, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn resumed_batches_match_single_run_detection_and_syndromes() {
+        // Regression: syndromes used to be recorded with the *local* block
+        // index and discarded between resumed calls, so incremental runs
+        // corrupted the equivalent-fault-class computation. Split at a
+        // non-multiple of 64 to exercise absolute indexing.
+        let nl = wide_view();
+        let u = FaultUniverse::stuck_at(&nl);
+        let rows = exhaustive(10);
+        let sim = CombFaultSim::new(&u).with_syndromes();
+
+        let single = sim
+            .run_stuck_at(&PatternSet::from_rows(10, &rows[..300]))
+            .unwrap();
+
+        let mut campaign = sim.campaign();
+        for batch in [&rows[..100], &rows[100..171], &rows[171..300]] {
+            sim.resume_stuck_at(&PatternSet::from_rows(10, batch), &mut campaign)
+                .unwrap();
+        }
+        let resumed = campaign.into_result();
+
+        assert_eq!(resumed.detection, single.detection);
+        assert_eq!(resumed.syndromes, single.syndromes);
+        let classes_single =
+            crate::DiagnosticMatrix::from_syndromes(single.syndromes.as_ref().unwrap());
+        let classes_resumed =
+            crate::DiagnosticMatrix::from_syndromes(resumed.syndromes.as_ref().unwrap());
+        assert_eq!(classes_resumed.classes(), classes_single.classes());
+    }
+
+    #[test]
+    fn campaign_tracks_applied_patterns() {
+        let nl = comb_block();
+        let u = FaultUniverse::stuck_at(&nl);
+        let sim = CombFaultSim::new(&u);
+        let mut campaign = sim.campaign();
+        sim.resume_stuck_at(&PatternSet::from_rows(3, &exhaustive(3)[..5]), &mut campaign)
+            .unwrap();
+        assert_eq!(campaign.applied, 5);
+        sim.resume_stuck_at(&PatternSet::from_rows(3, &exhaustive(3)[5..]), &mut campaign)
+            .unwrap();
+        assert_eq!(campaign.applied, 8);
+        let r = campaign.into_result();
+        assert_eq!(r.cycles, 8);
+        assert_eq!(r.coverage_percent(), 100.0);
     }
 }

@@ -19,6 +19,11 @@
 //! * **Diagnosis**: per-fault syndromes, the diagnostic matrix, and
 //!   equivalent-fault-class statistics (max/median class size — Table 5).
 //!
+//! Both simulators shard their per-fault hot loop across a scoped worker
+//! pool ([`ParallelPolicy`], std-only) with a deterministic merge: a run
+//! with `threads: N` is bit-identical to `threads: 1`. Scheduling counters
+//! are reported per campaign via [`FaultSimStats`].
+//!
 //! [`Sa1`]: FaultKind::Sa1
 //! [`SlowToRise`]: FaultKind::SlowToRise
 //! [`SlowToFall`]: FaultKind::SlowToFall
@@ -53,15 +58,17 @@
 mod combsim;
 mod diagnosis;
 mod model;
+mod par;
 mod report;
 mod seqsim;
 mod stimulus;
 mod universe;
 
-pub use combsim::{CombFaultSim, PatternSet};
+pub use combsim::{CombCampaign, CombFaultSim, PatternSet};
 pub use diagnosis::{DiagnosticMatrix, EquivalentClassStats, Syndrome};
 pub use model::{Fault, FaultKind};
-pub use report::FaultSimResult;
+pub use par::ParallelPolicy;
+pub use report::{FaultSimResult, FaultSimStats};
 pub use seqsim::{ObserveMode, SeqFaultSim, SeqFaultSimConfig};
 pub use stimulus::{SeqStimulus, VectorStimulus};
 pub use universe::FaultUniverse;

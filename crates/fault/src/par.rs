@@ -1,0 +1,65 @@
+//! Worker-thread policy for the fault simulators.
+//!
+//! Both [`crate::CombFaultSim`] and [`crate::SeqFaultSim`] shard their
+//! per-fault work across a scoped worker pool (`std::thread::scope`, no
+//! external runtime). The sharding is *deterministic*: every fault is
+//! simulated over the same cycles in the same order regardless of the
+//! thread count, and per-fault results are merged in fault order, so a run
+//! with `threads: N` is bit-identical to `threads: 1`.
+
+use std::num::NonZeroUsize;
+
+/// How many worker threads a fault-simulation campaign may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelPolicy {
+    /// Worker-thread count; `0` means "all available cores"
+    /// ([`std::thread::available_parallelism`]). `1` keeps the whole
+    /// campaign on the calling thread (the exact serial code path).
+    pub threads: usize,
+}
+
+impl Default for ParallelPolicy {
+    /// All available cores.
+    fn default() -> Self {
+        ParallelPolicy { threads: 0 }
+    }
+}
+
+impl ParallelPolicy {
+    /// A policy pinned to the calling thread only.
+    pub fn serial() -> Self {
+        ParallelPolicy { threads: 1 }
+    }
+
+    /// A policy with an explicit worker count (`0` = all cores).
+    pub fn with_threads(threads: usize) -> Self {
+        ParallelPolicy { threads }
+    }
+
+    /// Resolves the policy to a concrete thread count (≥ 1).
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_resolves_to_at_least_one_thread() {
+        assert!(ParallelPolicy::default().effective_threads() >= 1);
+    }
+
+    #[test]
+    fn explicit_counts_pass_through() {
+        assert_eq!(ParallelPolicy::serial().effective_threads(), 1);
+        assert_eq!(ParallelPolicy::with_threads(7).effective_threads(), 7);
+    }
+}

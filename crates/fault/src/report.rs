@@ -5,6 +5,48 @@ use std::time::Duration;
 
 use crate::Syndrome;
 
+/// Observability counters for one fault-simulation campaign: how the work
+/// split between the good machine and the faulty machines, how the windowed
+/// schedule converged, and how many worker threads carried it.
+///
+/// The counters are deterministic (identical for `threads: 1` and
+/// `threads: N`) except for `wall`, which measures the clock.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSimStats {
+    /// Worker threads the campaign ran on (resolved, ≥ 1).
+    pub threads: usize,
+    /// Windows simulated (sequential) or 64-pattern blocks processed
+    /// (combinational PPSFP).
+    pub windows: u64,
+    /// Surviving (still-undetected) fault count after each window/block,
+    /// in schedule order — the fault-dropping trajectory.
+    pub survivors: Vec<usize>,
+    /// Good-machine simulation cycles (sequential: cycles simulated once
+    /// per window; combinational: patterns evaluated fault-free).
+    pub good_cycles: u64,
+    /// Faulty-machine simulation cost (sequential: Σ window length ×
+    /// 64-lane fault chunks; combinational: single-fault propagation
+    /// passes).
+    pub faulty_cycles: u64,
+    /// Wall-clock time spent inside the simulator.
+    pub wall: Duration,
+}
+
+impl fmt::Display for FaultSimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} thread(s), {} window(s), good/faulty cycles {}/{}, final survivors {}, {:?}",
+            self.threads,
+            self.windows,
+            self.good_cycles,
+            self.faulty_cycles,
+            self.survivors.last().copied().unwrap_or(0),
+            self.wall
+        )
+    }
+}
+
 /// Outcome of a fault-simulation campaign over a collapsed universe.
 #[derive(Debug, Clone)]
 pub struct FaultSimResult {
@@ -18,6 +60,8 @@ pub struct FaultSimResult {
     pub wall: Duration,
     /// Per-fault syndromes, when syndrome collection was enabled.
     pub syndromes: Option<Vec<Syndrome>>,
+    /// Scheduling/observability counters for the run.
+    pub stats: FaultSimStats,
 }
 
 impl FaultSimResult {
@@ -97,6 +141,7 @@ mod tests {
             cycles: 16,
             wall: Duration::from_millis(1),
             syndromes: None,
+            stats: FaultSimStats::default(),
         }
     }
 
@@ -124,6 +169,7 @@ mod tests {
             cycles: 0,
             wall: Duration::ZERO,
             syndromes: None,
+            stats: FaultSimStats::default(),
         };
         assert_eq!(r.coverage_percent(), 0.0);
         assert!(r.to_string().contains("0/0"));

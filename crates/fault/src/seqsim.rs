@@ -1,17 +1,23 @@
 //! Parallel-fault sequential fault simulation.
 //!
-//! The good machine and up to 63 faulty machines share the 64 lanes of the
-//! bit-parallel simulation kernel: lane 0 is fault-free and lane *i* carries
-//! machine *i*'s deviation. All machines receive the same per-cycle stimulus
-//! — exactly the situation of a BIST run, where the pattern generator feeds
-//! every module one pattern per clock.
+//! Up to 64 faulty machines share the 64 lanes of the bit-parallel
+//! simulation kernel: lane *i* carries machine *i*'s deviation. All machines
+//! receive the same per-cycle stimulus — exactly the situation of a BIST
+//! run, where the pattern generator feeds every module one pattern per
+//! clock.
 //!
-//! Simulation proceeds in *windows*: after each window, detected faults are
-//! dropped and the survivors (which carry their flip-flop state, their MISR
-//! state, and the previous value of their fault site for transition faults)
-//! are repacked into fewer, denser lane groups. Random patterns detect most
-//! faults early, so the survivor tail is short and the windowed schedule
-//! approaches good-machine-only cost.
+//! Simulation proceeds in *windows*: the good machine's trajectory over the
+//! window (observation values, MISR signatures at read boundaries, and the
+//! next flip-flop state) is computed **once**, then every 64-fault lane
+//! chunk is simulated against that trace. Chunks are independent, so they
+//! are sharded across a scoped worker pool ([`ParallelPolicy`]); per-chunk
+//! detections and syndrome events are merged in chunk order, which makes a
+//! `threads: N` run bit-identical to `threads: 1`. After each window,
+//! detected faults are dropped and the survivors (which carry their
+//! flip-flop state, their MISR state, and the previous value of their fault
+//! site for transition faults) are repacked into fewer, denser lane groups.
+//! Random patterns detect most faults early, so the survivor tail is short
+//! and the windowed schedule approaches good-machine-only cost.
 
 use std::collections::HashMap;
 use std::time::Instant;
@@ -19,7 +25,10 @@ use std::time::Instant;
 use soctest_netlist::{GateKind, NetId, Netlist, NetlistError};
 
 use crate::stimulus::StimulusMatrix;
-use crate::{FaultKind, FaultSimResult, FaultUniverse, SeqStimulus, Syndrome};
+use crate::{
+    Fault, FaultKind, FaultSimResult, FaultSimStats, FaultUniverse, ParallelPolicy, SeqStimulus,
+    Syndrome,
+};
 
 /// How fault effects are observed.
 #[derive(Debug, Clone)]
@@ -47,10 +56,17 @@ pub enum ObserveMode {
 
 impl ObserveMode {
     /// A MISR observation with the workspace's default primitive-style tap
-    /// set, mirroring the 16-bit MISRs of the case study.
+    /// set, mirroring the 16-bit MISRs of the case study. Kept identical to
+    /// `soctest_bist::Misr::default_taps` across the full 2..=64 range.
     pub fn misr_default(width: usize, read_every: u64) -> Self {
         assert!((2..=64).contains(&width), "MISR width must be in 2..=64");
-        let taps = (0b101_1011u64 | 1) & ((1u64 << width) - 1).max(1);
+        // `1u64 << 64` is a shift overflow, so width 64 takes the full mask
+        // explicitly instead of computing `(1 << width) - 1`.
+        let mask = match width {
+            64.. => u64::MAX,
+            w => (1u64 << w) - 1,
+        };
+        let taps = (0b101_1011u64 | 1) & mask.max(1);
         ObserveMode::Misr {
             width,
             taps,
@@ -69,6 +85,8 @@ pub struct SeqFaultSimConfig {
     /// Collect per-fault syndromes for diagnosis. Implies simulating every
     /// fault over the full test (no dropping), which is slower.
     pub collect_syndromes: bool,
+    /// Worker-thread policy for the per-window fault chunks.
+    pub parallel: ParallelPolicy,
 }
 
 impl Default for SeqFaultSimConfig {
@@ -77,6 +95,7 @@ impl Default for SeqFaultSimConfig {
             window: 256,
             observe: ObserveMode::Outputs,
             collect_syndromes: false,
+            parallel: ParallelPolicy::default(),
         }
     }
 }
@@ -103,6 +122,115 @@ struct InjEntry {
     lane: u8,
     kind: FaultKind,
     prev: bool,
+}
+
+/// The good machine's trajectory over one window, computed once and shared
+/// (read-only) by every fault chunk.
+struct GoodTrace {
+    /// Packed observation values: bit `oi` of cycle `t` (window-relative)
+    /// lives at word `t * obs_words + oi / 64`. Empty in MISR mode.
+    obs: Vec<u64>,
+    obs_words: usize,
+    /// Good MISR signature at each read boundary inside the window, in
+    /// boundary order, paired with `(cycle, read_idx)`.
+    sigs: Vec<(u64, u64, u64)>,
+    /// Good flip-flop + MISR state at window end (packed like
+    /// `ActiveFault::state`).
+    next_state: Vec<u64>,
+}
+
+/// Per-chunk results produced by a worker: merged serially in chunk order.
+#[derive(Default)]
+struct ChunkOut {
+    /// `(fault index, first in-window detection cycle)`.
+    detections: Vec<(usize, u64)>,
+    /// `(fault index, when, what)` syndrome events in generation order.
+    events: Vec<(usize, u64, u64)>,
+}
+
+/// Read-only context shared by the good pass and every fault chunk.
+struct WindowCtx<'b> {
+    view: &'b Netlist,
+    order: &'b [NetId],
+    dff_pairs: &'b [(NetId, NetId)],
+    pis: &'b [NetId],
+    obs: &'b [NetId],
+    stim: &'b StimulusMatrix,
+    faults: &'b [Fault],
+    misr_width: usize,
+    misr_taps: u64,
+    misr_read: u64,
+    total_cycles: u64,
+    ndff: usize,
+    collect: bool,
+}
+
+/// Overlays a net's 64-lane word with every fault injected at that net.
+/// Transition faults remember the site's previous-cycle value in `prev`.
+fn apply(w: u64, entries: &mut [InjEntry], first_ever: bool) -> u64 {
+    let mut out = w;
+    for e in entries.iter_mut() {
+        let m = 1u64 << e.lane;
+        match e.kind {
+            FaultKind::Sa0 => out &= !m,
+            FaultKind::Sa1 => out |= m,
+            FaultKind::SlowToRise | FaultKind::SlowToFall => {
+                let cur = (out >> e.lane) & 1 == 1;
+                let faulty = if first_ever {
+                    cur
+                } else if e.kind == FaultKind::SlowToRise {
+                    cur && e.prev
+                } else {
+                    cur || e.prev
+                };
+                if faulty {
+                    out |= m;
+                } else {
+                    out &= !m;
+                }
+                e.prev = faulty;
+            }
+        }
+    }
+    out
+}
+
+/// One levelized pass over the combinational cloud with inline fault
+/// injection — the inner loop every fault chunk spends its cycles in.
+#[allow(clippy::too_many_arguments)]
+fn eval_comb_injected(
+    view: &Netlist,
+    order: &[NetId],
+    values: &mut [u64],
+    inj_flag: &[bool],
+    inj: &mut HashMap<u32, Vec<InjEntry>>,
+    pins: &mut [u64; 3],
+    first_ever: bool,
+) {
+    for &id in order {
+        let gate = view.gate(id);
+        for (i, &p) in gate.pins.iter().enumerate() {
+            pins[i] = values[p.index()];
+        }
+        let mut w = gate.kind.eval_word(&pins[..gate.pins.len()]);
+        if inj_flag[id.index()] {
+            let entries = inj.get_mut(&id.0).expect("registered");
+            w = apply(w, entries, first_ever);
+        }
+        values[id.index()] = w;
+    }
+}
+
+fn get_bit(state: &[u64], j: usize) -> bool {
+    (state[j / 64] >> (j % 64)) & 1 == 1
+}
+
+fn set_bit(state: &mut [u64], j: usize, v: bool) {
+    if v {
+        state[j / 64] |= 1u64 << (j % 64);
+    } else {
+        state[j / 64] &= !(1u64 << (j % 64));
+    }
 }
 
 impl<'a> SeqFaultSim<'a> {
@@ -163,282 +291,401 @@ impl<'a> SeqFaultSim<'a> {
             .collect();
         let mut good_state = vec![0u64; state_words];
 
-        // Scratch value buffer: constants set once, everything else is
-        // rewritten every cycle.
-        let mut values = vec![0u64; view.len()];
-        for (id, gate) in view.iter() {
-            if gate.kind == GateKind::Const1 {
-                values[id.index()] = u64::MAX;
+        let ctx = WindowCtx {
+            view,
+            order: &order,
+            dff_pairs: &dff_pairs,
+            pis: &pis,
+            obs: &obs,
+            stim: &stim,
+            faults,
+            misr_width,
+            misr_taps,
+            misr_read,
+            total_cycles: cycles,
+            ndff,
+            collect: self.config.collect_syndromes,
+        };
+        let ctx = &ctx;
+
+        let nthreads = self.config.parallel.effective_threads();
+        let mut stats = FaultSimStats {
+            threads: nthreads,
+            ..FaultSimStats::default()
+        };
+
+        // Per-worker value scratchpads, hoisted across windows: constants
+        // set once, everything else is rewritten every cycle.
+        let fresh_values = || {
+            let mut values = vec![0u64; view.len()];
+            for (id, gate) in view.iter() {
+                if gate.kind == GateKind::Const1 {
+                    values[id.index()] = u64::MAX;
+                }
             }
-        }
+            values
+        };
+        let mut scratches: Vec<Vec<u64>> = (0..nthreads).map(|_| fresh_values()).collect();
+        let mut good_values = fresh_values();
 
         let mut window_start = 0u64;
         while window_start < cycles && !active.is_empty() {
             let wlen = self.config.window.min(cycles - window_start);
-            let mut next_good: Option<Vec<u64>> = None;
-            for chunk in active.chunks_mut(63) {
-                let lane0_state = self.run_window(
-                    view,
-                    &order,
-                    &dff_pairs,
-                    &pis,
-                    &obs,
-                    &stim,
-                    chunk,
-                    &good_state,
-                    window_start,
-                    wlen,
-                    &mut values,
-                    &mut detection,
-                    &mut syndromes,
-                    (misr_width, misr_taps, misr_read),
-                    cycles,
-                    ndff,
-                );
-                next_good.get_or_insert(lane0_state);
+            let trace = good_window(ctx, &good_state, window_start, wlen, &mut good_values);
+            stats.good_cycles += wlen;
+            stats.faulty_cycles += wlen * active.chunks(64).count() as u64;
+
+            let mut chunk_slices: Vec<&mut [ActiveFault]> = active.chunks_mut(64).collect();
+            let nchunks = chunk_slices.len();
+            let workers = nthreads.min(nchunks.max(1));
+            let outs: Vec<Vec<ChunkOut>> = if workers <= 1 {
+                vec![chunk_slices
+                    .iter_mut()
+                    .map(|chunk| {
+                        run_chunk(
+                            ctx,
+                            chunk,
+                            &good_state,
+                            &trace,
+                            window_start,
+                            wlen,
+                            &mut scratches[0],
+                        )
+                    })
+                    .collect()]
+            } else {
+                let per = nchunks.div_ceil(workers);
+                let trace_ref = &trace;
+                let good_ref: &[u64] = &good_state;
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = chunk_slices
+                        .chunks_mut(per)
+                        .zip(scratches.iter_mut())
+                        .map(|(group, values)| {
+                            s.spawn(move || {
+                                group
+                                    .iter_mut()
+                                    .map(|chunk| {
+                                        run_chunk(
+                                            ctx,
+                                            chunk,
+                                            good_ref,
+                                            trace_ref,
+                                            window_start,
+                                            wlen,
+                                            values,
+                                        )
+                                    })
+                                    .collect::<Vec<ChunkOut>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("fault-sim worker panicked"))
+                        .collect()
+                })
+            };
+            // Deterministic merge: workers in spawn order, chunks in chunk
+            // order; each fault lives in exactly one chunk, so per-fault
+            // event order is exactly the serial order.
+            for out in outs.into_iter().flatten() {
+                for (idx, t) in out.detections {
+                    if detection[idx].is_none() {
+                        detection[idx] = Some(t);
+                    }
+                }
+                for (idx, when, what) in out.events {
+                    syndromes[idx].record(when, what);
+                }
             }
-            if let Some(g) = next_good {
-                good_state = g;
-            }
+
+            good_state = trace.next_state;
             if !self.config.collect_syndromes {
                 active.retain(|af| detection[af.idx].is_none());
             }
+            stats.windows += 1;
+            stats
+                .survivors
+                .push(detection.iter().filter(|d| d.is_none()).count());
             window_start += wlen;
         }
 
+        stats.wall = start.elapsed();
         Ok(FaultSimResult {
             detection,
             cycles,
-            wall: start.elapsed(),
+            wall: stats.wall,
             syndromes: if self.config.collect_syndromes {
                 Some(syndromes)
             } else {
                 None
             },
+            stats,
         })
     }
+}
 
-    #[allow(clippy::too_many_arguments)]
-    fn run_window(
-        &self,
-        view: &Netlist,
-        order: &[NetId],
-        dff_pairs: &[(NetId, NetId)],
-        pis: &[NetId],
-        obs: &[NetId],
-        stim: &StimulusMatrix,
-        chunk: &mut [ActiveFault],
-        good_state: &[u64],
-        window_start: u64,
-        wlen: u64,
-        values: &mut [u64],
-        detection: &mut [Option<u64>],
-        syndromes: &mut [Syndrome],
-        (misr_width, misr_taps, misr_read): (usize, u64, u64),
-        total_cycles: u64,
-        ndff: usize,
-    ) -> Vec<u64> {
-        let faults = self.universe.faults();
-        let get_bit = |state: &[u64], j: usize| (state[j / 64] >> (j % 64)) & 1 == 1;
-        let set_bit = |state: &mut [u64], j: usize, v: bool| {
-            if v {
-                state[j / 64] |= 1u64 << (j % 64);
-            } else {
-                state[j / 64] &= !(1u64 << (j % 64));
-            }
-        };
+/// Simulates the good machine alone over one window (bit 0 of the value
+/// words), recording what the fault chunks need: observation values per
+/// cycle, MISR signatures at read boundaries, and the end-of-window state.
+fn good_window(
+    ctx: &WindowCtx<'_>,
+    good_state: &[u64],
+    window_start: u64,
+    wlen: u64,
+    values: &mut [u64],
+) -> GoodTrace {
+    let obs_words = if ctx.misr_width == 0 {
+        ctx.obs.len().div_ceil(64).max(1)
+    } else {
+        0
+    };
+    let mut trace = GoodTrace {
+        obs: vec![0u64; obs_words * wlen as usize],
+        obs_words,
+        sigs: Vec::new(),
+        next_state: vec![0u64; good_state.len()],
+    };
 
-        // Load flip-flop lane words from the good state + per-fault states.
-        for (j, &(q, _)) in dff_pairs.iter().enumerate() {
-            let mut w = if get_bit(good_state, j) { u64::MAX } else { 0 };
-            for (l, af) in chunk.iter().enumerate() {
-                let lane = l + 1;
-                if get_bit(&af.state, j) != get_bit(good_state, j) {
-                    w ^= 1u64 << lane;
-                }
-            }
-            values[q.index()] = w;
+    for (j, &(q, _)) in ctx.dff_pairs.iter().enumerate() {
+        values[q.index()] = if get_bit(good_state, j) { u64::MAX } else { 0 };
+    }
+    let mut misr: u64 = (0..ctx.misr_width)
+        .rev()
+        .fold(0u64, |acc, j| (acc << 1) | u64::from(get_bit(good_state, ctx.ndff + 1 + j)));
+    let misr_mask = match ctx.misr_width {
+        0 => 0,
+        64.. => u64::MAX,
+        w => (1u64 << w) - 1,
+    };
+
+    let mut pins = [0u64; 3];
+    for t in window_start..window_start + wlen {
+        for (k, &pi) in ctx.pis.iter().enumerate() {
+            values[pi.index()] = if ctx.stim.get(t, k) { u64::MAX } else { 0 };
         }
-        // Load MISR lane words similarly.
-        let mut misr: Vec<u64> = (0..misr_width)
-            .map(|j| {
-                let sj = ndff + 1 + j;
-                let mut w = if get_bit(good_state, sj) { u64::MAX } else { 0 };
-                for (l, af) in chunk.iter().enumerate() {
-                    if get_bit(&af.state, sj) != get_bit(good_state, sj) {
-                        w ^= 1u64 << (l + 1);
-                    }
+        for &id in ctx.order {
+            let gate = ctx.view.gate(id);
+            for (i, &p) in gate.pins.iter().enumerate() {
+                pins[i] = values[p.index()];
+            }
+            values[id.index()] = gate.kind.eval_word(&pins[..gate.pins.len()]);
+        }
+        let rel = (t - window_start) as usize;
+        if ctx.misr_width == 0 {
+            for (oi, &o) in ctx.obs.iter().enumerate() {
+                if values[o.index()] & 1 == 1 {
+                    trace.obs[rel * obs_words + oi / 64] |= 1u64 << (oi % 64);
                 }
-                w
-            })
-            .collect();
+            }
+        } else {
+            // Scalar form of the per-lane MISR update in `run_chunk`.
+            let fb = (misr >> (ctx.misr_width - 1)) & 1;
+            let mut next = (misr << 1) & misr_mask;
+            if fb == 1 {
+                next ^= ctx.misr_taps;
+            }
+            for (oi, &o) in ctx.obs.iter().enumerate() {
+                next ^= (values[o.index()] & 1) << (oi % ctx.misr_width);
+            }
+            misr = next & misr_mask;
+            let is_read = (t + 1) % ctx.misr_read == 0 || t + 1 == ctx.total_cycles;
+            if is_read {
+                trace.sigs.push((t, t / ctx.misr_read, misr));
+            }
+        }
+        for &(q, d) in ctx.dff_pairs {
+            values[q.index()] = values[d.index()];
+        }
+    }
 
-        // Build injection tables.
-        let mut inj: HashMap<u32, Vec<InjEntry>> = HashMap::new();
+    for (j, &(q, _)) in ctx.dff_pairs.iter().enumerate() {
+        set_bit(&mut trace.next_state, j, values[q.index()] & 1 == 1);
+    }
+    for j in 0..ctx.misr_width {
+        set_bit(&mut trace.next_state, ctx.ndff + 1 + j, (misr >> j) & 1 == 1);
+    }
+    trace
+}
+
+/// Simulates one 64-fault lane chunk over one window against the good
+/// trace, updating the chunk's packed states in place and returning its
+/// detections and syndrome events.
+fn run_chunk(
+    ctx: &WindowCtx<'_>,
+    chunk: &mut [ActiveFault],
+    good_state: &[u64],
+    trace: &GoodTrace,
+    window_start: u64,
+    wlen: u64,
+    values: &mut [u64],
+) -> ChunkOut {
+    let mut out = ChunkOut::default();
+    let mut first_det: Vec<Option<u64>> = vec![None; chunk.len()];
+    let lanes_mask = if chunk.len() == 64 {
+        u64::MAX
+    } else {
+        (1u64 << chunk.len()) - 1
+    };
+    // Hoist the context fields the per-cycle loop touches.
+    let view = ctx.view;
+    let order = ctx.order;
+    let dff_pairs = ctx.dff_pairs;
+    let pis = ctx.pis;
+    let obs = ctx.obs;
+    let stim = ctx.stim;
+
+    // Load flip-flop lane words from the good state + per-fault states.
+    for (j, &(q, _)) in ctx.dff_pairs.iter().enumerate() {
+        let mut w = if get_bit(good_state, j) { u64::MAX } else { 0 };
         for (l, af) in chunk.iter().enumerate() {
-            let f = faults[af.idx];
-            inj.entry(f.net.0).or_default().push(InjEntry {
-                lane: (l + 1) as u8,
-                kind: f.kind,
-                prev: get_bit(&af.state, ndff),
-            });
-        }
-        let mut inj_flag = vec![false; view.len()];
-        let mut src_inj: Vec<u32> = Vec::new();
-        for &net in inj.keys() {
-            inj_flag[net as usize] = true;
-            if view.gate(NetId(net)).kind.is_source() {
-                src_inj.push(net);
+            if get_bit(&af.state, j) != get_bit(good_state, j) {
+                w ^= 1u64 << l;
             }
         }
+        values[q.index()] = w;
+    }
+    // Load MISR lane words similarly.
+    let mut misr: Vec<u64> = (0..ctx.misr_width)
+        .map(|j| {
+            let sj = ctx.ndff + 1 + j;
+            let mut w = if get_bit(good_state, sj) { u64::MAX } else { 0 };
+            for (l, af) in chunk.iter().enumerate() {
+                if get_bit(&af.state, sj) != get_bit(good_state, sj) {
+                    w ^= 1u64 << l;
+                }
+            }
+            w
+        })
+        .collect();
+    let mut misr_next = vec![0u64; ctx.misr_width];
 
-        let apply =
-            |w: u64, entries: &mut [InjEntry], first_ever: bool| -> u64 {
-                let mut out = w;
-                for e in entries.iter_mut() {
-                    let m = 1u64 << e.lane;
-                    match e.kind {
-                        FaultKind::Sa0 => out &= !m,
-                        FaultKind::Sa1 => out |= m,
-                        FaultKind::SlowToRise | FaultKind::SlowToFall => {
-                            let cur = (out >> e.lane) & 1 == 1;
-                            let faulty = if first_ever {
-                                cur
-                            } else if e.kind == FaultKind::SlowToRise {
-                                cur && e.prev
-                            } else {
-                                cur || e.prev
-                            };
-                            if faulty {
-                                out |= m;
-                            } else {
-                                out &= !m;
-                            }
-                            e.prev = faulty;
-                        }
-                    }
-                }
-                out
-            };
+    // Build injection tables.
+    let mut inj: HashMap<u32, Vec<InjEntry>> = HashMap::new();
+    for (l, af) in chunk.iter().enumerate() {
+        let f = ctx.faults[af.idx];
+        inj.entry(f.net.0).or_default().push(InjEntry {
+            lane: l as u8,
+            kind: f.kind,
+            prev: get_bit(&af.state, ctx.ndff),
+        });
+    }
+    let mut inj_flag = vec![false; ctx.view.len()];
+    let mut src_inj: Vec<u32> = Vec::new();
+    for &net in inj.keys() {
+        inj_flag[net as usize] = true;
+        if ctx.view.gate(NetId(net)).kind.is_source() {
+            src_inj.push(net);
+        }
+    }
 
-        let mut pins = [0u64; 3];
-        for t in window_start..window_start + wlen {
-            let first_ever = t == 0;
-            // Drive primary inputs (same value on every lane).
-            for (k, &pi) in pis.iter().enumerate() {
-                values[pi.index()] = if stim.get(t, k) { u64::MAX } else { 0 };
-            }
-            // Source-site injections (PI nets and flip-flop outputs).
-            for &net in &src_inj {
-                let entries = inj.get_mut(&net).expect("registered");
-                values[net as usize] = apply(values[net as usize], entries, first_ever);
-            }
-            // Combinational evaluation with inline injections.
-            for &id in order {
-                let gate = view.gate(id);
-                for (i, &p) in gate.pins.iter().enumerate() {
-                    pins[i] = values[p.index()];
-                }
-                let mut w = gate.kind.eval_word(&pins[..gate.pins.len()]);
-                if inj_flag[id.index()] {
-                    let entries = inj.get_mut(&id.0).expect("registered");
-                    w = apply(w, entries, first_ever);
-                }
-                values[id.index()] = w;
-            }
-            // Observation.
-            if misr_width == 0 {
-                for (oi, &o) in obs.iter().enumerate() {
-                    let w = values[o.index()];
-                    let good = 0u64.wrapping_sub(w & 1);
-                    let mut diff = w ^ good;
-                    while diff != 0 {
-                        let lane = diff.trailing_zeros() as usize;
-                        diff &= diff - 1;
-                        if lane == 0 || lane > chunk.len() {
-                            continue;
-                        }
-                        let idx = chunk[lane - 1].idx;
-                        if detection[idx].is_none() {
-                            detection[idx] = Some(t);
-                        }
-                        if !syndromes.is_empty() {
-                            syndromes[idx].record(t, oi as u64);
-                        }
+    let mut pins = [0u64; 3];
+    let mut read_cursor = 0usize;
+    for t in window_start..window_start + wlen {
+        let first_ever = t == 0;
+        // Drive primary inputs (same value on every lane).
+        for (k, &pi) in pis.iter().enumerate() {
+            values[pi.index()] = if stim.get(t, k) { u64::MAX } else { 0 };
+        }
+        // Source-site injections (PI nets and flip-flop outputs).
+        for &net in &src_inj {
+            let entries = inj.get_mut(&net).expect("registered");
+            values[net as usize] = apply(values[net as usize], entries, first_ever);
+        }
+        eval_comb_injected(
+            view,
+            order,
+            values,
+            &inj_flag,
+            &mut inj,
+            &mut pins,
+            first_ever,
+        );
+        // Observation against the precomputed good trace.
+        let rel = (t - window_start) as usize;
+        if ctx.misr_width == 0 {
+            let row = &trace.obs[rel * trace.obs_words..(rel + 1) * trace.obs_words];
+            for (oi, &o) in obs.iter().enumerate() {
+                let w = values[o.index()];
+                let good_bit = (row[oi / 64] >> (oi % 64)) & 1;
+                let good = 0u64.wrapping_sub(good_bit);
+                let mut diff = (w ^ good) & lanes_mask;
+                while diff != 0 {
+                    let lane = diff.trailing_zeros() as usize;
+                    diff &= diff - 1;
+                    if first_det[lane].is_none() {
+                        first_det[lane] = Some(t);
+                    }
+                    if ctx.collect {
+                        out.events.push((chunk[lane].idx, t, oi as u64));
                     }
                 }
-            } else {
-                // Fold observation nets into MISR inputs and update.
-                let fb = misr[misr_width - 1];
-                let mut next = vec![0u64; misr_width];
-                for (j, n) in next.iter_mut().enumerate() {
-                    let mut w = if j > 0 { misr[j - 1] } else { 0 };
-                    if (misr_taps >> j) & 1 == 1 {
-                        w ^= fb;
-                    }
-                    *n = w;
+            }
+        } else {
+            // Fold observation nets into MISR inputs and update.
+            let fb = misr[ctx.misr_width - 1];
+            for (j, n) in misr_next.iter_mut().enumerate() {
+                let mut w = if j > 0 { misr[j - 1] } else { 0 };
+                if (ctx.misr_taps >> j) & 1 == 1 {
+                    w ^= fb;
                 }
-                for (oi, &o) in obs.iter().enumerate() {
-                    next[oi % misr_width] ^= values[o.index()];
-                }
-                misr = next;
-                let is_read = (t + 1) % misr_read == 0 || t + 1 == total_cycles;
-                if is_read {
-                    let read_idx = t / misr_read;
-                    // Per-lane signature extraction and comparison.
-                    let mut good_sig = 0u64;
+                *n = w;
+            }
+            for (oi, &o) in obs.iter().enumerate() {
+                misr_next[oi % ctx.misr_width] ^= values[o.index()];
+            }
+            std::mem::swap(&mut misr, &mut misr_next);
+            let is_read = (t + 1) % ctx.misr_read == 0 || t + 1 == ctx.total_cycles;
+            if is_read {
+                let (sig_t, read_idx, good_sig) = trace.sigs[read_cursor];
+                debug_assert_eq!(sig_t, t, "read boundary schedule");
+                read_cursor += 1;
+                // Per-lane signature extraction and comparison.
+                for (l, af) in chunk.iter().enumerate() {
+                    let mut sig = 0u64;
                     for (j, &w) in misr.iter().enumerate() {
-                        good_sig |= (w & 1) << j;
+                        sig |= ((w >> l) & 1) << j;
                     }
-                    for (l, af) in chunk.iter().enumerate() {
-                        let lane = l + 1;
-                        let mut sig = 0u64;
-                        for (j, &w) in misr.iter().enumerate() {
-                            sig |= ((w >> lane) & 1) << j;
+                    if sig != good_sig {
+                        if first_det[l].is_none() {
+                            first_det[l] = Some(t);
                         }
-                        if sig != good_sig {
-                            if detection[af.idx].is_none() {
-                                detection[af.idx] = Some(t);
-                            }
-                            if !syndromes.is_empty() {
-                                syndromes[af.idx].record(read_idx, sig);
-                            }
+                        if ctx.collect {
+                            out.events.push((af.idx, read_idx, sig));
                         }
                     }
                 }
             }
-            // Clock every flip-flop.
-            for &(q, d) in dff_pairs {
-                values[q.index()] = values[d.index()];
-            }
         }
+        // Clock every flip-flop.
+        for &(q, d) in dff_pairs {
+            values[q.index()] = values[d.index()];
+        }
+    }
 
-        // Extract survivor states (and lane 0 as the new good state).
-        let state_words = good_state.len();
-        let mut lane0 = vec![0u64; state_words];
-        for (j, &(q, _)) in dff_pairs.iter().enumerate() {
-            set_bit(&mut lane0, j, values[q.index()] & 1 == 1);
+    for (l, d) in first_det.iter().enumerate() {
+        if let Some(t) = d {
+            out.detections.push((chunk[l].idx, *t));
+        }
+    }
+
+    // Extract survivor states.
+    for (l, af) in chunk.iter_mut().enumerate() {
+        for (j, &(q, _)) in ctx.dff_pairs.iter().enumerate() {
+            set_bit(&mut af.state, j, (values[q.index()] >> l) & 1 == 1);
+        }
+        let f = ctx.faults[af.idx];
+        if let Some(entries) = inj.get(&f.net.0) {
+            if let Some(e) = entries.iter().find(|e| e.lane as usize == l) {
+                set_bit(&mut af.state, ctx.ndff, e.prev);
+            }
         }
         for (j, &w) in misr.iter().enumerate() {
-            set_bit(&mut lane0, ndff + 1 + j, w & 1 == 1);
+            set_bit(&mut af.state, ctx.ndff + 1 + j, (w >> l) & 1 == 1);
         }
-        for (l, af) in chunk.iter_mut().enumerate() {
-            let lane = l + 1;
-            for (j, &(q, _)) in dff_pairs.iter().enumerate() {
-                set_bit(&mut af.state, j, (values[q.index()] >> lane) & 1 == 1);
-            }
-            let f = faults[af.idx];
-            if let Some(entries) = inj.get(&f.net.0) {
-                if let Some(e) = entries.iter().find(|e| e.lane as usize == lane) {
-                    set_bit(&mut af.state, ndff, e.prev);
-                }
-            }
-            for (j, &w) in misr.iter().enumerate() {
-                set_bit(&mut af.state, ndff + 1 + j, (w >> lane) & 1 == 1);
-            }
-        }
-        lane0
     }
+    out
 }
 
 #[cfg(test)]
@@ -483,6 +730,9 @@ mod tests {
                 .map(|&i| u.describe(i))
                 .collect::<Vec<_>>()
         );
+        assert!(r.stats.windows >= 1);
+        assert_eq!(r.stats.good_cycles, r.cycles);
+        assert_eq!(r.stats.survivors.last(), Some(&0));
     }
 
     #[test]
@@ -551,6 +801,35 @@ mod tests {
     }
 
     #[test]
+    fn misr_default_width_64_is_not_degenerate() {
+        // Regression: `(1u64 << 64) - 1` overflowed at the documented upper
+        // width bound; the taps must match the narrower widths.
+        match ObserveMode::misr_default(64, 8) {
+            ObserveMode::Misr { width, taps, .. } => {
+                assert_eq!(width, 64);
+                assert_eq!(taps, 0b101_1011);
+            }
+            other => panic!("unexpected mode {other:?}"),
+        }
+        let nl = small_seq();
+        let u = FaultUniverse::stuck_at(&nl);
+        let mut stim = VectorStimulus::new(exhaustive_patterns(4, 1));
+        let sim = SeqFaultSim::new(
+            &u,
+            SeqFaultSimConfig {
+                observe: ObserveMode::misr_default(64, 8),
+                ..Default::default()
+            },
+        );
+        let r = sim.run(&mut stim).unwrap();
+        assert!(
+            r.coverage_percent() >= 90.0,
+            "got {:.1}%",
+            r.coverage_percent()
+        );
+    }
+
+    #[test]
     fn syndromes_distinguish_most_detected_faults() {
         let nl = small_seq();
         let u = FaultUniverse::stuck_at(&nl);
@@ -581,5 +860,38 @@ mod tests {
             assert!(*d < r.cycles);
         }
         assert!(r.last_useful_cycle().is_some());
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_serial() {
+        let nl = small_seq();
+        for universe in [FaultUniverse::stuck_at(&nl), FaultUniverse::transition(&nl)] {
+            for observe in [ObserveMode::Outputs, ObserveMode::misr_default(16, 8)] {
+                let run = |threads: usize| {
+                    let mut stim = VectorStimulus::new(exhaustive_patterns(4, 2));
+                    let sim = SeqFaultSim::new(
+                        &universe,
+                        SeqFaultSimConfig {
+                            window: 8, // several windows and chunks
+                            observe: observe.clone(),
+                            collect_syndromes: true,
+                            parallel: ParallelPolicy::with_threads(threads),
+                        },
+                    );
+                    sim.run(&mut stim).unwrap()
+                };
+                let serial = run(1);
+                assert!(serial.detected_count() > 0);
+                for threads in [2, 4] {
+                    let par = run(threads);
+                    assert_eq!(par.detection, serial.detection, "threads={threads}");
+                    assert_eq!(par.syndromes, serial.syndromes, "threads={threads}");
+                    assert_eq!(par.stats.windows, serial.stats.windows);
+                    assert_eq!(par.stats.survivors, serial.stats.survivors);
+                    assert_eq!(par.stats.good_cycles, serial.stats.good_cycles);
+                    assert_eq!(par.stats.faulty_cycles, serial.stats.faulty_cycles);
+                }
+            }
+        }
     }
 }

@@ -9,6 +9,7 @@
 
 use soctest::core::casestudy::CaseStudy;
 use soctest::core::eval::{self, FaultModel};
+use soctest::fault::ParallelPolicy;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let case = CaseStudy::paper()?;
@@ -30,6 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             patterns,
             read_every,
             4, // analyze every 4th collapsed fault
+            ParallelPolicy::default(),
         )?;
         let s = report.stats;
         println!(

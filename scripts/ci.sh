@@ -7,13 +7,20 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+tier1_start=$SECONDS
+
 echo "== build (release) =="
 cargo build --release --workspace
 
 echo "== tests =="
 cargo test --release --workspace -q
 
+echo "== tier-1 wall time: $((SECONDS - tier1_start))s =="
+
 echo "== clippy (-D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== fault-sim bench (serial vs parallel, bit-identity asserted) =="
+cargo run --release -p soctest-bench --bin repro -- --quick --bench-faultsim
 
 echo "ci: all green"

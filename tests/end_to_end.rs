@@ -6,7 +6,7 @@ use soctest::core::casestudy::CaseStudy;
 use soctest::core::eval::{self, FaultModel};
 use soctest::core::experiments::{self, Budget};
 use soctest::core::session::WrappedCore;
-use soctest::fault::{FaultUniverse, ObserveMode, SeqFaultSim, SeqFaultSimConfig};
+use soctest::fault::{FaultUniverse, ObserveMode, ParallelPolicy, SeqFaultSim, SeqFaultSimConfig};
 use soctest::p1500::TapDriver;
 use soctest::tech::Library;
 
@@ -165,10 +165,28 @@ fn evaluation_flow_steps_chain_together() {
     let s1 = eval::step1(&case, 128).unwrap();
     assert!(s1.statement_coverage > 40.0);
     // Step 2 loop on the smallest module.
-    let s2 = eval::step2(&case, 2, FaultModel::StuckAt, 64, 99.9, 128).unwrap();
+    let s2 = eval::step2(
+        &case,
+        2,
+        FaultModel::StuckAt,
+        64,
+        99.9,
+        128,
+        ParallelPolicy::default(),
+    )
+    .unwrap();
     assert!(s2.len() >= 2, "loop must iterate when under target");
     // Step 3 diagnosis.
-    let s3 = eval::step3(&case, 2, FaultModel::StuckAt, 96, 24, 8).unwrap();
+    let s3 = eval::step3(
+        &case,
+        2,
+        FaultModel::StuckAt,
+        96,
+        24,
+        8,
+        ParallelPolicy::default(),
+    )
+    .unwrap();
     assert!(s3.stats.classes > 0);
 }
 

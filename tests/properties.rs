@@ -7,7 +7,10 @@
 //! seeds are fixed, so failures replay deterministically.
 
 use soctest::bist::{Alfsr, Misr};
-use soctest::fault::{FaultUniverse, PatternSet, SeqFaultSim, SeqFaultSimConfig, VectorStimulus};
+use soctest::fault::{
+    CombFaultSim, FaultKind, FaultUniverse, ObserveMode, ParallelPolicy, PatternSet, SeqFaultSim,
+    SeqFaultSimConfig, VectorStimulus,
+};
 use soctest::netlist::{GateKind, ModuleBuilder, NetId, Netlist};
 use soctest::prng::SplitMix64;
 use soctest::sim::{CombSim, SeqSim};
@@ -253,5 +256,285 @@ fn seq_sim_is_deterministic() {
             acc
         };
         assert_eq!(run(), run());
+    }
+}
+
+/// A random registered block: the random combinational cloud feeding a
+/// register bank whose outputs are the observed port.
+fn random_registered(rng: &mut SplitMix64, max_in: usize, max_gates: usize) -> Netlist {
+    let n_in = 2 + rng.gen_index(max_in.max(1));
+    let n_gates = 4 + rng.gen_index(max_gates.max(1));
+    let gates: Vec<(u8, u16, u16)> = (0..n_gates)
+        .map(|_| {
+            (
+                rng.next_u32() as u8,
+                rng.next_u32() as u16,
+                rng.next_u32() as u16,
+            )
+        })
+        .collect();
+    let comb = random_comb(n_in, &gates);
+    let mut mb = ModuleBuilder::new("regged");
+    let ins = mb.input_bus("in", n_in);
+    let map = std::collections::HashMap::from([("in".to_owned(), ins)]);
+    let outs = mb.netlist_mut().instantiate(&comb, &map).unwrap();
+    let q = mb.register(&outs["out"]);
+    mb.output_bus("q", &q);
+    mb.finish().unwrap()
+}
+
+/// Combinational PPSFP on N worker threads is bit-identical to serial:
+/// detection vector, syndromes, and scheduling counters all agree.
+#[test]
+fn comb_parallel_fault_sim_matches_serial() {
+    let mut rng = SplitMix64::new(0xc0b9a);
+    for _ in 0..CASES / 8 {
+        let (n_in, gates) = draw_comb(&mut rng, 5, 49);
+        let nl = random_comb(n_in, &gates);
+        let u = FaultUniverse::stuck_at(&nl);
+        let n_rows = 70 + rng.gen_index(90);
+        let rows: Vec<Vec<bool>> = (0..n_rows)
+            .map(|_| {
+                let mut row = vec![false; n_in];
+                rng.fill_bool(&mut row);
+                row
+            })
+            .collect();
+        let pats = PatternSet::from_rows(n_in, &rows);
+        let run = |threads: usize| {
+            CombFaultSim::new(&u)
+                .with_syndromes()
+                .with_parallelism(ParallelPolicy::with_threads(threads))
+                .run_stuck_at(&pats)
+                .unwrap()
+        };
+        let serial = run(1);
+        for threads in [2, 4] {
+            let par = run(threads);
+            assert_eq!(serial.detection, par.detection);
+            assert_eq!(serial.syndromes, par.syndromes);
+            assert_eq!(serial.stats.survivors, par.stats.survivors);
+        }
+    }
+}
+
+/// The sequential fault simulator on N worker threads is bit-identical to
+/// serial on random registered netlists.
+#[test]
+fn seq_parallel_fault_sim_matches_serial() {
+    let mut rng = SplitMix64::new(0x5eb9a);
+    for _ in 0..CASES / 8 {
+        let nl = random_registered(&mut rng, 3, 26);
+        let u = FaultUniverse::stuck_at(&nl);
+        let vectors: Vec<u64> = (0..16 + rng.gen_index(24)).map(|_| rng.next_u64()).collect();
+        let run = |threads: usize| {
+            let mut stim = VectorStimulus::new(vectors.clone());
+            SeqFaultSim::new(
+                &u,
+                SeqFaultSimConfig {
+                    window: 8,
+                    collect_syndromes: true,
+                    parallel: ParallelPolicy::with_threads(threads),
+                    ..Default::default()
+                },
+            )
+            .run(&mut stim)
+            .unwrap()
+        };
+        let serial = run(1);
+        for threads in [2, 4] {
+            let par = run(threads);
+            assert_eq!(serial.detection, par.detection);
+            assert_eq!(serial.syndromes, par.syndromes);
+            assert_eq!(serial.stats.survivors, par.stats.survivors);
+        }
+    }
+}
+
+/// Full re-evaluation of the netlist with a fault override at one site — a
+/// deliberately naive oracle for the event-driven propagator.
+fn ref_eval(nl: &Netlist, order: &[NetId], values: &mut [u64], fault: Option<(NetId, u64)>) {
+    if let Some((s, v)) = fault {
+        values[s.index()] = v;
+    }
+    let mut pins = [0u64; 4];
+    for &id in order {
+        let gate = nl.gate(id);
+        if gate.kind.is_source() {
+            continue;
+        }
+        for (i, &p) in gate.pins.iter().enumerate() {
+            pins[i] = values[p.index()];
+        }
+        values[id.index()] = gate.kind.eval_word(&pins[..gate.pins.len()]);
+        if let Some((s, v)) = fault {
+            if s == id {
+                values[id.index()] = v;
+            }
+        }
+    }
+}
+
+/// Launch-on-capture transition fault simulation agrees with an explicit
+/// two-cycle launch/capture reference that re-evaluates the whole netlist
+/// per fault instead of propagating events.
+#[test]
+fn comb_transition_matches_two_cycle_reference() {
+    let mut rng = SplitMix64::new(0x7d51a);
+    for _ in 0..CASES / 8 {
+        let (n_in, gates) = draw_comb(&mut rng, 4, 29);
+        let nl = random_comb(n_in, &gates);
+        let pis = nl.primary_inputs();
+        let out = nl.port("out").unwrap().bits()[0];
+        let state_map = [(pis[0], out)];
+        let u = FaultUniverse::transition(&nl);
+        let n_rows = 66 + rng.gen_index(40);
+        let rows: Vec<Vec<bool>> = (0..n_rows)
+            .map(|_| {
+                let mut row = vec![false; n_in];
+                rng.fill_bool(&mut row);
+                row
+            })
+            .collect();
+        let pats = PatternSet::from_rows(n_in, &rows);
+        let result = CombFaultSim::new(&u).run_transition(&pats, &state_map).unwrap();
+
+        // The reference runs on the fault *view* (original ids preserved,
+        // fanout-branch buffers appended), where the fault sites live.
+        let view = u.view();
+        let order = view.levelize().unwrap();
+        let obs = u.observe_nets().to_vec();
+        let mut expected: Vec<Option<u64>> = vec![None; u.len()];
+        for (p, row) in rows.iter().enumerate() {
+            let mut launch = vec![0u64; view.len()];
+            for (k, &pi) in pis.iter().enumerate() {
+                launch[pi.index()] = if row[k] { u64::MAX } else { 0 };
+            }
+            ref_eval(view, &order, &mut launch, None);
+            let mut good = launch.clone();
+            for &(ppi, ppo) in &state_map {
+                good[ppi.index()] = launch[ppo.index()];
+            }
+            ref_eval(view, &order, &mut good, None);
+            for (fi, f) in u.faults().iter().enumerate() {
+                if expected[fi].is_some() {
+                    continue;
+                }
+                let s = f.net;
+                let fv = match f.kind {
+                    FaultKind::SlowToRise => good[s.index()] & launch[s.index()],
+                    FaultKind::SlowToFall => good[s.index()] | launch[s.index()],
+                    _ => unreachable!("transition universe"),
+                };
+                if fv == good[s.index()] {
+                    continue; // transition not excited at the site
+                }
+                let mut faulty = launch.clone();
+                for &(ppi, ppo) in &state_map {
+                    faulty[ppi.index()] = launch[ppo.index()];
+                }
+                ref_eval(view, &order, &mut faulty, Some((s, fv)));
+                if obs
+                    .iter()
+                    .any(|&o| (faulty[o.index()] ^ good[o.index()]) & 1 == 1)
+                {
+                    expected[fi] = Some(p as u64);
+                }
+            }
+        }
+        assert_eq!(result.detection, expected);
+    }
+}
+
+/// Drives `nl` behaviorally with [`SeqSim`] and compacts the observed nets
+/// through a width-64 [`Misr`] exactly like the fault simulator's MISR
+/// observation mode: fold, absorb each cycle, read every `read` cycles plus
+/// a final read. Returns `(cycle, signature)` per read.
+fn misr64_trace(nl: &Netlist, obs: &[NetId], vectors: &[u64], read: u64) -> Vec<(u64, u64)> {
+    let mut sim = SeqSim::new(nl).unwrap();
+    let pis = nl.primary_inputs();
+    let mut misr = Misr::new(64);
+    let mut out = Vec::new();
+    let total = vectors.len() as u64;
+    for (t, &v) in vectors.iter().enumerate() {
+        for (k, &pi) in pis.iter().enumerate() {
+            sim.set_input_bit(pi, (v >> k) & 1 == 1);
+        }
+        sim.eval_comb();
+        let bits: Vec<bool> = obs.iter().map(|&o| sim.get(o) & 1 == 1).collect();
+        misr.absorb_folded(&bits);
+        let t = t as u64;
+        if (t + 1).is_multiple_of(read) || t + 1 == total {
+            out.push((t, misr.signature()));
+        }
+        sim.clock();
+    }
+    out
+}
+
+/// Width-64 MISR observation (the regression boundary of the shift-overflow
+/// bug) agrees with the behavioral `bist::Misr`: a fault is detected exactly
+/// when the signature of a `force_constant` copy of the netlist diverges
+/// from the fault-free signature at a read boundary, at that read's cycle.
+#[test]
+fn misr64_fault_sim_matches_bist_misr() {
+    let mut rng = SplitMix64::new(0x3154f);
+    for _ in 0..4 {
+        let nl = random_registered(&mut rng, 3, 22);
+        let u = FaultUniverse::stuck_at(&nl);
+        let vectors: Vec<u64> = (0..24).map(|_| rng.next_u64()).collect();
+        let read = 5;
+        let result = SeqFaultSim::new(
+            &u,
+            SeqFaultSimConfig {
+                observe: ObserveMode::misr_default(64, read),
+                window: 7,
+                ..Default::default()
+            },
+        )
+        .run(&mut VectorStimulus::new(vectors.clone()))
+        .unwrap();
+
+        // Fault sites live on the view (functionally identical to `nl`);
+        // drive the reference simulations on it so `force_constant` lands
+        // on the right net.
+        let view = u.view();
+        let obs = u.observe_nets().to_vec();
+        let good_trace = misr64_trace(view, &obs, &vectors, read);
+        for (fi, f) in u.faults().iter().enumerate() {
+            // `force_constant` cannot model a fault on a driven input pin.
+            if view.gate(f.net).kind == GateKind::Input {
+                continue;
+            }
+            let mut faulty_nl = view.clone();
+            faulty_nl.force_constant(f.net, f.kind == FaultKind::Sa1);
+            let faulty_trace = misr64_trace(&faulty_nl, &obs, &vectors, read);
+            let expected = good_trace
+                .iter()
+                .zip(&faulty_trace)
+                .find(|(g, d)| g.1 != d.1)
+                .map(|(g, _)| g.0);
+            assert_eq!(
+                result.detection[fi],
+                expected,
+                "fault {} ({:?})",
+                fi,
+                u.faults()[fi]
+            );
+        }
+    }
+}
+
+/// The two definitions of the default MISR tap set — the behavioral
+/// register's and the fault simulator's — agree over the whole width range,
+/// including the width-64 overflow boundary.
+#[test]
+fn misr_default_taps_agree_across_widths() {
+    for w in [2usize, 7, 16, 33, 63, 64] {
+        let ObserveMode::Misr { width, taps, .. } = ObserveMode::misr_default(w, 8) else {
+            panic!("misr_default must build a Misr mode");
+        };
+        assert_eq!(width, w);
+        assert_eq!(taps, Misr::default_taps(w), "width {w}");
     }
 }

@@ -145,7 +145,11 @@ impl<'a> Podem<'a> {
 
         loop {
             self.imply(&assign, site, stuck);
-            if self.observe.iter().any(|&o| self.values[o.index()].is_fault_visible()) {
+            if self
+                .observe
+                .iter()
+                .any(|&o| self.values[o.index()].is_fault_visible())
+            {
                 return Some(TestCube {
                     assignments: assign,
                 });

@@ -70,7 +70,10 @@ pub fn insert_scan(netlist: &Netlist, num_chains: usize) -> Result<ScanDesign, N
         chains.push(chain);
     }
     nl.validate()?;
-    Ok(ScanDesign { netlist: nl, chains })
+    Ok(ScanDesign {
+        netlist: nl,
+        chains,
+    })
 }
 
 /// The combinational *scan view* of a sequential netlist: flip-flops become
@@ -125,7 +128,11 @@ impl ScanView {
     /// The `(ppi, ppo)` pairing used for launch-on-capture transition
     /// simulation.
     pub fn state_map(&self) -> Vec<(NetId, NetId)> {
-        self.ppis.iter().copied().zip(self.ppos.iter().copied()).collect()
+        self.ppis
+            .iter()
+            .copied()
+            .zip(self.ppos.iter().copied())
+            .collect()
     }
 }
 

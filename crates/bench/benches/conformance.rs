@@ -1,0 +1,32 @@
+//! Microbenchmarks of the conformance harness: generator throughput, the
+//! naive reference interpreter, and one full four-pair differential seed.
+
+use soctest_bench::micro::bench;
+use soctest_conformance::{random_netlist, run_all_pairs, GeneratorConfig, RefMachine};
+use soctest_prng::SplitMix64;
+
+fn main() {
+    bench("generate_netlist_120g", || {
+        let mut rng = SplitMix64::new(42);
+        let cfg = GeneratorConfig::sample(&mut rng, 120);
+        random_netlist(&mut rng, &cfg).len()
+    });
+    // Reference interpreter: the deliberately slow oracle. Its cost bounds
+    // how far difftest seeds can scale.
+    let mut rng = SplitMix64::new(7);
+    let cfg = GeneratorConfig::sample(&mut rng, 120).comb();
+    let nl = random_netlist(&mut rng, &cfg);
+    let width = nl.input_width();
+    bench("refmachine_settle_64pats", || {
+        let mut rm = RefMachine::new(&nl);
+        let mut acc = 0usize;
+        for p in 0..64u64 {
+            let bits: Vec<bool> = (0..width).map(|i| (p >> (i % 7)) & 1 == 1).collect();
+            rm.set_inputs(&bits);
+            rm.settle();
+            acc += rm.outputs().iter().filter(|&&b| b).count();
+        }
+        acc
+    });
+    bench("run_all_pairs_seed0_60g", || run_all_pairs(0, 60).len());
+}

@@ -16,6 +16,8 @@ fn main() {
                 variant: MinSumVariant::ScaleThreeQuarters,
             },
         );
-        bench(&format!("ldpc_decode/{n}"), || dec.decode(&llrs, 20).iterations);
+        bench(&format!("ldpc_decode/{n}"), || {
+            dec.decode(&llrs, 20).iterations
+        });
     }
 }

@@ -62,7 +62,10 @@ fn bench_faultsim(case: &CaseStudy, patterns: u64) {
     let pgen = case.pattern_generator();
     let mut rows: Vec<FaultSimBench> = Vec::new();
 
-    for (m, name) in ["BIT_NODE", "CHECK_NODE", "CONTROL_UNIT"].iter().enumerate() {
+    for (m, name) in ["BIT_NODE", "CHECK_NODE", "CONTROL_UNIT"]
+        .iter()
+        .enumerate()
+    {
         let universe = FaultUniverse::stuck_at(&case.modules()[m]);
 
         let run = |policy: ParallelPolicy| {
@@ -133,7 +136,11 @@ fn main() {
     let all = wanted.is_empty() || wanted.contains(&"all");
     let want = |name: &str| all || wanted.contains(&name);
 
-    let budget = if quick { Budget::quick() } else { Budget::paper() };
+    let budget = if quick {
+        Budget::quick()
+    } else {
+        Budget::paper()
+    };
     let lib = Library::cmos_130nm();
     let case = CaseStudy::paper().expect("case study builds");
 
@@ -184,7 +191,10 @@ fn main() {
     }
     if want("fig4") {
         let max = if quick { 256 } else { budget.bist_patterns };
-        for (m, name) in ["BIT_NODE", "CHECK_NODE", "CONTROL_UNIT"].iter().enumerate() {
+        for (m, name) in ["BIT_NODE", "CHECK_NODE", "CONTROL_UNIT"]
+            .iter()
+            .enumerate()
+        {
             let curve = experiments::fig4(&case, m, max, 8).expect("fig 4");
             println!("{}", render_fig4(name, &curve));
         }

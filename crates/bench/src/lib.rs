@@ -32,8 +32,16 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
 pub fn render_table2(t: &Table2) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "Table 2 — area overhead");
-    let _ = writeln!(s, "{:<16} {:>14} {:>12}   paper", "component", "area [µm²]", "ovh [%]");
-    let _ = writeln!(s, "{:<16} {:>14.2} {:>12}   165,817.88 / —", "Serial LDPC", t.core_um2, "-");
+    let _ = writeln!(
+        s,
+        "{:<16} {:>14} {:>12}   paper",
+        "component", "area [µm²]", "ovh [%]"
+    );
+    let _ = writeln!(
+        s,
+        "{:<16} {:>14.2} {:>12}   165,817.88 / —",
+        "Serial LDPC", t.core_um2, "-"
+    );
     let _ = writeln!(
         s,
         "{:<16} {:>14.2} {:>12.1}   22,481.63 / 13.5",
@@ -125,7 +133,11 @@ pub fn render_table4(t: &Table4) -> String {
         ("Sequential (wrapper)", t.wrapper_mhz, 434.14),
         ("Full scan", t.full_scan_mhz, 426.62),
     ];
-    let _ = writeln!(s, "{:<22} {:>10} {:>10}  {:>9}", "variant", "fmax", "paper", "Δ vs orig");
+    let _ = writeln!(
+        s,
+        "{:<22} {:>10} {:>10}  {:>9}",
+        "variant", "fmax", "paper", "Δ vs orig"
+    );
     for (name, mhz, paper) in rows {
         let _ = writeln!(
             s,
@@ -169,8 +181,15 @@ pub fn render_table5(rows: &[Table5Row]) -> String {
 /// Renders the Fig. 3 sweep.
 pub fn render_fig3(points: &[Fig3Point]) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Fig. 3 — statement coverage / toggle activity vs patterns");
-    let _ = writeln!(s, "{:>10} {:>12} {:>12}", "patterns", "stmt [%]", "toggle [%]");
+    let _ = writeln!(
+        s,
+        "Fig. 3 — statement coverage / toggle activity vs patterns"
+    );
+    let _ = writeln!(
+        s,
+        "{:>10} {:>12} {:>12}",
+        "patterns", "stmt [%]", "toggle [%]"
+    );
     for p in points {
         let _ = writeln!(
             s,
@@ -184,7 +203,10 @@ pub fn render_fig3(points: &[Fig3Point]) -> String {
 /// Renders a Fig. 4 coverage curve.
 pub fn render_fig4(module: &str, curve: &[(u64, f64)]) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Fig. 4 — stuck-at coverage vs applied patterns ({module})");
+    let _ = writeln!(
+        s,
+        "Fig. 4 — stuck-at coverage vs applied patterns ({module})"
+    );
     let _ = writeln!(s, "{:>10} {:>12}", "patterns", "FC [%]");
     for (n, c) in curve {
         let _ = writeln!(s, "{n:>10} {c:>12.1}");

@@ -6,37 +6,37 @@ use std::fmt;
 /// style) for register lengths 2..=32. Each entry yields a maximal-length
 /// sequence of period `2^n - 1`.
 const TAPS: [&[u32]; 31] = [
-    &[2, 1],          // 2
-    &[3, 2],          // 3
-    &[4, 3],          // 4
-    &[5, 3],          // 5
-    &[6, 5],          // 6
-    &[7, 6],          // 7
-    &[8, 6, 5, 4],    // 8
-    &[9, 5],          // 9
-    &[10, 7],         // 10
-    &[11, 9],         // 11
-    &[12, 6, 4, 1],   // 12
-    &[13, 4, 3, 1],   // 13
-    &[14, 5, 3, 1],   // 14
-    &[15, 14],        // 15
-    &[16, 15, 13, 4], // 16
-    &[17, 14],        // 17
-    &[18, 11],        // 18
-    &[19, 6, 2, 1],   // 19
-    &[20, 17],        // 20
-    &[21, 19],        // 21
-    &[22, 21],        // 22
-    &[23, 18],        // 23
-    &[24, 23, 22, 17],// 24
-    &[25, 22],        // 25
-    &[26, 6, 2, 1],   // 26
-    &[27, 5, 2, 1],   // 27
-    &[28, 25],        // 28
-    &[29, 27],        // 29
-    &[30, 6, 4, 1],   // 30
-    &[31, 28],        // 31
-    &[32, 22, 2, 1],  // 32
+    &[2, 1],           // 2
+    &[3, 2],           // 3
+    &[4, 3],           // 4
+    &[5, 3],           // 5
+    &[6, 5],           // 6
+    &[7, 6],           // 7
+    &[8, 6, 5, 4],     // 8
+    &[9, 5],           // 9
+    &[10, 7],          // 10
+    &[11, 9],          // 11
+    &[12, 6, 4, 1],    // 12
+    &[13, 4, 3, 1],    // 13
+    &[14, 5, 3, 1],    // 14
+    &[15, 14],         // 15
+    &[16, 15, 13, 4],  // 16
+    &[17, 14],         // 17
+    &[18, 11],         // 18
+    &[19, 6, 2, 1],    // 19
+    &[20, 17],         // 20
+    &[21, 19],         // 21
+    &[22, 21],         // 22
+    &[23, 18],         // 23
+    &[24, 23, 22, 17], // 24
+    &[25, 22],         // 25
+    &[26, 6, 2, 1],    // 26
+    &[27, 5, 2, 1],    // 27
+    &[28, 25],         // 28
+    &[29, 27],         // 29
+    &[30, 6, 4, 1],    // 30
+    &[31, 28],         // 31
+    &[32, 22, 2, 1],   // 32
 ];
 
 /// An autonomous linear feedback shift register in XNOR (complemented
@@ -261,6 +261,35 @@ mod tests {
                 period - 1,
                 "reciprocal width {width} should visit 2^{width}-1 states"
             );
+        }
+    }
+
+    #[test]
+    fn every_variant_has_period_exactly_two_to_n_minus_one() {
+        // Primitivity check by brute force: from any state on the cycle,
+        // the sequence must return to it after exactly 2^w − 1 steps and
+        // not a single step earlier. Covers every (width, variant) pair
+        // the constructor accepts at small widths, including the
+        // reciprocal polynomial at the minimum width of 2.
+        for variant in 0..ALFSR_VARIANTS {
+            for width in 2..=12usize {
+                let mut a = Alfsr::with_variant(width, variant)
+                    .unwrap_or_else(|| panic!("width {width} variant {variant}"));
+                let full = (1u64 << width) - 1;
+                let start = a.state();
+                let mut period = 0u64;
+                loop {
+                    a.step();
+                    period += 1;
+                    if a.state() == start || period > full {
+                        break;
+                    }
+                }
+                assert_eq!(
+                    period, full,
+                    "width {width} variant {variant}: period {period}, want 2^{width}-1"
+                );
+            }
         }
     }
 

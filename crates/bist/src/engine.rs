@@ -82,7 +82,9 @@ impl BistEngine {
             control: ControlUnit::new(config.counter_bits),
             pgen: PatternGenerator::new(alfsr, cgs, wirings),
             alfsr: streaming,
-            misrs: (0..names.len()).map(|_| Misr::new(config.misr_width)).collect(),
+            misrs: (0..names.len())
+                .map(|_| Misr::new(config.misr_width))
+                .collect(),
             names,
             output_widths,
             cycle: 0,
@@ -328,14 +330,24 @@ mod tests {
         e.begin(10);
         assert_eq!(
             e.try_clock(&[]),
-            Err(EngineError::ResponseArity { expected: 2, got: 0 })
+            Err(EngineError::ResponseArity {
+                expected: 2,
+                got: 0
+            })
         );
         let bad = vec![vec![false; 3], vec![false; 5]];
         assert_eq!(
             e.try_clock(&bad),
-            Err(EngineError::ResponseArity { expected: 20, got: 5 })
+            Err(EngineError::ResponseArity {
+                expected: 20,
+                got: 5
+            })
         );
-        assert_eq!(e.control().pattern_counter(), 0, "errors leave state untouched");
+        assert_eq!(
+            e.control().pattern_counter(),
+            0,
+            "errors leave state untouched"
+        );
     }
 
     #[test]

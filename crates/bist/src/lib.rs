@@ -50,8 +50,10 @@ mod pgen;
 pub mod structural;
 
 pub use alfsr::{Alfsr, ALFSR_VARIANTS};
-pub use error::EngineError;
 pub use control::{BistCommand, BistPhase, ControlUnit};
 pub use engine::{BistEngine, BistEngineConfig, ModuleHookup};
+pub use error::EngineError;
 pub use misr::{fold_xor, Misr};
-pub use pgen::{BistStimulus, BitSource, ConstraintGenerator, HoldCycler, PatternGenerator, PortWiring};
+pub use pgen::{
+    BistStimulus, BitSource, ConstraintGenerator, HoldCycler, PatternGenerator, PortWiring,
+};

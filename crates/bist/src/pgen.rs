@@ -281,11 +281,8 @@ mod tests {
 
     #[test]
     fn direct_wiring_replicates() {
-        let pg = PatternGenerator::new(
-            Alfsr::new(4).unwrap(),
-            vec![],
-            vec![PortWiring::direct(10)],
-        );
+        let pg =
+            PatternGenerator::new(Alfsr::new(4).unwrap(), vec![], vec![PortWiring::direct(10)]);
         let row = pg.row_at(0, 5);
         assert_eq!(row.len(), 10);
         for i in 0..10 {

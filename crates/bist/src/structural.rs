@@ -30,7 +30,10 @@ pub fn build_alfsr(mb: &mut ModuleBuilder, en: NetId, width: usize) -> Word {
     let template = Alfsr::new(width).expect("supported ALFSR width");
     let taps = template.taps_mask();
     let q = mb.dff_bank(width);
-    let tapped: Vec<NetId> = (0..width).filter(|i| (taps >> i) & 1 == 1).map(|i| q[i]).collect();
+    let tapped: Vec<NetId> = (0..width)
+        .filter(|i| (taps >> i) & 1 == 1)
+        .map(|i| q[i])
+        .collect();
     let parity = mb.reduce_xor(&tapped);
     let feedback = mb.not(parity); // XNOR form
     let mut shifted = Vec::with_capacity(width);
@@ -89,12 +92,7 @@ pub fn build_xor_cascade(mb: &mut ModuleBuilder, data: &[NetId], out_width: usiz
 ///
 /// Panics if the cycler's hold time is not a power of two (the structural
 /// form uses the low counter bits as the hold divider).
-pub fn build_hold_cycler(
-    mb: &mut ModuleBuilder,
-    en: NetId,
-    clr: NetId,
-    cg: &HoldCycler,
-) -> Word {
+pub fn build_hold_cycler(mb: &mut ModuleBuilder, en: NetId, clr: NetId, cg: &HoldCycler) -> Word {
     assert!(
         cg.hold().is_power_of_two(),
         "structural HoldCycler needs a power-of-two hold time"
@@ -246,17 +244,13 @@ pub struct BistSpec {
 /// Propagates construction errors (width mismatches between wirings and
 /// module ports, duplicate names).
 pub fn insert_bist(modules: &[&Netlist], spec: &BistSpec) -> Result<Netlist, NetlistError> {
-    assert_eq!(
-        modules.len(),
-        spec.wirings.len(),
-        "one wiring per module"
-    );
+    assert_eq!(modules.len(), spec.wirings.len(), "one wiring per module");
     let mut mb = ModuleBuilder::new("core_bist");
     let start = mb.input("bist_start");
     let rst = mb.input("bist_rst");
     let npat = mb.input_bus("bist_npat", spec.counter_bits);
-    let sel_bits = usize::BITS as usize
-        - (modules.len().saturating_sub(1)).max(1).leading_zeros() as usize;
+    let sel_bits =
+        usize::BITS as usize - (modules.len().saturating_sub(1)).max(1).leading_zeros() as usize;
     let sel = mb.input_bus("bist_sel", sel_bits);
 
     let cu = build_control_unit(&mut mb, start, rst, &npat);
@@ -333,11 +327,7 @@ mod tests {
             sim.step();
             let expect = model.step();
             sim.eval_comb();
-            assert_eq!(
-                sim.read_port_lane("q", 0),
-                Some(expect),
-                "cycle {cycle}"
-            );
+            assert_eq!(sim.read_port_lane("q", 0), Some(expect), "cycle {cycle}");
         }
     }
 

@@ -1,0 +1,187 @@
+//! Differential conformance fuzzer.
+//!
+//! ```text
+//! difftest [--seeds N] [--max-gates G] [--start-seed S]
+//!          [--self-test] [--replay FILE] [--out FILE]
+//! ```
+//!
+//! Default mode fuzzes all four engine pairs over `N` seeds and writes a
+//! machine-readable JSON report. On the first `sim`-pair mismatch the
+//! failing netlist is minimized and dumped next to the report for
+//! `--replay`. Exit status is non-zero on any mismatch (or, with
+//! `--self-test`, on any undetected mutation).
+
+use std::process::ExitCode;
+
+use soctest_conformance::pairs::{comb_divergence, run_all_pairs, sim_comb_netlist, PAIR_NAMES};
+use soctest_conformance::report::{
+    active_gates, dump_netlist, minimize, parse_netlist, render_report, Mismatch,
+};
+use soctest_conformance::selftest::mutation_self_test;
+
+struct Args {
+    seeds: u64,
+    max_gates: usize,
+    start_seed: u64,
+    self_test: bool,
+    replay: Option<String>,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seeds: 25,
+        max_gates: 120,
+        start_seed: 0,
+        self_test: false,
+        replay: None,
+        out: "difftest_report.json".into(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--seeds" => args.seeds = value("--seeds")?.parse().map_err(|e| format!("{e}"))?,
+            "--max-gates" => {
+                args.max_gates = value("--max-gates")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--start-seed" => {
+                args.start_seed = value("--start-seed")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--self-test" => args.self_test = true,
+            "--replay" => args.replay = Some(value("--replay")?),
+            "--out" => args.out = value("--out")?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn self_test_mode(args: &Args) -> ExitCode {
+    let mut missed = 0u64;
+    for seed in args.start_seed..args.start_seed + args.seeds {
+        let outcome = mutation_self_test(seed, args.max_gates);
+        if !outcome.detected {
+            missed += 1;
+            eprintln!(
+                "MISSED seed {seed}: {:?}→{:?} at net {}",
+                outcome.original, outcome.mutated, outcome.site.0
+            );
+        }
+    }
+    println!(
+        "{{\"mode\": \"self-test\", \"seeds\": {}, \"missed\": {missed}}}",
+        args.seeds
+    );
+    if missed == 0 {
+        println!(
+            "self-test: {}/{} injected mutations detected",
+            args.seeds, args.seeds
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn replay_mode(file: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("replay: cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let nl = match parse_netlist(&text) {
+        Ok(nl) => nl,
+        Err(e) => {
+            eprintln!("replay: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "replay: {} gates ({} active), {} in / {} out",
+        nl.len(),
+        active_gates(&nl),
+        nl.input_width(),
+        nl.output_width()
+    );
+    match comb_divergence(&nl, &nl, 0) {
+        Some(d) => {
+            println!("replay: STILL FAILING: {d}");
+            ExitCode::FAILURE
+        }
+        None => {
+            println!("replay: netlist is clean against the reference");
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn fuzz_mode(args: &Args) -> ExitCode {
+    let mut mismatches: Vec<Mismatch> = Vec::new();
+    for seed in args.start_seed..args.start_seed + args.seeds {
+        mismatches.extend(run_all_pairs(seed, args.max_gates));
+    }
+    let checked: Vec<(&'static str, u64)> = PAIR_NAMES.iter().map(|&p| (p, args.seeds)).collect();
+
+    // Minimize the first sim-pair failure into a replayable dump. The
+    // predicate is "simulator and reference still disagree on the reduced
+    // netlist", so the dump replays standalone.
+    let mut dump_file = None;
+    if let Some(m) = mismatches.iter().find(|m| m.pair == "sim") {
+        let nl = sim_comb_netlist(m.seed, args.max_gates);
+        if comb_divergence(&nl, &nl, m.seed).is_some() {
+            let min = minimize(&nl, |cand| comb_divergence(cand, cand, m.seed).is_some());
+            let file = format!("difftest_min_seed{}.nl", m.seed);
+            if std::fs::write(&file, dump_netlist(&min)).is_ok() {
+                println!(
+                    "minimized seed {} netlist to {} active gates → {file}",
+                    m.seed,
+                    active_gates(&min)
+                );
+                dump_file = Some(file);
+            }
+        }
+    }
+
+    let report = render_report(
+        args.seeds,
+        args.max_gates,
+        &checked,
+        &mismatches,
+        dump_file.as_deref(),
+    );
+    if std::fs::write(&args.out, &report).is_err() {
+        eprintln!("cannot write {}", args.out);
+    }
+    print!("{report}");
+    if mismatches.is_empty() {
+        println!(
+            "difftest: {} seeds × {} pairs, zero mismatches",
+            args.seeds,
+            PAIR_NAMES.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("difftest: {} mismatches", mismatches.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("difftest: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(file) = &args.replay {
+        return replay_mode(file);
+    }
+    if args.self_test {
+        return self_test_mode(&args);
+    }
+    fuzz_mode(&args)
+}

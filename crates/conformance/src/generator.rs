@@ -1,0 +1,241 @@
+//! Seeded random netlist/FSM generator.
+//!
+//! Every draw is a valid, levelizable netlist with one input port `in`,
+//! one output port `out`, and (optionally) a bank of DFFs whose `d` pins
+//! close feedback loops through the combinational cloud — a random Moore
+//! machine. The construction is parameterized by gate count, depth, FF
+//! count, and fanout so the differential runners can scale circuits from
+//! trivial to a few hundred gates, and it guarantees one structural
+//! property the mutation self-test leans on: every primary output is
+//! driven by an *invertible* single-output gate (Buf/Not/And/Or/Nand/
+//! Nor/Xor/Xnor), so flipping that gate's polarity provably changes the
+//! function.
+
+use soctest_netlist::{GateKind, NetId, Netlist, PortDir};
+use soctest_prng::SplitMix64;
+
+/// Tunable knobs for one random netlist draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GeneratorConfig {
+    /// Primary-input count (1..=16; kept ≤ 64 so ports fit a sim word).
+    pub inputs: usize,
+    /// Combinational gate budget (on top of inputs/FFs).
+    pub gates: usize,
+    /// DFF count; 0 yields a purely combinational netlist.
+    pub ffs: usize,
+    /// Primary-output count (≥ 1).
+    pub outputs: usize,
+    /// Soft bound on combinational depth.
+    pub max_depth: usize,
+    /// Soft bound on per-net fanout (re-draw a few times above it).
+    pub max_fanout: usize,
+}
+
+impl GeneratorConfig {
+    /// Draws a config from `rng`, with the gate budget bounded by
+    /// `max_gates`.
+    pub fn sample(rng: &mut SplitMix64, max_gates: usize) -> Self {
+        let span = max_gates.saturating_sub(4).max(1);
+        GeneratorConfig {
+            inputs: 2 + rng.gen_index(7),
+            gates: 4 + rng.gen_index(span),
+            ffs: rng.gen_index(5),
+            outputs: 1 + rng.gen_index(4),
+            max_depth: 3 + rng.gen_index(8),
+            max_fanout: 2 + rng.gen_index(6),
+        }
+    }
+
+    /// The same config restricted to combinational logic (no DFFs).
+    pub fn comb(mut self) -> Self {
+        self.ffs = 0;
+        self
+    }
+
+    /// The same config forced to hold at least one DFF.
+    pub fn seq(mut self, rng: &mut SplitMix64) -> Self {
+        self.ffs = 1 + rng.gen_index(4);
+        self
+    }
+}
+
+const COMB_KINDS: [GateKind; 9] = [
+    GateKind::Buf,
+    GateKind::Not,
+    GateKind::And,
+    GateKind::Or,
+    GateKind::Nand,
+    GateKind::Nor,
+    GateKind::Xor,
+    GateKind::Xnor,
+    GateKind::Mux2,
+];
+
+/// True when flipping the gate kind's polarity (And↔Nand, …) inverts the
+/// output on every input — the invariant the mutation self-test needs.
+pub fn invertible(kind: GateKind) -> bool {
+    !matches!(
+        kind,
+        GateKind::Input | GateKind::Const0 | GateKind::Const1 | GateKind::Dff | GateKind::Mux2
+    )
+}
+
+/// The polarity twin of an invertible gate kind.
+///
+/// # Panics
+///
+/// Panics when `kind` is not [`invertible`].
+pub fn inverted_kind(kind: GateKind) -> GateKind {
+    match kind {
+        GateKind::Buf => GateKind::Not,
+        GateKind::Not => GateKind::Buf,
+        GateKind::And => GateKind::Nand,
+        GateKind::Nand => GateKind::And,
+        GateKind::Or => GateKind::Nor,
+        GateKind::Nor => GateKind::Or,
+        GateKind::Xor => GateKind::Xnor,
+        GateKind::Xnor => GateKind::Xor,
+        other => panic!("gate kind {other:?} has no polarity twin"),
+    }
+}
+
+/// Generates one random netlist according to `cfg`.
+///
+/// The result always validates and levelizes; DFF feedback is legal by
+/// construction (`d` pins are rewired after the combinational cloud
+/// exists), and combinational pins only ever point at earlier nets.
+pub fn random_netlist(rng: &mut SplitMix64, cfg: &GeneratorConfig) -> Netlist {
+    let inputs = cfg.inputs.clamp(1, 16);
+    let outputs = cfg.outputs.max(1);
+    let mut nl = Netlist::new("rand");
+    let mut depth: Vec<usize> = Vec::new();
+    let mut fanout: Vec<usize> = Vec::new();
+
+    let in_nets: Vec<NetId> = (0..inputs)
+        .map(|_| {
+            depth.push(0);
+            fanout.push(0);
+            nl.add_gate(GateKind::Input, vec![])
+        })
+        .collect();
+
+    // DFF q outputs count as depth-0 sources; their d pins are wired last.
+    let dff_nets: Vec<NetId> = (0..cfg.ffs)
+        .map(|_| {
+            depth.push(0);
+            fanout.push(0);
+            nl.add_gate_unchecked(GateKind::Dff, vec![in_nets[0]])
+        })
+        .collect();
+
+    let pick_pin = |rng: &mut SplitMix64, depth: &[usize], fanout: &mut [usize]| -> NetId {
+        let n = depth.len();
+        let mut best = rng.gen_index(n);
+        for _ in 0..8 {
+            if depth[best] < cfg.max_depth && fanout[best] < cfg.max_fanout {
+                break;
+            }
+            best = rng.gen_index(n);
+        }
+        if depth[best] >= cfg.max_depth {
+            // Depth is a hard-ish cap: fall back to a source.
+            best = rng.gen_index(inputs + cfg.ffs);
+        }
+        fanout[best] += 1;
+        NetId(best as u32)
+    };
+
+    for _ in 0..cfg.gates.max(1) {
+        let kind = COMB_KINDS[rng.gen_index(COMB_KINDS.len())];
+        let pins: Vec<NetId> = (0..kind.arity())
+            .map(|_| pick_pin(rng, &depth, &mut fanout))
+            .collect();
+        let d = 1 + pins.iter().map(|p| depth[p.index()]).max().unwrap_or(0);
+        depth.push(d);
+        fanout.push(0);
+        nl.add_gate(kind, pins);
+    }
+
+    // Close the FSM feedback loops: each DFF samples a random net.
+    for &q in &dff_nets {
+        let src = rng.gen_index(depth.len());
+        fanout[src] += 1;
+        nl.set_pin(q, 0, NetId(src as u32));
+    }
+
+    // Pick output drivers among invertible combinational gates, padding
+    // with fresh Buf gates when the draw was too small or too Mux-heavy.
+    let mut candidates: Vec<NetId> = nl
+        .iter()
+        .filter(|(_, g)| invertible(g.kind))
+        .map(|(id, _)| id)
+        .collect();
+    rng.shuffle(&mut candidates);
+    let mut out_nets: Vec<NetId> = candidates.into_iter().take(outputs).collect();
+    while out_nets.len() < outputs {
+        let src = rng.gen_index(depth.len());
+        fanout[src] += 1;
+        depth.push(depth[src] + 1);
+        fanout.push(0);
+        out_nets.push(nl.add_gate(GateKind::Buf, vec![NetId(src as u32)]));
+    }
+
+    nl.add_port(PortDir::Input, "in", in_nets)
+        .expect("generator input port");
+    nl.add_port(PortDir::Output, "out", out_nets)
+        .expect("generator output port");
+    debug_assert!(nl.validate().is_ok(), "generated netlist must validate");
+    debug_assert!(nl.levelize().is_ok(), "generated netlist must levelize");
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_are_valid_and_reproducible() {
+        for seed in 0..50u64 {
+            let mut rng = SplitMix64::new(seed);
+            let cfg = GeneratorConfig::sample(&mut rng, 120);
+            let nl = random_netlist(&mut rng, &cfg);
+            nl.validate().unwrap();
+            nl.levelize().unwrap();
+            assert_eq!(nl.input_width(), cfg.inputs.clamp(1, 16));
+            assert_eq!(nl.output_width(), cfg.outputs.max(1));
+            assert_eq!(nl.dff_count(), cfg.ffs);
+            for out in nl.primary_outputs() {
+                assert!(invertible(nl.gate(out).kind), "output driver {out:?}");
+            }
+            let mut rng2 = SplitMix64::new(seed);
+            let cfg2 = GeneratorConfig::sample(&mut rng2, 120);
+            let nl2 = random_netlist(&mut rng2, &cfg2);
+            assert_eq!(nl.len(), nl2.len(), "same seed, same netlist");
+        }
+    }
+
+    #[test]
+    fn comb_and_seq_variants_control_ff_count() {
+        let mut rng = SplitMix64::new(7);
+        let cfg = GeneratorConfig::sample(&mut rng, 60);
+        let comb = random_netlist(&mut rng, &cfg.comb());
+        assert_eq!(comb.dff_count(), 0);
+        let mut rng = SplitMix64::new(8);
+        let cfg = GeneratorConfig::sample(&mut rng, 60);
+        let seq_cfg = cfg.seq(&mut rng);
+        let seq = random_netlist(&mut rng, &seq_cfg);
+        assert!(seq.dff_count() >= 1);
+    }
+
+    #[test]
+    fn inverted_kind_covers_every_invertible_kind() {
+        for kind in GateKind::ALL {
+            if invertible(kind) {
+                let twin = inverted_kind(kind);
+                assert_ne!(kind, twin);
+                assert_eq!(inverted_kind(twin), kind);
+                assert_eq!(kind.arity(), twin.arity());
+            }
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! The deliberately naive reference interpreter.
+//!
+//! [`RefMachine`] evaluates one bit per net by sweeping *all* gates to a
+//! fixpoint — no levelization, no event scheduling, no bit-parallel words.
+//! It shares no code with `soctest-sim` or `soctest-fault` beyond the
+//! netlist data structure, which is exactly what makes it a useful oracle:
+//! a bug would have to be reimplemented here, in a completely different
+//! style, to go unnoticed.
+//!
+//! A single optional *forced net* mimics a stuck-at fault: after every
+//! sweep the forced value is re-asserted, which matches how the fault
+//! simulators inject at a site (the site's own gate function is ignored,
+//! its fanout sees the forced value).
+
+use std::collections::HashMap;
+
+use soctest_netlist::{GateKind, NetId, Netlist};
+
+/// Naive single-bit interpreter with DFF state and an optional forced net.
+#[derive(Debug, Clone)]
+pub struct RefMachine<'a> {
+    nl: &'a Netlist,
+    values: Vec<bool>,
+    dffs: Vec<NetId>,
+    dff_state: Vec<bool>,
+    dff_pos: HashMap<NetId, usize>,
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+    forced: Option<(NetId, bool)>,
+}
+
+impl<'a> RefMachine<'a> {
+    /// Wraps `nl`; all nets and DFF states start at 0.
+    pub fn new(nl: &'a Netlist) -> Self {
+        let dffs = nl.dffs();
+        let dff_pos = dffs.iter().enumerate().map(|(i, &d)| (d, i)).collect();
+        RefMachine {
+            nl,
+            values: vec![false; nl.len()],
+            dff_state: vec![false; dffs.len()],
+            dffs,
+            dff_pos,
+            inputs: nl.primary_inputs(),
+            outputs: nl.primary_outputs(),
+            forced: None,
+        }
+    }
+
+    /// Clears all net values and DFF state (the forced net persists).
+    pub fn reset(&mut self) {
+        self.values.iter_mut().for_each(|v| *v = false);
+        self.dff_state.iter_mut().for_each(|v| *v = false);
+    }
+
+    /// Forces `net` to `value` (stuck-at injection).
+    pub fn force(&mut self, net: NetId, value: bool) {
+        self.forced = Some((net, value));
+    }
+
+    /// Removes the forced net.
+    pub fn clear_force(&mut self) {
+        self.forced = None;
+    }
+
+    /// Drives the primary inputs, port-declaration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bits` does not match the primary-input count.
+    pub fn set_inputs(&mut self, bits: &[bool]) {
+        assert_eq!(bits.len(), self.inputs.len(), "primary-input arity");
+        for (net, &b) in self.inputs.iter().zip(bits) {
+            self.values[net.index()] = b;
+        }
+    }
+
+    /// Drives a single input net.
+    pub fn set_input(&mut self, net: NetId, value: bool) {
+        self.values[net.index()] = value;
+    }
+
+    fn eval_gate(&self, id: usize) -> bool {
+        let gate = self.nl.gate(NetId(id as u32));
+        let pin = |p: usize| self.values[gate.pins[p].index()];
+        match gate.kind {
+            GateKind::Input => self.values[id],
+            GateKind::Const0 => false,
+            GateKind::Const1 => true,
+            GateKind::Dff => self.dff_state[self.dff_pos[&NetId(id as u32)]],
+            GateKind::Buf => pin(0),
+            GateKind::Not => !pin(0),
+            GateKind::And => pin(0) & pin(1),
+            GateKind::Or => pin(0) | pin(1),
+            GateKind::Nand => !(pin(0) & pin(1)),
+            GateKind::Nor => !(pin(0) | pin(1)),
+            GateKind::Xor => pin(0) ^ pin(1),
+            GateKind::Xnor => !(pin(0) ^ pin(1)),
+            GateKind::Mux2 => {
+                if pin(0) {
+                    pin(2)
+                } else {
+                    pin(1)
+                }
+            }
+        }
+    }
+
+    /// Sweeps every gate until no value changes (bounded by the gate
+    /// count, which is enough for any acyclic combinational cloud).
+    pub fn settle(&mut self) {
+        for _ in 0..self.nl.len() + 2 {
+            let mut changed = false;
+            for id in 0..self.nl.len() {
+                let mut next = self.eval_gate(id);
+                if let Some((f, v)) = self.forced {
+                    if f.index() == id {
+                        next = v;
+                    }
+                }
+                if next != self.values[id] {
+                    self.values[id] = next;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return;
+            }
+        }
+        unreachable!("combinational fixpoint did not converge");
+    }
+
+    /// Clock edge: every DFF samples its `d` pin. Call [`settle`]
+    /// (`RefMachine::settle`) first so the sampled values are current.
+    pub fn clock(&mut self) {
+        let next: Vec<bool> = self
+            .dffs
+            .iter()
+            .map(|d| self.values[self.nl.gate(*d).pins[0].index()])
+            .collect();
+        self.dff_state = next;
+    }
+
+    /// Convenience: settle then clock.
+    pub fn step(&mut self) {
+        self.settle();
+        self.clock();
+    }
+
+    /// The value of one net.
+    pub fn value(&self, net: NetId) -> bool {
+        self.values[net.index()]
+    }
+
+    /// The primary-output values, port-declaration order.
+    pub fn outputs(&self) -> Vec<bool> {
+        self.outputs
+            .iter()
+            .map(|n| self.values[n.index()])
+            .collect()
+    }
+}
+
+/// One-shot combinational evaluation of `nl` under `inputs`.
+pub fn eval_comb(nl: &Netlist, inputs: &[bool]) -> Vec<bool> {
+    let mut m = RefMachine::new(nl);
+    m.set_inputs(inputs);
+    m.settle();
+    m.outputs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soctest_netlist::PortDir;
+
+    fn xor_with_ff() -> Netlist {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_gate(GateKind::Input, vec![]);
+        let b = nl.add_gate(GateKind::Input, vec![]);
+        let x = nl.add_gate(GateKind::Xor, vec![a, b]);
+        let q = nl.add_gate_unchecked(GateKind::Dff, vec![x]);
+        let y = nl.add_gate(GateKind::Xnor, vec![q, a]);
+        nl.add_port(PortDir::Input, "in", vec![a, b]).unwrap();
+        nl.add_port(PortDir::Output, "out", vec![y]).unwrap();
+        nl
+    }
+
+    #[test]
+    fn settles_combinational_logic() {
+        let nl = xor_with_ff();
+        assert_eq!(eval_comb(&nl, &[true, false]), vec![false]);
+        assert_eq!(eval_comb(&nl, &[false, false]), vec![true]);
+    }
+
+    #[test]
+    fn clock_updates_dff_state() {
+        let nl = xor_with_ff();
+        let mut m = RefMachine::new(&nl);
+        m.set_inputs(&[true, false]);
+        m.step();
+        m.set_inputs(&[false, false]);
+        m.settle();
+        // q is now 1 (xor of 1,0 sampled), so y = !(1 ^ 0) = 0.
+        assert_eq!(m.outputs(), vec![false]);
+    }
+
+    #[test]
+    fn forced_net_overrides_logic() {
+        let nl = xor_with_ff();
+        let mut m = RefMachine::new(&nl);
+        m.force(NetId(2), true); // the Xor output stuck-at-1
+        m.set_inputs(&[false, false]);
+        m.settle();
+        assert!(m.value(NetId(2)));
+    }
+}

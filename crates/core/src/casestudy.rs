@@ -70,8 +70,16 @@ impl CaseStudy {
             HoldCycler::new(2, slots, 16)
         };
         let wirings = vec![
-            Self::wiring_for_module(&modules[0], &[("sel", 0)], &[("start", (1, 0)), ("clr", (1, 1))]),
-            Self::wiring_for_module(&modules[1], &[("sel", 0)], &[("start", (1, 0)), ("clr", (1, 1))]),
+            Self::wiring_for_module(
+                &modules[0],
+                &[("sel", 0)],
+                &[("start", (1, 0)), ("clr", (1, 1))],
+            ),
+            Self::wiring_for_module(
+                &modules[1],
+                &[("sel", 0)],
+                &[("start", (1, 0)), ("clr", (1, 1))],
+            ),
             Self::wiring_for_module(&modules[2], &[], &[("start", (1, 0)), ("clr", (1, 1))]),
         ];
         let spec = BistSpec {
@@ -116,9 +124,7 @@ impl CaseStudy {
                 for b in 0..port.width() {
                     bits.push(BitSource::Cg { cg: *cg, bit: b });
                 }
-            } else if let Some((_, (cg, bit))) =
-                cg_bits.iter().find(|(n, _)| *n == port.name())
-            {
+            } else if let Some((_, (cg, bit))) = cg_bits.iter().find(|(n, _)| *n == port.name()) {
                 debug_assert_eq!(port.width(), 1, "cg_bits targets 1-bit ports");
                 bits.push(BitSource::Cg { cg: *cg, bit: *bit });
             } else {
@@ -257,7 +263,11 @@ impl CaseStudy {
     /// mis-sized module ports as [`SessionError::MissingSource`] /
     /// [`SessionError::SourceWidth`].
     pub fn assemble(&self, with_bist: bool) -> Result<Netlist, SessionError> {
-        let name = if with_bist { "ldpc_core_bist" } else { "ldpc_core" };
+        let name = if with_bist {
+            "ldpc_core_bist"
+        } else {
+            "ldpc_core"
+        };
         let mut mb = ModuleBuilder::new(name);
 
         // External functional inputs.
@@ -298,22 +308,21 @@ impl CaseStudy {
         };
 
         // A helper closure result: pattern bit for wiring entry `src`.
-        let pattern_bit = |mb: &mut ModuleBuilder,
-                           bist: &Option<BistResources>,
-                           src: &BitSource| {
-            match bist.as_ref() {
-                Some((_, alfsr_q, cg_vals, ..)) => match *src {
-                    BitSource::Alfsr(i) => alfsr_q[i % alfsr_q.len()],
-                    BitSource::Cg { cg, bit } => cg_vals[cg][bit],
-                    BitSource::Const(true) => mb.one(),
-                    BitSource::Const(false) => mb.zero(),
-                },
-                // Only reached when instantiating without BIST resources,
-                // where the mux path is never built; a constant keeps the
-                // closure total without a panic path.
-                None => mb.zero(),
-            }
-        };
+        let pattern_bit =
+            |mb: &mut ModuleBuilder, bist: &Option<BistResources>, src: &BitSource| {
+                match bist.as_ref() {
+                    Some((_, alfsr_q, cg_vals, ..)) => match *src {
+                        BitSource::Alfsr(i) => alfsr_q[i % alfsr_q.len()],
+                        BitSource::Cg { cg, bit } => cg_vals[cg][bit],
+                        BitSource::Const(true) => mb.one(),
+                        BitSource::Const(false) => mb.zero(),
+                    },
+                    // Only reached when instantiating without BIST resources,
+                    // where the mux path is never built; a constant keeps the
+                    // closure total without a panic path.
+                    None => mb.zero(),
+                }
+            };
 
         // Placeholders for CHECK_NODE outputs feeding BIT_NODE (the loop is
         // broken by module-internal registers; at netlist level we close it
@@ -422,11 +431,7 @@ impl CaseStudy {
         m: usize,
         srcs: &HashMap<&str, Word>,
         bist: &Option<BistResources>,
-        pattern_bit: &dyn Fn(
-            &mut ModuleBuilder,
-            &Option<BistResources>,
-            &BitSource,
-        ) -> NetId,
+        pattern_bit: &dyn Fn(&mut ModuleBuilder, &Option<BistResources>, &BitSource) -> NetId,
     ) -> Result<HashMap<String, Word>, SessionError> {
         let module = &self.modules[m];
         let wiring = &self.spec.wirings[m];

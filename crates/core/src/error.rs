@@ -79,7 +79,10 @@ impl fmt::Display for SessionError {
                 write!(f, "fault-simulation result carries no syndromes")
             }
             SessionError::TckBudgetExceeded { spent, budget } => {
-                write!(f, "TCK watchdog: spent {spent} cycles of a {budget}-cycle budget")
+                write!(
+                    f,
+                    "TCK watchdog: spent {spent} cycles of a {budget}-cycle budget"
+                )
             }
         }
     }

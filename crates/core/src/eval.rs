@@ -1,10 +1,10 @@
 //! The three-step evaluation flow of §3.2.
 
+use soctest_bist::EngineError;
 use soctest_fault::{
     DiagnosticMatrix, EquivalentClassStats, FaultSimResult, FaultUniverse, ObserveMode,
     ParallelPolicy, SeqFaultSim, SeqFaultSimConfig,
 };
-use soctest_bist::EngineError;
 use soctest_ldpc::code::LdpcCode;
 use soctest_ldpc::decoder::{DecoderConfig, DecoderStats, SerialDecoder};
 use soctest_sim::{SeqSim, ToggleMonitor, ToggleReport};
@@ -228,7 +228,11 @@ mod tests {
         let r = step1(&case, 256).unwrap();
         assert!(r.statement_coverage > 50.0);
         assert_eq!(r.toggle.len(), 3);
-        assert!(r.mean_toggle_percent() > 30.0, "got {}", r.mean_toggle_percent());
+        assert!(
+            r.mean_toggle_percent() > 30.0,
+            "got {}",
+            r.mean_toggle_percent()
+        );
     }
 
     #[test]

@@ -416,7 +416,13 @@ pub fn fig4(
     max_patterns: u64,
     points: usize,
 ) -> Result<Vec<(u64, f64)>, SessionError> {
-    fig4_with(case, module, max_patterns, points, ParallelPolicy::default())
+    fig4_with(
+        case,
+        module,
+        max_patterns,
+        points,
+        ParallelPolicy::default(),
+    )
 }
 
 /// [`fig4`] with an explicit worker-thread policy.

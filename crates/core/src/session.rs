@@ -93,7 +93,9 @@ impl<'a> WrappedCore<'a> {
             self.functional_clock();
             spent += 1;
         }
-        Ok((0..self.sims.len()).map(|m| self.engine.signature(m)).collect())
+        Ok((0..self.sims.len())
+            .map(|m| self.engine.signature(m))
+            .collect())
     }
 }
 
@@ -215,7 +217,10 @@ mod tests {
         ate.bist_load_pattern_count(96);
         ate.bist_start();
         let stats = ate.wait_for_done(32, 10).unwrap();
-        assert!(stats.cycles_waited >= 96, "at least npatterns functional cycles");
+        assert!(
+            stats.cycles_waited >= 96,
+            "at least npatterns functional cycles"
+        );
         for (m, &gold) in golden.iter().enumerate() {
             ate.bist_select_result(m as u8);
             let (done, sig) = ate.read_status();

@@ -16,9 +16,7 @@ use std::time::Instant;
 
 use soctest_netlist::{GateKind, NetId, Netlist, NetlistError};
 
-use crate::{
-    FaultKind, FaultSimResult, FaultSimStats, FaultUniverse, ParallelPolicy, Syndrome,
-};
+use crate::{FaultKind, FaultSimResult, FaultSimStats, FaultUniverse, ParallelPolicy, Syndrome};
 
 /// A set of input patterns for a combinational view, stored bit-parallel:
 /// 64 patterns per block, one word per input position.
@@ -307,10 +305,7 @@ impl<'a> CombFaultSim<'a> {
         }
         let mut launch = vec![0u64; view.len()];
 
-        let nthreads = self
-            .parallel
-            .effective_threads()
-            .min(faults.len().max(1));
+        let nthreads = self.parallel.effective_threads().min(faults.len().max(1));
         campaign.stats.threads = nthreads;
         let collect = self.collect_syndromes;
         let offset = campaign.applied;
@@ -373,9 +368,7 @@ impl<'a> CombFaultSim<'a> {
                     } else {
                         None
                     };
-                    for ((t, det), scratch) in
-                        det_shards.enumerate().zip(scratches.iter_mut())
-                    {
+                    for ((t, det), scratch) in det_shards.enumerate().zip(scratches.iter_mut()) {
                         let f0 = t * shard;
                         let fault_shard = &faults[f0..(f0 + det.len())];
                         let syn_shard: &mut [Syndrome] = match syn_iter.as_mut() {
@@ -384,8 +377,19 @@ impl<'a> CombFaultSim<'a> {
                         };
                         handles.push(s.spawn(move || {
                             simulate_block(
-                                view, pos_ref, fanouts_ref, obs, fault_shard, values_ref,
-                                launch_ref, mask, base, det, syn_shard, collect, scratch,
+                                view,
+                                pos_ref,
+                                fanouts_ref,
+                                obs,
+                                fault_shard,
+                                values_ref,
+                                launch_ref,
+                                mask,
+                                base,
+                                det,
+                                syn_shard,
+                                collect,
+                                scratch,
                             )
                         }));
                     }
@@ -624,7 +628,10 @@ mod tests {
             r.coverage_percent(),
             100.0,
             "undetected: {:?}",
-            r.undetected().iter().map(|&i| u.describe(i)).collect::<Vec<_>>()
+            r.undetected()
+                .iter()
+                .map(|&i| u.describe(i))
+                .collect::<Vec<_>>()
         );
         assert_eq!(r.stats.windows, 1);
         assert_eq!(r.stats.survivors.last(), Some(&0));
@@ -821,16 +828,101 @@ mod tests {
     }
 
     #[test]
+    fn empty_batch_resume_is_a_noop() {
+        let nl = comb_block();
+        let u = FaultUniverse::stuck_at(&nl);
+        let sim = CombFaultSim::new(&u).with_syndromes();
+        let rows = exhaustive(3);
+        let empty = PatternSet::new(3);
+
+        let single = sim.run_stuck_at(&PatternSet::from_rows(3, &rows)).unwrap();
+
+        // Empty batches before, between, and after real work must not
+        // shift detection indices or syndrome columns.
+        let mut campaign = sim.campaign();
+        sim.resume_stuck_at(&empty, &mut campaign).unwrap();
+        sim.resume_stuck_at(&PatternSet::from_rows(3, &rows[..3]), &mut campaign)
+            .unwrap();
+        sim.resume_stuck_at(&empty, &mut campaign).unwrap();
+        sim.resume_stuck_at(&PatternSet::from_rows(3, &rows[3..]), &mut campaign)
+            .unwrap();
+        sim.resume_stuck_at(&empty, &mut campaign).unwrap();
+        assert_eq!(campaign.applied, 8);
+        let resumed = campaign.into_result();
+
+        assert_eq!(resumed.detection, single.detection);
+        assert_eq!(resumed.syndromes, single.syndromes);
+    }
+
+    #[test]
+    fn single_pattern_batches_match_one_batch() {
+        let nl = comb_block();
+        let u = FaultUniverse::stuck_at(&nl);
+        let sim = CombFaultSim::new(&u).with_syndromes();
+        let rows = exhaustive(3);
+
+        let single = sim.run_stuck_at(&PatternSet::from_rows(3, &rows)).unwrap();
+
+        let mut campaign = sim.campaign();
+        for row in &rows {
+            sim.resume_stuck_at(
+                &PatternSet::from_rows(3, std::slice::from_ref(row)),
+                &mut campaign,
+            )
+            .unwrap();
+        }
+        let resumed = campaign.into_result();
+
+        assert_eq!(resumed.detection, single.detection);
+        assert_eq!(resumed.syndromes, single.syndromes);
+        assert_eq!(resumed.coverage_percent(), 100.0);
+    }
+
+    #[test]
+    fn batch_split_exactly_on_a_block_boundary() {
+        // The pattern words pack 64 patterns per block; a batch cut at
+        // exactly 64 (and a follow-up cut at 128) leaves no partial block
+        // and must still produce absolute detection indices.
+        let nl = wide_view();
+        let u = FaultUniverse::stuck_at(&nl);
+        let rows = exhaustive(10);
+        let sim = CombFaultSim::new(&u).with_syndromes();
+
+        let single = sim
+            .run_stuck_at(&PatternSet::from_rows(10, &rows[..192]))
+            .unwrap();
+
+        let mut campaign = sim.campaign();
+        for batch in [&rows[..64], &rows[64..128], &rows[128..192]] {
+            sim.resume_stuck_at(&PatternSet::from_rows(10, batch), &mut campaign)
+                .unwrap();
+        }
+        let resumed = campaign.into_result();
+
+        assert_eq!(resumed.detection, single.detection);
+        assert_eq!(resumed.syndromes, single.syndromes);
+        for d in resumed.detection.iter().flatten() {
+            assert!(*d < 192, "absolute pattern index expected, got {d}");
+        }
+    }
+
+    #[test]
     fn campaign_tracks_applied_patterns() {
         let nl = comb_block();
         let u = FaultUniverse::stuck_at(&nl);
         let sim = CombFaultSim::new(&u);
         let mut campaign = sim.campaign();
-        sim.resume_stuck_at(&PatternSet::from_rows(3, &exhaustive(3)[..5]), &mut campaign)
-            .unwrap();
+        sim.resume_stuck_at(
+            &PatternSet::from_rows(3, &exhaustive(3)[..5]),
+            &mut campaign,
+        )
+        .unwrap();
         assert_eq!(campaign.applied, 5);
-        sim.resume_stuck_at(&PatternSet::from_rows(3, &exhaustive(3)[5..]), &mut campaign)
-            .unwrap();
+        sim.resume_stuck_at(
+            &PatternSet::from_rows(3, &exhaustive(3)[5..]),
+            &mut campaign,
+        )
+        .unwrap();
         assert_eq!(campaign.applied, 8);
         let r = campaign.into_result();
         assert_eq!(r.cycles, 8);

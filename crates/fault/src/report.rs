@@ -105,12 +105,7 @@ impl FaultSimResult {
         checkpoints
             .iter()
             .map(|&c| {
-                let n = self
-                    .detection
-                    .iter()
-                    .flatten()
-                    .filter(|&&d| d <= c)
-                    .count();
+                let n = self.detection.iter().flatten().filter(|&&d| d <= c).count();
                 (c, n)
             })
             .collect()

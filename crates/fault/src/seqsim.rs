@@ -451,9 +451,9 @@ fn good_window(
     for (j, &(q, _)) in ctx.dff_pairs.iter().enumerate() {
         values[q.index()] = if get_bit(good_state, j) { u64::MAX } else { 0 };
     }
-    let mut misr: u64 = (0..ctx.misr_width)
-        .rev()
-        .fold(0u64, |acc, j| (acc << 1) | u64::from(get_bit(good_state, ctx.ndff + 1 + j)));
+    let mut misr: u64 = (0..ctx.misr_width).rev().fold(0u64, |acc, j| {
+        (acc << 1) | u64::from(get_bit(good_state, ctx.ndff + 1 + j))
+    });
     let misr_mask = match ctx.misr_width {
         0 => 0,
         64.. => u64::MAX,
@@ -461,6 +461,7 @@ fn good_window(
     };
 
     let mut pins = [0u64; 3];
+    let mut dff_next: Vec<u64> = vec![0; ctx.dff_pairs.len()];
     for t in window_start..window_start + wlen {
         for (k, &pi) in ctx.pis.iter().enumerate() {
             values[pi.index()] = if ctx.stim.get(t, k) { u64::MAX } else { 0 };
@@ -495,8 +496,13 @@ fn good_window(
                 trace.sigs.push((t, t / ctx.misr_read, misr));
             }
         }
-        for &(q, d) in ctx.dff_pairs {
-            values[q.index()] = values[d.index()];
+        // Sample every d before writing any q so chained flip-flops see
+        // pre-edge values (simultaneous clocking).
+        for (w, &(_, d)) in dff_next.iter_mut().zip(ctx.dff_pairs) {
+            *w = values[d.index()];
+        }
+        for (&(q, _), &w) in ctx.dff_pairs.iter().zip(&dff_next) {
+            values[q.index()] = w;
         }
     }
 
@@ -504,7 +510,11 @@ fn good_window(
         set_bit(&mut trace.next_state, j, values[q.index()] & 1 == 1);
     }
     for j in 0..ctx.misr_width {
-        set_bit(&mut trace.next_state, ctx.ndff + 1 + j, (misr >> j) & 1 == 1);
+        set_bit(
+            &mut trace.next_state,
+            ctx.ndff + 1 + j,
+            (misr >> j) & 1 == 1,
+        );
     }
     trace
 }
@@ -582,6 +592,7 @@ fn run_chunk(
 
     let mut pins = [0u64; 3];
     let mut read_cursor = 0usize;
+    let mut dff_next: Vec<u64> = vec![0; dff_pairs.len()];
     for t in window_start..window_start + wlen {
         let first_ever = t == 0;
         // Drive primary inputs (same value on every lane).
@@ -594,13 +605,7 @@ fn run_chunk(
             values[net as usize] = apply(values[net as usize], entries, first_ever);
         }
         eval_comb_injected(
-            view,
-            order,
-            values,
-            &inj_flag,
-            &mut inj,
-            &mut pins,
-            first_ever,
+            view, order, values, &inj_flag, &mut inj, &mut pins, first_ever,
         );
         // Observation against the precomputed good trace.
         let rel = (t - window_start) as usize;
@@ -658,9 +663,13 @@ fn run_chunk(
                 }
             }
         }
-        // Clock every flip-flop.
-        for &(q, d) in dff_pairs {
-            values[q.index()] = values[d.index()];
+        // Clock every flip-flop, sampling all d pins before writing any q
+        // so chained flip-flops see pre-edge values.
+        for (w, &(_, d)) in dff_next.iter_mut().zip(dff_pairs) {
+            *w = values[d.index()];
+        }
+        for (&(q, _), &w) in dff_pairs.iter().zip(&dff_next) {
+            values[q.index()] = w;
         }
     }
 

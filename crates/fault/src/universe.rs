@@ -366,10 +366,10 @@ mod tests {
         mb.output("y", y);
         let nl = mb.finish().unwrap();
         let u = FaultUniverse::stuck_at(&nl);
-        assert!(u
-            .faults()
-            .iter()
-            .all(|f| !matches!(u.view().gate(f.net).kind, GateKind::Const0 | GateKind::Const1)));
+        assert!(u.faults().iter().all(|f| !matches!(
+            u.view().gate(f.net).kind,
+            GateKind::Const0 | GateKind::Const1
+        )));
     }
 
     #[test]

@@ -168,11 +168,7 @@ mod tests {
         let ch = QuantizedAwgn::new(12.0, 7);
         let tx: Vec<bool> = (0..200).map(|i| i % 3 == 0).collect();
         let llrs = ch.transmit(&tx, 0.5);
-        let agree = tx
-            .iter()
-            .zip(&llrs)
-            .filter(|(&b, &l)| (l < 0) == b)
-            .count();
+        let agree = tx.iter().zip(&llrs).filter(|(&b, &l)| (l < 0) == b).count();
         assert!(agree > 195, "high SNR should rarely flip: {agree}/200");
     }
 

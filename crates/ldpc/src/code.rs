@@ -159,9 +159,9 @@ impl LdpcCode {
     /// Whether `word` satisfies every parity check.
     pub fn is_codeword(&self, word: &[bool]) -> bool {
         assert_eq!(word.len(), self.n, "word length");
-        self.check_to_bits.iter().all(|bits| {
-            !bits.iter().fold(false, |acc, &b| acc ^ word[b as usize])
-        })
+        self.check_to_bits
+            .iter()
+            .all(|bits| !bits.iter().fold(false, |acc, &b| acc ^ word[b as usize]))
     }
 
     /// The syndrome weight (number of violated checks).

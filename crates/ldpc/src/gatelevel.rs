@@ -469,9 +469,9 @@ pub fn control_unit() -> Result<Netlist, NetlistError> {
     // Phase FSM: 0 idle, 1 check phase, 2 bit phase, 3 done.
     use soctest_netlist::FsmSpec;
     let edge_cnt = mb.dff_bank(12); // 12 FF
-    // Wrap on `>=` rather than `==`: robust against overshoot, and the
-    // sequencing makes progress under any configuration value (important
-    // both in mission mode and under pseudo-random BIST configuration).
+                                    // Wrap on `>=` rather than `==`: robust against overshoot, and the
+                                    // sequencing makes progress under any configuration value (important
+                                    // both in mission mode and under pseudo-random BIST configuration).
     let edge_wrap = {
         let lt = mb.lt_u(&edge_cnt, &n_edges);
         mb.not(lt)
@@ -628,7 +628,11 @@ mod tests {
 
     #[test]
     fn modules_levelize_cleanly() {
-        for nl in [bit_node().unwrap(), check_node().unwrap(), control_unit().unwrap()] {
+        for nl in [
+            bit_node().unwrap(),
+            check_node().unwrap(),
+            control_unit().unwrap(),
+        ] {
             assert!(nl.levelize().is_ok(), "{}", nl.name());
         }
     }

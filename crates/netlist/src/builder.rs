@@ -97,10 +97,7 @@ impl ModuleBuilder {
                 id
             })
             .collect();
-        if let Err(e) = self
-            .netlist
-            .add_port(PortDir::Input, name, bits.clone())
-        {
+        if let Err(e) = self.netlist.add_port(PortDir::Input, name, bits.clone()) {
             self.record(e);
         }
         bits
@@ -118,10 +115,7 @@ impl ModuleBuilder {
                 self.netlist.set_label(b, format!("{name}[{i}]"));
             }
         }
-        if let Err(e) = self
-            .netlist
-            .add_port(PortDir::Output, name, bits.to_vec())
-        {
+        if let Err(e) = self.netlist.add_port(PortDir::Output, name, bits.to_vec()) {
             self.record(e);
         }
     }
@@ -269,7 +263,10 @@ impl ModuleBuilder {
         if !self.check_widths(a, b, "mux_w") {
             return a.to_vec();
         }
-        a.iter().zip(b).map(|(&x, &y)| self.mux(sel, x, y)).collect()
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| self.mux(sel, x, y))
+            .collect()
     }
 
     /// AND of a word with a single enable bit.

@@ -134,8 +134,30 @@ impl Netlist {
     /// Panics if `id` is out of range.
     pub fn force_constant(&mut self, id: NetId, value: bool) {
         let gate = &mut self.gates[id.index()];
-        gate.kind = if value { GateKind::Const1 } else { GateKind::Const0 };
+        gate.kind = if value {
+            GateKind::Const1
+        } else {
+            GateKind::Const0
+        };
         gate.pins.clear();
+    }
+
+    /// Replaces the kind of the gate driving `id`, keeping its pins — the
+    /// mutation hook for conformance testing (e.g. And↔Nand polarity
+    /// flips). The new kind must consume the same number of pins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or `kind` has a different arity.
+    pub fn set_gate_kind(&mut self, id: NetId, kind: GateKind) {
+        let gate = &mut self.gates[id.index()];
+        assert_eq!(
+            gate.pins.len(),
+            kind.arity(),
+            "replacement kind must keep the pin count of {:?}",
+            gate.kind
+        );
+        gate.kind = kind;
     }
 
     /// The gate driving `id`.
@@ -335,11 +357,7 @@ impl Netlist {
                 }
             }
         }
-        let comb_count = self
-            .gates
-            .iter()
-            .filter(|g| !g.kind.is_source())
-            .count();
+        let comb_count = self.gates.iter().filter(|g| !g.kind.is_source()).count();
         if order.len() != comb_count {
             let on_cycle = self
                 .iter()
@@ -411,10 +429,12 @@ impl Netlist {
     ) -> Result<HashMap<String, Vec<NetId>>, NetlistError> {
         let mut remap: Vec<Option<NetId>> = vec![None; other.gates.len()];
         for port in other.input_ports() {
-            let mapped = input_map.get(port.name()).ok_or(NetlistError::DanglingNet {
-                gate: port.bits()[0],
-                missing: port.bits()[0],
-            })?;
+            let mapped = input_map
+                .get(port.name())
+                .ok_or(NetlistError::DanglingNet {
+                    gate: port.bits()[0],
+                    missing: port.bits()[0],
+                })?;
             if mapped.len() != port.width() {
                 return Err(NetlistError::WidthMismatch {
                     left: mapped.len(),
@@ -568,10 +588,7 @@ mod tests {
         let inner = tiny();
         let mut outer = Netlist::new("outer");
         let x = outer.add_gate(GateKind::Input, vec![]);
-        let map = HashMap::from([
-            ("a".to_owned(), vec![x, x]),
-            ("b".to_owned(), vec![x]),
-        ]);
+        let map = HashMap::from([("a".to_owned(), vec![x, x]), ("b".to_owned(), vec![x])]);
         assert!(matches!(
             outer.instantiate(&inner, &map),
             Err(NetlistError::WidthMismatch { .. })
@@ -593,5 +610,22 @@ mod tests {
         nl.set_label(NetId(2), "and_out");
         assert_eq!(nl.describe(NetId(2)), "and_out");
         assert!(nl.describe(NetId(0)).starts_with("in_"));
+    }
+
+    #[test]
+    fn set_gate_kind_keeps_pins_and_checks_arity() {
+        let mut nl = tiny();
+        let pins_before = nl.gate(NetId(2)).pins.clone();
+        nl.set_gate_kind(NetId(2), GateKind::Nand);
+        assert_eq!(nl.gate(NetId(2)).kind, GateKind::Nand);
+        assert_eq!(nl.gate(NetId(2)).pins, pins_before);
+        assert!(nl.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "pin count")]
+    fn set_gate_kind_rejects_arity_changes() {
+        let mut nl = tiny();
+        nl.set_gate_kind(NetId(2), GateKind::Not);
     }
 }

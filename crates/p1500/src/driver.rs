@@ -84,10 +84,18 @@ impl<B: BistBackend> TapDriver<B> {
             // The edge never reaches the TAP; the ATE reads a dead line.
             return false;
         }
-        let tms = self.pin_faults.tms.map_or(tms, |f| f.apply(tms, self.pin_cycle));
-        let tdi = self.pin_faults.tdi.map_or(tdi, |f| f.apply(tdi, self.pin_cycle));
+        let tms = self
+            .pin_faults
+            .tms
+            .map_or(tms, |f| f.apply(tms, self.pin_cycle));
+        let tdi = self
+            .pin_faults
+            .tdi
+            .map_or(tdi, |f| f.apply(tdi, self.pin_cycle));
         let tdo = self.tap.tick(tms, tdi);
-        self.pin_faults.tdo.map_or(tdo, |f| f.apply(tdo, self.pin_cycle))
+        self.pin_faults
+            .tdo
+            .map_or(tdo, |f| f.apply(tdo, self.pin_cycle))
     }
 
     /// Hardware reset: five TMS-high cycles, then into Run-Test/Idle.
@@ -180,11 +188,22 @@ impl<B: BistBackend> TapDriver<B> {
     /// Issues a BIST command through the WCDR (selects the command register
     /// if needed).
     pub fn bist_command(&mut self, cmd: BistCommand) {
-        if self.tap.wrapper().instruction() != WrapperInstruction::CommandReg {
-            self.wrapper_instruction(WrapperInstruction::CommandReg);
-        }
+        self.select_wrapper_dr(WrapperInstruction::CommandReg);
         let bits = Wrapper::<B>::encode_command(cmd);
         self.shift_dr(&bits);
+    }
+
+    /// Makes sure DR scans reach the wrapper register `wi`: reloads the
+    /// wrapper instruction when it differs, and re-points the TAP IR at
+    /// `WrapperData` when an interleaved TAP operation (bypass scan,
+    /// IDCODE read) moved it — otherwise the scan would shift into the
+    /// TAP's own bypass bit and the wrapper would never see it.
+    fn select_wrapper_dr(&mut self, wi: WrapperInstruction) {
+        if self.tap.wrapper().instruction() != wi {
+            self.wrapper_instruction(wi);
+        } else if self.tap.instruction() != TapInstruction::WrapperData {
+            self.load_tap_ir(TapInstruction::WrapperData);
+        }
     }
 
     /// Loads the pattern count.
@@ -211,9 +230,7 @@ impl<B: BistBackend> TapDriver<B> {
 
     /// Reads the WDR: returns `(end_test, selected signature)`.
     pub fn read_status(&mut self) -> (bool, u64) {
-        if self.tap.wrapper().instruction() != WrapperInstruction::StatusReg {
-            self.wrapper_instruction(WrapperInstruction::StatusReg);
-        }
+        self.select_wrapper_dr(WrapperInstruction::StatusReg);
         let n = self.tap.wrapper().wdr_length();
         let out = self.shift_dr(&vec![false; n]);
         let done = out[0];
@@ -256,7 +273,11 @@ impl<B: BistBackend> TapDriver<B> {
     /// Returns [`ProtocolError::DoneTimeout`] with the cycles spent when
     /// the budget is exhausted before `end_test` rises — the caller can
     /// distinguish a slow test (raise the budget) from a hung engine.
-    pub fn wait_for_done(&mut self, burst: u64, max_bursts: u32) -> Result<WaitStats, ProtocolError> {
+    pub fn wait_for_done(
+        &mut self,
+        burst: u64,
+        max_bursts: u32,
+    ) -> Result<WaitStats, ProtocolError> {
         let mut cycles_waited = 0u64;
         for b in 0..max_bursts {
             let (done, _) = self.read_status();

@@ -201,7 +201,8 @@ impl<B: BistBackend> TapController<B> {
                 TapInstruction::Bypass => self.bypass = false,
                 TapInstruction::Idcode => self.idcode_shift = IDCODE,
                 _ => {
-                    self.wrapper.clock(self.wrapper_pins(false, true, false, tdi));
+                    self.wrapper
+                        .clock(self.wrapper_pins(false, true, false, tdi));
                 }
             },
             TapState::ShiftDr => match self.ir {
@@ -214,13 +215,17 @@ impl<B: BistBackend> TapController<B> {
                     self.idcode_shift = (self.idcode_shift >> 1) | ((tdi as u32) << 31);
                 }
                 _ => {
-                    tdo = self.wrapper.clock(self.wrapper_pins(true, false, false, tdi));
+                    tdo = self
+                        .wrapper
+                        .clock(self.wrapper_pins(true, false, false, tdi));
                 }
             },
             TapState::UpdateDr
-                if !matches!(self.ir, TapInstruction::Bypass | TapInstruction::Idcode) => {
-                    self.wrapper.clock(self.wrapper_pins(false, false, true, tdi));
-                }
+                if !matches!(self.ir, TapInstruction::Bypass | TapInstruction::Idcode) =>
+            {
+                self.wrapper
+                    .clock(self.wrapper_pins(false, false, true, tdi));
+            }
             _ => {}
         }
         self.state = self.state.next(tms);
@@ -233,22 +238,75 @@ mod tests {
     use super::*;
     use crate::MockBackend;
 
-    #[test]
-    fn five_ones_reach_test_logic_reset_from_anywhere() {
+    /// All sixteen 1149.1 states in one place for exhaustive sweeps.
+    const ALL_STATES: [TapState; 16] = {
         use TapState::*;
-        for start in [
+        [
+            TestLogicReset,
             RunTestIdle,
-            ShiftDr,
-            PauseIr,
-            UpdateDr,
-            Exit2Ir,
+            SelectDrScan,
             CaptureDr,
-        ] {
+            ShiftDr,
+            Exit1Dr,
+            PauseDr,
+            Exit2Dr,
+            UpdateDr,
+            SelectIrScan,
+            CaptureIr,
+            ShiftIr,
+            Exit1Ir,
+            PauseIr,
+            Exit2Ir,
+            UpdateIr,
+        ]
+    };
+
+    #[test]
+    fn transition_table_matches_ieee_1149_1_exhaustively() {
+        use TapState::*;
+        // (state, next on TMS=0, next on TMS=1) straight from the
+        // standard's figure 6-1 — every state, both TMS values.
+        let table: [(TapState, TapState, TapState); 16] = [
+            (TestLogicReset, RunTestIdle, TestLogicReset),
+            (RunTestIdle, RunTestIdle, SelectDrScan),
+            (SelectDrScan, CaptureDr, SelectIrScan),
+            (CaptureDr, ShiftDr, Exit1Dr),
+            (ShiftDr, ShiftDr, Exit1Dr),
+            (Exit1Dr, PauseDr, UpdateDr),
+            (PauseDr, PauseDr, Exit2Dr),
+            (Exit2Dr, ShiftDr, UpdateDr),
+            (UpdateDr, RunTestIdle, SelectDrScan),
+            (SelectIrScan, CaptureIr, TestLogicReset),
+            (CaptureIr, ShiftIr, Exit1Ir),
+            (ShiftIr, ShiftIr, Exit1Ir),
+            (Exit1Ir, PauseIr, UpdateIr),
+            (PauseIr, PauseIr, Exit2Ir),
+            (Exit2Ir, ShiftIr, UpdateIr),
+            (UpdateIr, RunTestIdle, SelectDrScan),
+        ];
+        assert_eq!(table.len(), ALL_STATES.len());
+        for (i, &(state, on0, on1)) in table.iter().enumerate() {
+            assert_eq!(state, ALL_STATES[i], "table row order");
+            assert_eq!(state.next(false), on0, "{state:?} on TMS=0");
+            assert_eq!(state.next(true), on1, "{state:?} on TMS=1");
+        }
+    }
+
+    #[test]
+    fn five_ones_reach_test_logic_reset_from_every_state() {
+        use TapState::*;
+        for start in ALL_STATES {
             let mut s = start;
+            let mut needed = 0;
             for _ in 0..5 {
+                if s == TestLogicReset {
+                    break;
+                }
                 s = s.next(true);
+                needed += 1;
             }
             assert_eq!(s, TestLogicReset, "from {start:?}");
+            assert!(needed <= 5, "from {start:?}: {needed} TCKs");
         }
     }
 
@@ -272,7 +330,7 @@ mod tests {
             tap.tick(true, false);
         }
         tap.tick(false, false); // -> RTI
-        // IR scan: 1,1,0,0 then shift 4 bits (last with tms=1).
+                                // IR scan: 1,1,0,0 then shift 4 bits (last with tms=1).
         tap.tick(true, false);
         tap.tick(true, false);
         tap.tick(false, false); // CaptureIr entered

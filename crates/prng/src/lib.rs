@@ -205,7 +205,10 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
-        assert_ne!(v, sorted, "100 elements virtually never shuffle to identity");
+        assert_ne!(
+            v, sorted,
+            "100 elements virtually never shuffle to identity"
+        );
     }
 
     #[test]

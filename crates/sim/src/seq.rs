@@ -87,9 +87,14 @@ impl<'a> SeqSim<'a> {
     /// Clocks every flip-flop (their `d` pins must be up to date, i.e. call
     /// [`SeqSim::eval_comb`] first or use [`SeqSim::step`]).
     pub fn clock(&mut self) {
-        for &q in &self.dffs {
-            let d = self.netlist.gate(q).pins[0];
-            let v = self.comb.get(d);
+        // Sample every d pin before writing any q: a flip-flop whose d pin
+        // is another flip-flop's q net must see the pre-edge value.
+        let sampled: Vec<u64> = self
+            .dffs
+            .iter()
+            .map(|&q| self.comb.get(self.netlist.gate(q).pins[0]))
+            .collect();
+        for (&q, v) in self.dffs.iter().zip(sampled) {
             self.comb.set(q, v);
         }
         self.cycle += 1;

@@ -31,7 +31,11 @@ impl AreaReport {
 
 impl fmt::Display for AreaReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "total: {:.2} µm² over {} gates", self.total_um2, self.gates)?;
+        writeln!(
+            f,
+            "total: {:.2} µm² over {} gates",
+            self.total_um2, self.gates
+        )?;
         for (kind, area) in &self.by_kind {
             writeln!(f, "  {kind:>6}: {area:.2} µm²")?;
         }

@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let module = 0; // BIT_NODE
     let patterns = 512;
 
-    println!("diagnosing {} with {patterns} BIST patterns\n", case.modules()[module].name());
+    println!(
+        "diagnosing {} with {patterns} BIST patterns\n",
+        case.modules()[module].name()
+    );
     println!(
         "{:>12} {:>9} {:>9} {:>10} {:>11}",
         "reads", "classes", "max size", "mean size", "resolution"

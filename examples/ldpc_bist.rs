@@ -38,8 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ate.bist_load_pattern_count(patterns);
     ate.bist_start();
     ate.wait_for_done(256, 16)?;
-    println!("\nsession: {} TCK cycles on the tester, {} at-speed core cycles",
-        ate.tck(), ate.functional_cycles());
+    println!(
+        "\nsession: {} TCK cycles on the tester, {} at-speed core cycles",
+        ate.tck(),
+        ate.functional_cycles()
+    );
     for (m, &gold) in golden.iter().enumerate() {
         ate.bist_select_result(m as u8);
         let (_, sig) = ate.read_status();

@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     );
 
-    println!("\n{:>8} {:>10} {:>10} {:>8} {:>12}", "BSC p", "BER", "WER", "words", "avg iters");
+    println!(
+        "\n{:>8} {:>10} {:>10} {:>8} {:>12}",
+        "BSC p", "BER", "WER", "words", "avg iters"
+    );
     for &p in &[0.01f64, 0.02, 0.03, 0.04] {
         let mut ber = BerCounter::new();
         let mut iters = 0u64;

@@ -28,7 +28,12 @@ fn my_core() -> Result<Netlist, Box<dyn std::error::Error>> {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let core = my_core()?;
-    println!("core `{}`: {} gates, {} flip-flops", core.name(), core.len(), core.dff_count());
+    println!(
+        "core `{}`: {} gates, {} flip-flops",
+        core.name(),
+        core.len(),
+        core.dff_count()
+    );
 
     // 1. Hook the module to a BIST engine: a 16-bit ALFSR drives all 17
     //    inputs (replication covers the width), a 16-bit MISR compacts the
@@ -62,7 +67,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             break;
         }
     }
-    println!("golden signature after 1,024 at-speed patterns: {:#06x}", engine.signature(0));
+    println!(
+        "golden signature after 1,024 at-speed patterns: {:#06x}",
+        engine.signature(0)
+    );
 
     // 3. How good is that test? Fault-simulate the same stimulus.
     let universe = FaultUniverse::stuck_at(&core);

@@ -23,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  {:<13} {} ({} attempt{})",
             outcome.module,
-            if outcome.quarantined { "QUARANTINED" } else { "pass" },
+            if outcome.quarantined {
+                "QUARANTINED"
+            } else {
+                "pass"
+            },
             outcome.attempts.len(),
             if outcome.attempts.len() == 1 { "" } else { "s" },
         );
@@ -43,7 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  {:<13} {}",
             outcome.module,
-            if outcome.quarantined { "QUARANTINED" } else { "pass" }
+            if outcome.quarantined {
+                "QUARANTINED"
+            } else {
+                "pass"
+            }
         );
         for a in &outcome.attempts {
             println!(

@@ -29,7 +29,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scan = ScanAtpg::default().run(module)?;
     let ate_mhz = 100.0; // the paper's assumed tester frequency
 
-    println!("module: {} ({} gates, {} FFs)\n", module.name(), module.len(), module.dff_count());
+    println!(
+        "module: {} ({} gates, {} FFs)\n",
+        module.name(),
+        module.len(),
+        module.dff_count()
+    );
     println!(
         "{:<22} {:>12} {:>12} {:>14} {:>12}",
         "approach", "SAF cov", "cycles", "clock [MHz]", "time [µs]"

@@ -12,13 +12,30 @@ tier1_start=$SECONDS
 echo "== build (release) =="
 cargo build --release --workspace
 
+echo "== build (examples) =="
+cargo build --release --examples
+
 echo "== tests =="
 cargo test --release --workspace -q
 
 echo "== tier-1 wall time: $((SECONDS - tier1_start))s =="
 
+echo "== fmt check =="
+cargo fmt --all -- --check
+
 echo "== clippy (-D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== example smoke: ldpc_bist =="
+cargo run --release --example ldpc_bist
+
+echo "== conformance: fixed-seed differential sweep =="
+cargo run --release -p soctest-conformance --bin difftest -- \
+    --seeds 25 --max-gates 80 --out target/difftest_ci.json
+
+echo "== conformance: mutation self-test =="
+cargo run --release -p soctest-conformance --bin difftest -- \
+    --seeds 25 --self-test --out target/difftest_selftest_ci.json
 
 echo "== fault-sim bench (serial vs parallel, bit-identity asserted) =="
 cargo run --release -p soctest-bench --bin repro -- --quick --bench-faultsim

@@ -36,6 +36,7 @@
 
 pub use soctest_atpg as atpg;
 pub use soctest_bist as bist;
+pub use soctest_conformance as conformance;
 pub use soctest_core as core;
 pub use soctest_fault as fault;
 pub use soctest_ldpc as ldpc;

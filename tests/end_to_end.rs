@@ -148,7 +148,10 @@ fn area_and_frequency_shapes_hold() {
     let lib = Library::cmos_130nm();
     let t2 = experiments::table2(&case, &lib).unwrap();
     assert!(t2.bist_um2 > 0.0 && t2.wrapper_um2 > 0.0);
-    assert!(t2.bist_um2 > t2.wrapper_um2, "BIST engine dominates the DfT cost");
+    assert!(
+        t2.bist_um2 > t2.wrapper_um2,
+        "BIST engine dominates the DfT cost"
+    );
     let t4 = experiments::table4(&case, &lib).unwrap();
     assert!(t4.original_mhz >= t4.bist_mhz);
     assert!(t4.original_mhz > t4.full_scan_mhz);

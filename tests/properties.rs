@@ -39,14 +39,19 @@ fn random_comb(n_in: usize, gates: &[(u8, u16, u16)]) -> Netlist {
     }
     let ins: Vec<NetId> = nets[..n_in].to_vec();
     let last = *nets.last().expect("nonempty");
-    nl.add_port(soctest::netlist::PortDir::Input, "in", ins).unwrap();
+    nl.add_port(soctest::netlist::PortDir::Input, "in", ins)
+        .unwrap();
     nl.add_port(soctest::netlist::PortDir::Output, "out", vec![last])
         .unwrap();
     nl
 }
 
 /// Draws the `(n_in, gates)` shape the old proptest strategies produced.
-fn draw_comb(rng: &mut SplitMix64, max_in: usize, max_gates: usize) -> (usize, Vec<(u8, u16, u16)>) {
+fn draw_comb(
+    rng: &mut SplitMix64,
+    max_in: usize,
+    max_gates: usize,
+) -> (usize, Vec<(u8, u16, u16)>) {
     let n_in = 1 + rng.gen_index(max_in.max(1));
     let n_gates = 1 + rng.gen_index(max_gates.max(1));
     let gates = (0..n_gates)
@@ -128,7 +133,10 @@ fn collapsing_is_a_partition() {
         let member_total: usize = (0..u.len()).map(|i| u.class(i).len()).sum();
         assert_eq!(member_total, u.total_sites());
         for i in 0..u.len() {
-            assert!(u.class(i).contains(&u.faults()[i]), "representative in class");
+            assert!(
+                u.class(i).contains(&u.faults()[i]),
+                "representative in class"
+            );
         }
     }
 }
@@ -165,10 +173,16 @@ fn windowing_never_changes_detection() {
         let u = FaultUniverse::stuck_at(&nl);
         let run = |w: u64| {
             let mut stim = VectorStimulus::new(patterns.clone());
-            SeqFaultSim::new(&u, SeqFaultSimConfig { window: w, ..Default::default() })
-                .run(&mut stim)
-                .unwrap()
-                .detection
+            SeqFaultSim::new(
+                &u,
+                SeqFaultSimConfig {
+                    window: w,
+                    ..Default::default()
+                },
+            )
+            .run(&mut stim)
+            .unwrap()
+            .detection
         };
         assert_eq!(run(window), run(1 << 20));
     }
@@ -326,7 +340,9 @@ fn seq_parallel_fault_sim_matches_serial() {
     for _ in 0..CASES / 8 {
         let nl = random_registered(&mut rng, 3, 26);
         let u = FaultUniverse::stuck_at(&nl);
-        let vectors: Vec<u64> = (0..16 + rng.gen_index(24)).map(|_| rng.next_u64()).collect();
+        let vectors: Vec<u64> = (0..16 + rng.gen_index(24))
+            .map(|_| rng.next_u64())
+            .collect();
         let run = |threads: usize| {
             let mut stim = VectorStimulus::new(vectors.clone());
             SeqFaultSim::new(
@@ -397,7 +413,9 @@ fn comb_transition_matches_two_cycle_reference() {
             })
             .collect();
         let pats = PatternSet::from_rows(n_in, &rows);
-        let result = CombFaultSim::new(&u).run_transition(&pats, &state_map).unwrap();
+        let result = CombFaultSim::new(&u)
+            .run_transition(&pats, &state_map)
+            .unwrap();
 
         // The reference runs on the fault *view* (original ids preserved,
         // fanout-branch buffers appended), where the fault sites live.

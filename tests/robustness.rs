@@ -7,7 +7,9 @@ use soctest::core::casestudy::CaseStudy;
 use soctest::core::robust::{RetryStrategy, RobustSession, SessionBudget};
 use soctest::core::session::WrappedCore;
 use soctest::core::SessionError;
-use soctest::p1500::{FaultyBackend, PinFault, PinFaults, ProtocolError, TapDriver, WrapperInstruction};
+use soctest::p1500::{
+    FaultyBackend, PinFault, PinFaults, ProtocolError, TapDriver, WrapperInstruction,
+};
 
 /// Scenario 1: a stuck-at defect in one module. The retry ladder must not
 /// talk itself out of a real fault — the mismatch reproduces under every
@@ -20,9 +22,7 @@ fn stuck_at_defect_quarantines_exactly_that_module() {
     let victim = dut.modules()[0].primary_outputs()[0];
     dut.module_mut(0).force_constant(victim, true);
 
-    let report = RobustSession::default()
-        .run(&reference, &dut, 96)
-        .unwrap();
+    let report = RobustSession::default().run(&reference, &dut, 96).unwrap();
 
     assert!(!report.all_passed());
     assert_eq!(report.quarantined(), vec!["BIT_NODE"]);
@@ -31,7 +31,10 @@ fn stuck_at_defect_quarantines_exactly_that_module() {
     assert_eq!(bad.attempts.len(), 3, "full retry ladder");
     assert!(bad.attempts.iter().all(|a| !a.matched()));
     assert_eq!(bad.attempts[0].strategy, RetryStrategy::Rerun);
-    assert_eq!(bad.attempts[1].strategy, RetryStrategy::ReciprocalPolynomial);
+    assert_eq!(
+        bad.attempts[1].strategy,
+        RetryStrategy::ReciprocalPolynomial
+    );
     assert!(matches!(bad.attempts[2].strategy, RetryStrategy::Reseed(_)));
     // The healthy modules passed on the first rung.
     for outcome in &report.outcomes[1..] {
@@ -48,9 +51,7 @@ fn stuck_at_zero_is_also_caught() {
     let mut dut = CaseStudy::paper().unwrap();
     let victim = dut.modules()[1].primary_outputs()[0];
     dut.module_mut(1).force_constant(victim, false);
-    let report = RobustSession::default()
-        .run(&reference, &dut, 96)
-        .unwrap();
+    let report = RobustSession::default().run(&reference, &dut, 96).unwrap();
     assert_eq!(report.quarantined(), vec!["CHECK_NODE"]);
 }
 

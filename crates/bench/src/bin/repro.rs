@@ -1,7 +1,9 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick] [--bench-faultsim] [table1 table2 table3 table4 table5 fig3 fig4 | all]
+//! repro [--quick] [--bench-faultsim]
+//!       [--trace=FILE] [--metrics=FILE] [--vcd=FILE]
+//!       [table1 table2 table3 table4 table5 fig3 fig4 | all]
 //! ```
 //!
 //! `--quick` uses the reduced experiment budget (CI-sized); without it the
@@ -11,7 +13,16 @@
 //! `--bench-faultsim` skips the tables and instead benchmarks the
 //! fault-simulation hot path per module — one serial and one all-cores
 //! stuck-at campaign each, asserting bit-identical detection before timing
-//! is trusted — and writes the measurements to `BENCH_faultsim.json`.
+//! is trusted — and writes the measurements to `BENCH_faultsim.json`,
+//! including traced-vs-untraced wall columns with a ≤ 2 % instrumentation
+//! overhead check.
+//!
+//! `--trace=FILE` / `--metrics=FILE` / `--vcd=FILE` skip the tables and
+//! run the observability demo instead: a fault-tolerant session against a
+//! DUT carrying a planted stuck-at defect, with the JSON-Lines event
+//! trace, the Prometheus metrics snapshot, and the DUT waveform written to
+//! the given files. Every artifact is re-read and validated before the
+//! process exits 0.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -22,7 +33,12 @@ use soctest_bench::{
 };
 use soctest_core::casestudy::CaseStudy;
 use soctest_core::experiments::{self, Budget};
+use soctest_core::robust::RobustSession;
 use soctest_fault::{FaultUniverse, ParallelPolicy, SeqFaultSim, SeqFaultSimConfig};
+use soctest_obs::{
+    json, CountingSink, JsonLinesSink, MetricsHandle, MetricsRegistry, MetricsSnapshot,
+    TraceHandle, Tracer, VcdReader,
+};
 use soctest_tech::Library;
 
 /// One module's serial-vs-parallel measurement for `BENCH_faultsim.json`.
@@ -32,6 +48,8 @@ struct FaultSimBench {
     faults: usize,
     serial_wall_s: f64,
     parallel_wall_s: f64,
+    untraced_wall_s: f64,
+    traced_wall_s: f64,
     threads: usize,
     identical: bool,
 }
@@ -51,6 +69,20 @@ impl FaultSimBench {
         } else {
             0.0
         }
+    }
+
+    fn trace_overhead_pct(&self) -> f64 {
+        if self.untraced_wall_s > 0.0 {
+            100.0 * (self.traced_wall_s - self.untraced_wall_s) / self.untraced_wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// The overhead gate: within 2 % relative, or within the absolute
+    /// noise floor of short runs on a loaded host.
+    fn trace_overhead_ok(&self) -> bool {
+        self.trace_overhead_pct() <= 2.0 || self.traced_wall_s - self.untraced_wall_s < 0.02
     }
 }
 
@@ -87,15 +119,57 @@ fn bench_faultsim(case: &CaseStudy, patterns: u64) {
         let identical = serial.detection == parallel.detection;
         assert!(identical, "{name}: parallel run diverged from serial");
 
+        // Instrumentation-overhead measurement: the same campaign with the
+        // trace handle disabled (the no-op path every production run takes)
+        // vs enabled with a counting sink. Min-of-3 each, interleaved, so a
+        // background-load spike cannot charge one side only.
+        let timed = |trace: &TraceHandle| {
+            let mut stim = pgen.stimulus(m, patterns);
+            let cfg = SeqFaultSimConfig {
+                trace: trace.clone(),
+                ..Default::default()
+            };
+            SeqFaultSim::new(&universe, cfg)
+                .run(&mut stim)
+                .expect("fault sim")
+                .stats
+                .wall
+                .as_secs_f64()
+        };
+        let disabled = TraceHandle::none();
+        let mut tracer = Tracer::new(64);
+        tracer.add_sink(Box::new(CountingSink::new()));
+        let enabled = TraceHandle::new(tracer);
+        let mut untraced_wall_s = f64::INFINITY;
+        let mut traced_wall_s = f64::INFINITY;
+        for _ in 0..3 {
+            untraced_wall_s = untraced_wall_s.min(timed(&disabled));
+            traced_wall_s = traced_wall_s.min(timed(&enabled));
+        }
+
         rows.push(FaultSimBench {
             name,
             patterns,
             faults: universe.len(),
             serial_wall_s: serial.stats.wall.as_secs_f64(),
             parallel_wall_s: parallel.stats.wall.as_secs_f64(),
+            untraced_wall_s,
+            traced_wall_s,
             threads: parallel.stats.threads,
             identical,
         });
+        let r = rows.last().expect("just pushed");
+        println!(
+            "{name}: trace overhead {:+.2}% (untraced {:.4}s, traced {:.4}s)",
+            r.trace_overhead_pct(),
+            untraced_wall_s,
+            traced_wall_s
+        );
+        assert!(
+            r.trace_overhead_ok(),
+            "{name}: tracing overhead {:.2}% exceeds the 2% budget",
+            r.trace_overhead_pct()
+        );
     }
 
     let mut json = String::from("{\n");
@@ -106,6 +180,8 @@ fn bench_faultsim(case: &CaseStudy, patterns: u64) {
             json,
             "    {{\"name\": \"{}\", \"patterns\": {}, \"faults\": {}, \
              \"serial_wall_s\": {:.6}, \"parallel_wall_s\": {:.6}, \
+             \"untraced_wall_s\": {:.6}, \"traced_wall_s\": {:.6}, \
+             \"trace_overhead_pct\": {:.3}, \"trace_overhead_ok\": {}, \
              \"threads\": {}, \"speedup\": {:.3}, \"faults_per_s\": {:.1}, \
              \"identical\": {}}}",
             r.name,
@@ -113,6 +189,10 @@ fn bench_faultsim(case: &CaseStudy, patterns: u64) {
             r.faults,
             r.serial_wall_s,
             r.parallel_wall_s,
+            r.untraced_wall_s,
+            r.traced_wall_s,
+            r.trace_overhead_pct(),
+            r.trace_overhead_ok(),
             r.threads,
             r.speedup(),
             r.faults_per_s(),
@@ -123,6 +203,107 @@ fn bench_faultsim(case: &CaseStudy, patterns: u64) {
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_faultsim.json", &json).expect("write BENCH_faultsim.json");
     println!("\nwrote BENCH_faultsim.json ({host_threads} host thread(s) available)");
+}
+
+/// The observability demo behind `--trace/--metrics/--vcd`: one robust
+/// session against a DUT whose CONTROL_UNIT carries a planted stuck-at-1
+/// defect, so the artifacts show the full watchdog/retry/quarantine story.
+/// Each requested artifact is written, re-read, and validated with the
+/// in-tree parsers before the process exits.
+fn obs_demo(
+    case_patterns: u64,
+    trace_path: Option<&str>,
+    metrics_path: Option<&str>,
+    vcd_path: Option<&str>,
+) {
+    use std::fs;
+    use std::io::BufWriter;
+
+    let reference = CaseStudy::paper().expect("case study builds");
+    let mut dut = CaseStudy::paper().expect("case study builds");
+    let victim = dut.modules()[2].primary_outputs()[0];
+    dut.module_mut(2).force_constant(victim, true);
+
+    let mut session = RobustSession::default().with_vcd(vcd_path.is_some());
+    if let Some(path) = trace_path {
+        let file = fs::File::create(path).expect("create trace file");
+        let mut tracer = Tracer::new(soctest_obs::DEFAULT_CAPACITY);
+        tracer.add_sink(Box::new(JsonLinesSink::new(BufWriter::new(file))));
+        session = session.with_trace(TraceHandle::new(tracer));
+    }
+    let registry = std::sync::Arc::new(MetricsRegistry::new());
+    if metrics_path.is_some() {
+        session = session.with_metrics(MetricsHandle::from_arc(std::sync::Arc::clone(&registry)));
+    }
+
+    let report = session
+        .run(&reference, &dut, case_patterns)
+        .expect("robust session");
+    println!(
+        "observability demo: {case_patterns} patterns, {} TCK, quarantined: {:?}",
+        report.tck_spent,
+        report.quarantined()
+    );
+    assert_eq!(
+        report.quarantined(),
+        vec!["CONTROL_UNIT"],
+        "the planted defect must quarantine CONTROL_UNIT"
+    );
+
+    if let Some(path) = trace_path {
+        let text = fs::read_to_string(path).expect("read trace back");
+        let mut names = Vec::new();
+        for line in text.lines() {
+            let v = json::parse(line).expect("every trace line is valid JSON");
+            let event = v
+                .get("event")
+                .and_then(|e| e.as_str())
+                .expect("trace line carries an event name")
+                .to_owned();
+            names.push(event);
+        }
+        for needed in [
+            "SessionStart",
+            "AttemptResult",
+            "RetryEscalation",
+            "Quarantine",
+        ] {
+            assert!(
+                names.iter().any(|n| n == needed),
+                "trace must contain {needed}"
+            );
+        }
+        println!("wrote {path} ({} events, JSONL validated)", names.len());
+    }
+
+    if let Some(path) = metrics_path {
+        let snap = registry.snapshot();
+        let prom = snap.to_prometheus();
+        fs::write(path, &prom).expect("write metrics");
+        let parsed = MetricsSnapshot::parse_prometheus(&prom).expect("snapshot round-trips");
+        assert_eq!(
+            parsed.counters.get("session_quarantines_total"),
+            Some(&1),
+            "metrics record the quarantine"
+        );
+        json::parse(&snap.to_json()).expect("JSON exposition parses");
+        println!(
+            "wrote {path} ({} counters, {} gauges, {} histograms; Prometheus + JSON validated)",
+            snap.counters.len(),
+            snap.gauges.len(),
+            snap.histograms.len()
+        );
+    }
+
+    if let Some(path) = vcd_path {
+        let vcd = report.vcd.as_deref().expect("session recorded a waveform");
+        fs::write(path, vcd).expect("write vcd");
+        let reader = VcdReader::parse(vcd).expect("waveform loads");
+        println!(
+            "wrote {path} ({} signals, VCD validated)",
+            reader.vars.len()
+        );
+    }
 }
 
 fn main() {
@@ -148,6 +329,23 @@ fn main() {
         let patterns = if quick { 192 } else { 4096 };
         println!("# soctest fault-sim bench — {patterns} patterns/module\n");
         bench_faultsim(&case, patterns);
+        return;
+    }
+
+    let flag_value = |prefix: &str| {
+        args.iter()
+            .find_map(|a| a.strip_prefix(prefix).map(str::to_owned))
+    };
+    let trace_path = flag_value("--trace=");
+    let metrics_path = flag_value("--metrics=");
+    let vcd_path = flag_value("--vcd=");
+    if trace_path.is_some() || metrics_path.is_some() || vcd_path.is_some() {
+        obs_demo(
+            if quick { 64 } else { 256 },
+            trace_path.as_deref(),
+            metrics_path.as_deref(),
+            vcd_path.as_deref(),
+        );
         return;
     }
 

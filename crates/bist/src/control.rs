@@ -15,6 +15,27 @@ pub enum BistCommand {
     SelectResult(u8),
 }
 
+impl BistCommand {
+    /// The command's mnemonic, for trace events and diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            BistCommand::Reset => "Reset",
+            BistCommand::LoadPatternCount(_) => "LoadPatternCount",
+            BistCommand::Start => "Start",
+            BistCommand::SelectResult(_) => "SelectResult",
+        }
+    }
+
+    /// The command's operand (0 for operand-less commands).
+    pub fn operand(self) -> u64 {
+        match self {
+            BistCommand::LoadPatternCount(n) => n,
+            BistCommand::SelectResult(s) => s.into(),
+            _ => 0,
+        }
+    }
+}
+
 /// The test-execution phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BistPhase {

@@ -1,5 +1,7 @@
 //! The assembled behavioral BIST engine.
 
+use soctest_obs::{TraceEvent, TraceHandle};
+
 use crate::{
     Alfsr, BistCommand, BistPhase, ConstraintGenerator, ControlUnit, EngineError, Misr,
     PatternGenerator, PortWiring,
@@ -59,6 +61,7 @@ pub struct BistEngine {
     output_widths: Vec<usize>,
     cycle: u64,
     seed: u64,
+    trace: TraceHandle,
 }
 
 impl BistEngine {
@@ -89,7 +92,15 @@ impl BistEngine {
             output_widths,
             cycle: 0,
             seed: 0,
+            trace: TraceHandle::none(),
         }
+    }
+
+    /// Attaches a trace handle; commands and MISR snapshots at read
+    /// boundaries are emitted through it from now on (disabled by
+    /// default).
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// Sets the ALFSR seed loaded on the next `Reset`/`Start` (the
@@ -148,6 +159,13 @@ impl BistEngine {
             self.cycle = 0;
         }
         self.control.command(cmd);
+        self.trace.emit(
+            self.cycle,
+            TraceEvent::BistCommand {
+                kind: cmd.name(),
+                operand: cmd.operand(),
+            },
+        );
     }
 
     /// The stimulus row for module `m` in the current cycle.
@@ -206,7 +224,20 @@ impl BistEngine {
         self.control.clock();
         self.alfsr.step();
         self.cycle += 1;
-        Ok(self.control.end_test())
+        let done = self.control.end_test();
+        if done {
+            // Read boundary: the signatures are now stable for scan-out.
+            for (m, misr) in self.misrs.iter().enumerate() {
+                self.trace.emit(
+                    self.cycle,
+                    TraceEvent::MisrSnapshot {
+                        module: m as u8,
+                        signature: misr.signature(),
+                    },
+                );
+            }
+        }
+        Ok(done)
     }
 
     /// The signature captured for module `m`.
@@ -217,7 +248,15 @@ impl BistEngine {
     /// The signature currently exposed by the output selector.
     pub fn selected_signature(&self) -> u64 {
         let sel = self.control.result_select() as usize % self.misrs.len().max(1);
-        self.misrs.get(sel).map_or(0, Misr::signature)
+        let sig = self.misrs.get(sel).map_or(0, Misr::signature);
+        self.trace.emit(
+            self.cycle,
+            TraceEvent::MisrSnapshot {
+                module: sel as u8,
+                signature: sig,
+            },
+        );
+        sig
     }
 
     /// Current phase.

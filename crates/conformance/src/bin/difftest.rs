@@ -2,18 +2,22 @@
 //!
 //! ```text
 //! difftest [--seeds N] [--max-gates G] [--start-seed S]
-//!          [--self-test] [--replay FILE] [--out FILE]
+//!          [--self-test] [--replay FILE] [--out FILE] [--vcd-on-failure]
 //! ```
 //!
 //! Default mode fuzzes all four engine pairs over `N` seeds and writes a
 //! machine-readable JSON report. On the first `sim`-pair mismatch the
 //! failing netlist is minimized and dumped next to the report for
-//! `--replay`. Exit status is non-zero on any mismatch (or, with
-//! `--self-test`, on any undetected mutation).
+//! `--replay`; with `--vcd-on-failure` the probe stimulus is additionally
+//! replayed on the minimized netlist and written as a VCD waveform. Exit
+//! status is non-zero on any mismatch (or, with `--self-test`, on any
+//! undetected mutation).
 
 use std::process::ExitCode;
 
-use soctest_conformance::pairs::{comb_divergence, run_all_pairs, sim_comb_netlist, PAIR_NAMES};
+use soctest_conformance::pairs::{
+    comb_divergence, divergence_vcd, run_all_pairs, sim_comb_netlist, PAIR_NAMES,
+};
 use soctest_conformance::report::{
     active_gates, dump_netlist, minimize, parse_netlist, render_report, Mismatch,
 };
@@ -26,6 +30,7 @@ struct Args {
     self_test: bool,
     replay: Option<String>,
     out: String,
+    vcd_on_failure: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -36,6 +41,7 @@ fn parse_args() -> Result<Args, String> {
         self_test: false,
         replay: None,
         out: "difftest_report.json".into(),
+        vcd_on_failure: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -49,6 +55,7 @@ fn parse_args() -> Result<Args, String> {
                 args.start_seed = value("--start-seed")?.parse().map_err(|e| format!("{e}"))?;
             }
             "--self-test" => args.self_test = true,
+            "--vcd-on-failure" => args.vcd_on_failure = true,
             "--replay" => args.replay = Some(value("--replay")?),
             "--out" => args.out = value("--out")?,
             other => return Err(format!("unknown flag {other}")),
@@ -141,6 +148,12 @@ fn fuzz_mode(args: &Args) -> ExitCode {
                     active_gates(&min)
                 );
                 dump_file = Some(file);
+            }
+            if args.vcd_on_failure {
+                let wave = format!("difftest_seed{}.vcd", m.seed);
+                if std::fs::write(&wave, divergence_vcd(&min, m.seed)).is_ok() {
+                    println!("replayed probe stimulus on the minimized netlist → {wave}");
+                }
             }
         }
     }

@@ -32,7 +32,7 @@ use soctest_p1500::{
     structural as p1500_structural, BistBackend, MockBackend, TapDriver, TapInstruction,
 };
 use soctest_prng::SplitMix64;
-use soctest_sim::{CombSim, SeqSim};
+use soctest_sim::{CombSim, SeqSim, VcdProbe};
 
 use crate::generator::{random_netlist, GeneratorConfig};
 use crate::reference::{self, RefMachine};
@@ -101,6 +101,29 @@ pub fn comb_divergence(golden: &Netlist, candidate: &Netlist, probe_seed: u64) -
         }
     }
     None
+}
+
+/// Replays [`comb_divergence`]'s probe stimulus on `netlist` and renders
+/// the run as a VCD document (one timestep per probe round, lane 0 of the
+/// 64-lane words). This is the waveform a failing `difftest` seed dumps
+/// next to its minimized netlist, so the divergence can be inspected in a
+/// standard viewer.
+pub fn divergence_vcd(netlist: &Netlist, probe_seed: u64) -> String {
+    let mut rng = rng_for(probe_seed, 0xC0);
+    let pis = netlist.primary_inputs();
+    let mut sim = SeqSim::new(netlist).expect("comb sim construction");
+    let mut probe = VcdProbe::new();
+    let group = probe.add_module(netlist.name(), netlist);
+    for round in 0..3u64 {
+        let words: Vec<u64> = pis.iter().map(|_| rng.next_u64()).collect();
+        for (net, w) in pis.iter().zip(&words) {
+            sim.set_input(*net, *w);
+        }
+        sim.eval_comb();
+        probe.record(group, &sim);
+        probe.advance(round);
+    }
+    probe.finish()
 }
 
 /// Compares `SeqSim` against the reference over a multi-cycle run.
@@ -246,6 +269,7 @@ fn seq_fault_divergence(seed: u64, max_gates: usize) -> Option<String> {
         observe: ObserveMode::Outputs,
         collect_syndromes: false,
         parallel: ParallelPolicy::serial(),
+        ..Default::default()
     };
     let result = SeqFaultSim::new(&universe, config)
         .run(&mut VectorStimulus::new(words.clone()))
@@ -904,6 +928,27 @@ mod tests {
         for seed in 0..4u64 {
             let ms = run_all_pairs(seed, 60);
             assert!(ms.is_empty(), "seed {seed}: {ms:?}");
+        }
+    }
+
+    #[test]
+    fn divergence_waveform_is_loadable_and_deterministic() {
+        use soctest_obs::VcdReader;
+
+        let nl = sim_comb_netlist(7, 40);
+        let a = divergence_vcd(&nl, 7);
+        let b = divergence_vcd(&nl, 7);
+        assert_eq!(a, b, "same netlist and seed give the same waveform");
+        let reader = VcdReader::parse(&a).expect("vcd parses");
+        let first = nl.ports()[0].name().to_owned();
+        // Three probe rounds → values exist at every timestep.
+        for t in 0..3 {
+            assert!(
+                reader
+                    .value_at(&format!("{}.{first}", nl.name()), t)
+                    .is_some(),
+                "value at round {t}"
+            );
         }
     }
 }

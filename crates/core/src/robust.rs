@@ -23,6 +23,7 @@
 
 use soctest_bist::EngineError;
 use soctest_fault::ParallelPolicy;
+use soctest_obs::{MetricsHandle, MetricsRegistry, TraceEvent, TraceHandle};
 use soctest_p1500::{ProtocolError, TapDriver};
 
 use crate::casestudy::CaseStudy;
@@ -71,6 +72,15 @@ pub enum RetryStrategy {
 }
 
 impl RetryStrategy {
+    /// The rung's mnemonic, for trace events and diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            RetryStrategy::Rerun => "Rerun",
+            RetryStrategy::ReciprocalPolynomial => "ReciprocalPolynomial",
+            RetryStrategy::Reseed(_) => "Reseed",
+        }
+    }
+
     /// The `(variant, seed)` engine knobs this strategy turns (see
     /// [`CaseStudy::engine_variant`]).
     fn engine_knobs(self) -> (u8, u64) {
@@ -124,6 +134,9 @@ pub struct SessionReport {
     pub functional_cycles: u64,
     /// Patterns per execution.
     pub patterns: u64,
+    /// The DUT waveform of the last attempt, when the session ran with
+    /// [`RobustSession::with_vcd`].
+    pub vcd: Option<String>,
 }
 
 impl SessionReport {
@@ -139,6 +152,21 @@ impl SessionReport {
             .filter(|o| o.quarantined)
             .map(|o| o.module.as_str())
             .collect()
+    }
+
+    /// Folds this session's accounting into the unified metrics registry.
+    pub fn export_metrics(&self, registry: &MetricsRegistry) {
+        registry.inc("session_runs_total", 1);
+        registry.inc("session_tck_total", self.tck_spent);
+        registry.inc("session_functional_cycles_total", self.functional_cycles);
+        let attempts: u64 = self.outcomes.iter().map(|o| o.attempts.len() as u64).sum();
+        registry.inc("session_attempts_total", attempts);
+        registry.inc("session_quarantines_total", self.quarantined().len() as u64);
+        registry.set_gauge("session_modules", self.outcomes.len() as f64);
+        registry.set_gauge("session_quarantined", self.quarantined().len() as f64);
+        for o in &self.outcomes {
+            registry.observe("session_attempts_per_module", o.attempts.len() as u64);
+        }
     }
 }
 
@@ -160,6 +188,9 @@ pub struct RobustSession {
     budget: SessionBudget,
     strategies: Vec<RetryStrategy>,
     parallel: ParallelPolicy,
+    trace: TraceHandle,
+    metrics: MetricsHandle,
+    vcd: bool,
 }
 
 impl Default for RobustSession {
@@ -180,7 +211,33 @@ impl RobustSession {
                 RetryStrategy::Reseed(0x5EED_CAFE),
             ],
             parallel: ParallelPolicy::default(),
+            trace: TraceHandle::none(),
+            metrics: MetricsHandle::none(),
+            vcd: false,
         }
+    }
+
+    /// Attaches a trace handle: session lifecycle events (start, attempts,
+    /// escalations, watchdog checks, quarantines) plus the TAP- and
+    /// engine-level events of the DUT run, stamped with cumulative TCK
+    /// cycles.
+    pub fn with_trace(mut self, trace: TraceHandle) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Attaches a metrics handle: protocol counters accumulate during the
+    /// run and the finished [`SessionReport`] is exported on success.
+    pub fn with_metrics(mut self, metrics: MetricsHandle) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Records a VCD waveform of the DUT modules; the last attempt's dump
+    /// lands in [`SessionReport::vcd`].
+    pub fn with_vcd(mut self, vcd: bool) -> Self {
+        self.vcd = vcd;
+        self
     }
 
     /// Sets the worker-thread policy used by [`RobustSession::diagnose`]'s
@@ -234,10 +291,32 @@ impl RobustSession {
         let mut resolved: Vec<bool> = vec![false; nmodules];
         let mut tck_spent = 0u64;
         let mut functional_cycles = 0u64;
+        let mut vcd_doc: Option<String> = None;
 
-        for &strategy in &self.strategies {
+        self.trace.emit(
+            0,
+            TraceEvent::SessionStart {
+                patterns: npatterns,
+                modules: nmodules as u8,
+            },
+        );
+
+        for (rung, &strategy) in self.strategies.iter().enumerate() {
             if resolved.iter().all(|&r| r) {
                 break;
+            }
+            if rung > 0 {
+                for (m, &done) in resolved.iter().enumerate() {
+                    if !done {
+                        self.trace.emit(
+                            tck_spent,
+                            TraceEvent::RetryEscalation {
+                                module: m as u8,
+                                strategy: strategy.name(),
+                            },
+                        );
+                    }
+                }
             }
             let (variant, seed) = strategy.engine_knobs();
 
@@ -249,16 +328,33 @@ impl RobustSession {
 
             // The DUT session, driven over the TAP.
             let dut_engine = dut.engine_variant(variant, seed)?;
-            let backend = WrappedCore::with_engine(dut, dut_engine)?;
+            let mut backend = WrappedCore::with_engine(dut, dut_engine)?;
+            backend.set_trace(self.trace.clone());
+            if self.vcd {
+                backend.enable_vcd();
+            }
             let mut ate = TapDriver::new(backend);
+            ate.set_trace(self.trace.clone());
+            ate.set_metrics(self.metrics.clone());
             ate.reset();
             ate.bist_load_pattern_count(npatterns);
             ate.bist_start();
             match ate.wait_for_done(self.budget.burst, self.budget.max_bursts) {
-                Ok(_) => {}
+                Ok(stats) => {
+                    if let Some(registry) = self.metrics.registry() {
+                        stats.export_metrics(registry);
+                    }
+                }
                 Err(ProtocolError::DoneTimeout { cycles_waited, .. }) => {
                     // At session level a timeout is a hung engine: the poll
                     // budget covered the whole pattern count.
+                    self.trace.emit(
+                        tck_spent + ate.tck(),
+                        TraceEvent::WatchdogFired {
+                            spent: cycles_waited,
+                            budget: self.budget.burst * u64::from(self.budget.max_bursts),
+                        },
+                    );
                     return Err(EngineError::Hung {
                         cycles: cycles_waited,
                     }
@@ -278,19 +374,57 @@ impl RobustSession {
                     golden,
                     signature,
                 };
+                self.trace.emit(
+                    tck_spent + ate.tck(),
+                    TraceEvent::AttemptResult {
+                        module: m as u8,
+                        strategy: strategy.name(),
+                        golden,
+                        signature,
+                        matched: record.matched(),
+                    },
+                );
                 attempts[m].push(record);
                 if record.matched() {
                     resolved[m] = true;
+                    self.trace.emit(
+                        tck_spent + ate.tck(),
+                        TraceEvent::ModuleCleared { module: m as u8 },
+                    );
                 }
             }
 
             tck_spent += ate.tck();
             functional_cycles += ate.functional_cycles();
+            if self.vcd {
+                vcd_doc = ate.backend_mut().take_vcd();
+            }
             if tck_spent > self.budget.max_tck {
+                self.trace.emit(
+                    tck_spent,
+                    TraceEvent::WatchdogFired {
+                        spent: tck_spent,
+                        budget: self.budget.max_tck,
+                    },
+                );
                 return Err(SessionError::TckBudgetExceeded {
                     spent: tck_spent,
                     budget: self.budget.max_tck,
                 });
+            }
+            self.trace.emit(
+                tck_spent,
+                TraceEvent::WatchdogCheck {
+                    spent: tck_spent,
+                    budget: self.budget.max_tck,
+                },
+            );
+        }
+
+        for (m, &passed) in resolved.iter().enumerate() {
+            if !passed {
+                self.trace
+                    .emit(tck_spent, TraceEvent::Quarantine { module: m as u8 });
             }
         }
 
@@ -305,12 +439,18 @@ impl RobustSession {
                 attempts,
             })
             .collect();
-        Ok(SessionReport {
+        let report = SessionReport {
             outcomes,
             tck_spent,
             functional_cycles,
             patterns: npatterns,
-        })
+            vcd: vcd_doc,
+        };
+        if let Some(registry) = self.metrics.registry() {
+            report.export_metrics(registry);
+        }
+        self.trace.flush();
+        Ok(report)
     }
 
     /// Diagnoses the quarantined modules of a finished session: each one is
@@ -432,6 +572,100 @@ mod tests {
         assert_eq!(diagnoses[0].module, "CONTROL_UNIT");
         assert!(diagnoses[0].report.faults > 0);
         assert!(diagnoses[0].report.stats.classes > 0);
+    }
+
+    #[test]
+    fn traced_session_tells_the_quarantine_story() {
+        use soctest_obs::{MemorySink, MetricsRegistry, Tracer, VcdReader};
+        use std::sync::Arc;
+
+        let reference = CaseStudy::paper().unwrap();
+        let mut dut = CaseStudy::paper().unwrap();
+        let victim = dut.modules()[2].primary_outputs()[0];
+        dut.module_mut(2).force_constant(victim, true);
+
+        let sink = MemorySink::new();
+        let records = sink.shared();
+        let mut tracer = Tracer::new(256);
+        tracer.add_sink(Box::new(sink));
+        let registry = Arc::new(MetricsRegistry::new());
+        let session = RobustSession::default()
+            .with_trace(TraceHandle::new(tracer))
+            .with_metrics(MetricsHandle::from_arc(Arc::clone(&registry)))
+            .with_vcd(true);
+        let report = session.run(&reference, &dut, 64).unwrap();
+        assert_eq!(report.quarantined(), vec!["CONTROL_UNIT"]);
+
+        let recs = records.lock().unwrap();
+        let names: Vec<&str> = recs.iter().map(|r| r.event.name()).collect();
+        assert_eq!(names[0], "SessionStart");
+        assert!(names.contains(&"AttemptResult"));
+        assert!(names.contains(&"RetryEscalation"));
+        assert!(names.contains(&"WatchdogCheck"));
+        assert!(names.contains(&"Quarantine"));
+        assert!(names.contains(&"ModuleCleared"));
+        // The full ladder ran for the bad module: one escalation per
+        // remaining rung.
+        let escalations = recs
+            .iter()
+            .filter(|r| matches!(r.event, TraceEvent::RetryEscalation { module: 2, .. }))
+            .count();
+        assert_eq!(escalations, 2);
+        // Session-level stamps (cumulative TCK) never go backwards; the
+        // engine- and TAP-level events in between run on their own clock
+        // domains and restart each rung.
+        let session_cycles: Vec<u64> = recs
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.event,
+                    TraceEvent::SessionStart { .. }
+                        | TraceEvent::AttemptResult { .. }
+                        | TraceEvent::RetryEscalation { .. }
+                        | TraceEvent::WatchdogCheck { .. }
+                        | TraceEvent::Quarantine { .. }
+                        | TraceEvent::ModuleCleared { .. }
+                )
+            })
+            .map(|r| r.cycle)
+            .collect();
+        assert!(session_cycles.windows(2).all(|w| w[0] <= w[1]));
+        drop(recs);
+
+        // Metrics saw both the protocol counters and the session summary.
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters.get("session_runs_total"), Some(&1));
+        assert_eq!(snap.counters.get("session_quarantines_total"), Some(&1));
+        assert!(
+            snap.counters
+                .get("tap_tck_cycles_total")
+                .copied()
+                .unwrap_or(0)
+                > 0
+        );
+        assert_eq!(
+            snap.counters.get("session_tck_total"),
+            Some(&report.tck_spent)
+        );
+
+        // The waveform of the last attempt is attached and loadable.
+        let vcd = report.vcd.as_deref().expect("vcd requested");
+        let reader = VcdReader::parse(vcd).unwrap();
+        let port = dut.modules()[2].ports()[0].name().to_owned();
+        assert!(
+            reader
+                .value_at(&format!("m2_CONTROL_UNIT.{port}"), 1)
+                .is_some(),
+            "waveform carries module 2's ports"
+        );
+    }
+
+    #[test]
+    fn untraced_session_report_has_no_vcd() {
+        let reference = CaseStudy::paper().unwrap();
+        let dut = CaseStudy::paper().unwrap();
+        let report = RobustSession::default().run(&reference, &dut, 64).unwrap();
+        assert!(report.vcd.is_none());
     }
 
     #[test]

@@ -3,8 +3,9 @@
 
 use soctest_bist::{BistCommand, BistEngine, EngineError};
 use soctest_netlist::{NetId, Netlist};
+use soctest_obs::TraceHandle;
 use soctest_p1500::BistBackend;
-use soctest_sim::SeqSim;
+use soctest_sim::{SeqSim, VcdProbe};
 
 use crate::casestudy::CaseStudy;
 use crate::error::SessionError;
@@ -19,6 +20,9 @@ pub struct WrappedCore<'a> {
     sims: Vec<SeqSim<'a>>,
     inputs: Vec<Vec<NetId>>,
     outputs: Vec<Vec<NetId>>,
+    vcd: Option<VcdProbe>,
+    vcd_groups: Vec<usize>,
+    functional_cycle: u64,
 }
 
 impl<'a> WrappedCore<'a> {
@@ -52,7 +56,37 @@ impl<'a> WrappedCore<'a> {
             sims,
             inputs,
             outputs,
+            vcd: None,
+            vcd_groups: Vec::new(),
+            functional_cycle: 0,
         })
+    }
+
+    /// Attaches a trace handle to the embedded engine (BIST commands and
+    /// MISR snapshots at read boundaries).
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.engine.set_trace(trace);
+    }
+
+    /// Starts recording a VCD waveform of every module's ports, one
+    /// timestep per functional clock. Module *m* appears as scope
+    /// `m<m>_<module name>`; the timeline is monotonic across resets.
+    pub fn enable_vcd(&mut self) {
+        let mut probe = VcdProbe::new();
+        let mut groups = Vec::with_capacity(self.sims.len());
+        for (m, sim) in self.sims.iter().enumerate() {
+            let nl = sim.netlist();
+            groups.push(probe.add_module(&format!("m{m}_{}", nl.name()), nl));
+        }
+        self.vcd = Some(probe);
+        self.vcd_groups = groups;
+    }
+
+    /// Stops recording and returns the rendered VCD document, or `None` if
+    /// [`WrappedCore::enable_vcd`] was never called.
+    pub fn take_vcd(&mut self) -> Option<String> {
+        self.vcd_groups.clear();
+        self.vcd.take().map(|p| p.finish())
     }
 
     /// The engine (e.g. to inspect per-module signatures).
@@ -126,9 +160,16 @@ impl BistBackend for WrappedCore<'_> {
                 .iter()
                 .map(|&net| sim.get(net) & 1 == 1)
                 .collect();
+            if let Some(probe) = self.vcd.as_mut() {
+                probe.record(self.vcd_groups[m], sim);
+            }
             sim.clock();
             responses.push(outs);
         }
+        if let Some(probe) = self.vcd.as_mut() {
+            probe.advance(self.functional_cycle);
+        }
+        self.functional_cycle += 1;
         self.engine.clock(&responses);
     }
 

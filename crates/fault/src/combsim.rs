@@ -15,6 +15,7 @@ use std::collections::{BinaryHeap, HashMap};
 use std::time::Instant;
 
 use soctest_netlist::{GateKind, NetId, Netlist, NetlistError};
+use soctest_obs::{TraceEvent, TraceHandle};
 
 use crate::{FaultKind, FaultSimResult, FaultSimStats, FaultUniverse, ParallelPolicy, Syndrome};
 
@@ -164,6 +165,7 @@ pub struct CombFaultSim<'a> {
     universe: &'a FaultUniverse,
     collect_syndromes: bool,
     parallel: ParallelPolicy,
+    trace: TraceHandle,
 }
 
 impl<'a> CombFaultSim<'a> {
@@ -173,7 +175,15 @@ impl<'a> CombFaultSim<'a> {
             universe,
             collect_syndromes: false,
             parallel: ParallelPolicy::default(),
+            trace: TraceHandle::none(),
         }
+    }
+
+    /// Attaches a trace handle: one `FaultSimWindow` event per 64-pattern
+    /// block, emitted from the coordinating thread (disabled by default).
+    pub fn with_trace(mut self, trace: TraceHandle) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Enables per-fault syndrome collection (disables fault dropping).
@@ -400,11 +410,19 @@ impl<'a> CombFaultSim<'a> {
                 })
             };
             campaign.stats.faulty_cycles += propagations;
+            let survivors = campaign.detection.iter().filter(|d| d.is_none()).count();
+            self.trace.emit(
+                base + u64::from(mask.count_ones()),
+                TraceEvent::FaultSimWindow {
+                    index: campaign.stats.windows,
+                    start_cycle: base,
+                    length: u64::from(mask.count_ones()),
+                    chunks: nthreads as u64,
+                    survivors: survivors as u64,
+                },
+            );
             campaign.stats.windows += 1;
-            campaign
-                .stats
-                .survivors
-                .push(campaign.detection.iter().filter(|d| d.is_none()).count());
+            campaign.stats.survivors.push(survivors);
         }
 
         campaign.applied += patterns.len() as u64;

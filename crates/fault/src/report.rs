@@ -3,6 +3,8 @@
 use std::fmt;
 use std::time::Duration;
 
+use soctest_obs::MetricsRegistry;
+
 use crate::Syndrome;
 
 /// Observability counters for one fault-simulation campaign: how the work
@@ -30,6 +32,29 @@ pub struct FaultSimStats {
     pub faulty_cycles: u64,
     /// Wall-clock time spent inside the simulator.
     pub wall: Duration,
+}
+
+impl FaultSimStats {
+    /// Folds this campaign's accounting into the unified metrics registry.
+    /// Counters accumulate across campaigns; the gauges describe the most
+    /// recent one.
+    pub fn export_metrics(&self, registry: &MetricsRegistry) {
+        registry.inc("faultsim_windows_total", self.windows);
+        registry.inc("faultsim_good_cycles_total", self.good_cycles);
+        registry.inc("faultsim_faulty_cycles_total", self.faulty_cycles);
+        registry.inc(
+            "faultsim_wall_micros_total",
+            self.wall.as_micros().min(u128::from(u64::MAX)) as u64,
+        );
+        registry.set_gauge("faultsim_threads", self.threads as f64);
+        registry.set_gauge(
+            "faultsim_final_survivors",
+            self.survivors.last().copied().unwrap_or(0) as f64,
+        );
+        for &s in &self.survivors {
+            registry.observe("faultsim_window_survivors", s as u64);
+        }
+    }
 }
 
 impl fmt::Display for FaultSimStats {

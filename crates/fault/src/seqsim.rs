@@ -23,6 +23,7 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use soctest_netlist::{GateKind, NetId, Netlist, NetlistError};
+use soctest_obs::{TraceEvent, TraceHandle};
 
 use crate::stimulus::StimulusMatrix;
 use crate::{
@@ -87,6 +88,10 @@ pub struct SeqFaultSimConfig {
     pub collect_syndromes: bool,
     /// Worker-thread policy for the per-window fault chunks.
     pub parallel: ParallelPolicy,
+    /// Trace handle: one `FaultSimWindow` event per retired window and a
+    /// final `FaultSimDone`, all emitted from the coordinating thread
+    /// (disabled by default).
+    pub trace: TraceHandle,
 }
 
 impl Default for SeqFaultSimConfig {
@@ -96,6 +101,7 @@ impl Default for SeqFaultSimConfig {
             observe: ObserveMode::Outputs,
             collect_syndromes: false,
             parallel: ParallelPolicy::default(),
+            trace: TraceHandle::none(),
         }
     }
 }
@@ -404,14 +410,32 @@ impl<'a> SeqFaultSim<'a> {
             if !self.config.collect_syndromes {
                 active.retain(|af| detection[af.idx].is_none());
             }
+            let survivors = detection.iter().filter(|d| d.is_none()).count();
+            self.config.trace.emit(
+                window_start + wlen,
+                TraceEvent::FaultSimWindow {
+                    index: stats.windows,
+                    start_cycle: window_start,
+                    length: wlen,
+                    chunks: nchunks as u64,
+                    survivors: survivors as u64,
+                },
+            );
             stats.windows += 1;
-            stats
-                .survivors
-                .push(detection.iter().filter(|d| d.is_none()).count());
+            stats.survivors.push(survivors);
             window_start += wlen;
         }
 
         stats.wall = start.elapsed();
+        self.config.trace.emit(
+            cycles,
+            TraceEvent::FaultSimDone {
+                faults: faults.len() as u64,
+                detected: detection.iter().filter(|d| d.is_some()).count() as u64,
+                windows: stats.windows,
+                threads: nthreads as u64,
+            },
+        );
         Ok(FaultSimResult {
             detection,
             cycles,
@@ -885,6 +909,7 @@ mod tests {
                             observe: observe.clone(),
                             collect_syndromes: true,
                             parallel: ParallelPolicy::with_threads(threads),
+                            ..Default::default()
                         },
                     );
                     sim.run(&mut stim).unwrap()

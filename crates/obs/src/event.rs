@@ -1,0 +1,393 @@
+//! The typed event taxonomy shared by every instrumented layer.
+//!
+//! Events are deliberately *flat and `Copy`*: every field is a scalar or a
+//! `&'static str`, so constructing one allocates nothing and a disabled
+//! [`crate::TraceHandle`] reduces the whole instrumentation point to a null
+//! check. Sinks that need structure (JSON Lines, pretty printing) reflect
+//! over [`TraceEvent::fields`] instead of matching every variant
+//! themselves.
+
+/// One scalar field value of an event, for sink-side reflection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Boolean.
+    Bool(bool),
+    /// Static string (state names, strategy names, …).
+    Str(&'static str),
+}
+
+impl FieldValue {
+    /// Renders the value as a JSON token.
+    pub fn to_json(self) -> String {
+        match self {
+            FieldValue::U64(v) => v.to_string(),
+            FieldValue::Bool(b) => b.to_string(),
+            FieldValue::Str(s) => format!("\"{s}\""),
+        }
+    }
+}
+
+/// A typed, cycle-stamped observation from somewhere in the test stack.
+///
+/// The variants mirror the layers of the architecture: TAP pin activity at
+/// the bottom, wrapper and BIST engine events in the middle, session-level
+/// decisions (retries, watchdogs, quarantine) and fault-simulation
+/// scheduling at the top.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// A named region opened (paired with [`TraceEvent::SpanExit`]).
+    SpanEnter {
+        /// Region name.
+        name: &'static str,
+    },
+    /// A named region closed.
+    SpanExit {
+        /// Region name.
+        name: &'static str,
+    },
+    /// The TAP FSM moved on a TCK edge.
+    TapStateChange {
+        /// State before the edge.
+        from: &'static str,
+        /// State after the edge.
+        to: &'static str,
+        /// TMS value sampled on the edge.
+        tms: bool,
+        /// TDO value returned on the edge.
+        tdo: bool,
+    },
+    /// A TAP instruction finished loading (Update-IR).
+    TapIrLoad {
+        /// The instruction now in effect.
+        instruction: &'static str,
+    },
+    /// A wrapper instruction was scanned into the WIR.
+    WirLoad {
+        /// The wrapper register now selected.
+        instruction: &'static str,
+    },
+    /// The WDR was read: `end_test` flag plus the selected signature.
+    WdrCapture {
+        /// The `end_test` status bit.
+        done: bool,
+        /// The signature shifted out.
+        signature: u64,
+    },
+    /// A BIST command reached the engine.
+    BistCommand {
+        /// Command mnemonic.
+        kind: &'static str,
+        /// Operand (pattern count, result index; 0 when unused).
+        operand: u64,
+    },
+    /// A MISR signature was observed at a read boundary.
+    MisrSnapshot {
+        /// Module index (hookup order).
+        module: u8,
+        /// The signature value.
+        signature: u64,
+    },
+    /// A robust session started.
+    SessionStart {
+        /// Patterns per execution.
+        patterns: u64,
+        /// Modules under test.
+        modules: u8,
+    },
+    /// One module's attempt under one retry rung completed.
+    AttemptResult {
+        /// Module index.
+        module: u8,
+        /// Retry-strategy name.
+        strategy: &'static str,
+        /// Rehearsed fault-free signature.
+        golden: u64,
+        /// Signature read from the DUT.
+        signature: u64,
+        /// Whether they agreed.
+        matched: bool,
+    },
+    /// A mismatching module escalates to the next retry rung.
+    RetryEscalation {
+        /// Module index.
+        module: u8,
+        /// The strategy that just failed to clear the module.
+        strategy: &'static str,
+    },
+    /// The TCK watchdog was consulted (and passed).
+    WatchdogCheck {
+        /// TCK cycles spent so far.
+        spent: u64,
+        /// The session budget.
+        budget: u64,
+    },
+    /// A watchdog tripped: the session aborts with a typed error.
+    WatchdogFired {
+        /// Cycles spent when it fired.
+        spent: u64,
+        /// The budget that was exceeded.
+        budget: u64,
+    },
+    /// A module exhausted the ladder and was quarantined.
+    Quarantine {
+        /// Module index.
+        module: u8,
+    },
+    /// A module matched its rehearsal and left the retry set.
+    ModuleCleared {
+        /// Module index.
+        module: u8,
+    },
+    /// One fault-simulation window (or PPSFP block) retired.
+    FaultSimWindow {
+        /// Window index within the campaign.
+        index: u64,
+        /// First cycle of the window.
+        start_cycle: u64,
+        /// Window length in cycles (or patterns in the block).
+        length: u64,
+        /// 64-fault lane chunks simulated in the window.
+        chunks: u64,
+        /// Faults still undetected after the window.
+        survivors: u64,
+    },
+    /// A fault-simulation campaign finished.
+    FaultSimDone {
+        /// Faults simulated.
+        faults: u64,
+        /// Faults detected.
+        detected: u64,
+        /// Windows/blocks processed.
+        windows: u64,
+        /// Worker threads used.
+        threads: u64,
+    },
+    /// One LDPC decode iteration finished.
+    DecodeIteration {
+        /// Iteration number (1-based).
+        iteration: u64,
+        /// Unsatisfied parity checks after the iteration.
+        unsatisfied: u64,
+    },
+    /// An LDPC decode attempt finished.
+    DecodeDone {
+        /// Iterations used.
+        iterations: u64,
+        /// Whether the syndrome reached zero.
+        success: bool,
+    },
+    /// Escape hatch for ad-hoc instrumentation.
+    Custom {
+        /// Event name.
+        name: &'static str,
+        /// First operand.
+        a: u64,
+        /// Second operand.
+        b: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's type name (stable; used as the JSON `event` field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::SpanEnter { .. } => "SpanEnter",
+            TraceEvent::SpanExit { .. } => "SpanExit",
+            TraceEvent::TapStateChange { .. } => "TapStateChange",
+            TraceEvent::TapIrLoad { .. } => "TapIrLoad",
+            TraceEvent::WirLoad { .. } => "WirLoad",
+            TraceEvent::WdrCapture { .. } => "WdrCapture",
+            TraceEvent::BistCommand { .. } => "BistCommand",
+            TraceEvent::MisrSnapshot { .. } => "MisrSnapshot",
+            TraceEvent::SessionStart { .. } => "SessionStart",
+            TraceEvent::AttemptResult { .. } => "AttemptResult",
+            TraceEvent::RetryEscalation { .. } => "RetryEscalation",
+            TraceEvent::WatchdogCheck { .. } => "WatchdogCheck",
+            TraceEvent::WatchdogFired { .. } => "WatchdogFired",
+            TraceEvent::Quarantine { .. } => "Quarantine",
+            TraceEvent::ModuleCleared { .. } => "ModuleCleared",
+            TraceEvent::FaultSimWindow { .. } => "FaultSimWindow",
+            TraceEvent::FaultSimDone { .. } => "FaultSimDone",
+            TraceEvent::DecodeIteration { .. } => "DecodeIteration",
+            TraceEvent::DecodeDone { .. } => "DecodeDone",
+            TraceEvent::Custom { .. } => "Custom",
+        }
+    }
+
+    /// The event's fields as `(name, value)` pairs, in declaration order.
+    pub fn fields(&self) -> Vec<(&'static str, FieldValue)> {
+        use FieldValue::{Bool, Str, U64};
+        match *self {
+            TraceEvent::SpanEnter { name } | TraceEvent::SpanExit { name } => {
+                vec![("name", Str(name))]
+            }
+            TraceEvent::TapStateChange { from, to, tms, tdo } => vec![
+                ("from", Str(from)),
+                ("to", Str(to)),
+                ("tms", Bool(tms)),
+                ("tdo", Bool(tdo)),
+            ],
+            TraceEvent::TapIrLoad { instruction } | TraceEvent::WirLoad { instruction } => {
+                vec![("instruction", Str(instruction))]
+            }
+            TraceEvent::WdrCapture { done, signature } => {
+                vec![("done", Bool(done)), ("signature", U64(signature))]
+            }
+            TraceEvent::BistCommand { kind, operand } => {
+                vec![("kind", Str(kind)), ("operand", U64(operand))]
+            }
+            TraceEvent::MisrSnapshot { module, signature } => vec![
+                ("module", U64(module.into())),
+                ("signature", U64(signature)),
+            ],
+            TraceEvent::SessionStart { patterns, modules } => vec![
+                ("patterns", U64(patterns)),
+                ("modules", U64(modules.into())),
+            ],
+            TraceEvent::AttemptResult {
+                module,
+                strategy,
+                golden,
+                signature,
+                matched,
+            } => vec![
+                ("module", U64(module.into())),
+                ("strategy", Str(strategy)),
+                ("golden", U64(golden)),
+                ("signature", U64(signature)),
+                ("matched", Bool(matched)),
+            ],
+            TraceEvent::RetryEscalation { module, strategy } => {
+                vec![("module", U64(module.into())), ("strategy", Str(strategy))]
+            }
+            TraceEvent::WatchdogCheck { spent, budget }
+            | TraceEvent::WatchdogFired { spent, budget } => {
+                vec![("spent", U64(spent)), ("budget", U64(budget))]
+            }
+            TraceEvent::Quarantine { module } | TraceEvent::ModuleCleared { module } => {
+                vec![("module", U64(module.into()))]
+            }
+            TraceEvent::FaultSimWindow {
+                index,
+                start_cycle,
+                length,
+                chunks,
+                survivors,
+            } => vec![
+                ("index", U64(index)),
+                ("start_cycle", U64(start_cycle)),
+                ("length", U64(length)),
+                ("chunks", U64(chunks)),
+                ("survivors", U64(survivors)),
+            ],
+            TraceEvent::FaultSimDone {
+                faults,
+                detected,
+                windows,
+                threads,
+            } => vec![
+                ("faults", U64(faults)),
+                ("detected", U64(detected)),
+                ("windows", U64(windows)),
+                ("threads", U64(threads)),
+            ],
+            TraceEvent::DecodeIteration {
+                iteration,
+                unsatisfied,
+            } => vec![
+                ("iteration", U64(iteration)),
+                ("unsatisfied", U64(unsatisfied)),
+            ],
+            TraceEvent::DecodeDone {
+                iterations,
+                success,
+            } => vec![("iterations", U64(iterations)), ("success", Bool(success))],
+            TraceEvent::Custom { name, a, b } => {
+                vec![("name", Str(name)), ("a", U64(a)), ("b", U64(b))]
+            }
+        }
+    }
+}
+
+/// One entry of a trace: a sequence number (monotonic per tracer), the
+/// hardware cycle the event was stamped with (TCK, functional, or simulator
+/// cycle — whichever clock the emitting layer runs on), the span depth at
+/// emission, and the event itself.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceRecord {
+    /// Monotonic per-tracer sequence number.
+    pub seq: u64,
+    /// Cycle stamp in the emitting layer's clock domain.
+    pub cycle: u64,
+    /// Span nesting depth when the event was recorded.
+    pub depth: u32,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+impl TraceRecord {
+    /// Renders the record as one JSON-Lines object.
+    pub fn to_json_line(&self) -> String {
+        let mut s = format!(
+            "{{\"seq\":{},\"cycle\":{},\"depth\":{},\"event\":\"{}\"",
+            self.seq,
+            self.cycle,
+            self.depth,
+            self.event.name()
+        );
+        for (k, v) in self.event.fields() {
+            s.push_str(&format!(",\"{k}\":{}", v.to_json()));
+        }
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_event_has_a_name_and_fields() {
+        let events = [
+            TraceEvent::SpanEnter { name: "s" },
+            TraceEvent::TapStateChange {
+                from: "RunTestIdle",
+                to: "SelectDrScan",
+                tms: true,
+                tdo: false,
+            },
+            TraceEvent::WdrCapture {
+                done: true,
+                signature: 0xBEEF,
+            },
+            TraceEvent::FaultSimWindow {
+                index: 0,
+                start_cycle: 0,
+                length: 256,
+                chunks: 3,
+                survivors: 17,
+            },
+        ];
+        for e in events {
+            assert!(!e.name().is_empty());
+            assert!(!e.fields().is_empty());
+        }
+    }
+
+    #[test]
+    fn json_line_shape() {
+        let r = TraceRecord {
+            seq: 7,
+            cycle: 42,
+            depth: 1,
+            event: TraceEvent::Quarantine { module: 2 },
+        };
+        assert_eq!(
+            r.to_json_line(),
+            "{\"seq\":7,\"cycle\":42,\"depth\":1,\"event\":\"Quarantine\",\"module\":2}"
+        );
+    }
+}

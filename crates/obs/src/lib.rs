@@ -1,0 +1,45 @@
+//! `soctest-obs` — the observability core for the soctest workspace.
+//!
+//! Three pillars, all zero-dependency:
+//!
+//! 1. **Structured tracing** ([`Tracer`], [`TraceHandle`], [`TraceEvent`]):
+//!    typed, cycle-stamped events from every layer of the test stack (TAP
+//!    pin edges, wrapper instruction loads, MISR snapshots, retry-ladder
+//!    escalations, fault-simulation windows), kept in a bounded ring
+//!    buffer and fanned out to pluggable [`sink::TraceSink`]s — in-memory
+//!    for tests, JSON Lines for tooling, pretty text for humans.
+//!    Instrumentation points take a [`TraceHandle`]; the default handle is
+//!    disabled and costs one null check.
+//!
+//! 2. **Unified metrics** ([`MetricsRegistry`], [`MetricsHandle`]):
+//!    counters, gauges, and fixed log-2-bucket histograms behind one
+//!    snapshot API with Prometheus-text and JSON exposition, replacing the
+//!    per-crate ad-hoc accounting as the single aggregation point.
+//!
+//! 3. **Waveforms** ([`VcdWriter`], [`VcdReader`]): deterministic,
+//!    change-only Value Change Dump export of simulator net values and
+//!    BIST engine state, loadable in GTKWave, plus an in-tree reader for
+//!    asserting on waveforms in tests.
+//!
+//! A minimal JSON parser ([`json::parse`]) rounds out the crate so CI can
+//! validate every artifact the workspace emits without external tooling.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod sink;
+pub mod tracer;
+pub mod vcd;
+
+pub use event::{FieldValue, TraceEvent, TraceRecord};
+pub use metrics::{Histogram, MetricsHandle, MetricsRegistry, MetricsSnapshot};
+pub use sink::{CountingSink, JsonLinesSink, MemorySink, PrettySink, TraceSink};
+pub use tracer::{SpanGuard, TraceHandle, Tracer, DEFAULT_CAPACITY};
+pub use vcd::{VarId, VcdReader, VcdVar, VcdWriter};

@@ -1,0 +1,184 @@
+//! Pluggable trace sinks.
+//!
+//! A [`crate::Tracer`] forwards every accepted record to each attached
+//! sink as it is recorded; the ring buffer is only the post-mortem view.
+//! Three sinks cover the common cases: [`MemorySink`] for tests,
+//! [`JsonLinesSink`] for tooling, and [`PrettySink`] for humans. A
+//! [`CountingSink`] exists to assert instrumentation cost (e.g. that a
+//! disabled handle reaches no sink at all).
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use crate::event::TraceRecord;
+
+/// Receives every record a tracer accepts, in emission (cycle) order.
+pub trait TraceSink: Send {
+    /// Called once per accepted record.
+    fn record(&mut self, rec: &TraceRecord);
+    /// Flushes any buffered output (no-op by default).
+    fn flush(&mut self) {}
+}
+
+/// Collects records into a shared vector (read it after the run through
+/// the handle returned by [`MemorySink::shared`]).
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    records: Arc<Mutex<Vec<TraceRecord>>>,
+}
+
+impl MemorySink {
+    /// A new, empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The shared record store; clones see the same records.
+    pub fn shared(&self) -> Arc<Mutex<Vec<TraceRecord>>> {
+        Arc::clone(&self.records)
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&mut self, rec: &TraceRecord) {
+        if let Ok(mut v) = self.records.lock() {
+            v.push(*rec);
+        }
+    }
+}
+
+/// Counts records without storing them — for overhead and no-op tests.
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    count: Arc<Mutex<u64>>,
+}
+
+impl CountingSink {
+    /// A new sink with a zero count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The shared counter.
+    pub fn shared(&self) -> Arc<Mutex<u64>> {
+        Arc::clone(&self.count)
+    }
+}
+
+impl TraceSink for CountingSink {
+    fn record(&mut self, _rec: &TraceRecord) {
+        if let Ok(mut c) = self.count.lock() {
+            *c += 1;
+        }
+    }
+}
+
+/// Streams records as JSON Lines to any writer (file, `Vec<u8>`, …).
+pub struct JsonLinesSink<W: Write + Send> {
+    out: W,
+}
+
+impl<W: Write + Send> JsonLinesSink<W> {
+    /// Wraps a writer.
+    pub fn new(out: W) -> Self {
+        JsonLinesSink { out }
+    }
+
+    /// Unwraps the writer (flushing first).
+    pub fn into_inner(mut self) -> W {
+        let _ = self.out.flush();
+        self.out
+    }
+}
+
+impl<W: Write + Send> TraceSink for JsonLinesSink<W> {
+    fn record(&mut self, rec: &TraceRecord) {
+        let _ = writeln!(self.out, "{}", rec.to_json_line());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Renders records as indented human-readable lines.
+pub struct PrettySink<W: Write + Send> {
+    out: W,
+}
+
+impl<W: Write + Send> PrettySink<W> {
+    /// Wraps a writer.
+    pub fn new(out: W) -> Self {
+        PrettySink { out }
+    }
+}
+
+impl<W: Write + Send> TraceSink for PrettySink<W> {
+    fn record(&mut self, rec: &TraceRecord) {
+        let indent = "  ".repeat(rec.depth as usize);
+        let fields: Vec<String> = rec
+            .event
+            .fields()
+            .iter()
+            .map(|(k, v)| format!("{k}={}", v.to_json()))
+            .collect();
+        let _ = writeln!(
+            self.out,
+            "[{:>10}] {indent}{} {}",
+            rec.cycle,
+            rec.event.name(),
+            fields.join(" ")
+        );
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+
+    fn rec(seq: u64) -> TraceRecord {
+        TraceRecord {
+            seq,
+            cycle: seq * 10,
+            depth: 0,
+            event: TraceEvent::Custom {
+                name: "t",
+                a: seq,
+                b: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn memory_sink_shares_records() {
+        let sink = MemorySink::new();
+        let shared = sink.shared();
+        let mut boxed: Box<dyn TraceSink> = Box::new(sink);
+        boxed.record(&rec(0));
+        boxed.record(&rec(1));
+        assert_eq!(shared.lock().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn json_lines_sink_writes_one_line_per_record() {
+        let mut sink = JsonLinesSink::new(Vec::new());
+        sink.record(&rec(0));
+        sink.record(&rec(1));
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn pretty_sink_indents_by_depth() {
+        let mut sink = PrettySink::new(Vec::new());
+        sink.record(&TraceRecord { depth: 2, ..rec(0) });
+        let text = String::from_utf8(sink.out).unwrap();
+        assert!(text.contains("    Custom"), "{text}");
+    }
+}

@@ -1,0 +1,355 @@
+//! Value Change Dump (IEEE 1364 §18) writing and reading.
+//!
+//! [`VcdWriter`] produces a deterministic, GTKWave-loadable waveform:
+//! variables are declared up front (nested scopes derived from dotted
+//! paths), then values are emitted *change-only* per timestamp.
+//! [`VcdReader`] parses the subset the writer emits — enough for
+//! round-trip tests and for asserting on captured waveforms without
+//! external tooling.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A declared variable: index into the writer's value table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VarId(usize);
+
+#[derive(Debug, Clone)]
+struct VarDecl {
+    /// Dotted hierarchical path, e.g. `"dut.bit_node.q0"`.
+    path: String,
+    width: u32,
+    id_code: String,
+}
+
+/// Streaming VCD writer with change-only emission.
+///
+/// Usage: declare every variable with [`VcdWriter::add_var`], then per
+/// timestamp call [`VcdWriter::change`] for each variable and
+/// [`VcdWriter::advance`] once. The header (including `$dumpvars` with
+/// initial `x` values) is rendered lazily on the first `advance`, so the
+/// output is deterministic for a given declaration order.
+#[derive(Debug, Clone, Default)]
+pub struct VcdWriter {
+    vars: Vec<VarDecl>,
+    /// Pending changes for the current timestamp, by var index.
+    pending: BTreeMap<usize, u64>,
+    /// Last emitted value per var (None = still `x`).
+    last: Vec<Option<u64>>,
+    body: String,
+    header_done: bool,
+    timescale: &'static str,
+}
+
+/// Printable VCD identifier code for variable `index` (base-94 over the
+/// printable ASCII range `!`..=`~`).
+fn id_code(index: usize) -> String {
+    let mut n = index;
+    let mut code = String::new();
+    loop {
+        code.push((b'!' + (n % 94) as u8) as char);
+        n /= 94;
+        if n == 0 {
+            break;
+        }
+        n -= 1;
+    }
+    code
+}
+
+impl VcdWriter {
+    /// A writer with the default `1ns` timescale.
+    pub fn new() -> Self {
+        VcdWriter {
+            timescale: "1ns",
+            ..Default::default()
+        }
+    }
+
+    /// Declares a variable at a dotted path (`"top.module.signal"`), with
+    /// the given bit width. Must be called before the first [`advance`].
+    ///
+    /// [`advance`]: VcdWriter::advance
+    pub fn add_var(&mut self, path: &str, width: u32) -> VarId {
+        debug_assert!(!self.header_done, "declare vars before the first advance");
+        let index = self.vars.len();
+        self.vars.push(VarDecl {
+            path: path.to_owned(),
+            width: width.clamp(1, 64),
+            id_code: id_code(index),
+        });
+        self.last.push(None);
+        VarId(index)
+    }
+
+    /// Stages a value for `var` at the current timestamp. The change is
+    /// only written out if the value differs from the last emitted one.
+    pub fn change(&mut self, var: VarId, value: u64) {
+        self.pending.insert(var.0, value);
+    }
+
+    /// Closes the current timestamp: emits `#time` plus every staged value
+    /// that actually changed.
+    pub fn advance(&mut self, time: u64) {
+        if !self.header_done {
+            self.header_done = true;
+        }
+        let mut lines = String::new();
+        for (&idx, &value) in &self.pending {
+            if self.last[idx] == Some(value) {
+                continue;
+            }
+            self.last[idx] = Some(value);
+            let v = &self.vars[idx];
+            if v.width == 1 {
+                let _ = writeln!(lines, "{}{}", value & 1, v.id_code);
+            } else {
+                let _ = writeln!(lines, "b{:b} {}", value, v.id_code);
+            }
+        }
+        self.pending.clear();
+        if !lines.is_empty() {
+            let _ = writeln!(self.body, "#{time}");
+            self.body.push_str(&lines);
+        }
+    }
+
+    /// Renders the complete VCD document.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("$comment soctest waveform $end\n");
+        let _ = writeln!(out, "$timescale {} $end", self.timescale);
+        // Nested scopes from dotted paths: group variables by their
+        // directory prefix and walk the tree depth-first in path order.
+        let mut open: Vec<String> = Vec::new();
+        for v in &self.vars {
+            let parts: Vec<&str> = v.path.split('.').collect();
+            let (scopes, name) = parts.split_at(parts.len() - 1);
+            // Pop scopes that no longer match, then push new ones.
+            let mut common = 0;
+            while common < open.len() && common < scopes.len() && open[common] == scopes[common] {
+                common += 1;
+            }
+            for _ in common..open.len() {
+                out.push_str("$upscope $end\n");
+                open.pop();
+            }
+            for s in &scopes[common..] {
+                let _ = writeln!(out, "$scope module {s} $end");
+                open.push((*s).to_owned());
+            }
+            let _ = writeln!(out, "$var wire {} {} {} $end", v.width, v.id_code, name[0]);
+        }
+        for _ in 0..open.len() {
+            out.push_str("$upscope $end\n");
+        }
+        out.push_str("$enddefinitions $end\n$dumpvars\n");
+        for v in &self.vars {
+            if v.width == 1 {
+                let _ = writeln!(out, "x{}", v.id_code);
+            } else {
+                let _ = writeln!(out, "bx {}", v.id_code);
+            }
+        }
+        out.push_str("$end\n");
+        out.push_str(&self.body);
+        out
+    }
+
+    /// Declared variable count.
+    pub fn var_count(&self) -> usize {
+        self.vars.len()
+    }
+}
+
+/// One variable recovered by [`VcdReader`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VcdVar {
+    /// Full dotted path reconstructed from the scope stack.
+    pub path: String,
+    /// Declared bit width.
+    pub width: u32,
+    /// The identifier code used in the value-change section.
+    pub id_code: String,
+}
+
+/// A parsed VCD document: declarations plus per-variable change lists.
+#[derive(Debug, Clone, Default)]
+pub struct VcdReader {
+    /// Variables in declaration order.
+    pub vars: Vec<VcdVar>,
+    /// `(time, value)` changes per id code; `None` value = unknown (`x`).
+    pub changes: BTreeMap<String, Vec<(u64, Option<u64>)>>,
+}
+
+impl VcdReader {
+    /// Parses a VCD document (the subset [`VcdWriter`] emits: `$scope`,
+    /// `$var`, `$upscope`, `$enddefinitions`, `$dumpvars`, `#time`, scalar
+    /// and `b…` vector changes).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn parse(text: &str) -> Result<VcdReader, String> {
+        let mut reader = VcdReader::default();
+        let mut scopes: Vec<String> = Vec::new();
+        let mut time = 0u64;
+        let mut in_defs = true;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let tokens: Vec<&str> = line.split_whitespace().collect();
+            match tokens.as_slice() {
+                ["$comment", ..] | ["$timescale", ..] | ["$dumpvars"] | ["$end"] => {}
+                ["$scope", "module", name, "$end"] => scopes.push((*name).to_owned()),
+                ["$upscope", "$end"] => {
+                    scopes.pop();
+                }
+                ["$enddefinitions", "$end"] => in_defs = false,
+                ["$var", _kind, width, id, name, "$end"] => {
+                    let width: u32 = width
+                        .parse()
+                        .map_err(|_| format!("line {lineno}: bad width {width}"))?;
+                    let mut path = scopes.join(".");
+                    if !path.is_empty() {
+                        path.push('.');
+                    }
+                    path.push_str(name);
+                    reader.vars.push(VcdVar {
+                        path,
+                        width,
+                        id_code: (*id).to_owned(),
+                    });
+                }
+                [t] if t.starts_with('#') => {
+                    time = t[1..]
+                        .parse()
+                        .map_err(|_| format!("line {lineno}: bad timestamp {t}"))?;
+                }
+                [v, id] if v.starts_with('b') => {
+                    let value = match &v[1..] {
+                        s if s.contains('x') || s.contains('X') => None,
+                        s => Some(
+                            u64::from_str_radix(s, 2)
+                                .map_err(|_| format!("line {lineno}: bad vector {v}"))?,
+                        ),
+                    };
+                    reader.push_change(id, time, value, in_defs);
+                }
+                [sv] if sv.len() >= 2 && matches!(sv.as_bytes()[0], b'0' | b'1' | b'x' | b'X') => {
+                    let value = match sv.as_bytes()[0] {
+                        b'0' => Some(0),
+                        b'1' => Some(1),
+                        _ => None,
+                    };
+                    reader.push_change(&sv[1..], time, value, in_defs);
+                }
+                _ => return Err(format!("line {lineno}: unrecognized: {line}")),
+            }
+        }
+        Ok(reader)
+    }
+
+    fn push_change(&mut self, id: &str, time: u64, value: Option<u64>, _in_defs: bool) {
+        self.changes
+            .entry(id.to_owned())
+            .or_default()
+            .push((time, value));
+    }
+
+    /// The change list for a variable by dotted path.
+    pub fn changes_for(&self, path: &str) -> Option<&[(u64, Option<u64>)]> {
+        let var = self.vars.iter().find(|v| v.path == path)?;
+        self.changes.get(&var.id_code).map(Vec::as_slice)
+    }
+
+    /// The value of `path` at `time` (last change at or before it);
+    /// `None` if unknown (`x`) or never driven.
+    pub fn value_at(&self, path: &str, time: u64) -> Option<u64> {
+        let changes = self.changes_for(path)?;
+        changes
+            .iter()
+            .take_while(|(t, _)| *t <= time)
+            .last()
+            .and_then(|(_, v)| *v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_codes_are_printable_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..500 {
+            let code = id_code(i);
+            assert!(code.bytes().all(|b| (b'!'..=b'~').contains(&b)));
+            assert!(seen.insert(code), "duplicate id code at {i}");
+        }
+        assert_eq!(id_code(0), "!");
+        assert_eq!(id_code(93), "~");
+        assert_eq!(id_code(94), "!!");
+    }
+
+    #[test]
+    fn change_only_emission_round_trips() {
+        let mut w = VcdWriter::new();
+        let clk = w.add_var("top.clk", 1);
+        let q = w.add_var("top.dut.q", 4);
+        for t in 0..4u64 {
+            w.change(clk, t & 1);
+            w.change(q, t / 2); // changes only at t=2
+            w.advance(t);
+        }
+        let text = w.render();
+        let r = VcdReader::parse(&text).unwrap();
+        assert_eq!(r.vars.len(), 2);
+        assert_eq!(r.vars[0].path, "top.clk");
+        assert_eq!(r.vars[1].path, "top.dut.q");
+        // clk toggles every cycle; q has x-init + changes at 0 and 2 only.
+        assert_eq!(r.value_at("top.clk", 3), Some(1));
+        assert_eq!(r.value_at("top.dut.q", 1), Some(0));
+        assert_eq!(r.value_at("top.dut.q", 3), Some(1));
+        let q_changes = r.changes_for("top.dut.q").unwrap();
+        // dumpvars x, then 0 at t=0, then 1 at t=2.
+        assert_eq!(q_changes.len(), 3);
+        assert_eq!(q_changes[1], (0, Some(0)));
+        assert_eq!(q_changes[2], (2, Some(1)));
+    }
+
+    #[test]
+    fn nested_scopes_render_and_parse() {
+        let mut w = VcdWriter::new();
+        w.add_var("a.b.x", 1);
+        w.add_var("a.b.y", 1);
+        w.add_var("a.c.z", 8);
+        w.add_var("top_level", 1);
+        let text = w.render();
+        assert_eq!(text.matches("$scope module").count(), 3); // a, b, c
+        assert_eq!(text.matches("$upscope").count(), 3);
+        let r = VcdReader::parse(&text).unwrap();
+        let paths: Vec<&str> = r.vars.iter().map(|v| v.path.as_str()).collect();
+        assert_eq!(paths, vec!["a.b.x", "a.b.y", "a.c.z", "top_level"]);
+    }
+
+    #[test]
+    fn unknown_values_read_back_as_none() {
+        let mut w = VcdWriter::new();
+        let v = w.add_var("n", 1);
+        w.advance(0); // no change staged: stays x
+        w.change(v, 1);
+        w.advance(5);
+        let r = VcdReader::parse(&w.render()).unwrap();
+        assert_eq!(r.value_at("n", 0), None, "still x before first drive");
+        assert_eq!(r.value_at("n", 5), Some(1));
+    }
+
+    #[test]
+    fn reader_rejects_garbage() {
+        assert!(VcdReader::parse("$var wire nope ! x $end").is_err());
+        assert!(VcdReader::parse("not a vcd line").is_err());
+    }
+}

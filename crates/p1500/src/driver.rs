@@ -1,6 +1,7 @@
 //! The ATE model: a high-level driver that operates the TAP pins.
 
 use soctest_bist::BistCommand;
+use soctest_obs::{MetricsHandle, TraceEvent, TraceHandle};
 
 use crate::{
     BistBackend, PinFaults, ProtocolError, TapController, TapInstruction, WaitStats, Wrapper,
@@ -22,6 +23,8 @@ pub struct TapDriver<B> {
     functional_cycles: u64,
     pin_faults: PinFaults,
     pin_cycle: u64,
+    trace: TraceHandle,
+    metrics: MetricsHandle,
 }
 
 impl<B: BistBackend> TapDriver<B> {
@@ -32,7 +35,32 @@ impl<B: BistBackend> TapDriver<B> {
             functional_cycles: 0,
             pin_faults: PinFaults::none(),
             pin_cycle: 0,
+            trace: TraceHandle::none(),
+            metrics: MetricsHandle::none(),
         }
+    }
+
+    /// Attaches a trace handle; every TAP state edge, IR/WIR load, BIST
+    /// command, and WDR capture is emitted through it from now on. The
+    /// default handle is disabled (one null check per event site).
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
+    }
+
+    /// Attaches a metrics handle; TCK cycles, scans, and commands are
+    /// counted through it from now on.
+    pub fn set_metrics(&mut self, metrics: MetricsHandle) {
+        self.metrics = metrics;
+    }
+
+    /// The attached trace handle (disabled by default).
+    pub fn trace(&self) -> &TraceHandle {
+        &self.trace
+    }
+
+    /// The attached metrics handle (disabled by default).
+    pub fn metrics(&self) -> &MetricsHandle {
+        &self.metrics
     }
 
     /// The TAP (and through it the wrapper and backend).
@@ -80,8 +108,10 @@ impl<B: BistBackend> TapDriver<B> {
     /// One TCK cycle through the interposer.
     fn tick(&mut self, tms: bool, tdi: bool) -> bool {
         self.pin_cycle += 1;
+        self.metrics.inc("tap_tck_cycles_total", 1);
         if self.pin_faults.drops_cycle(self.pin_cycle) {
             // The edge never reaches the TAP; the ATE reads a dead line.
+            self.metrics.inc("tap_dropped_tck_edges_total", 1);
             return false;
         }
         let tms = self
@@ -92,10 +122,22 @@ impl<B: BistBackend> TapDriver<B> {
             .pin_faults
             .tdi
             .map_or(tdi, |f| f.apply(tdi, self.pin_cycle));
+        let from = self.tap.state();
         let tdo = self.tap.tick(tms, tdi);
-        self.pin_faults
+        let tdo = self
+            .pin_faults
             .tdo
-            .map_or(tdo, |f| f.apply(tdo, self.pin_cycle))
+            .map_or(tdo, |f| f.apply(tdo, self.pin_cycle));
+        self.trace.emit(
+            self.tap.tck(),
+            TraceEvent::TapStateChange {
+                from: from.name(),
+                to: self.tap.state().name(),
+                tms,
+                tdo,
+            },
+        );
+        tdo
     }
 
     /// Hardware reset: five TMS-high cycles, then into Run-Test/Idle.
@@ -119,6 +161,13 @@ impl<B: BistBackend> TapDriver<B> {
         }
         self.tick(true, false); // Exit1Ir -> UpdateIr
         self.tick(false, false); // update; -> RTI
+        self.metrics.inc("tap_ir_loads_total", 1);
+        self.trace.emit(
+            self.tap.tck(),
+            TraceEvent::TapIrLoad {
+                instruction: self.tap.instruction().name(),
+            },
+        );
     }
 
     /// Performs a DR scan of `bits`, returning the bits shifted out.
@@ -134,6 +183,8 @@ impl<B: BistBackend> TapDriver<B> {
         }
         self.tick(true, false); // Exit1Dr -> UpdateDr
         self.tick(false, false); // update; -> RTI
+        self.metrics.inc("tap_dr_scans_total", 1);
+        self.metrics.observe("tap_dr_scan_bits", bits.len() as u64);
         out
     }
 
@@ -146,7 +197,18 @@ impl<B: BistBackend> TapDriver<B> {
             .map(|i| (code >> i) & 1 == 1)
             .collect();
         self.shift_dr(&bits);
+        self.emit_wir_load(wi);
         self.load_tap_ir(TapInstruction::WrapperData);
+    }
+
+    fn emit_wir_load(&mut self, wi: WrapperInstruction) {
+        self.metrics.inc("wir_loads_total", 1);
+        self.trace.emit(
+            self.tap.tck(),
+            TraceEvent::WirLoad {
+                instruction: wi.name(),
+            },
+        );
     }
 
     /// Like [`TapDriver::wrapper_instruction`], but re-scans the WIR after
@@ -176,11 +238,13 @@ impl<B: BistBackend> TapDriver<B> {
             .enumerate()
             .fold(0u8, |acc, (i, &b)| acc | ((b as u8) << i));
         if got != code {
+            self.metrics.inc("wir_readback_mismatches_total", 1);
             return Err(ProtocolError::WirReadbackMismatch {
                 expected: code,
                 got,
             });
         }
+        self.emit_wir_load(wi);
         self.load_tap_ir(TapInstruction::WrapperData);
         Ok(())
     }
@@ -191,6 +255,14 @@ impl<B: BistBackend> TapDriver<B> {
         self.select_wrapper_dr(WrapperInstruction::CommandReg);
         let bits = Wrapper::<B>::encode_command(cmd);
         self.shift_dr(&bits);
+        self.metrics.inc("bist_commands_total", 1);
+        self.trace.emit(
+            self.tap.tck(),
+            TraceEvent::BistCommand {
+                kind: cmd.name(),
+                operand: cmd.operand(),
+            },
+        );
     }
 
     /// Makes sure DR scans reach the wrapper register `wi`: reloads the
@@ -225,6 +297,7 @@ impl<B: BistBackend> TapDriver<B> {
     /// burst between TAP operations).
     pub fn run_functional(&mut self, cycles: u64) {
         self.functional_cycles += cycles;
+        self.metrics.inc("functional_cycles_total", cycles);
         self.tap.wrapper_mut().run_functional(cycles);
     }
 
@@ -238,6 +311,14 @@ impl<B: BistBackend> TapDriver<B> {
             .iter()
             .enumerate()
             .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i));
+        self.metrics.inc("wdr_captures_total", 1);
+        self.trace.emit(
+            self.tap.tck(),
+            TraceEvent::WdrCapture {
+                done,
+                signature: sig,
+            },
+        );
         (done, sig)
     }
 
@@ -405,6 +486,60 @@ mod tests {
         let (done, sig) = drv.read_status_voted(3).unwrap();
         assert!(done);
         assert_eq!(sig, drv.backend().expected_signature());
+    }
+
+    #[test]
+    fn trace_captures_the_protocol_sequence() {
+        use soctest_obs::{MemorySink, MetricsRegistry, TraceEvent, TraceHandle, Tracer};
+        use std::sync::Arc;
+
+        let mut drv = TapDriver::new(MockBackend::new(16, 8));
+        let mut tracer = Tracer::default();
+        let sink = MemorySink::new();
+        let shared = sink.shared();
+        tracer.add_sink(Box::new(sink));
+        drv.set_trace(TraceHandle::new(tracer));
+        let reg = Arc::new(MetricsRegistry::new());
+        drv.set_metrics(soctest_obs::MetricsHandle::from_arc(Arc::clone(&reg)));
+
+        drv.reset();
+        drv.bist_load_pattern_count(8);
+        drv.bist_start();
+        drv.run_functional(8);
+        let (done, _) = drv.read_status();
+        assert!(done);
+
+        let recs = shared.lock().unwrap();
+        let names: Vec<&str> = recs.iter().map(|r| r.event.name()).collect();
+        assert!(names.contains(&"TapStateChange"));
+        assert!(names.contains(&"TapIrLoad"));
+        assert!(names.contains(&"WirLoad"));
+        assert!(names.contains(&"BistCommand"));
+        assert!(names.contains(&"WdrCapture"));
+        // Protocol order: the WIR load precedes the first BIST command,
+        // which precedes the WDR capture.
+        let pos = |n: &str| names.iter().position(|x| *x == n).unwrap();
+        assert!(pos("WirLoad") < pos("BistCommand"));
+        assert!(pos("BistCommand") < pos("WdrCapture"));
+        // The LoadPatternCount command carries its operand.
+        assert!(recs.iter().any(|r| matches!(
+            r.event,
+            TraceEvent::BistCommand {
+                kind: "LoadPatternCount",
+                operand: 8
+            }
+        )));
+        // Cycle stamps are the driver's TCK counter: monotonic.
+        let cycles: Vec<u64> = recs.iter().map(|r| r.cycle).collect();
+        let mut sorted = cycles.clone();
+        sorted.sort_unstable();
+        assert_eq!(cycles, sorted);
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["tap_tck_cycles_total"], drv.tck());
+        assert_eq!(snap.counters["functional_cycles_total"], 8);
+        assert!(snap.counters["bist_commands_total"] >= 2);
+        assert!(snap.histograms["tap_dr_scan_bits"].count >= 2);
     }
 
     #[test]

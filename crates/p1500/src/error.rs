@@ -4,6 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use soctest_bist::EngineError;
+use soctest_obs::MetricsRegistry;
 
 /// Cycle accounting returned by a successful
 /// [`crate::TapDriver::wait_for_done`] poll.
@@ -13,6 +14,15 @@ pub struct WaitStats {
     pub cycles_waited: u64,
     /// Bursts issued before `end_test` rose.
     pub bursts: u32,
+}
+
+impl WaitStats {
+    /// Folds this wait's accounting into the unified metrics registry.
+    pub fn export_metrics(&self, registry: &MetricsRegistry) {
+        registry.inc("wait_functional_cycles_total", self.cycles_waited);
+        registry.inc("wait_bursts_total", self.bursts.into());
+        registry.observe("wait_cycles_per_poll", self.cycles_waited);
+    }
 }
 
 /// Errors raised while driving the TAP/P1500 protocol.

@@ -26,6 +26,28 @@ pub enum TapState {
 }
 
 impl TapState {
+    /// The state's name, for trace events and diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            TapState::TestLogicReset => "TestLogicReset",
+            TapState::RunTestIdle => "RunTestIdle",
+            TapState::SelectDrScan => "SelectDrScan",
+            TapState::CaptureDr => "CaptureDr",
+            TapState::ShiftDr => "ShiftDr",
+            TapState::Exit1Dr => "Exit1Dr",
+            TapState::PauseDr => "PauseDr",
+            TapState::Exit2Dr => "Exit2Dr",
+            TapState::UpdateDr => "UpdateDr",
+            TapState::SelectIrScan => "SelectIrScan",
+            TapState::CaptureIr => "CaptureIr",
+            TapState::ShiftIr => "ShiftIr",
+            TapState::Exit1Ir => "Exit1Ir",
+            TapState::PauseIr => "PauseIr",
+            TapState::Exit2Ir => "Exit2Ir",
+            TapState::UpdateIr => "UpdateIr",
+        }
+    }
+
     /// The 1149.1 state transition function.
     pub fn next(self, tms: bool) -> TapState {
         use TapState::*;
@@ -83,6 +105,16 @@ pub enum TapInstruction {
 impl TapInstruction {
     /// IR length in bits.
     pub const LENGTH: usize = 4;
+
+    /// The instruction's name, for trace events and diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            TapInstruction::Bypass => "Bypass",
+            TapInstruction::Idcode => "Idcode",
+            TapInstruction::WrapperInstr => "WrapperInstr",
+            TapInstruction::WrapperData => "WrapperData",
+        }
+    }
 
     /// 4-bit encoding.
     pub fn encode(self) -> u8 {

@@ -110,6 +110,17 @@ pub enum WrapperInstruction {
 }
 
 impl WrapperInstruction {
+    /// The instruction's name, for trace events and diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            WrapperInstruction::Bypass => "Bypass",
+            WrapperInstruction::Extest => "Extest",
+            WrapperInstruction::Intest => "Intest",
+            WrapperInstruction::CommandReg => "CommandReg",
+            WrapperInstruction::StatusReg => "StatusReg",
+        }
+    }
+
     /// 3-bit encoding used on the scan path.
     pub fn encode(self) -> u8 {
         match self {

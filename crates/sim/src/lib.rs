@@ -45,10 +45,12 @@
 mod comb;
 mod seq;
 mod toggle;
+mod vcd;
 
 pub use comb::CombSim;
 pub use seq::SeqSim;
 pub use toggle::{ToggleMonitor, ToggleReport};
+pub use vcd::VcdProbe;
 
 /// Broadcasts a boolean to a full 64-lane word.
 #[inline]

@@ -37,7 +37,26 @@ echo "== conformance: mutation self-test =="
 cargo run --release -p soctest-conformance --bin difftest -- \
     --seeds 25 --self-test --out target/difftest_selftest_ci.json
 
-echo "== fault-sim bench (serial vs parallel, bit-identity asserted) =="
+echo "== fault-sim bench (serial vs parallel + trace-overhead gate) =="
 cargo run --release -p soctest-bench --bin repro -- --quick --bench-faultsim
+
+echo "== observability: traced repro smoke + artifact validation =="
+cargo run --release -p soctest-bench --bin repro -- --quick \
+    --trace=target/obs_trace.jsonl \
+    --metrics=target/obs_metrics.prom \
+    --vcd=target/obs_session.vcd
+test -s target/obs_trace.jsonl
+test -s target/obs_session.vcd
+grep -q '^# TYPE session_quarantines_total counter' target/obs_metrics.prom
+grep -q '^session_quarantines_total 1$' target/obs_metrics.prom
+
+echo "== repro output drift check (quick budget, wall-clock scrubbed) =="
+cargo run --release -p soctest-bench --bin repro -- --quick > target/repro_quick.txt
+scrub() { sed -E 's/wall +[0-9.]+m?s/wall X/g; s/total wall time: [0-9.]+m?s/total wall time: X/g' "$1"; }
+if ! diff <(scrub repro_output_quick.txt) <(scrub target/repro_quick.txt); then
+    echo "repro_output_quick.txt drifted from the current code; regenerate with:"
+    echo "  cargo run --release -p soctest-bench --bin repro -- --quick > repro_output_quick.txt"
+    exit 1
+fi
 
 echo "ci: all green"

@@ -41,6 +41,7 @@ pub use soctest_core as core;
 pub use soctest_fault as fault;
 pub use soctest_ldpc as ldpc;
 pub use soctest_netlist as netlist;
+pub use soctest_obs as obs;
 pub use soctest_p1500 as p1500;
 pub use soctest_prng as prng;
 pub use soctest_sim as sim;

@@ -3,13 +3,16 @@
 //! ```text
 //! difftest [--seeds N] [--max-gates G] [--start-seed S]
 //!          [--self-test] [--replay FILE] [--out FILE] [--vcd-on-failure]
+//!          [--report-on-failure]
 //! ```
 //!
 //! Default mode fuzzes all four engine pairs over `N` seeds and writes a
 //! machine-readable JSON report. On the first `sim`-pair mismatch the
 //! failing netlist is minimized and dumped next to the report for
 //! `--replay`; with `--vcd-on-failure` the probe stimulus is additionally
-//! replayed on the minimized netlist and written as a VCD waveform. Exit
+//! replayed on the minimized netlist and written as a VCD waveform; with
+//! `--report-on-failure` a self-contained HTML triage report (mismatch
+//! table grouped per engine pair) is written next to the JSON one. Exit
 //! status is non-zero on any mismatch (or, with `--self-test`, on any
 //! undetected mutation).
 
@@ -19,7 +22,8 @@ use soctest_conformance::pairs::{
     comb_divergence, divergence_vcd, run_all_pairs, sim_comb_netlist, PAIR_NAMES,
 };
 use soctest_conformance::report::{
-    active_gates, dump_netlist, minimize, parse_netlist, render_report, Mismatch,
+    active_gates, dump_netlist, minimize, parse_netlist, render_html_report, render_report,
+    Mismatch,
 };
 use soctest_conformance::selftest::mutation_self_test;
 
@@ -31,6 +35,7 @@ struct Args {
     replay: Option<String>,
     out: String,
     vcd_on_failure: bool,
+    report_on_failure: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -42,6 +47,7 @@ fn parse_args() -> Result<Args, String> {
         replay: None,
         out: "difftest_report.json".into(),
         vcd_on_failure: false,
+        report_on_failure: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -56,6 +62,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--self-test" => args.self_test = true,
             "--vcd-on-failure" => args.vcd_on_failure = true,
+            "--report-on-failure" => args.report_on_failure = true,
             "--replay" => args.replay = Some(value("--replay")?),
             "--out" => args.out = value("--out")?,
             other => return Err(format!("unknown flag {other}")),
@@ -169,6 +176,21 @@ fn fuzz_mode(args: &Args) -> ExitCode {
         eprintln!("cannot write {}", args.out);
     }
     print!("{report}");
+
+    if args.report_on_failure && !mismatches.is_empty() {
+        let html = render_html_report(
+            args.seeds,
+            args.max_gates,
+            &mismatches,
+            dump_file.as_deref(),
+        );
+        let path = format!("{}.html", args.out.trim_end_matches(".json"));
+        if std::fs::write(&path, &html).is_ok() {
+            println!("wrote HTML triage report → {path}");
+        } else {
+            eprintln!("cannot write {path}");
+        }
+    }
     if mismatches.is_empty() {
         println!(
             "difftest: {} seeds × {} pairs, zero mismatches",

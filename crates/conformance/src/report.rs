@@ -35,6 +35,60 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// Renders the `--report-on-failure` HTML triage page: one self-contained
+/// document with the run parameters and every mismatch grouped per engine
+/// pair, built on the obs report toolkit so it obeys the same
+/// no-external-reference guarantee as the campaign cockpit.
+pub fn render_html_report(
+    seeds: u64,
+    max_gates: usize,
+    mismatches: &[Mismatch],
+    dump_file: Option<&str>,
+) -> String {
+    use soctest_obs::report as html;
+
+    let mut doc = soctest_obs::HtmlReport::new("Conformance mismatch report");
+    doc.set_subtitle(&format!("{seeds} seeds × ≤{max_gates} gates per netlist"));
+    let pairs: Vec<&str> = {
+        let mut p: Vec<&str> = mismatches.iter().map(|m| m.pair).collect();
+        p.sort_unstable();
+        p.dedup();
+        p
+    };
+    doc.add_section(
+        "Overview",
+        html::stat_tiles(&[
+            ("mismatches".into(), mismatches.len().to_string()),
+            ("engine pairs hit".into(), pairs.len().to_string()),
+            (
+                "minimized dump".into(),
+                dump_file.unwrap_or("none").to_owned(),
+            ),
+        ]),
+    );
+    for pair in pairs {
+        let rows: Vec<Vec<String>> = mismatches
+            .iter()
+            .filter(|m| m.pair == pair)
+            .map(|m| vec![m.seed.to_string(), m.detail.clone()])
+            .collect();
+        doc.add_section(
+            &format!("Pair: {pair}"),
+            html::table(&["seed", "first divergence"], &rows),
+        );
+    }
+    if let Some(f) = dump_file {
+        doc.add_section(
+            "Replay",
+            html::paragraph(&format!(
+                "The first sim-pair failure was minimized to {f}; \
+                 rerun it with difftest --replay {f}."
+            )),
+        );
+    }
+    doc.render()
+}
+
 /// Renders a machine-readable report for one `difftest` run.
 pub fn render_report(
     seeds: u64,
@@ -220,6 +274,28 @@ mod tests {
     use super::*;
     use crate::generator::{random_netlist, GeneratorConfig};
     use soctest_prng::SplitMix64;
+
+    #[test]
+    fn html_report_is_self_contained_and_lists_every_mismatch() {
+        let mismatches = vec![
+            Mismatch {
+                pair: "sim",
+                seed: 7,
+                detail: "output bit 3 diverged at pattern 12 <&>".into(),
+            },
+            Mismatch {
+                pair: "fault",
+                seed: 9,
+                detail: "detection count 4 vs 5".into(),
+            },
+        ];
+        let html = render_html_report(25, 120, &mismatches, Some("difftest_min_seed7.nl"));
+        assert!(soctest_obs::report::is_self_contained(&html));
+        assert!(html.contains("Pair: sim"));
+        assert!(html.contains("Pair: fault"));
+        assert!(html.contains("&lt;&amp;&gt;"), "details are escaped");
+        assert!(html.contains("difftest_min_seed7.nl"));
+    }
 
     #[test]
     fn dump_then_parse_roundtrips() {

@@ -1,0 +1,621 @@
+//! The campaign cockpit: one entry point that runs the paper's evaluation
+//! loop end to end and renders it as a self-contained HTML report.
+//!
+//! [`run_campaign`] executes step 1 (toggle activity + cold nets), the
+//! step-2 coverage campaigns per module × fault model (with the exact
+//! configuration `experiments::table3` uses for its BIST cells, so the
+//! report's final coverage figures byte-match the text tables), the
+//! step-3 diagnosis sweep (class sizes and resolution vs pattern count),
+//! and one [`RobustSession`] against the supplied DUT, capturing its JSONL
+//! trace. [`render_report`] turns the result into a single HTML document
+//! with inline SVG charts and the feedback advisor's suggestions.
+
+use std::fmt::Write as _;
+
+use soctest_fault::{FaultUniverse, SeqFaultSim, SeqFaultSimConfig};
+use soctest_obs::analyze::{self, AdvisorInput, CurveFacts, ToggleRow};
+use soctest_obs::svg::{self, escape, Bar, LineSeries, TimelinePoint};
+use soctest_obs::{report, CoverageCurve, HtmlReport, MemorySink, TraceHandle, Tracer};
+
+use crate::casestudy::CaseStudy;
+use crate::error::SessionError;
+use crate::eval::{self, FaultModel, Step1Report, Step3Report};
+use crate::experiments::Budget;
+use crate::robust::{RobustSession, SessionReport};
+
+/// One module × fault-model coverage campaign.
+#[derive(Debug, Clone)]
+pub struct ModuleCurve {
+    /// Module name.
+    pub module: String,
+    /// Fault-model label (`SAF` / `TDF`).
+    pub model: &'static str,
+    /// The streaming coverage curve.
+    pub curve: CoverageCurve,
+    /// Final coverage percent, exactly `FaultSimResult::coverage_percent`.
+    pub coverage_percent: f64,
+    /// Faults in the collapsed universe.
+    pub faults: usize,
+    /// Undetected-fault drill-down: `(universe index, description)`.
+    pub undetected: Vec<(usize, String)>,
+}
+
+/// Diagnostic resolution at one pattern budget (step 3 of §3.2).
+#[derive(Debug, Clone)]
+pub struct ResolutionPoint {
+    /// Module name.
+    pub module: String,
+    /// Patterns applied before reading syndromes.
+    pub patterns: u64,
+    /// Equivalent classes observed.
+    pub classes: usize,
+    /// Fraction of detected faults uniquely identified.
+    pub resolution: f64,
+}
+
+/// Everything one campaign produced, ready to analyze or render.
+#[derive(Debug, Clone)]
+pub struct CampaignData {
+    /// Step-1 outcome (statement coverage, toggle activity, cold nets).
+    pub step1: Step1Report,
+    /// Step-2 coverage curves, module-major then SAF/TDF.
+    pub curves: Vec<ModuleCurve>,
+    /// Full-budget step-3 diagnosis per module.
+    pub diag: Vec<(String, Step3Report)>,
+    /// Resolution vs pattern count (geometric sweep up to the budget).
+    pub resolution_points: Vec<ResolutionPoint>,
+    /// The robust session's outcome against the DUT.
+    pub session: SessionReport,
+    /// The session's JSONL trace (the timeline source).
+    pub session_jsonl: String,
+    /// The feedback advisor's suggestions.
+    pub advice: Vec<analyze::Advice>,
+    /// BIST patterns per campaign run.
+    pub patterns: u64,
+}
+
+/// How many drill-down rows (cold nets, undetected faults) the report
+/// keeps per module; the rest is summarized as a count.
+const DRILLDOWN_ROWS: usize = 10;
+
+fn toggle_rows(step1: &Step1Report) -> Vec<ToggleRow> {
+    step1
+        .toggle
+        .iter()
+        .zip(&step1.cold_nets)
+        .map(|((module, rep), (_, cold))| ToggleRow {
+            module: module.clone(),
+            nets: rep.nets,
+            toggled: rep.toggled,
+            transitions: rep.transitions,
+            cold: cold.clone(),
+        })
+        .collect()
+}
+
+/// Runs the full campaign: steps 1–3 on `reference` plus one robust
+/// session of `reference` vs `dut`, and feeds everything to the advisor.
+///
+/// # Errors
+///
+/// Propagates simulator and session errors from the underlying steps.
+pub fn run_campaign(
+    reference: &CaseStudy,
+    dut: &CaseStudy,
+    budget: &Budget,
+) -> Result<CampaignData, SessionError> {
+    let patterns = budget.bist_patterns;
+    let step1 = eval::step1(reference, patterns)?;
+
+    // Step 2 — the exact BIST-cell configuration of `experiments::table3`:
+    // same stimulus, same default window, same parallel policy, so the
+    // resulting coverage figures byte-match the rendered tables.
+    let pgen = reference.pattern_generator();
+    let mut curves = Vec::new();
+    for (m, module) in reference.modules().iter().enumerate() {
+        for (model, label) in [
+            (FaultModel::StuckAt, "SAF"),
+            (FaultModel::Transition, "TDF"),
+        ] {
+            let universe = match model {
+                FaultModel::StuckAt => FaultUniverse::stuck_at(module),
+                FaultModel::Transition => FaultUniverse::transition(module),
+            };
+            let mut stim = pgen.stimulus(m, patterns);
+            let sim = SeqFaultSim::new(
+                &universe,
+                SeqFaultSimConfig {
+                    parallel: budget.parallel,
+                    ..Default::default()
+                },
+            );
+            let result = sim.run(&mut stim)?;
+            let undetected = result
+                .undetected()
+                .into_iter()
+                .take(DRILLDOWN_ROWS)
+                .map(|i| (i, universe.describe(i)))
+                .collect();
+            curves.push(ModuleCurve {
+                module: module.name().to_owned(),
+                model: label,
+                curve: result.curve(),
+                coverage_percent: result.coverage_percent(),
+                faults: universe.len(),
+                undetected,
+            });
+        }
+    }
+
+    // Step 3 — diagnosis sweep: resolution vs pattern count, keeping the
+    // full-budget run as each module's diagnosis.
+    let mut diag = Vec::new();
+    let mut resolution_points = Vec::new();
+    for (m, module) in reference.modules().iter().enumerate() {
+        let mut last: Option<Step3Report> = None;
+        for p in [
+            budget.diag_patterns / 4,
+            budget.diag_patterns / 2,
+            budget.diag_patterns,
+        ] {
+            let p = p.max(1);
+            let r = eval::step3(
+                reference,
+                m,
+                FaultModel::StuckAt,
+                p,
+                (p / 16).max(1),
+                budget.diag_stride,
+                budget.parallel,
+            )?;
+            resolution_points.push(ResolutionPoint {
+                module: module.name().to_owned(),
+                patterns: p,
+                classes: r.stats.classes,
+                resolution: r.resolution,
+            });
+            last = Some(r);
+        }
+        if let Some(r) = last {
+            diag.push((module.name().to_owned(), r));
+        }
+    }
+
+    // The robust session, traced so the timeline can be reconstructed
+    // from the JSONL stream.
+    let sink = MemorySink::new();
+    let records = sink.shared();
+    let mut tracer = Tracer::new(soctest_obs::DEFAULT_CAPACITY);
+    tracer.add_sink(Box::new(sink));
+    let session_runner = RobustSession::default()
+        .with_parallelism(budget.parallel)
+        .with_trace(TraceHandle::new(tracer));
+    let session = session_runner.run(reference, dut, patterns)?;
+    let session_jsonl = {
+        let mut s = String::new();
+        if let Ok(records) = records.lock() {
+            for r in records.iter() {
+                s.push_str(&r.to_json_line());
+                s.push('\n');
+            }
+        }
+        s
+    };
+
+    // The advisor: session outcome + curve summaries + toggle rows.
+    let mut input: AdvisorInput = session.advisor_input();
+    input.curves = curves
+        .iter()
+        .map(|c| CurveFacts {
+            module: c.module.clone(),
+            model: c.model.to_owned(),
+            summary: c.curve.summary(),
+        })
+        .collect();
+    input.toggle = toggle_rows(&step1);
+    let advice = analyze::advise(&input);
+
+    Ok(CampaignData {
+        step1,
+        curves,
+        diag,
+        resolution_points,
+        session,
+        session_jsonl,
+        advice,
+        patterns,
+    })
+}
+
+fn curve_chart(data: &CampaignData, model: &str) -> String {
+    let series: Vec<LineSeries> = data
+        .curves
+        .iter()
+        .filter(|c| c.model == model)
+        .map(|c| LineSeries {
+            label: c.module.clone(),
+            points: c
+                .curve
+                .sampled_percent(128)
+                .into_iter()
+                .map(|(x, y)| (x as f64, y))
+                .collect(),
+        })
+        .collect();
+    svg::line_chart(
+        &format!("{model} coverage vs patterns"),
+        "patterns",
+        "coverage %",
+        &series,
+        Some(100.0),
+    )
+}
+
+fn coverage_section(data: &CampaignData) -> String {
+    let mut body = String::new();
+    body.push_str(&curve_chart(data, "SAF"));
+    body.push_str(&curve_chart(data, "TDF"));
+    // Per-campaign summary table. The final-coverage cells carry
+    // machine-checkable data attributes so CI can byte-match them against
+    // the rendered text tables.
+    body.push_str(
+        "<table><thead><tr><th>module</th><th>model</th><th>faults</th><th>detected</th>\
+         <th>final</th><th>to 90%</th><th>to final</th><th>tail flatness</th></tr></thead><tbody>",
+    );
+    for c in &data.curves {
+        let s = c.curve.summary();
+        let opt = |o: Option<u64>| o.map(|v| v.to_string()).unwrap_or_else(|| "—".into());
+        let _ = write!(
+            body,
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
+             <td data-module=\"{}\" data-model=\"{}\">{:.1}%</td>\
+             <td>{}</td><td>{}</td><td>{:.2}</td></tr>",
+            escape(&c.module),
+            c.model,
+            c.faults,
+            s.detected,
+            escape(&c.module),
+            c.model,
+            c.coverage_percent,
+            opt(s.patterns_to_90),
+            opt(s.patterns_to_final),
+            s.tail_flatness,
+        );
+    }
+    body.push_str("</tbody></table>");
+    // Undetected-fault drill-down, keyed back to nets.
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for c in &data.curves {
+        let total_undetected = c.faults - c.curve.detected();
+        for (i, desc) in &c.undetected {
+            rows.push(vec![
+                c.module.clone(),
+                c.model.to_owned(),
+                i.to_string(),
+                desc.clone(),
+            ]);
+        }
+        if total_undetected > c.undetected.len() {
+            rows.push(vec![
+                c.module.clone(),
+                c.model.to_owned(),
+                "…".into(),
+                format!("and {} more", total_undetected - c.undetected.len()),
+            ]);
+        }
+    }
+    if !rows.is_empty() {
+        body.push_str("<h3>Undetected faults</h3>");
+        body.push_str(&report::table(&["module", "model", "fault", "net"], &rows));
+    }
+    body
+}
+
+fn toggle_section(data: &CampaignData) -> String {
+    let rows = toggle_rows(&data.step1);
+    let mut sorted: Vec<&ToggleRow> = rows.iter().collect();
+    sorted.sort_by(|a, b| {
+        a.activity_percent()
+            .partial_cmp(&b.activity_percent())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let bars: Vec<Bar> = sorted
+        .iter()
+        .map(|r| Bar {
+            label: r.module.clone(),
+            value: (r.activity_percent() * 10.0).round() / 10.0,
+            detail: format!(
+                "{}: {}/{} nets toggled, {} transitions, {} cold",
+                r.module,
+                r.toggled,
+                r.nets,
+                r.transitions,
+                r.cold.len()
+            ),
+            ramp: (r.activity_percent() / 100.0 * 7.0).round() as u8,
+        })
+        .collect();
+    let mut body = svg::hbar_chart(
+        "Toggle activity by module (coldest first)",
+        &bars,
+        100.0,
+        "%",
+    );
+    let mut cold_rows: Vec<Vec<String>> = Vec::new();
+    for r in &rows {
+        for (net, desc) in r.cold.iter().take(DRILLDOWN_ROWS) {
+            cold_rows.push(vec![r.module.clone(), format!("n{net}"), desc.clone()]);
+        }
+        if r.cold.len() > DRILLDOWN_ROWS {
+            cold_rows.push(vec![
+                r.module.clone(),
+                "…".into(),
+                format!("and {} more", r.cold.len() - DRILLDOWN_ROWS),
+            ]);
+        }
+    }
+    if !cold_rows.is_empty() {
+        body.push_str("<h3>Never-toggled nets</h3>");
+        body.push_str(&report::table(
+            &["module", "net", "description"],
+            &cold_rows,
+        ));
+    }
+    body
+}
+
+fn diagnosis_section(data: &CampaignData) -> String {
+    let mut body = String::new();
+    // Aggregate class-size histogram across modules.
+    let all_sizes: Vec<usize> = data
+        .diag
+        .iter()
+        .flat_map(|(_, r)| r.class_sizes.iter().copied())
+        .collect();
+    let dist = analyze::class_size_distribution(&all_sizes);
+    let bars: Vec<(String, f64)> = dist
+        .iter()
+        .map(|&(size, count)| (size.to_string(), count as f64))
+        .collect();
+    body.push_str(&svg::vbar_chart(
+        "Equivalent-class sizes (all modules)",
+        "class size (faults per syndrome)",
+        &bars,
+    ));
+    let rows: Vec<Vec<String>> = data
+        .diag
+        .iter()
+        .map(|(m, r)| {
+            vec![
+                m.clone(),
+                r.stats.classes.to_string(),
+                r.stats.max_size.to_string(),
+                format!("{:.1}", r.stats.mean_size),
+                r.stats.singletons.to_string(),
+                format!("{:.2}", r.resolution),
+            ]
+        })
+        .collect();
+    body.push_str(&report::table(
+        &[
+            "module",
+            "classes",
+            "max",
+            "mean",
+            "singletons",
+            "resolution",
+        ],
+        &rows,
+    ));
+    let res_rows: Vec<Vec<String>> = data
+        .resolution_points
+        .iter()
+        .map(|p| {
+            vec![
+                p.module.clone(),
+                p.patterns.to_string(),
+                p.classes.to_string(),
+                format!("{:.2}", p.resolution),
+            ]
+        })
+        .collect();
+    body.push_str("<h3>Resolution vs pattern count</h3>");
+    body.push_str(&report::table(
+        &["module", "patterns", "classes", "resolution"],
+        &res_rows,
+    ));
+    body
+}
+
+fn advisor_section(data: &CampaignData) -> String {
+    if data.advice.is_empty() {
+        return report::paragraph(
+            "No action needed: every curve reached its target and the session passed.",
+        );
+    }
+    let mut body = String::from("<ul class=\"advice\">");
+    for a in &data.advice {
+        let _ = write!(
+            body,
+            "<li><span class=\"strategy\">{}</span> {} — {}</li>",
+            escape(a.strategy),
+            escape(&a.module),
+            escape(&a.reason)
+        );
+    }
+    body.push_str("</ul>");
+    body
+}
+
+fn timeline_section(data: &CampaignData) -> String {
+    let events = report::timeline_from_jsonl(&data.session_jsonl);
+    // Cap the drawn points without dropping any event kind: dense lanes
+    // (watchdog checks) are subsampled evenly, sparse ones (quarantines)
+    // keep every point.
+    const MAX_POINTS: usize = 400;
+    let mut grouped: std::collections::BTreeMap<&str, Vec<(u64, &str)>> =
+        std::collections::BTreeMap::new();
+    for e in &events {
+        grouped
+            .entry(e.event.as_str())
+            .or_default()
+            .push((e.cycle, e.detail.as_str()));
+    }
+    let per_lane = (MAX_POINTS / grouped.len().max(1)).max(1);
+    let mut points: Vec<TimelinePoint> = Vec::new();
+    for (lane, pts) in &grouped {
+        let step = pts.len().div_ceil(per_lane);
+        for (i, (cycle, detail)) in pts.iter().enumerate() {
+            if i % step == 0 || i + 1 == pts.len() {
+                points.push(TimelinePoint {
+                    cycle: *cycle,
+                    lane: (*lane).to_owned(),
+                    detail: (*detail).to_owned(),
+                });
+            }
+        }
+    }
+    points.sort_by_key(|p| p.cycle);
+    let mut body = svg::timeline("Session events over cumulative TCK", "TCK cycles", &points);
+    let quarantined = data.session.quarantined();
+    let verdict = if quarantined.is_empty() {
+        "all modules passed".to_owned()
+    } else {
+        format!("quarantined: {}", quarantined.join(", "))
+    };
+    body.push_str(&report::paragraph(&format!(
+        "{} events, {} TCK cycles, {} — strategies: {}",
+        events.len(),
+        data.session.tck_spent,
+        verdict,
+        data.session
+            .strategy_names()
+            .first()
+            .map(|(_, s)| s.join(" → "))
+            .unwrap_or_else(|| "none".to_owned()),
+    )));
+    body
+}
+
+/// Renders the campaign as one self-contained HTML document.
+pub fn render_report(data: &CampaignData) -> String {
+    let mut doc = HtmlReport::new("BIST campaign report");
+    let modules: Vec<String> = data.step1.toggle.iter().map(|(m, _)| m.clone()).collect();
+    doc.set_subtitle(&format!(
+        "{} patterns per run · modules: {}",
+        data.patterns,
+        modules.join(", ")
+    ));
+    let saf_faults: usize = data
+        .curves
+        .iter()
+        .filter(|c| c.model == "SAF")
+        .map(|c| c.faults)
+        .sum();
+    doc.add_section(
+        "Overview",
+        report::stat_tiles(&[
+            ("BIST patterns".into(), data.patterns.to_string()),
+            ("modules".into(), modules.len().to_string()),
+            ("stuck-at faults".into(), saf_faults.to_string()),
+            (
+                "statement coverage".into(),
+                format!("{:.1}%", data.step1.statement_coverage),
+            ),
+            (
+                "mean toggle".into(),
+                format!("{:.1}%", data.step1.mean_toggle_percent()),
+            ),
+            (
+                "session".into(),
+                if data.session.all_passed() {
+                    "passed".to_owned()
+                } else {
+                    format!("{} quarantined", data.session.quarantined().len())
+                },
+            ),
+        ]),
+    );
+    doc.add_section("Coverage curves", coverage_section(data));
+    doc.add_section("Toggle heatmap", toggle_section(data));
+    doc.add_section("Diagnosis", diagnosis_section(data));
+    doc.add_section("Feedback advisor", advisor_section(data));
+    doc.add_section("Session timeline", timeline_section(data));
+    doc.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planted_case() -> (CaseStudy, CaseStudy) {
+        let reference = CaseStudy::small().unwrap();
+        let mut dut = CaseStudy::small().unwrap();
+        let victim = dut.modules()[2].primary_outputs()[0];
+        dut.module_mut(2).force_constant(victim, true);
+        (reference, dut)
+    }
+
+    #[test]
+    fn campaign_report_is_self_contained_and_names_the_defect() {
+        let (reference, dut) = planted_case();
+        let mut budget = Budget::quick();
+        budget.bist_patterns = 64;
+        budget.diag_patterns = 32;
+        let data = run_campaign(&reference, &dut, &budget).unwrap();
+
+        // The curve endpoint equals coverage_percent exactly, per campaign.
+        for c in &data.curves {
+            assert_eq!(
+                c.curve.final_percent().to_bits(),
+                c.coverage_percent.to_bits(),
+                "{} {}",
+                c.module,
+                c.model
+            );
+        }
+        assert_eq!(data.curves.len(), 6, "3 modules × 2 models");
+        assert!(!data.session.all_passed());
+
+        // The advisor names the quarantined CONTROL_UNIT with a strategy.
+        let cu = data
+            .advice
+            .iter()
+            .find(|a| a.module == "CONTROL_UNIT")
+            .expect("advice for the planted defect");
+        assert!(!cu.strategy.is_empty());
+
+        let html = render_report(&data);
+        assert!(report::is_self_contained(&html), "external reference found");
+        for m in ["BIT_NODE", "CHECK_NODE", "CONTROL_UNIT"] {
+            assert!(html.contains(m), "missing module scope {m}");
+        }
+        // The final-coverage cell carries the same {:.1} figure the text
+        // tables print.
+        let saf0 = &data.curves[0];
+        assert!(html.contains(&format!(
+            "data-module=\"{}\" data-model=\"SAF\">{:.1}%",
+            saf0.module, saf0.coverage_percent
+        )));
+        // Timeline reconstructed from JSONL: session events present.
+        assert!(html.contains("SessionStart"));
+        assert!(html.contains("Quarantine"));
+    }
+
+    #[test]
+    fn healthy_dut_yields_fewer_findings() {
+        let reference = CaseStudy::small().unwrap();
+        let dut = CaseStudy::small().unwrap();
+        let mut budget = Budget::quick();
+        budget.bist_patterns = 64;
+        budget.diag_patterns = 32;
+        let data = run_campaign(&reference, &dut, &budget).unwrap();
+        assert!(data.session.all_passed());
+        assert!(data.advice.iter().all(|a| a.module != "CONTROL_UNIT"
+            || a.strategy != analyze::strategy::REDESIGN_CONSTRAINT_GENERATOR
+            || !a.reason.contains("quarantined")));
+        let html = render_report(&data);
+        assert!(report::is_self_contained(&html));
+        assert!(html.contains("Feedback advisor"));
+    }
+}

@@ -41,6 +41,10 @@ pub struct Step1Report {
     pub statements: DecoderStats,
     /// Per-module toggle activity under the BIST pattern generator.
     pub toggle: Vec<(String, ToggleReport)>,
+    /// Per-module never-toggled nets, keyed back to the netlist as
+    /// `(raw net id, human-readable description)` — the drill-down the
+    /// paper's "redefine the Constraints Generator" feedback needs.
+    pub cold_nets: Vec<(String, Vec<(u32, String)>)>,
 }
 
 impl Step1Report {
@@ -93,6 +97,7 @@ pub fn step1(case: &CaseStudy, npatterns: u64) -> Result<Step1Report, SessionErr
     // Toggle activity: gate level under the real pattern generator.
     let pgen = case.pattern_generator();
     let mut toggle = Vec::new();
+    let mut cold_nets = Vec::new();
     for (m, module) in case.modules().iter().enumerate() {
         let mut sim = SeqSim::new(module)?;
         let mut mon = ToggleMonitor::new(module);
@@ -110,12 +115,20 @@ pub fn step1(case: &CaseStudy, npatterns: u64) -> Result<Step1Report, SessionErr
             sim.clock();
         }
         toggle.push((module.name().to_owned(), mon.report()));
+        cold_nets.push((
+            module.name().to_owned(),
+            mon.untoggled_nets()
+                .into_iter()
+                .map(|net| (net.0, module.describe(net)))
+                .collect(),
+        ));
     }
 
     Ok(Step1Report {
         statement_coverage: merged.statement_coverage(),
         statements: merged,
         toggle,
+        cold_nets,
     })
 }
 
@@ -170,6 +183,11 @@ pub struct Step3Report {
     pub coverage_percent: f64,
     /// Faults analyzed (after sampling).
     pub faults: usize,
+    /// Sizes of every equivalent class, largest first — the class-size
+    /// distribution the diagnosis report plots.
+    pub class_sizes: Vec<usize>,
+    /// Fraction of detected faults uniquely identified (singleton classes).
+    pub resolution: f64,
 }
 
 /// Runs step 3 for one module: collects MISR-observed syndromes under the
@@ -215,6 +233,8 @@ pub fn step3(
         stats: matrix.stats(),
         coverage_percent: result.coverage_percent(),
         faults: universe.len(),
+        class_sizes: matrix.classes().iter().map(Vec::len).collect(),
+        resolution: matrix.resolution(),
     })
 }
 
@@ -233,6 +253,13 @@ mod tests {
             "got {}",
             r.mean_toggle_percent()
         );
+        // Cold-net drill-down is index-aligned with the toggle rows and
+        // consistent with their counts.
+        assert_eq!(r.cold_nets.len(), 3);
+        for ((name, rep), (cold_name, cold)) in r.toggle.iter().zip(&r.cold_nets) {
+            assert_eq!(name, cold_name);
+            assert_eq!(cold.len(), rep.nets - rep.toggled);
+        }
     }
 
     #[test]
@@ -274,5 +301,10 @@ mod tests {
         assert!(r.stats.classes > 0);
         assert!(r.stats.max_size >= 1);
         assert!(r.stats.mean_size >= 1.0);
+        // The class-size distribution is consistent with the scalars.
+        assert_eq!(r.class_sizes.len(), r.stats.classes);
+        assert_eq!(r.class_sizes.iter().sum::<usize>(), r.stats.detected);
+        assert_eq!(r.class_sizes.first().copied(), Some(r.stats.max_size));
+        assert!((0.0..=1.0).contains(&r.resolution));
     }
 }

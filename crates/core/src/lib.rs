@@ -54,6 +54,7 @@
 )]
 
 pub mod casestudy;
+pub mod cockpit;
 pub mod error;
 pub mod eval;
 pub mod experiments;

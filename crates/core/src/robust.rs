@@ -154,6 +154,35 @@ impl SessionReport {
             .collect()
     }
 
+    /// The retry-ladder strategies each module consumed, in attempt order
+    /// and in the shared advisor vocabulary ([`RetryStrategy::name`]).
+    pub fn strategy_names(&self) -> Vec<(String, Vec<String>)> {
+        self.outcomes
+            .iter()
+            .map(|o| {
+                (
+                    o.module.clone(),
+                    o.attempts
+                        .iter()
+                        .map(|a| a.strategy.name().to_owned())
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    /// Seeds a feedback-advisor input with this session's outcome: the
+    /// quarantined modules and the ladder strategies already consumed.
+    /// Callers append coverage curves and toggle rows before calling
+    /// [`soctest_obs::analyze::advise`].
+    pub fn advisor_input(&self) -> soctest_obs::analyze::AdvisorInput {
+        soctest_obs::analyze::AdvisorInput {
+            quarantined: self.quarantined().iter().map(|&s| s.to_owned()).collect(),
+            strategies_tried: self.strategy_names(),
+            ..Default::default()
+        }
+    }
+
     /// Folds this session's accounting into the unified metrics registry.
     pub fn export_metrics(&self, registry: &MetricsRegistry) {
         registry.inc("session_runs_total", 1);

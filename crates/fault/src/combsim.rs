@@ -143,6 +143,13 @@ impl CombCampaign {
         &self.stats
     }
 
+    /// The coverage curve accumulated so far. Detection indices are
+    /// absolute across resumed batches, so a resumed campaign's curve is
+    /// identical to a single-batch one.
+    pub fn curve(&self) -> soctest_obs::CoverageCurve {
+        soctest_obs::CoverageCurve::from_detection(&self.detection, self.applied)
+    }
+
     /// Consumes the campaign into a [`FaultSimResult`].
     pub fn into_result(self) -> FaultSimResult {
         FaultSimResult {
@@ -834,10 +841,14 @@ mod tests {
             sim.resume_stuck_at(&PatternSet::from_rows(10, batch), &mut campaign)
                 .unwrap();
         }
+        // The streaming curve after the final batch equals the
+        // single-batch curve step-for-step (absolute indices).
+        assert_eq!(campaign.curve(), single.curve());
         let resumed = campaign.into_result();
 
         assert_eq!(resumed.detection, single.detection);
         assert_eq!(resumed.syndromes, single.syndromes);
+        assert_eq!(resumed.curve(), single.curve());
         let classes_single =
             crate::DiagnosticMatrix::from_syndromes(single.syndromes.as_ref().unwrap());
         let classes_resumed =

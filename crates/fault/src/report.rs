@@ -3,7 +3,7 @@
 use std::fmt;
 use std::time::Duration;
 
-use soctest_obs::MetricsRegistry;
+use soctest_obs::{CoverageCurve, MetricsRegistry};
 
 use crate::Syndrome;
 
@@ -125,15 +125,33 @@ impl FaultSimResult {
     }
 
     /// Cumulative detected-fault counts at the given cycle checkpoints
-    /// (used for the Fig. 4 coverage-vs-patterns curve).
+    /// (used for the Fig. 4 coverage-vs-patterns curve). Checkpoints are
+    /// sorted and deduplicated first, so the output is always a monotone
+    /// curve regardless of caller-supplied order.
     pub fn coverage_curve(&self, checkpoints: &[u64]) -> Vec<(u64, usize)> {
-        checkpoints
-            .iter()
-            .map(|&c| {
-                let n = self.detection.iter().flatten().filter(|&&d| d <= c).count();
-                (c, n)
-            })
-            .collect()
+        let curve = self.curve();
+        let mut cps = checkpoints.to_vec();
+        cps.sort_unstable();
+        cps.dedup();
+        cps.into_iter().map(|c| (c, curve.detected_at(c))).collect()
+    }
+
+    /// Like [`FaultSimResult::coverage_curve`], but in coverage percent.
+    pub fn coverage_curve_percent(&self, checkpoints: &[u64]) -> Vec<(u64, f64)> {
+        let curve = self.curve();
+        let mut cps = checkpoints.to_vec();
+        cps.sort_unstable();
+        cps.dedup();
+        cps.into_iter().map(|c| (c, curve.percent_at(c))).collect()
+    }
+
+    /// The full per-pattern-resolution coverage curve, built from the
+    /// first-detection indices the campaign already recorded (no extra
+    /// simulation work). Because detection indices are absolute — also
+    /// across resumed batches and across `threads: 1` vs `threads: N` —
+    /// curves from equivalent campaigns compare bit-identical.
+    pub fn curve(&self) -> CoverageCurve {
+        CoverageCurve::from_detection(&self.detection, self.cycles)
     }
 }
 
@@ -180,6 +198,61 @@ mod tests {
         let r = sample();
         let curve = r.coverage_curve(&[2, 3, 10, 16]);
         assert_eq!(curve, vec![(2, 0), (3, 2), (10, 3), (16, 3)]);
+    }
+
+    #[test]
+    fn curve_tolerates_unsorted_and_duplicate_checkpoints() {
+        let r = sample();
+        let curve = r.coverage_curve(&[16, 3, 2, 10, 3, 16]);
+        assert_eq!(curve, vec![(2, 0), (3, 2), (10, 3), (16, 3)]);
+        let pct = r.coverage_curve_percent(&[10, 2, 10]);
+        assert_eq!(pct.len(), 2);
+        assert!((pct[0].1 - 0.0).abs() < 1e-12);
+        assert!((pct[1].1 - 75.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_monotonicity_over_pseudorandom_detections() {
+        // Property: for any detection vector and any checkpoint list, the
+        // curve is nondecreasing once checkpoints are normalized.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..50 {
+            let n = (next() % 40) as usize + 1;
+            let cycles = next() % 200 + 1;
+            let detection: Vec<Option<u64>> = (0..n)
+                .map(|_| (next() % 3 != 0).then(|| next() % cycles))
+                .collect();
+            let r = FaultSimResult {
+                detection: detection.clone(),
+                cycles,
+                wall: Duration::ZERO,
+                syndromes: None,
+                stats: FaultSimStats::default(),
+            };
+            let checkpoints: Vec<u64> = (0..12).map(|_| next() % (cycles + 10)).collect();
+            let curve = r.coverage_curve(&checkpoints);
+            assert!(curve
+                .windows(2)
+                .all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
+            let pct = r.coverage_curve_percent(&checkpoints);
+            assert!(pct.windows(2).all(|w| w[0].1 <= w[1].1));
+            // The full-resolution curve agrees with the checkpointed one
+            // and with coverage_percent at the end of the run.
+            let full = r.curve();
+            for &(c, d) in &curve {
+                assert_eq!(full.detected_at(c), d);
+            }
+            assert_eq!(
+                full.final_percent().to_bits(),
+                r.coverage_percent().to_bits()
+            );
+        }
     }
 
     #[test]

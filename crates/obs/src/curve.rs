@@ -1,0 +1,344 @@
+//! Streaming coverage curves: first-detection indices turned into a
+//! cumulative coverage-vs-patterns trajectory.
+//!
+//! A [`CoverageCurve`] is built *after* a fault-simulation campaign from the
+//! per-fault first-detection indices the simulator already records, so curve
+//! recording adds zero work to the simulation hot path. Because detection
+//! indices are absolute pattern numbers (also across resumed
+//! `CombCampaign` batches), a curve built from a resumed campaign is
+//! identical to one built from a single batch, and a curve built from a
+//! parallel run is bit-identical to the serial one.
+
+use crate::metrics::MetricsRegistry;
+
+/// Cumulative fault-coverage trajectory with per-pattern resolution.
+///
+/// Stored as a compressed step function: one `(cycle, cumulative_detected)`
+/// point per pattern index at which at least one new fault was first
+/// detected, strictly increasing in both coordinates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverageCurve {
+    faults: usize,
+    cycles: u64,
+    steps: Vec<(u64, u64)>,
+}
+
+impl CoverageCurve {
+    /// Builds a curve from per-fault first-detection indices (`None` =
+    /// undetected) and the number of patterns/cycles applied.
+    pub fn from_detection(detection: &[Option<u64>], cycles: u64) -> Self {
+        let mut firsts: Vec<u64> = detection.iter().flatten().copied().collect();
+        firsts.sort_unstable();
+        let mut steps: Vec<(u64, u64)> = Vec::new();
+        for (i, d) in firsts.iter().enumerate() {
+            match steps.last_mut() {
+                Some((c, n)) if c == d => *n = i as u64 + 1,
+                _ => steps.push((*d, i as u64 + 1)),
+            }
+        }
+        CoverageCurve {
+            faults: detection.len(),
+            cycles,
+            steps,
+        }
+    }
+
+    /// Total faults in the campaign's universe.
+    pub fn faults(&self) -> usize {
+        self.faults
+    }
+
+    /// Patterns (or cycles) applied by the campaign.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Faults detected by the end of the campaign.
+    pub fn detected(&self) -> usize {
+        self.steps.last().map(|&(_, n)| n as usize).unwrap_or(0)
+    }
+
+    /// The step points `(cycle, cumulative_detected)`, strictly increasing
+    /// in both coordinates.
+    pub fn steps(&self) -> &[(u64, u64)] {
+        &self.steps
+    }
+
+    /// Faults detected at or before `cycle`.
+    pub fn detected_at(&self, cycle: u64) -> usize {
+        let k = self.steps.partition_point(|&(c, _)| c <= cycle);
+        if k == 0 {
+            0
+        } else {
+            self.steps[k - 1].1 as usize
+        }
+    }
+
+    /// Coverage percent at or before `cycle`.
+    pub fn percent_at(&self, cycle: u64) -> f64 {
+        if self.faults == 0 {
+            return 0.0;
+        }
+        100.0 * self.detected_at(cycle) as f64 / self.faults as f64
+    }
+
+    /// Final coverage percent. Computed with the same arithmetic as
+    /// `FaultSimResult::coverage_percent`, so for a curve built from a
+    /// result the two are equal as `f64` bit patterns.
+    pub fn final_percent(&self) -> f64 {
+        if self.faults == 0 {
+            return 0.0;
+        }
+        100.0 * self.detected() as f64 / self.faults as f64
+    }
+
+    /// The smallest number of patterns that reaches `percent` coverage,
+    /// or `None` if the campaign never got there. A detection at pattern
+    /// index `d` needs `d + 1` applied patterns.
+    pub fn patterns_to_percent(&self, percent: f64) -> Option<u64> {
+        if self.faults == 0 {
+            return None;
+        }
+        self.steps
+            .iter()
+            .find(|&&(_, n)| 100.0 * n as f64 / self.faults as f64 >= percent)
+            .map(|&(c, _)| c + 1)
+    }
+
+    /// Patterns needed to reach the campaign's final coverage — the test
+    /// length that was actually useful. `None` when nothing was detected.
+    pub fn patterns_to_final(&self) -> Option<u64> {
+        self.steps.last().map(|&(c, _)| c + 1)
+    }
+
+    /// Flatness of the curve's tail: the fraction of the final coverage
+    /// that was already reached before the last quarter of the applied
+    /// patterns. `1.0` means a perfectly flat tail (no detection landed in
+    /// the last quarter — more patterns of the same kind won't help);
+    /// `0.0` means every detection landed there (the curve is still
+    /// climbing). A curve with no detections reads as flat (`1.0`).
+    pub fn tail_flatness(&self) -> f64 {
+        let detected = self.detected();
+        if detected == 0 {
+            return 1.0;
+        }
+        let tail_len = (self.cycles / 4).max(1);
+        let tail_start = self.cycles.saturating_sub(tail_len);
+        let before_tail = self
+            .steps
+            .iter()
+            .take_while(|&&(c, _)| c < tail_start)
+            .last()
+            .map(|&(_, n)| n)
+            .unwrap_or(0);
+        before_tail as f64 / detected as f64
+    }
+
+    /// Condenses the curve into the scalar summary the bench trajectory
+    /// and the report's stat tiles track.
+    pub fn summary(&self) -> CurveSummary {
+        CurveSummary {
+            faults: self.faults,
+            detected: self.detected(),
+            cycles: self.cycles,
+            final_percent: self.final_percent(),
+            patterns_to_90: self.patterns_to_percent(90.0),
+            patterns_to_final: self.patterns_to_final(),
+            tail_flatness: self.tail_flatness(),
+        }
+    }
+
+    /// At most `max_points` evenly spaced `(cycle, percent)` samples for
+    /// plotting, always including the first and last step. The full step
+    /// list is preserved when it already fits.
+    pub fn sampled_percent(&self, max_points: usize) -> Vec<(u64, f64)> {
+        if self.faults == 0 || self.steps.is_empty() || max_points == 0 {
+            return Vec::new();
+        }
+        let pct = |n: u64| 100.0 * n as f64 / self.faults as f64;
+        if self.steps.len() <= max_points {
+            return self.steps.iter().map(|&(c, n)| (c, pct(n))).collect();
+        }
+        let last = self.steps.len() - 1;
+        let mut out = Vec::with_capacity(max_points);
+        for i in 0..max_points {
+            let idx = i * last / (max_points - 1).max(1);
+            let (c, n) = self.steps[idx];
+            if out.last().map(|&(pc, _)| pc) != Some(c) {
+                out.push((c, pct(n)));
+            }
+        }
+        out
+    }
+
+    /// Serializes the curve as a self-describing JSON object.
+    pub fn to_json(&self, label: &str) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"label\":\"{}\",\"faults\":{},\"detected\":{},\"cycles\":{},\"final_percent\":{},\"steps\":[",
+            label.replace('\\', "\\\\").replace('"', "\\\""),
+            self.faults,
+            self.detected(),
+            self.cycles,
+            self.final_percent(),
+        );
+        for (i, &(c, n)) in self.steps.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "[{c},{n}]");
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Exports the curve into the unified metrics registry: every
+    /// first-detection index is observed into a log₂-bucketed histogram
+    /// `{prefix}_first_detection`, plus final coverage and test-length
+    /// gauges. `prefix` should be a Prometheus-safe identifier.
+    pub fn export_metrics(&self, registry: &MetricsRegistry, prefix: &str) {
+        let mut prev = 0u64;
+        for &(c, n) in &self.steps {
+            for _ in prev..n {
+                registry.observe(&format!("{prefix}_first_detection"), c);
+            }
+            prev = n;
+        }
+        registry.set_gauge(&format!("{prefix}_final_percent"), self.final_percent());
+        registry.set_gauge(&format!("{prefix}_faults"), self.faults as f64);
+        registry.set_gauge(&format!("{prefix}_cycles"), self.cycles as f64);
+        if let Some(p) = self.patterns_to_final() {
+            registry.set_gauge(&format!("{prefix}_patterns_to_final"), p as f64);
+        }
+    }
+}
+
+/// Scalar summary of one coverage curve: the test-length-efficiency
+/// numbers the bench trajectory tracks next to wall time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CurveSummary {
+    /// Total faults in the universe.
+    pub faults: usize,
+    /// Faults detected.
+    pub detected: usize,
+    /// Patterns applied.
+    pub cycles: u64,
+    /// Final coverage percent.
+    pub final_percent: f64,
+    /// Patterns needed to reach 90% coverage, if it was reached.
+    pub patterns_to_90: Option<u64>,
+    /// Patterns needed to reach the final coverage.
+    pub patterns_to_final: Option<u64>,
+    /// Tail flatness in `[0, 1]` (see [`CoverageCurve::tail_flatness`]).
+    pub tail_flatness: f64,
+}
+
+impl CurveSummary {
+    /// Serializes the summary as a JSON object (`null` for unreached
+    /// milestones).
+    pub fn to_json(&self) -> String {
+        let opt = |o: Option<u64>| o.map(|v| v.to_string()).unwrap_or_else(|| "null".into());
+        format!(
+            "{{\"faults\":{},\"detected\":{},\"cycles\":{},\"final_percent\":{},\"patterns_to_90\":{},\"patterns_to_final\":{},\"tail_flatness\":{:.4}}}",
+            self.faults,
+            self.detected,
+            self.cycles,
+            self.final_percent,
+            opt(self.patterns_to_90),
+            opt(self.patterns_to_final),
+            self.tail_flatness,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_compressed_steps() {
+        let det = [Some(3), None, Some(10), Some(3)];
+        let c = CoverageCurve::from_detection(&det, 16);
+        assert_eq!(c.faults(), 4);
+        assert_eq!(c.detected(), 3);
+        assert_eq!(c.steps(), &[(3, 2), (10, 3)]);
+        assert_eq!(c.detected_at(2), 0);
+        assert_eq!(c.detected_at(3), 2);
+        assert_eq!(c.detected_at(9), 2);
+        assert_eq!(c.detected_at(16), 3);
+        assert!((c.final_percent() - 75.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn patterns_to_milestones() {
+        let det = [Some(0), Some(1), Some(1), Some(7), Some(9), None];
+        let c = CoverageCurve::from_detection(&det, 20);
+        // 90% of 6 faults needs 6 detections — never reached.
+        assert_eq!(c.patterns_to_percent(90.0), None);
+        // 50% needs 3 detections: reached at index 1 → 2 patterns.
+        assert_eq!(c.patterns_to_percent(50.0), Some(2));
+        assert_eq!(c.patterns_to_final(), Some(10));
+    }
+
+    #[test]
+    fn tail_flatness_extremes() {
+        // All detections early → flat tail.
+        let early = CoverageCurve::from_detection(&[Some(0), Some(1)], 100);
+        assert!((early.tail_flatness() - 1.0).abs() < 1e-12);
+        // All detections in the last quarter → still climbing.
+        let late = CoverageCurve::from_detection(&[Some(98), Some(99)], 100);
+        assert_eq!(late.tail_flatness(), 0.0);
+        // No detections at all reads as flat.
+        let none = CoverageCurve::from_detection(&[None, None], 100);
+        assert_eq!(none.tail_flatness(), 1.0);
+    }
+
+    #[test]
+    fn empty_curve_is_benign() {
+        let c = CoverageCurve::from_detection(&[], 0);
+        assert_eq!(c.detected(), 0);
+        assert_eq!(c.final_percent(), 0.0);
+        assert_eq!(c.patterns_to_percent(90.0), None);
+        assert_eq!(c.patterns_to_final(), None);
+        assert!(c.sampled_percent(10).is_empty());
+        assert!(c.to_json("x").contains("\"faults\":0"));
+    }
+
+    #[test]
+    fn sampling_keeps_endpoints() {
+        let det: Vec<Option<u64>> = (0..1000).map(|i| Some(i as u64)).collect();
+        let c = CoverageCurve::from_detection(&det, 1000);
+        let s = c.sampled_percent(64);
+        assert!(s.len() <= 64);
+        assert_eq!(s.first().map(|&(c, _)| c), Some(0));
+        assert_eq!(s.last().map(|&(c, _)| c), Some(999));
+        // Percent samples are monotonically nondecreasing.
+        assert!(s.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn metrics_export_observes_every_detection() {
+        let det = [Some(1), Some(1), Some(6), None];
+        let c = CoverageCurve::from_detection(&det, 8);
+        let reg = MetricsRegistry::new();
+        c.export_metrics(&reg, "cov");
+        let snap = reg.snapshot();
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("cov_first_detection_count 3"));
+        assert!(prom.contains("cov_final_percent 75"));
+    }
+
+    #[test]
+    fn summary_round_trips_to_json() {
+        let det = [Some(0), Some(2), Some(2), Some(3)];
+        let s = CoverageCurve::from_detection(&det, 4).summary();
+        assert_eq!(s.detected, 4);
+        assert_eq!(s.patterns_to_90, Some(4));
+        assert_eq!(s.patterns_to_final, Some(4));
+        let j = s.to_json();
+        assert!(j.contains("\"patterns_to_90\":4"), "{j}");
+        assert!(j.contains("\"final_percent\":100"), "{j}");
+    }
+}

@@ -23,6 +23,13 @@
 //!
 //! A minimal JSON parser ([`json::parse`]) rounds out the crate so CI can
 //! validate every artifact the workspace emits without external tooling.
+//!
+//! On top of the three pillars sits the **campaign analytics layer**:
+//! [`CoverageCurve`] turns first-detection indices into a
+//! coverage-vs-patterns trajectory, [`analyze`] reduces toggle/syndrome
+//! data and drives the feedback [`analyze::advise`] advisor, [`svg`]
+//! renders zero-dependency inline charts, and [`HtmlReport`] assembles
+//! them into one self-contained HTML document.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,15 +38,21 @@
     deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
 )]
 
+pub mod analyze;
+pub mod curve;
 pub mod event;
 pub mod json;
 pub mod metrics;
+pub mod report;
 pub mod sink;
+pub mod svg;
 pub mod tracer;
 pub mod vcd;
 
+pub use curve::{CoverageCurve, CurveSummary};
 pub use event::{FieldValue, TraceEvent, TraceRecord};
 pub use metrics::{Histogram, MetricsHandle, MetricsRegistry, MetricsSnapshot};
+pub use report::HtmlReport;
 pub use sink::{CountingSink, JsonLinesSink, MemorySink, PrettySink, TraceSink};
 pub use tracer::{SpanGuard, TraceHandle, Tracer, DEFAULT_CAPACITY};
 pub use vcd::{VarId, VcdReader, VcdVar, VcdWriter};

@@ -1,0 +1,549 @@
+//! Minimal inline-SVG chart rendering for the campaign report.
+//!
+//! Everything renders to a plain SVG string with **no external references
+//! and no scripting** — styling hangs off CSS classes (`s1`–`s3` for the
+//! categorical series slots, `seq0`–`seq7` for the sequential ramp, `grid`,
+//! `axis`, `ink`, `muted`) that the embedding document defines, so the same
+//! markup follows the page's light/dark palette. Hover detail ships as
+//! native SVG `<title>` tooltips on enlarged hit targets; identity is
+//! carried by a legend plus direct labels, never by color alone.
+
+use std::fmt::Write as _;
+
+/// Escapes a string for use in SVG/HTML text content or attributes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+fn fmt_num(v: f64) -> String {
+    if (v - v.round()).abs() < 1e-9 && v.abs() < 1e15 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+/// One line-chart series: a label and `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineSeries {
+    /// Series label (legend + direct label).
+    pub label: String,
+    /// Data points, x ascending.
+    pub points: Vec<(f64, f64)>,
+}
+
+const LINE_W: f64 = 640.0;
+const LINE_H: f64 = 300.0;
+const M_LEFT: f64 = 52.0;
+const M_RIGHT: f64 = 150.0;
+const M_TOP: f64 = 30.0;
+const M_BOTTOM: f64 = 42.0;
+
+/// Renders overlaid step-after line series (coverage curves) as one SVG.
+/// `y_max` fixes the y domain top (e.g. `100.0` for percent); `None`
+/// scales to the data. One y axis only; a legend appears for ≥ 2 series
+/// and every series carries a direct label at its last point.
+pub fn line_chart(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    series: &[LineSeries],
+    y_max: Option<f64>,
+) -> String {
+    let pw = LINE_W - M_LEFT - M_RIGHT;
+    let ph = LINE_H - M_TOP - M_BOTTOM;
+    let x_hi = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.0))
+        .fold(1.0_f64, f64::max);
+    let y_hi = y_max.unwrap_or_else(|| {
+        series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.1))
+            .fold(1.0_f64, f64::max)
+    });
+    let sx = |x: f64| M_LEFT + pw * (x / x_hi).clamp(0.0, 1.0);
+    let sy = |y: f64| M_TOP + ph * (1.0 - (y / y_hi).clamp(0.0, 1.0));
+
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "<svg class=\"chart\" viewBox=\"0 0 {LINE_W} {LINE_H}\" width=\"{LINE_W}\" height=\"{LINE_H}\" role=\"img\" aria-label=\"{}\">",
+        escape(title)
+    );
+    let _ = write!(
+        s,
+        "<text class=\"ink title\" x=\"{M_LEFT}\" y=\"18\">{}</text>",
+        escape(title)
+    );
+    // Gridlines + y ticks (5 divisions, one axis).
+    for i in 0..=4 {
+        let v = y_hi * f64::from(i) / 4.0;
+        let y = sy(v);
+        let _ = write!(
+            s,
+            "<line class=\"grid\" x1=\"{M_LEFT}\" y1=\"{y:.1}\" x2=\"{:.1}\" y2=\"{y:.1}\"/>\
+             <text class=\"muted tick\" x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">{}</text>",
+            M_LEFT + pw,
+            M_LEFT - 6.0,
+            y + 3.5,
+            fmt_num(v)
+        );
+    }
+    // X ticks.
+    for i in 0..=4 {
+        let v = x_hi * f64::from(i) / 4.0;
+        let x = sx(v);
+        let _ = write!(
+            s,
+            "<text class=\"muted tick\" x=\"{x:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{}</text>",
+            M_TOP + ph + 16.0,
+            fmt_num(v)
+        );
+    }
+    // Baseline.
+    let _ = write!(
+        s,
+        "<line class=\"axis\" x1=\"{M_LEFT}\" y1=\"{:.1}\" x2=\"{:.1}\" y2=\"{:.1}\"/>",
+        M_TOP + ph,
+        M_LEFT + pw,
+        M_TOP + ph
+    );
+    // Axis labels.
+    let _ = write!(
+        s,
+        "<text class=\"muted tick\" x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{}</text>",
+        M_LEFT + pw / 2.0,
+        LINE_H - 8.0,
+        escape(x_label)
+    );
+    let _ = write!(
+        s,
+        "<text class=\"muted tick\" transform=\"translate(14,{:.1}) rotate(-90)\" text-anchor=\"middle\">{}</text>",
+        M_TOP + ph / 2.0,
+        escape(y_label)
+    );
+
+    // Series: step-after polylines, slot classes in fixed order.
+    for (si, ser) in series.iter().enumerate() {
+        if ser.points.is_empty() {
+            continue;
+        }
+        let slot = si % 3 + 1;
+        let mut pts = String::new();
+        let mut prev_y: Option<f64> = None;
+        for &(x, y) in &ser.points {
+            let (px, py) = (sx(x), sy(y));
+            if let Some(py0) = prev_y {
+                let _ = write!(pts, "{px:.1},{py0:.1} ");
+            }
+            let _ = write!(pts, "{px:.1},{py:.1} ");
+            prev_y = Some(py);
+        }
+        // Extend the last level to the right edge of the plot.
+        if let (Some(py0), Some(&(lx, _))) = (prev_y, ser.points.last()) {
+            if lx < x_hi {
+                let _ = write!(pts, "{:.1},{py0:.1}", sx(x_hi));
+            }
+        }
+        let _ = write!(
+            s,
+            "<polyline class=\"line s{slot}\" fill=\"none\" points=\"{}\"/>",
+            pts.trim_end()
+        );
+        // Hover hit targets with native tooltips (subsampled to ≤ 32).
+        let stride = (ser.points.len() / 32).max(1);
+        for &(x, y) in ser.points.iter().step_by(stride) {
+            let _ = write!(
+                s,
+                "<circle class=\"hit\" cx=\"{:.1}\" cy=\"{:.1}\" r=\"8\" fill=\"transparent\">\
+                 <title>{}: {} @ {}</title></circle>",
+                sx(x),
+                sy(y),
+                escape(&ser.label),
+                fmt_num(y),
+                fmt_num(x)
+            );
+        }
+        // Direct label at the series' last point.
+        if let Some(&(_, ly)) = ser.points.last() {
+            let _ = write!(
+                s,
+                "<text class=\"ink tick\" x=\"{:.1}\" y=\"{:.1}\">{}</text>",
+                M_LEFT + pw + 6.0,
+                sy(ly) + 3.5,
+                escape(&ser.label)
+            );
+        }
+    }
+
+    // Legend (top-right) whenever identity needs more than the title.
+    if series.len() >= 2 {
+        for (si, ser) in series.iter().enumerate() {
+            let slot = si % 3 + 1;
+            let y = M_TOP + 10.0 + 16.0 * si as f64;
+            let _ = write!(
+                s,
+                "<rect class=\"fill-s{slot}\" x=\"{:.1}\" y=\"{:.1}\" width=\"10\" height=\"10\" rx=\"2\"/>\
+                 <text class=\"muted tick\" x=\"{:.1}\" y=\"{:.1}\">{}</text>",
+                LINE_W - M_RIGHT + 24.0,
+                y - 8.0,
+                LINE_W - M_RIGHT + 38.0,
+                y,
+                escape(&ser.label)
+            );
+        }
+    }
+    s.push_str("</svg>");
+    s
+}
+
+/// One horizontal bar: label, value, hover detail, and a sequential-ramp
+/// step (`0..8`, light → dark) carrying the magnitude encoding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bar {
+    /// Row label.
+    pub label: String,
+    /// Bar value.
+    pub value: f64,
+    /// Hover tooltip body.
+    pub detail: String,
+    /// Sequential ramp step, 0 (lightest) ..= 7 (darkest).
+    pub ramp: u8,
+}
+
+/// Renders a horizontal bar chart (e.g. the per-module toggle heatmap).
+/// Values are labeled directly on every bar (the relief for light ramp
+/// steps), with `suffix` appended (`"%"`).
+pub fn hbar_chart(title: &str, bars: &[Bar], max_value: f64, suffix: &str) -> String {
+    let row_h = 26.0;
+    let left = 120.0;
+    let width = 560.0;
+    let pw = width - left - 80.0;
+    let height = 34.0 + row_h * bars.len() as f64 + 8.0;
+    let hi = max_value.max(1e-9);
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "<svg class=\"chart\" viewBox=\"0 0 {width} {height:.0}\" width=\"{width}\" height=\"{height:.0}\" role=\"img\" aria-label=\"{}\">",
+        escape(title)
+    );
+    let _ = write!(
+        s,
+        "<text class=\"ink title\" x=\"8\" y=\"18\">{}</text>",
+        escape(title)
+    );
+    for (i, b) in bars.iter().enumerate() {
+        let y = 34.0 + row_h * i as f64;
+        let w = pw * (b.value / hi).clamp(0.0, 1.0);
+        let _ = write!(
+            s,
+            "<text class=\"ink tick\" x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">{}</text>",
+            left - 8.0,
+            y + row_h / 2.0 + 3.5,
+            escape(&b.label)
+        );
+        let _ = write!(
+            s,
+            "<rect class=\"bar seq{}\" x=\"{left}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{:.1}\" rx=\"4\">\
+             <title>{}</title></rect>",
+            b.ramp.min(7),
+            y + 4.0,
+            w.max(1.0),
+            row_h - 8.0,
+            escape(&b.detail)
+        );
+        let _ = write!(
+            s,
+            "<text class=\"ink tick\" x=\"{:.1}\" y=\"{:.1}\">{}{}</text>",
+            left + w.max(1.0) + 6.0,
+            y + row_h / 2.0 + 3.5,
+            fmt_num(b.value),
+            escape(suffix)
+        );
+    }
+    s.push_str("</svg>");
+    s
+}
+
+/// Renders a vertical bar histogram (e.g. syndrome class sizes): one
+/// categorical series, direct count labels above each bar.
+pub fn vbar_chart(title: &str, x_label: &str, bars: &[(String, f64)]) -> String {
+    let width = 460.0;
+    let height = 240.0;
+    let left = 40.0;
+    let top = 30.0;
+    let bottom = 44.0;
+    let pw = width - left - 16.0;
+    let ph = height - top - bottom;
+    let hi = bars.iter().map(|b| b.1).fold(1.0_f64, f64::max);
+    let n = bars.len().max(1) as f64;
+    let slot_w = pw / n;
+    let bar_w = (slot_w - 6.0).clamp(4.0, 48.0);
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "<svg class=\"chart\" viewBox=\"0 0 {width} {height}\" width=\"{width}\" height=\"{height}\" role=\"img\" aria-label=\"{}\">",
+        escape(title)
+    );
+    let _ = write!(
+        s,
+        "<text class=\"ink title\" x=\"8\" y=\"18\">{}</text>",
+        escape(title)
+    );
+    let base = top + ph;
+    let _ = write!(
+        s,
+        "<line class=\"axis\" x1=\"{left}\" y1=\"{base:.1}\" x2=\"{:.1}\" y2=\"{base:.1}\"/>",
+        left + pw
+    );
+    for (i, (label, v)) in bars.iter().enumerate() {
+        let x = left + slot_w * i as f64 + (slot_w - bar_w) / 2.0;
+        let h = ph * (v / hi).clamp(0.0, 1.0);
+        let _ = write!(
+            s,
+            "<rect class=\"bar fill-s1\" x=\"{x:.1}\" y=\"{:.1}\" width=\"{bar_w:.1}\" height=\"{:.1}\" rx=\"4\">\
+             <title>{}: {}</title></rect>",
+            base - h.max(1.0),
+            h.max(1.0),
+            escape(label),
+            fmt_num(*v)
+        );
+        let _ = write!(
+            s,
+            "<text class=\"ink tick\" x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{}</text>",
+            x + bar_w / 2.0,
+            base - h.max(1.0) - 4.0,
+            fmt_num(*v)
+        );
+        let _ = write!(
+            s,
+            "<text class=\"muted tick\" x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{}</text>",
+            x + bar_w / 2.0,
+            base + 14.0,
+            escape(label)
+        );
+    }
+    let _ = write!(
+        s,
+        "<text class=\"muted tick\" x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{}</text>",
+        left + pw / 2.0,
+        height - 8.0,
+        escape(x_label)
+    );
+    s.push_str("</svg>");
+    s
+}
+
+/// One timeline event: a lane name (event type), a time coordinate, and
+/// hover detail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelinePoint {
+    /// Time (cumulative TCK cycle).
+    pub cycle: u64,
+    /// Lane the event belongs to (event type).
+    pub lane: String,
+    /// Hover tooltip body.
+    pub detail: String,
+}
+
+/// Renders a session timeline: one horizontal lane per event type (in
+/// first-appearance order), a marker per event with a native tooltip.
+/// Identity is carried by lane position and label, not color.
+pub fn timeline(title: &str, x_label: &str, points: &[TimelinePoint]) -> String {
+    let mut lanes: Vec<&str> = Vec::new();
+    for p in points {
+        if !lanes.iter().any(|&l| l == p.lane) {
+            lanes.push(&p.lane);
+        }
+    }
+    let row_h = 22.0;
+    let left = 150.0;
+    let width = 640.0;
+    let pw = width - left - 24.0;
+    let height = 34.0 + row_h * lanes.len().max(1) as f64 + 30.0;
+    let hi = points.iter().map(|p| p.cycle).max().unwrap_or(1).max(1) as f64;
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "<svg class=\"chart\" viewBox=\"0 0 {width} {height:.0}\" width=\"{width}\" height=\"{height:.0}\" role=\"img\" aria-label=\"{}\">",
+        escape(title)
+    );
+    let _ = write!(
+        s,
+        "<text class=\"ink title\" x=\"8\" y=\"18\">{}</text>",
+        escape(title)
+    );
+    for (i, lane) in lanes.iter().enumerate() {
+        let y = 34.0 + row_h * i as f64 + row_h / 2.0;
+        let _ = write!(
+            s,
+            "<text class=\"muted tick\" x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\">{}</text>\
+             <line class=\"grid\" x1=\"{left}\" y1=\"{y:.1}\" x2=\"{:.1}\" y2=\"{y:.1}\"/>",
+            left - 8.0,
+            y + 3.5,
+            escape(lane),
+            left + pw
+        );
+    }
+    for p in points {
+        let Some(li) = lanes.iter().position(|&l| l == p.lane) else {
+            continue;
+        };
+        let x = left + pw * (p.cycle as f64 / hi).clamp(0.0, 1.0);
+        let y = 34.0 + row_h * li as f64 + row_h / 2.0;
+        let _ = write!(
+            s,
+            "<circle class=\"mark fill-s1\" cx=\"{x:.1}\" cy=\"{y:.1}\" r=\"4\">\
+             <title>{} @ TCK {}: {}</title></circle>",
+            escape(&p.lane),
+            p.cycle,
+            escape(&p.detail)
+        );
+    }
+    let base = 34.0 + row_h * lanes.len().max(1) as f64;
+    let _ = write!(
+        s,
+        "<line class=\"axis\" x1=\"{left}\" y1=\"{base:.1}\" x2=\"{:.1}\" y2=\"{base:.1}\"/>",
+        left + pw
+    );
+    for i in 0..=4 {
+        let v = hi * f64::from(i) / 4.0;
+        let _ = write!(
+            s,
+            "<text class=\"muted tick\" x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{}</text>",
+            left + pw * f64::from(i) / 4.0,
+            base + 14.0,
+            fmt_num(v)
+        );
+    }
+    let _ = write!(
+        s,
+        "<text class=\"muted tick\" x=\"{:.1}\" y=\"{height:.0}\" text-anchor=\"middle\" dy=\"-4\">{}</text>",
+        left + pw / 2.0,
+        escape(x_label)
+    );
+    s.push_str("</svg>");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_covers_markup() {
+        assert_eq!(escape("a<b>&\"'"), "a&lt;b&gt;&amp;&quot;&#39;");
+    }
+
+    #[test]
+    fn line_chart_has_one_polyline_per_series_and_a_legend() {
+        let series = vec![
+            LineSeries {
+                label: "BIT_NODE".into(),
+                points: vec![(0.0, 10.0), (50.0, 60.0), (100.0, 62.0)],
+            },
+            LineSeries {
+                label: "CHECK_NODE".into(),
+                points: vec![(0.0, 5.0), (80.0, 30.0)],
+            },
+        ];
+        let svg = line_chart("coverage", "patterns", "%", &series, Some(100.0));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("class=\"line s1\""));
+        assert!(svg.contains("class=\"line s2\""));
+        // Legend swatches for 2 series; direct labels too.
+        assert_eq!(svg.matches("<rect class=\"fill-s").count(), 2);
+        assert!(svg.matches("BIT_NODE").count() >= 2);
+        // Single y axis: exactly one rotated y label.
+        assert_eq!(svg.matches("rotate(-90)").count(), 1);
+        assert!(svg.contains("<title>"));
+    }
+
+    #[test]
+    fn single_series_skips_the_legend() {
+        let series = vec![LineSeries {
+            label: "only".into(),
+            points: vec![(0.0, 1.0), (4.0, 2.0)],
+        }];
+        let svg = line_chart("t", "x", "y", &series, None);
+        assert_eq!(svg.matches("<rect class=\"fill-s").count(), 0);
+    }
+
+    #[test]
+    fn hbar_orders_and_labels() {
+        let bars = vec![
+            Bar {
+                label: "CONTROL_UNIT".into(),
+                value: 81.0,
+                detail: "33/40 nets".into(),
+                ramp: 2,
+            },
+            Bar {
+                label: "BIT_NODE".into(),
+                value: 99.0,
+                detail: "99/100 nets".into(),
+                ramp: 7,
+            },
+        ];
+        let svg = hbar_chart("toggle", &bars, 100.0, "%");
+        assert!(svg.contains("seq2"));
+        assert!(svg.contains("seq7"));
+        assert!(svg.contains("81%"));
+        assert!(svg.contains("<title>33/40 nets</title>"));
+    }
+
+    #[test]
+    fn vbar_renders_every_class() {
+        let bars = vec![("1".to_owned(), 12.0), ("2".to_owned(), 3.0)];
+        let svg = vbar_chart("classes", "class size", &bars);
+        assert_eq!(svg.matches("<rect").count(), 2);
+        assert!(svg.contains(">12<"));
+    }
+
+    #[test]
+    fn timeline_lanes_follow_first_appearance() {
+        let pts = vec![
+            TimelinePoint {
+                cycle: 0,
+                lane: "SessionStart".into(),
+                detail: "3 modules".into(),
+            },
+            TimelinePoint {
+                cycle: 900,
+                lane: "Quarantine".into(),
+                detail: "CONTROL_UNIT".into(),
+            },
+            TimelinePoint {
+                cycle: 400,
+                lane: "SessionStart".into(),
+                detail: "again".into(),
+            },
+        ];
+        let svg = timeline("session", "TCK", &pts);
+        assert_eq!(svg.matches("<circle").count(), 3);
+        let start = svg.find("SessionStart").unwrap();
+        let quar = svg.find("Quarantine").unwrap();
+        assert!(start < quar);
+        assert!(svg.contains("CONTROL_UNIT"));
+    }
+
+    #[test]
+    fn charts_reference_no_external_resources() {
+        let svg = line_chart("t", "x", "y", &[], Some(100.0));
+        for needle in ["http://", "https://", "file://", "<script"] {
+            assert!(!svg.contains(needle), "found {needle}");
+        }
+    }
+}

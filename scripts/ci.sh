@@ -59,4 +59,30 @@ if ! diff <(scrub repro_output_quick.txt) <(scrub target/repro_quick.txt); then
     exit 1
 fi
 
+echo "== campaign cockpit: HTML report generation + validation =="
+cargo run --release -p soctest-bench --bin repro -- --quick --report=target/report_quick.html
+test -s target/report_quick.html
+# Self-contained: a single file with no external reference and no script.
+! grep -q 'http://' target/report_quick.html
+! grep -q 'https://' target/report_quick.html
+! grep -q 'file://' target/report_quick.html
+! grep -q '<script' target/report_quick.html
+grep -q '</html>' target/report_quick.html
+# Every module scope of the case study is covered.
+for m in BIT_NODE CHECK_NODE CONTROL_UNIT; do
+    grep -q "$m" target/report_quick.html
+done
+# The report's final-coverage cells byte-match the BIST rows of the text
+# tables rendered by the same run budget (target/repro_quick.txt above).
+for m in BIT_NODE CHECK_NODE CONTROL_UNIT; do
+    for model in SAF TDF; do
+        pct=$(awk -v mod="$m" -v model="$model" \
+            '$0==mod{f=1;next} f && /^  BIST/{for(i=1;i<NF;i++) if($i==model){print $(i+1); exit}}' \
+            target/repro_quick.txt)
+        test -n "$pct"
+        grep -qF "data-module=\"$m\" data-model=\"$model\">$pct" target/report_quick.html \
+            || { echo "report cell for $m $model does not match text output ($pct)"; exit 1; }
+    done
+done
+
 echo "ci: all green"

@@ -1,0 +1,61 @@
+//! Acceptance pins for the campaign cockpit (DESIGN.md §11): the report
+//! is one self-contained document, its coverage figures are the
+//! simulator's figures to the bit, and the feedback advisor names the
+//! module carrying a planted defect.
+
+use soctest::core::casestudy::CaseStudy;
+use soctest::core::cockpit::{render_report, run_campaign};
+use soctest::core::experiments::Budget;
+use soctest::obs::analyze::strategy;
+use soctest::obs::report::is_self_contained;
+
+fn quick_budget() -> Budget {
+    let mut b = Budget::quick();
+    b.bist_patterns = 64;
+    b.diag_patterns = 32;
+    b
+}
+
+#[test]
+fn cockpit_closes_the_papers_feedback_loop() {
+    let reference = CaseStudy::small().expect("case study builds");
+    let mut dut = CaseStudy::small().expect("case study builds");
+    let victim = dut.modules()[2].primary_outputs()[0];
+    dut.module_mut(2).force_constant(victim, true);
+
+    let data = run_campaign(&reference, &dut, &quick_budget()).expect("campaign runs");
+
+    // Curve endpoints are the simulator's coverage figures, bit-for-bit.
+    assert_eq!(data.curves.len(), 6, "3 modules × SAF/TDF");
+    for c in &data.curves {
+        assert_eq!(
+            c.curve.final_percent().to_bits(),
+            c.coverage_percent.to_bits(),
+            "{} {} endpoint drifted",
+            c.module,
+            c.model
+        );
+    }
+
+    // The planted CONTROL_UNIT defect quarantines, and the advisor turns
+    // that into a named module-strategy suggestion.
+    assert_eq!(data.session.quarantined(), vec!["CONTROL_UNIT"]);
+    assert!(data.advice.iter().any(
+        |a| a.module == "CONTROL_UNIT" && a.strategy == strategy::REDESIGN_CONSTRAINT_GENERATOR
+    ));
+
+    // One self-contained document carrying every module scope, the
+    // machine-checkable coverage cells, and the trace-derived timeline.
+    let html = render_report(&data);
+    assert!(is_self_contained(&html));
+    for m in ["BIT_NODE", "CHECK_NODE", "CONTROL_UNIT"] {
+        assert!(html.contains(m), "missing module {m}");
+    }
+    for c in &data.curves {
+        assert!(html.contains(&format!(
+            "data-module=\"{}\" data-model=\"{}\">{:.1}%",
+            c.module, c.model, c.coverage_percent
+        )));
+    }
+    assert!(html.contains("SessionStart") && html.contains("Quarantine"));
+}

@@ -51,6 +51,7 @@ pub struct Alfsr {
     width: usize,
     taps_mask: u64,
     state: u64,
+    seed: u64,
     variant: u8,
 }
 
@@ -93,6 +94,7 @@ impl Alfsr {
             width,
             taps_mask: mask,
             state: 0,
+            seed: 0,
             variant,
         })
     }
@@ -118,9 +120,10 @@ impl Alfsr {
         self.state
     }
 
-    /// Resets to the all-zeros state.
+    /// Resets to the seed state (all-zeros unless [`Alfsr::set_seed`]
+    /// changed it — zero is the natural power-on state of the XNOR form).
     pub fn reset(&mut self) {
-        self.state = 0;
+        self.state = self.seed;
     }
 
     /// Forces the register to an arbitrary state (masked to the width).
@@ -129,6 +132,20 @@ impl Alfsr {
     pub fn set_state(&mut self, state: u64) {
         let s = state & self.mask();
         self.state = if s == self.mask() { 0 } else { s };
+    }
+
+    /// Sets the seed that [`Alfsr::reset`] (and therefore every replayed
+    /// stimulus built from this register) starts from, and jumps to it.
+    /// Masked like [`Alfsr::set_state`]; the lock-up state is remapped to
+    /// all-zeros, so seed 0 reproduces the power-on sequence exactly.
+    pub fn set_seed(&mut self, seed: u64) {
+        self.set_state(seed);
+        self.seed = self.state;
+    }
+
+    /// The seed [`Alfsr::reset`] restores.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Advances one clock and returns the *new* state.
@@ -145,7 +162,8 @@ impl Alfsr {
         let mut copy = Alfsr {
             width: self.width,
             taps_mask: self.taps_mask,
-            state: 0,
+            state: self.seed,
+            seed: self.seed,
             variant: self.variant,
         };
         for _ in 0..n {
@@ -317,6 +335,30 @@ mod tests {
         assert_eq!(a.state(), 0b0101);
         a.step();
         assert_ne!(a.state(), 0b1111, "never step into lock-up");
+    }
+
+    #[test]
+    fn reset_restores_the_seed() {
+        let mut a = Alfsr::new(20).unwrap();
+        a.set_seed(0xABCDE);
+        assert_eq!(a.state(), 0xABCDE, "set_seed jumps to the seed");
+        let first: Vec<u64> = (0..8).map(|_| a.step()).collect();
+        a.reset();
+        assert_eq!(a.state(), 0xABCDE);
+        let again: Vec<u64> = (0..8).map(|_| a.step()).collect();
+        assert_eq!(first, again, "reset replays the seeded sequence");
+        // state_at replays from the seed too.
+        assert_eq!(a.state_at(3), first[2]);
+        // Default seed stays the power-on all-zeros state.
+        let mut b = Alfsr::new(20).unwrap();
+        b.step();
+        b.reset();
+        assert_eq!(b.state(), 0);
+        assert_eq!(b.seed(), 0);
+        // The lock-up seed is remapped, exactly like set_state.
+        let mut c = Alfsr::new(4).unwrap();
+        c.set_seed(0xF);
+        assert_eq!(c.seed(), 0);
     }
 
     #[test]

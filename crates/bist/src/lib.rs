@@ -56,4 +56,5 @@ pub use error::EngineError;
 pub use misr::{fold_xor, Misr};
 pub use pgen::{
     BistStimulus, BitSource, ConstraintGenerator, HoldCycler, PatternGenerator, PortWiring,
+    WeightedCg,
 };

@@ -81,6 +81,80 @@ fn mask(width: usize) -> u64 {
     }
 }
 
+/// A weighted-random [`ConstraintGenerator`]: every output bit is an
+/// independent Bernoulli draw with its own 1-probability.
+///
+/// Uniform pseudo-random patterns starve logic whose controlling cone needs
+/// a biased input distribution (deep AND trees, enables that must stay
+/// asserted). A weighted generator skews each input bit toward the level
+/// its cold downstream logic needs — the paper's "redefine the Constraints
+/// Generator" feedback, synthesized automatically from toggle data instead
+/// of redesigned by hand.
+///
+/// The draw for bit `i` at cycle `t` hashes `(seed, t, i)` through one
+/// SplitMix64 round, so [`WeightedCg::value_at`] is a pure function of the
+/// cycle — replayable by the windowed fault simulator — and two generators
+/// with the same seed and weights are bit-identical.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightedCg {
+    seed: u64,
+    /// Per-bit draw thresholds in `0..=65536`: bit is 1 when the 16-bit
+    /// hash value falls below the threshold.
+    thresholds: Vec<u32>,
+}
+
+impl WeightedCg {
+    /// Builds a generator from per-bit 1-probabilities (clamped to
+    /// `[0, 1]`; `0.0` pins the bit low, `1.0` pins it high).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or wider than 64 bits.
+    pub fn new(seed: u64, weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "need at least one weight");
+        assert!(weights.len() <= 64, "weighted CG is at most 64 bits wide");
+        let thresholds = weights
+            .iter()
+            .map(|w| (w.clamp(0.0, 1.0) * 65536.0).round() as u32)
+            .collect();
+        WeightedCg { seed, thresholds }
+    }
+
+    /// The seed the per-cycle draws are keyed with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The effective per-bit 1-probabilities after clamping.
+    pub fn weights(&self) -> Vec<f64> {
+        self.thresholds
+            .iter()
+            .map(|&t| f64::from(t) / 65536.0)
+            .collect()
+    }
+}
+
+impl ConstraintGenerator for WeightedCg {
+    fn width(&self) -> usize {
+        self.thresholds.len()
+    }
+
+    fn value_at(&self, cycle: u64) -> u64 {
+        let mut value = 0u64;
+        for (i, &threshold) in self.thresholds.iter().enumerate() {
+            let key = self
+                .seed
+                .wrapping_add(cycle.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .wrapping_add((i as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
+            let draw = soctest_prng::SplitMix64::new(key).next_u64() >> 48;
+            if (draw as u32) < threshold {
+                value |= 1u64 << i;
+            }
+        }
+        value
+    }
+}
+
 /// Where one module-input bit comes from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BitSource {
@@ -317,6 +391,43 @@ mod tests {
             stim.fill(t, &mut out);
             assert_eq!(out, pg.row_at(0, t), "cycle {t}");
         }
+    }
+
+    #[test]
+    fn weighted_cg_is_replayable_and_respects_extremes() {
+        let cg = WeightedCg::new(0xC0FFEE, &[0.0, 1.0, 0.5, 0.5]);
+        assert_eq!(cg.width(), 4);
+        for t in 0..64 {
+            let v = cg.value_at(t);
+            assert_eq!(v & 1, 0, "weight 0.0 pins bit 0 low");
+            assert_eq!(v & 2, 2, "weight 1.0 pins bit 1 high");
+            assert_eq!(v, cg.value_at(t), "pure function of the cycle");
+        }
+        // Same seed + weights ⇒ bit-identical stream; different seed ⇒ not.
+        let twin = WeightedCg::new(0xC0FFEE, &[0.0, 1.0, 0.5, 0.5]);
+        let other = WeightedCg::new(0xBEEF, &[0.0, 1.0, 0.5, 0.5]);
+        assert!((0..256).all(|t| cg.value_at(t) == twin.value_at(t)));
+        assert!((0..256).any(|t| cg.value_at(t) != other.value_at(t)));
+    }
+
+    #[test]
+    fn weighted_cg_tracks_its_weights() {
+        let cg = WeightedCg::new(7, &[0.9, 0.1]);
+        // Empirical 1-density over a long window lands near the weight.
+        let n = 4096u64;
+        let ones0 = (0..n).filter(|&t| cg.value_at(t) & 1 != 0).count() as f64;
+        let ones1 = (0..n).filter(|&t| cg.value_at(t) & 2 != 0).count() as f64;
+        assert!(
+            (ones0 / n as f64 - 0.9).abs() < 0.05,
+            "{}",
+            ones0 / n as f64
+        );
+        assert!(
+            (ones1 / n as f64 - 0.1).abs() < 0.05,
+            "{}",
+            ones1 / n as f64
+        );
+        assert!((cg.weights()[0] - 0.9).abs() < 1e-4);
     }
 
     #[test]

@@ -178,6 +178,96 @@ impl CaseStudy {
         )
     }
 
+    /// A behavioral pattern generator using ALFSR polynomial `variant` and
+    /// a non-default `seed` — the stimulus-side twin of
+    /// [`CaseStudy::engine_variant`], so a coverage loop can *measure* what
+    /// a reseeded or reciprocal-polynomial session would detect.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::UnsupportedVariant`] if `variant` is out of range
+    /// for the spec's ALFSR width.
+    pub fn pattern_generator_variant(
+        &self,
+        variant: u8,
+        seed: u64,
+    ) -> Result<PatternGenerator, EngineError> {
+        let mut alfsr = Alfsr::with_variant(self.spec.alfsr_width, variant).ok_or(
+            EngineError::UnsupportedVariant {
+                width: self.spec.alfsr_width,
+                variant,
+            },
+        )?;
+        alfsr.set_seed(seed);
+        Ok(PatternGenerator::new(
+            alfsr,
+            self.boxed_cgs(),
+            self.spec.wirings.clone(),
+        ))
+    }
+
+    /// A pattern generator whose ALFSR-driven inputs of module `m` are
+    /// rerouted to a [`WeightedCg`](soctest_bist::WeightedCg) with the given
+    /// per-bit 1-probabilities — the paper's "redesign the Constraint
+    /// Generator" feedback, synthesized instead of hand-crafted. The
+    /// existing hold-cycler CGs (datapath selector, start/clr pulses) keep
+    /// their wiring; `weights` supplies one probability per module input
+    /// bit in port order, and only the ALFSR-driven positions are used.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::SourceWidth`] when `weights` does not cover the
+    /// module's input width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range (same contract as
+    /// [`CaseStudy::module_mut`]).
+    pub fn weighted_pattern_generator(
+        &self,
+        m: usize,
+        weights: &[f64],
+        seed: u64,
+    ) -> Result<PatternGenerator, SessionError> {
+        let module = &self.modules[m];
+        if weights.len() != module.input_width() {
+            return Err(SessionError::SourceWidth {
+                module: module.name().to_owned(),
+                port: "<weighted-cg>".to_owned(),
+                expected: module.input_width(),
+                got: weights.len(),
+            });
+        }
+        let wcg_index = self.spec.cgs.len();
+        let mut wcg_weights = Vec::new();
+        let mut wirings = self.spec.wirings.clone();
+        let rerouted: Vec<BitSource> = wirings[m]
+            .bits()
+            .iter()
+            .zip(weights)
+            .map(|(src, &w)| match src {
+                BitSource::Alfsr(_) => {
+                    wcg_weights.push(w);
+                    BitSource::Cg {
+                        cg: wcg_index,
+                        bit: wcg_weights.len() - 1,
+                    }
+                }
+                other => *other,
+            })
+            .collect();
+        wirings[m] = PortWiring::custom(rerouted);
+        let mut cgs = self.boxed_cgs();
+        if !wcg_weights.is_empty() {
+            cgs.push(Box::new(soctest_bist::WeightedCg::new(seed, &wcg_weights)));
+        }
+        Ok(PatternGenerator::new(
+            self.alfsr_proto.clone(),
+            cgs,
+            wirings,
+        ))
+    }
+
     fn boxed_cgs(&self) -> Vec<Box<dyn soctest_bist::ConstraintGenerator + Send + Sync>> {
         self.spec
             .cgs
@@ -573,6 +663,42 @@ mod tests {
         assert_eq!(sig_a, sig_b, "structural signatures are reproducible");
         let sig_c = run(96);
         assert_ne!(sig_a, sig_c, "longer runs give different signatures");
+    }
+
+    #[test]
+    fn variant_and_weighted_generators_are_deterministic_knobs() {
+        use soctest_fault::SeqStimulus;
+        let case = CaseStudy::paper().unwrap();
+        let rows = |pg: &PatternGenerator, m: usize| {
+            let width = case.modules()[m].input_width();
+            let mut stim = pg.stimulus(m, 8);
+            let mut row = vec![false; width];
+            (0..8)
+                .map(|t| {
+                    stim.fill(t, &mut row);
+                    row.clone()
+                })
+                .collect::<Vec<_>>()
+        };
+
+        // Reseeding changes the stream; seed 0 reproduces the default.
+        let base = case.pattern_generator();
+        let reseeded = case.pattern_generator_variant(0, 0xABCDE).unwrap();
+        assert_ne!(rows(&base, 0), rows(&reseeded, 0));
+        let default_seed = case.pattern_generator_variant(0, 0).unwrap();
+        assert_eq!(rows(&base, 0), rows(&default_seed, 0));
+        assert!(case.pattern_generator_variant(9, 0).is_err());
+
+        // The weighted generator is deterministic in (weights, seed), only
+        // reroutes the requested module, and rejects mis-sized weights.
+        let width = case.modules()[1].input_width();
+        let weights = vec![0.5; width];
+        let w1 = case.weighted_pattern_generator(1, &weights, 7).unwrap();
+        let w2 = case.weighted_pattern_generator(1, &weights, 7).unwrap();
+        assert_eq!(rows(&w1, 1), rows(&w2, 1));
+        assert_ne!(rows(&w1, 1), rows(&base, 1));
+        assert_eq!(rows(&w1, 0), rows(&base, 0), "module 0 wiring untouched");
+        assert!(case.weighted_pattern_generator(1, &[0.5], 7).is_err());
     }
 
     #[test]

@@ -17,6 +17,7 @@ use soctest_obs::analyze::{self, AdvisorInput, CurveFacts, ToggleRow};
 use soctest_obs::svg::{self, escape, Bar, LineSeries, TimelinePoint};
 use soctest_obs::{report, CoverageCurve, HtmlReport, MemorySink, TraceHandle, Tracer};
 
+use crate::autopilot::AutopilotReport;
 use crate::casestudy::CaseStudy;
 use crate::error::SessionError;
 use crate::eval::{self, FaultModel, Step1Report, Step3Report};
@@ -72,6 +73,10 @@ pub struct CampaignData {
     pub advice: Vec<analyze::Advice>,
     /// BIST patterns per campaign run.
     pub patterns: u64,
+    /// A closed-loop autopilot run to render alongside the campaign, when
+    /// one was flown (`run_campaign` itself leaves this `None`; the `repro`
+    /// binary attaches it under `--autopilot`).
+    pub autopilot: Option<AutopilotReport>,
 }
 
 /// How many drill-down rows (cold nets, undetected faults) the report
@@ -224,6 +229,7 @@ pub fn run_campaign(
         session_jsonl,
         advice,
         patterns,
+        autopilot: None,
     })
 }
 
@@ -447,6 +453,59 @@ fn advisor_section(data: &CampaignData) -> String {
     body
 }
 
+fn autopilot_section(report: &AutopilotReport) -> String {
+    let mut body = String::new();
+    // Verdict tiles: one per module, plus the loop's budget accounting.
+    let mut tiles: Vec<(String, String)> = report
+        .modules
+        .iter()
+        .map(|m| (m.module.clone(), m.verdict.name().to_owned()))
+        .collect();
+    tiles.push(("target".into(), format!("{:.1}%", report.target_percent)));
+    tiles.push(("simulated patterns".into(), report.sim_patterns.to_string()));
+    body.push_str(&report::stat_tiles(&tiles));
+
+    // The decision table: every round of every module, in flight order.
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for m in &report.modules {
+        for r in &m.rounds {
+            rows.push(vec![
+                m.module.clone(),
+                r.round.to_string(),
+                r.lever.name().to_owned(),
+                r.patterns.to_string(),
+                format!("{:.1}%", r.coverage_percent),
+                format!("{:.2}", r.summary.tail_flatness),
+            ]);
+        }
+        let demoted = if m.demoted.is_empty() {
+            "—".to_owned()
+        } else {
+            m.demoted.join(", ")
+        };
+        rows.push(vec![
+            m.module.clone(),
+            "∎".into(),
+            format!("verdict: {}", m.verdict.name()),
+            m.recommended_patterns
+                .map(|p| format!("knee {p}"))
+                .unwrap_or_else(|| "—".into()),
+            format!("{:.1}%", m.final_percent),
+            format!("demoted: {demoted}"),
+        ]);
+    }
+    body.push_str(&report::table(
+        &["module", "round", "lever", "patterns", "coverage", "tail"],
+        &rows,
+    ));
+
+    // The raw decision trail, greppable straight out of the HTML.
+    body.push_str("<h3>Decision trail</h3><pre class=\"trail\">");
+    body.push_str(&escape(&report.trail_jsonl));
+    body.push_str("</pre>");
+    body
+}
+
 fn timeline_section(data: &CampaignData) -> String {
     let events = report::timeline_from_jsonl(&data.session_jsonl);
     // Cap the drawn points without dropping any event kind: dense lanes
@@ -540,6 +599,9 @@ pub fn render_report(data: &CampaignData) -> String {
     doc.add_section("Toggle heatmap", toggle_section(data));
     doc.add_section("Diagnosis", diagnosis_section(data));
     doc.add_section("Feedback advisor", advisor_section(data));
+    if let Some(pilot) = &data.autopilot {
+        doc.add_section("Autopilot", autopilot_section(pilot));
+    }
     doc.add_section("Session timeline", timeline_section(data));
     doc.render()
 }
@@ -617,5 +679,39 @@ mod tests {
         let html = render_report(&data);
         assert!(report::is_self_contained(&html));
         assert!(html.contains("Feedback advisor"));
+        // No autopilot flown → no autopilot section.
+        assert!(!html.contains("Autopilot"));
+    }
+
+    #[test]
+    fn attached_autopilot_run_renders_its_own_section() {
+        use crate::autopilot::{Autopilot, AutopilotConfig};
+
+        let reference = CaseStudy::small().unwrap();
+        let dut = CaseStudy::small().unwrap();
+        let mut budget = Budget::quick();
+        budget.bist_patterns = 64;
+        budget.diag_patterns = 32;
+        let mut data = run_campaign(&reference, &dut, &budget).unwrap();
+        let pilot = Autopilot::new(AutopilotConfig {
+            target_percent: 5.0,
+            start_patterns: 16,
+            max_patterns: 32,
+            max_rounds: 2,
+            screen_patterns: 32,
+            ..Default::default()
+        })
+        .unwrap();
+        data.autopilot = Some(pilot.run(&reference, &dut).unwrap());
+
+        let html = render_report(&data);
+        assert!(report::is_self_contained(&html));
+        assert!(html.contains("Autopilot"));
+        // The decision trail is greppable straight out of the HTML.
+        assert!(html.contains("AutopilotDecision"));
+        assert!(html.contains("AutopilotVerdict"));
+        assert!(html.contains("Converged"));
+        // Every round row made it into the decision table.
+        assert!(html.contains("verdict: Converged"));
     }
 }

@@ -132,6 +132,79 @@ pub fn step1(case: &CaseStudy, npatterns: u64) -> Result<Step1Report, SessionErr
     })
 }
 
+/// Learns per-input 1-probability weights for one module by watching which
+/// nets stay cold under the default pattern generator — the data a
+/// synthesized weighted-random constraint generator
+/// ([`CaseStudy::weighted_pattern_generator`]) needs.
+///
+/// Each cold net votes on every primary input in its fan-in cone: a
+/// stuck-low net pushes those inputs toward 1, a stuck-high net toward 0.
+/// Inputs outside every cold cone keep the neutral 0.5, so the weighted
+/// stream degrades gracefully to plain pseudo-random where nothing is
+/// starved. Returns one weight per module input bit, in port order.
+///
+/// # Errors
+///
+/// Propagates simulator-construction errors.
+pub fn learn_input_weights(
+    case: &CaseStudy,
+    module: usize,
+    npatterns: u64,
+) -> Result<Vec<f64>, SessionError> {
+    let netlist = &case.modules()[module];
+    let inputs = netlist.primary_inputs();
+    let mut sim = SeqSim::new(netlist)?;
+    let mut mon = ToggleMonitor::new(netlist);
+    let pgen = case.pattern_generator();
+    let mut stim = pgen.stimulus(module, npatterns);
+    let mut row = vec![false; inputs.len()];
+    for t in 0..npatterns {
+        use soctest_fault::SeqStimulus;
+        stim.fill(t, &mut row);
+        for (&net, &bit) in inputs.iter().zip(&row) {
+            sim.set_input_bit(net, bit);
+        }
+        sim.eval_comb();
+        mon.sample(sim.comb().values());
+        sim.clock();
+    }
+
+    // One vote slot per primary input; +1 = wants more 1s, −1 = fewer.
+    let mut input_slot = vec![usize::MAX; netlist.len()];
+    for (i, &net) in inputs.iter().enumerate() {
+        input_slot[net.index()] = i;
+    }
+    let mut votes = vec![0i64; inputs.len()];
+    let mut visited = vec![false; netlist.len()];
+    let mut stack = Vec::new();
+    for (cold, stuck_high) in mon.cold_polarity() {
+        visited.iter_mut().for_each(|v| *v = false);
+        stack.push(cold);
+        while let Some(net) = stack.pop() {
+            if std::mem::replace(&mut visited[net.index()], true) {
+                continue;
+            }
+            if input_slot[net.index()] != usize::MAX {
+                votes[input_slot[net.index()]] += if stuck_high { -1 } else { 1 };
+                continue;
+            }
+            stack.extend(netlist.gate(net).pins.iter().copied());
+        }
+    }
+
+    let peak = votes.iter().map(|v| v.abs()).max().unwrap_or(0);
+    Ok(votes
+        .iter()
+        .map(|&v| {
+            if peak == 0 {
+                0.5
+            } else {
+                (0.5 + 0.4 * v as f64 / peak as f64).clamp(0.1, 0.9)
+            }
+        })
+        .collect())
+}
+
 /// Runs step 2 for one module: fault coverage under the BIST pattern
 /// generator, repeating with doubled pattern counts until `target_percent`
 /// is reached or `max_patterns` is exceeded — the Fig. 4 loop.
@@ -260,6 +333,20 @@ mod tests {
             assert_eq!(name, cold_name);
             assert_eq!(cold.len(), rep.nets - rep.toggled);
         }
+    }
+
+    #[test]
+    fn learned_weights_are_probabilities_and_deterministic() {
+        let case = CaseStudy::paper().unwrap();
+        // CHECK_NODE is the module whose cold nets the autopilot attacks.
+        let w = learn_input_weights(&case, 1, 128).unwrap();
+        assert_eq!(w.len(), case.modules()[1].input_width());
+        assert!(w.iter().all(|&p| (0.1..=0.9).contains(&p)));
+        // Some cold net exists at 128 patterns, so at least one input is
+        // biased away from neutral.
+        assert!(w.iter().any(|&p| (p - 0.5).abs() > 1e-9));
+        let again = learn_input_weights(&case, 1, 128).unwrap();
+        assert_eq!(w, again, "learning is a pure function of the stimulus");
     }
 
     #[test]

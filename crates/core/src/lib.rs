@@ -20,7 +20,12 @@
 //!   converts into, so every failure carries its root cause;
 //! * [`robust`] — fault-tolerant sessions: TCK watchdogs, retry-with-reseed
 //!   on signature mismatch (the paper's Fig. 4 feedback loop applied at
-//!   test time), majority-vote status reads, and per-module quarantine.
+//!   test time), majority-vote status reads, and per-module quarantine;
+//! * [`autopilot`] — the closed-loop coverage controller: reads each
+//!   round's coverage-curve facts and *acts* (add patterns, reseed,
+//!   reciprocal polynomial, synthesized weighted constraint generator)
+//!   until every module converges or reaches a typed terminal verdict,
+//!   recording a seed-deterministic decision trail.
 //!
 //! # Example: an at-speed BIST session through the TAP
 //!
@@ -53,6 +58,7 @@
     deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
 )]
 
+pub mod autopilot;
 pub mod casestudy;
 pub mod cockpit;
 pub mod error;

@@ -199,6 +199,28 @@ impl SessionReport {
     }
 }
 
+/// What a pre-loop screen of one module observed (see
+/// [`RobustSession::screen_module`]). Unlike [`RobustSession::run`], a
+/// hang here is a *verdict*, not an error: callers that own a per-module
+/// loop (the autopilot) degrade that one module and keep going.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScreenOutcome {
+    /// The module's signature matched the rehearsal.
+    Passed,
+    /// The signature mismatched — a candidate defect.
+    Mismatch {
+        /// The rehearsed fault-free signature.
+        golden: u64,
+        /// The signature read from the DUT.
+        signature: u64,
+    },
+    /// The engine never raised `end_test` within the burst budget.
+    Hung {
+        /// Functional cycles waited before giving up.
+        cycles: u64,
+    },
+}
+
 /// One quarantined module's post-session diagnosis: the step-3 equivalent
 /// fault-class statistics, computed by fault-simulating the module with
 /// syndrome collection under the BIST pattern generator.
@@ -482,6 +504,59 @@ impl RobustSession {
         Ok(report)
     }
 
+    /// Screens a single module: rehearses its golden signature, runs one
+    /// TAP-driven session against the DUT under this session's budget, and
+    /// compares the majority-voted signature. Where [`RobustSession::run`]
+    /// treats a hung engine as a session-fatal error, here it comes back as
+    /// [`ScreenOutcome::Hung`] so a per-module controller can quarantine
+    /// just that module and keep working on the others.
+    ///
+    /// # Errors
+    ///
+    /// * [`SessionError::MissingSource`] when `module` is out of range;
+    /// * protocol errors other than the done-timeout (e.g. no status-read
+    ///   majority) from the TAP layer;
+    /// * simulator-construction errors from the rehearsal.
+    pub fn screen_module(
+        &self,
+        reference: &CaseStudy,
+        dut: &CaseStudy,
+        module: usize,
+        npatterns: u64,
+    ) -> Result<ScreenOutcome, SessionError> {
+        let goldens = reference.golden_signatures(npatterns)?;
+        let golden = goldens
+            .get(module)
+            .copied()
+            .ok_or_else(|| SessionError::MissingSource {
+                module: format!("module {module}"),
+                port: "signature".to_owned(),
+            })?;
+        let mut backend = WrappedCore::new(dut)?;
+        backend.set_trace(self.trace.clone());
+        let mut ate = TapDriver::new(backend);
+        ate.set_trace(self.trace.clone());
+        ate.reset();
+        ate.bist_load_pattern_count(npatterns);
+        ate.bist_start();
+        match ate.wait_for_done(self.budget.burst, self.budget.max_bursts) {
+            Ok(_) => {}
+            Err(ProtocolError::DoneTimeout { cycles_waited, .. }) => {
+                return Ok(ScreenOutcome::Hung {
+                    cycles: cycles_waited,
+                });
+            }
+            Err(e) => return Err(e.into()),
+        }
+        ate.bist_select_result(module as u8);
+        let (_, signature) = ate.read_status_voted(self.budget.status_votes)?;
+        Ok(if signature == golden {
+            ScreenOutcome::Passed
+        } else {
+            ScreenOutcome::Mismatch { golden, signature }
+        })
+    }
+
     /// Diagnoses the quarantined modules of a finished session: each one is
     /// fault-simulated (stuck-at, MISR-observed, syndrome-collecting) under
     /// the BIST pattern generator and reduced to its step-3 equivalent
@@ -687,6 +762,36 @@ mod tests {
                 .is_some(),
             "waveform carries module 2's ports"
         );
+    }
+
+    #[test]
+    fn screening_separates_pass_defect_and_hang() {
+        let reference = CaseStudy::paper().unwrap();
+        let session = RobustSession::default();
+
+        // Healthy hardware passes.
+        let dut = CaseStudy::paper().unwrap();
+        assert_eq!(
+            session.screen_module(&reference, &dut, 0, 64).unwrap(),
+            ScreenOutcome::Passed
+        );
+
+        // A planted defect is a mismatch on that module, not an error.
+        let mut bad = CaseStudy::paper().unwrap();
+        let victim = bad.modules()[1].primary_outputs()[0];
+        bad.module_mut(1).force_constant(victim, true);
+        match session.screen_module(&reference, &bad, 1, 64).unwrap() {
+            ScreenOutcome::Mismatch { golden, signature } => assert_ne!(golden, signature),
+            other => panic!("expected a mismatch, got {other:?}"),
+        }
+        // ...and the *other* modules still pass on the same defective DUT.
+        assert_eq!(
+            session.screen_module(&reference, &bad, 0, 64).unwrap(),
+            ScreenOutcome::Passed
+        );
+
+        // Out-of-range module index is a typed error.
+        assert!(session.screen_module(&reference, &dut, 9, 64).is_err());
     }
 
     #[test]

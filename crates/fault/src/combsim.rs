@@ -215,7 +215,7 @@ impl<'a> CombFaultSim<'a> {
                 .then(|| vec![Syndrome::new(); self.universe.len()]),
             applied: 0,
             stats: FaultSimStats {
-                threads: self.parallel.effective_threads(),
+                threads: self.parallel.workers_for(self.universe.len()),
                 ..FaultSimStats::default()
             },
         }
@@ -322,7 +322,7 @@ impl<'a> CombFaultSim<'a> {
         }
         let mut launch = vec![0u64; view.len()];
 
-        let nthreads = self.parallel.effective_threads().min(faults.len().max(1));
+        let nthreads = self.parallel.workers_for(faults.len());
         campaign.stats.threads = nthreads;
         let collect = self.collect_syndromes;
         let offset = campaign.applied;

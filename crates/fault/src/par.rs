@@ -46,6 +46,16 @@ impl ParallelPolicy {
             self.threads
         }
     }
+
+    /// Worker count for a campaign with `items` independent work units
+    /// (fault-lane chunks, faults, …): [`ParallelPolicy::effective_threads`]
+    /// clamped to the available work, never below 1. A result of `1` —
+    /// e.g. `threads: 0` on a single-core host, or fewer chunks than
+    /// cores — tells the simulator to take the exact serial path instead
+    /// of spinning up the worker-pool machinery.
+    pub fn workers_for(&self, items: usize) -> usize {
+        self.effective_threads().min(items.max(1))
+    }
 }
 
 #[cfg(test)]
@@ -61,5 +71,14 @@ mod tests {
     fn explicit_counts_pass_through() {
         assert_eq!(ParallelPolicy::serial().effective_threads(), 1);
         assert_eq!(ParallelPolicy::with_threads(7).effective_threads(), 7);
+    }
+
+    #[test]
+    fn workers_clamp_to_the_available_work() {
+        let p = ParallelPolicy::with_threads(8);
+        assert_eq!(p.workers_for(3), 3, "fewer chunks than threads");
+        assert_eq!(p.workers_for(100), 8, "plenty of work");
+        assert_eq!(p.workers_for(0), 1, "no work still means one worker");
+        assert_eq!(ParallelPolicy::serial().workers_for(100), 1);
     }
 }

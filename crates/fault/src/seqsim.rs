@@ -314,7 +314,11 @@ impl<'a> SeqFaultSim<'a> {
         };
         let ctx = &ctx;
 
-        let nthreads = self.config.parallel.effective_threads();
+        // Clamp the worker count to the campaign's actual fault-lane chunk
+        // count up front: a 1-core host (or a tiny universe) resolves to 1
+        // and takes the exact serial path below — no scoped pool, no extra
+        // scratchpads — instead of paying worker-pool overhead for nothing.
+        let nthreads = self.config.parallel.workers_for(faults.len().div_ceil(64));
         let mut stats = FaultSimStats {
             threads: nthreads,
             ..FaultSimStats::default()

@@ -250,6 +250,7 @@ mod tests {
             patterns_to_90: None,
             patterns_to_final: Some(cycles),
             tail_flatness,
+            milestones: Vec::new(),
         }
     }
 

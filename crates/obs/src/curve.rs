@@ -137,6 +137,10 @@ impl CoverageCurve {
     /// Condenses the curve into the scalar summary the bench trajectory
     /// and the report's stat tiles track.
     pub fn summary(&self) -> CurveSummary {
+        let milestones = MILESTONE_LADDER
+            .iter()
+            .filter_map(|&t| self.patterns_to_percent(t as f64).map(|p| (t, p)))
+            .collect();
         CurveSummary {
             faults: self.faults,
             detected: self.detected(),
@@ -145,6 +149,7 @@ impl CoverageCurve {
             patterns_to_90: self.patterns_to_percent(90.0),
             patterns_to_final: self.patterns_to_final(),
             tail_flatness: self.tail_flatness(),
+            milestones,
         }
     }
 
@@ -215,6 +220,12 @@ impl CoverageCurve {
     }
 }
 
+/// The coverage thresholds (percent) tracked as milestones in every
+/// [`CurveSummary`]. Only the thresholds a campaign actually reached are
+/// stored, so the last entry is the curve's *knee* — the highest ladder
+/// rung the campaign climbed to.
+pub const MILESTONE_LADDER: [u64; 7] = [10, 25, 50, 75, 90, 95, 99];
+
 /// Scalar summary of one coverage curve: the test-length-efficiency
 /// numbers the bench trajectory tracks next to wall time.
 #[derive(Debug, Clone, PartialEq)]
@@ -233,15 +244,34 @@ pub struct CurveSummary {
     pub patterns_to_final: Option<u64>,
     /// Tail flatness in `[0, 1]` (see [`CoverageCurve::tail_flatness`]).
     pub tail_flatness: f64,
+    /// Reached `(threshold_percent, patterns)` milestones from
+    /// [`MILESTONE_LADDER`], in ascending threshold order.
+    pub milestones: Vec<(u64, u64)>,
 }
 
 impl CurveSummary {
+    /// Patterns needed to reach `percent` coverage, answered from the
+    /// milestone ladder: the smallest reached threshold ≥ `percent`, or —
+    /// when the campaign never got that far — the *knee*, the highest
+    /// threshold actually reached. `None` only when nothing was detected
+    /// past the lowest rung. The returned pair is
+    /// `(threshold_percent, patterns)`, so a below-target curve reports an
+    /// informative rung instead of `null`.
+    pub fn patterns_to(&self, percent: u64) -> Option<(u64, u64)> {
+        self.milestones
+            .iter()
+            .find(|&&(t, _)| t >= percent)
+            .or_else(|| self.milestones.last())
+            .copied()
+    }
+
     /// Serializes the summary as a JSON object (`null` for unreached
     /// milestones).
     pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
         let opt = |o: Option<u64>| o.map(|v| v.to_string()).unwrap_or_else(|| "null".into());
-        format!(
-            "{{\"faults\":{},\"detected\":{},\"cycles\":{},\"final_percent\":{},\"patterns_to_90\":{},\"patterns_to_final\":{},\"tail_flatness\":{:.4}}}",
+        let mut s = format!(
+            "{{\"faults\":{},\"detected\":{},\"cycles\":{},\"final_percent\":{},\"patterns_to_90\":{},\"patterns_to_final\":{},\"tail_flatness\":{:.4},\"milestones\":[",
             self.faults,
             self.detected,
             self.cycles,
@@ -249,7 +279,15 @@ impl CurveSummary {
             opt(self.patterns_to_90),
             opt(self.patterns_to_final),
             self.tail_flatness,
-        )
+        );
+        for (i, &(t, p)) in self.milestones.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "[{t},{p}]");
+        }
+        s.push_str("]}");
+        s
     }
 }
 
@@ -340,5 +378,28 @@ mod tests {
         let j = s.to_json();
         assert!(j.contains("\"patterns_to_90\":4"), "{j}");
         assert!(j.contains("\"final_percent\":100"), "{j}");
+        assert!(j.contains("\"milestones\":[[10,1]"), "{j}");
+    }
+
+    #[test]
+    fn patterns_to_reports_the_knee_below_target() {
+        // 8 faults, 4 detected → final coverage 50%: the ladder reaches
+        // exactly the 10/25/50 rungs.
+        let det = [Some(0), Some(5), Some(5), Some(11), None, None, None, None];
+        let s = CoverageCurve::from_detection(&det, 16).summary();
+        assert_eq!(
+            s.milestones,
+            vec![(10, 1), (25, 6), (50, 12)],
+            "only reached rungs are stored"
+        );
+        // At or below the knee: the smallest rung covering the request.
+        assert_eq!(s.patterns_to(25), Some((25, 6)));
+        assert_eq!(s.patterns_to(40), Some((50, 12)));
+        // Above the knee: report the knee itself instead of null.
+        assert_eq!(s.patterns_to(90), Some((50, 12)));
+        // A curve with no detections has no rungs at all.
+        let empty = CoverageCurve::from_detection(&[None, None], 4).summary();
+        assert!(empty.milestones.is_empty());
+        assert_eq!(empty.patterns_to(90), None);
     }
 }

@@ -178,6 +178,44 @@ pub enum TraceEvent {
         /// Whether the syndrome reached zero.
         success: bool,
     },
+    /// The autopilot opened a closed-loop coverage session.
+    AutopilotStart {
+        /// Modules under control.
+        modules: u8,
+        /// Coverage target in basis points (percent × 100).
+        target_bp: u64,
+    },
+    /// One autopilot round: the lever it pulled and the coverage it saw.
+    AutopilotDecision {
+        /// Module index (hookup order).
+        module: u8,
+        /// Round number (1-based).
+        round: u64,
+        /// Lever name (`obs::analyze::strategy` vocabulary).
+        lever: &'static str,
+        /// Coverage after the round, in basis points.
+        coverage_bp: u64,
+        /// Patterns configured for the round.
+        patterns: u64,
+    },
+    /// A lever failed to raise coverage twice and was demoted.
+    AutopilotLeverDemoted {
+        /// Module index.
+        module: u8,
+        /// The demoted lever.
+        lever: &'static str,
+    },
+    /// The autopilot reached a terminal verdict for a module.
+    AutopilotVerdict {
+        /// Module index.
+        module: u8,
+        /// Verdict name (`Converged`, `Stalled`, …).
+        verdict: &'static str,
+        /// Rounds the module consumed.
+        rounds: u64,
+        /// Final coverage in basis points.
+        coverage_bp: u64,
+    },
     /// Escape hatch for ad-hoc instrumentation.
     Custom {
         /// Event name.
@@ -212,6 +250,10 @@ impl TraceEvent {
             TraceEvent::FaultSimDone { .. } => "FaultSimDone",
             TraceEvent::DecodeIteration { .. } => "DecodeIteration",
             TraceEvent::DecodeDone { .. } => "DecodeDone",
+            TraceEvent::AutopilotStart { .. } => "AutopilotStart",
+            TraceEvent::AutopilotDecision { .. } => "AutopilotDecision",
+            TraceEvent::AutopilotLeverDemoted { .. } => "AutopilotLeverDemoted",
+            TraceEvent::AutopilotVerdict { .. } => "AutopilotVerdict",
             TraceEvent::Custom { .. } => "Custom",
         }
     }
@@ -304,6 +346,37 @@ impl TraceEvent {
                 iterations,
                 success,
             } => vec![("iterations", U64(iterations)), ("success", Bool(success))],
+            TraceEvent::AutopilotStart { modules, target_bp } => vec![
+                ("modules", U64(modules.into())),
+                ("target_bp", U64(target_bp)),
+            ],
+            TraceEvent::AutopilotDecision {
+                module,
+                round,
+                lever,
+                coverage_bp,
+                patterns,
+            } => vec![
+                ("module", U64(module.into())),
+                ("round", U64(round)),
+                ("lever", Str(lever)),
+                ("coverage_bp", U64(coverage_bp)),
+                ("patterns", U64(patterns)),
+            ],
+            TraceEvent::AutopilotLeverDemoted { module, lever } => {
+                vec![("module", U64(module.into())), ("lever", Str(lever))]
+            }
+            TraceEvent::AutopilotVerdict {
+                module,
+                verdict,
+                rounds,
+                coverage_bp,
+            } => vec![
+                ("module", U64(module.into())),
+                ("verdict", Str(verdict)),
+                ("rounds", U64(rounds)),
+                ("coverage_bp", U64(coverage_bp)),
+            ],
             TraceEvent::Custom { name, a, b } => {
                 vec![("name", Str(name)), ("a", U64(a)), ("b", U64(b))]
             }

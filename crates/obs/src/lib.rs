@@ -49,7 +49,7 @@ pub mod svg;
 pub mod tracer;
 pub mod vcd;
 
-pub use curve::{CoverageCurve, CurveSummary};
+pub use curve::{CoverageCurve, CurveSummary, MILESTONE_LADDER};
 pub use event::{FieldValue, TraceEvent, TraceRecord};
 pub use metrics::{Histogram, MetricsHandle, MetricsRegistry, MetricsSnapshot};
 pub use report::HtmlReport;

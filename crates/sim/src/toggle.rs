@@ -124,6 +124,19 @@ impl ToggleMonitor {
             .map(|i| NetId(i as u32))
             .collect()
     }
+
+    /// Cold nets with the level they were stuck at: `(net, stuck_high)` —
+    /// `true` when the net was only ever seen at 1, `false` when only at 0
+    /// (or never observed at all). This is the signal a weighted-random
+    /// constraint generator needs: a stuck-low net wants a *higher*
+    /// 1-probability on the inputs of its cone, a stuck-high net a lower
+    /// one.
+    pub fn cold_polarity(&self) -> Vec<(NetId, bool)> {
+        (0..self.seen0.len())
+            .filter(|&i| !(self.seen0[i] && self.seen1[i]))
+            .map(|i| (NetId(i as u32), self.seen1[i]))
+            .collect()
+    }
 }
 
 /// Aggregate toggle-activity numbers.
@@ -205,6 +218,10 @@ mod tests {
         let rep = mon.report();
         assert_eq!(rep.toggled, 0);
         assert!(!mon.untoggled_nets().is_empty());
+        // Every cold net here is stuck low — the polarity signal agrees.
+        let cold = mon.cold_polarity();
+        assert_eq!(cold.len(), mon.untoggled_nets().len());
+        assert!(cold.iter().all(|&(_, stuck_high)| !stuck_high));
     }
 
     #[test]

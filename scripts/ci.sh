@@ -85,4 +85,26 @@ for m in BIT_NODE CHECK_NODE CONTROL_UNIT; do
     done
 done
 
+echo "== autopilot: closed-loop coverage controller =="
+cargo run --release -p soctest-bench --bin repro -- --quick --autopilot \
+    --target=35 --max-patterns=192 --seed=42 \
+    --trail=target/autopilot_trail.jsonl \
+    --report=target/report_autopilot.html | tee target/autopilot.txt
+# Every module must land on a terminal verdict — the loop guarantee.
+for m in BIT_NODE CHECK_NODE CONTROL_UNIT; do
+    grep -Eq "autopilot: $m +verdict=(Converged|Stalled|BudgetExhausted|Quarantined)" \
+        target/autopilot.txt \
+        || { echo "no terminal verdict for $m"; exit 1; }
+done
+# The decision trail is valid JSONL on disk...
+test -s target/autopilot_trail.jsonl
+grep -q '"event":"AutopilotStart"' target/autopilot_trail.jsonl
+grep -q '"event":"AutopilotDecision"' target/autopilot_trail.jsonl
+grep -q '"event":"AutopilotVerdict"' target/autopilot_trail.jsonl
+# ...and greppable straight out of the self-contained HTML report.
+test -s target/report_autopilot.html
+grep -q 'AutopilotDecision' target/report_autopilot.html
+grep -q 'AutopilotVerdict' target/report_autopilot.html
+grep -q 'Autopilot' target/report_autopilot.html
+
 echo "ci: all green"

@@ -3,6 +3,7 @@
 //! noisy status path, and a hung engine.
 
 use soctest::bist::EngineError;
+use soctest::core::autopilot::{Autopilot, AutopilotConfig, Verdict};
 use soctest::core::casestudy::CaseStudy;
 use soctest::core::robust::{RetryStrategy, RobustSession, SessionBudget};
 use soctest::core::session::WrappedCore;
@@ -182,4 +183,83 @@ fn dropped_clocks_surface_as_timeout() {
     ate.bist_start();
     // Commands never arrive intact; the engine never starts.
     assert!(ate.wait_for_done(4, 4).is_err());
+}
+
+/// Scenario 4: the autopilot's decision trail is a pure function of the
+/// netlist and the master seed. Two runs over fresh case-study instances
+/// must produce byte-identical JSONL — this is what makes a trail
+/// replayable evidence rather than a log.
+#[test]
+fn autopilot_decision_trail_is_seed_deterministic() {
+    let config = AutopilotConfig {
+        target_percent: 35.0,
+        start_patterns: 96,
+        max_patterns: 192,
+        seed: 42,
+        ..AutopilotConfig::default()
+    };
+    let run = || {
+        let reference = CaseStudy::paper().unwrap();
+        let dut = CaseStudy::paper().unwrap();
+        Autopilot::new(config)
+            .unwrap()
+            .run(&reference, &dut)
+            .unwrap()
+    };
+    let first = run();
+    let second = run();
+
+    assert!(!first.trail_jsonl.is_empty());
+    assert_eq!(
+        first.trail_jsonl, second.trail_jsonl,
+        "same netlist + same seed must replay to the same bytes"
+    );
+    assert_eq!(first.verdicts(), second.verdicts());
+    assert_eq!(first.sim_patterns, second.sim_patterns);
+
+    // A different master seed still terminates, but walks its own trail.
+    let reference = CaseStudy::paper().unwrap();
+    let dut = CaseStudy::paper().unwrap();
+    let other = Autopilot::new(AutopilotConfig { seed: 43, ..config })
+        .unwrap()
+        .run(&reference, &dut)
+        .unwrap();
+    assert_ne!(first.trail_jsonl, other.trail_jsonl);
+}
+
+/// Scenario 5: a hung engine under the autopilot. The pre-flight screen
+/// must catch the stuck module and quarantine it while the loop carries
+/// the healthy modules to the target — degraded, never deadlocked.
+#[test]
+fn autopilot_quarantines_a_hung_module_and_converges_the_rest() {
+    let reference = CaseStudy::paper().unwrap();
+    let dut = CaseStudy::paper().unwrap();
+    let report = Autopilot::new(AutopilotConfig {
+        target_percent: 35.0,
+        start_patterns: 96,
+        max_patterns: 192,
+        seed: 42,
+        ..AutopilotConfig::default()
+    })
+    .unwrap()
+    .with_injected_hang(2)
+    .run(&reference, &dut)
+    .unwrap();
+
+    let verdicts = report.verdicts();
+    assert_eq!(verdicts.len(), 3);
+    assert_eq!(verdicts[2], ("CONTROL_UNIT", Verdict::Quarantined));
+    // The hung module never reached the coverage loop...
+    assert!(report.modules[2].rounds.is_empty());
+    // ...while the others converged on target as if it were not there.
+    for (name, verdict) in &verdicts[..2] {
+        assert_eq!(*verdict, Verdict::Converged, "{name} must still converge");
+    }
+    for m in &report.modules[..2] {
+        assert!(m.final_percent >= 35.0);
+    }
+    // The trail records the quarantine as a first-class verdict.
+    assert!(report.trail_jsonl.contains("\"verdict\":\"Quarantined\""));
+    // Degraded-mode success: every module the screen cleared converged.
+    assert!(report.all_converged());
 }

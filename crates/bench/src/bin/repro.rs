@@ -56,7 +56,7 @@ use soctest_core::casestudy::CaseStudy;
 use soctest_core::cockpit;
 use soctest_core::experiments::{self, Budget};
 use soctest_core::robust::RobustSession;
-use soctest_fault::{FaultUniverse, ParallelPolicy, SeqFaultSim, SeqFaultSimConfig};
+use soctest_fault::{FaultUniverse, ParallelPolicy, SeqFaultSim, SeqFaultSimConfig, SimEngine};
 use soctest_obs::{
     json, CountingSink, JsonLinesSink, MetricsHandle, MetricsRegistry, MetricsSnapshot,
     TraceHandle, Tracer, VcdReader,
@@ -70,17 +70,41 @@ struct FaultSimBench {
     faults: usize,
     serial_wall_s: f64,
     parallel_wall_s: f64,
+    /// The graph-walking reference engine under the same parallel policy —
+    /// the denominator of the kernel's engine-level speedup.
+    graph_wall_s: f64,
     untraced_wall_s: f64,
     traced_wall_s: f64,
+    /// Worker count the serial policy actually resolved to (always 1).
+    serial_threads: usize,
+    /// Worker count the default parallel policy actually resolved to —
+    /// equal to `serial_threads` on a single-core host, in which case the
+    /// serial-vs-parallel "speedup" is just measurement noise.
     threads: usize,
     identical: bool,
     curve: soctest_obs::CurveSummary,
 }
 
 impl FaultSimBench {
+    /// Serial vs parallel walls resolve to *different* worker counts, so
+    /// their ratio measures parallelism rather than noise.
+    fn speedup_comparable(&self) -> bool {
+        self.threads != self.serial_threads
+    }
+
     fn speedup(&self) -> f64 {
         if self.parallel_wall_s > 0.0 {
             self.serial_wall_s / self.parallel_wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Wall ratio of the graph reference engine to the compiled kernel,
+    /// same fault list and parallel policy on both sides.
+    fn kernel_speedup_vs_graph(&self) -> f64 {
+        if self.parallel_wall_s > 0.0 {
+            self.graph_wall_s / self.parallel_wall_s
         } else {
             0.0
         }
@@ -123,10 +147,11 @@ fn bench_faultsim(case: &CaseStudy, patterns: u64) {
     {
         let universe = FaultUniverse::stuck_at(&case.modules()[m]);
 
-        let run = |policy: ParallelPolicy| {
+        let run = |policy: ParallelPolicy, engine: SimEngine| {
             let mut stim = pgen.stimulus(m, patterns);
             let cfg = SeqFaultSimConfig {
                 parallel: policy,
+                engine,
                 ..Default::default()
             };
             SeqFaultSim::new(&universe, cfg)
@@ -134,32 +159,65 @@ fn bench_faultsim(case: &CaseStudy, patterns: u64) {
                 .expect("fault sim")
         };
 
-        let serial = run(ParallelPolicy::serial());
-        let parallel = run(ParallelPolicy::default());
+        let serial = run(ParallelPolicy::serial(), SimEngine::Kernel);
+        let parallel = run(ParallelPolicy::default(), SimEngine::Kernel);
+        let graph = run(ParallelPolicy::default(), SimEngine::Graph);
         println!("{name}: serial   {}", serial.stats);
         println!("{name}: parallel {}", parallel.stats);
+        println!("{name}: graph    {}", graph.stats);
 
         // De-noise the headline walls the same way as the trace-overhead
         // pair below: min-of-3, interleaved, so a load spike on this
-        // (possibly single-core) host cannot charge one policy only.
+        // (possibly single-core) host cannot charge one policy only. The
+        // graph reference is run once — it is the slow denominator, and a
+        // noise spike there only *understates* the kernel's speedup.
         let mut serial_wall_s = serial.stats.wall.as_secs_f64();
         let mut parallel_wall_s = parallel.stats.wall.as_secs_f64();
+        let graph_wall_s = graph.stats.wall.as_secs_f64();
         for _ in 0..2 {
-            serial_wall_s =
-                serial_wall_s.min(run(ParallelPolicy::serial()).stats.wall.as_secs_f64());
-            parallel_wall_s =
-                parallel_wall_s.min(run(ParallelPolicy::default()).stats.wall.as_secs_f64());
+            serial_wall_s = serial_wall_s.min(
+                run(ParallelPolicy::serial(), SimEngine::Kernel)
+                    .stats
+                    .wall
+                    .as_secs_f64(),
+            );
+            parallel_wall_s = parallel_wall_s.min(
+                run(ParallelPolicy::default(), SimEngine::Kernel)
+                    .stats
+                    .wall
+                    .as_secs_f64(),
+            );
         }
 
-        let identical = serial.detection == parallel.detection;
-        assert!(identical, "{name}: parallel run diverged from serial");
+        // The bit-identity contract, asserted on real workloads: thread
+        // count must not change results, and the compiled kernel must
+        // match the graph-walking reference fault for fault.
+        let identical = serial.detection == parallel.detection
+            && graph.detection == parallel.detection
+            && graph.stats.survivors == parallel.stats.survivors;
+        assert!(
+            serial.detection == parallel.detection,
+            "{name}: parallel run diverged from serial"
+        );
+        assert!(
+            graph.detection == parallel.detection,
+            "{name}: kernel engine diverged from the graph reference"
+        );
         // The coverage curves must also compare bit-identical — detection
-        // indices are absolute, so thread count cannot reshape the curve.
+        // indices are absolute, so neither thread count nor engine choice
+        // can reshape the curve.
         assert_eq!(
             serial.curve(),
             parallel.curve(),
             "{name}: parallel coverage curve diverged from serial"
         );
+        assert_eq!(
+            graph.curve(),
+            parallel.curve(),
+            "{name}: kernel coverage curve diverged from the graph reference"
+        );
+        // CI greps for one of these per module.
+        println!("{name}: identical: {identical} (serial vs parallel, kernel vs graph)");
         let curve_summary = parallel.curve().summary();
 
         // Instrumentation-overhead measurement: the same campaign with the
@@ -197,13 +255,34 @@ fn bench_faultsim(case: &CaseStudy, patterns: u64) {
             faults: universe.len(),
             serial_wall_s,
             parallel_wall_s,
+            graph_wall_s,
             untraced_wall_s,
             traced_wall_s,
+            serial_threads: serial.stats.threads,
             threads: parallel.stats.threads,
             identical,
             curve: curve_summary,
         });
         let r = rows.last().expect("just pushed");
+        println!(
+            "{name}: kernel {:.4}s vs graph {:.4}s ({:.1}x)",
+            parallel_wall_s,
+            graph_wall_s,
+            r.kernel_speedup_vs_graph()
+        );
+        if r.speedup_comparable() {
+            println!(
+                "{name}: serial/parallel speedup {:.2}x on {} thread(s)",
+                r.speedup(),
+                r.threads
+            );
+        } else {
+            println!(
+                "{name}: serial/parallel speedup not comparable — both policies \
+                 resolved to {} worker(s)",
+                r.threads
+            );
+        }
         println!(
             "{name}: trace overhead {:+.2}% (untraced {:.4}s, traced {:.4}s)",
             r.trace_overhead_pct(),
@@ -228,25 +307,41 @@ fn bench_faultsim(case: &CaseStudy, patterns: u64) {
             .patterns_to(90)
             .map(|(t, p)| format!("{{\"percent\": {t}, \"patterns\": {p}}}"))
             .unwrap_or_else(|| "null".into());
+        // A serial-vs-parallel "speedup" measured at equal worker counts
+        // is noise, not parallelism — publish null instead of a number.
+        let speedup = if r.speedup_comparable() {
+            format!("{:.3}", r.speedup())
+        } else {
+            "null".into()
+        };
         let _ = write!(
             json,
             "    {{\"name\": \"{}\", \"patterns\": {}, \"faults\": {}, \
              \"serial_wall_s\": {:.6}, \"parallel_wall_s\": {:.6}, \
+             \"kernel_wall_s\": {:.6}, \"graph_wall_s\": {:.6}, \
+             \"kernel_speedup_vs_graph\": {:.3}, \
              \"untraced_wall_s\": {:.6}, \"traced_wall_s\": {:.6}, \
              \"trace_overhead_pct\": {:.3}, \"trace_overhead_ok\": {}, \
-             \"threads\": {}, \"speedup\": {:.3}, \"faults_per_s\": {:.1}, \
+             \"serial_threads\": {}, \"threads\": {}, \
+             \"speedup_comparable\": {}, \"speedup\": {}, \
+             \"faults_per_s\": {:.1}, \
              \"identical\": {}, \"knee\": {}, \"curve\": {}}}",
             r.name,
             r.patterns,
             r.faults,
             r.serial_wall_s,
             r.parallel_wall_s,
+            r.parallel_wall_s,
+            r.graph_wall_s,
+            r.kernel_speedup_vs_graph(),
             r.untraced_wall_s,
             r.traced_wall_s,
             r.trace_overhead_pct(),
             r.trace_overhead_ok(),
+            r.serial_threads,
             r.threads,
-            r.speedup(),
+            r.speedup_comparable(),
+            speedup,
             r.faults_per_s(),
             r.identical,
             knee,

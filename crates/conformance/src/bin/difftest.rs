@@ -6,7 +6,7 @@
 //!          [--report-on-failure]
 //! ```
 //!
-//! Default mode fuzzes all four engine pairs over `N` seeds and writes a
+//! Default mode fuzzes all five engine pairs over `N` seeds and writes a
 //! machine-readable JSON report. On the first `sim`-pair mismatch the
 //! failing netlist is minimized and dumped next to the report for
 //! `--replay`; with `--vcd-on-failure` the probe stimulus is additionally
@@ -25,7 +25,7 @@ use soctest_conformance::report::{
     active_gates, dump_netlist, minimize, parse_netlist, render_html_report, render_report,
     Mismatch,
 };
-use soctest_conformance::selftest::mutation_self_test;
+use soctest_conformance::selftest::{kernel_mutation_self_test, mutation_self_test};
 
 struct Args {
     seeds: u64,
@@ -74,13 +74,17 @@ fn parse_args() -> Result<Args, String> {
 fn self_test_mode(args: &Args) -> ExitCode {
     let mut missed = 0u64;
     for seed in args.start_seed..args.start_seed + args.seeds {
-        let outcome = mutation_self_test(seed, args.max_gates);
-        if !outcome.detected {
-            missed += 1;
-            eprintln!(
-                "MISSED seed {seed}: {:?}→{:?} at net {}",
-                outcome.original, outcome.mutated, outcome.site.0
-            );
+        for (harness, outcome) in [
+            ("sim", mutation_self_test(seed, args.max_gates)),
+            ("kernel", kernel_mutation_self_test(seed, args.max_gates)),
+        ] {
+            if !outcome.detected {
+                missed += 1;
+                eprintln!(
+                    "MISSED ({harness}) seed {seed}: {:?}→{:?} at net {}",
+                    outcome.original, outcome.mutated, outcome.site.0
+                );
+            }
         }
     }
     println!(
@@ -89,8 +93,9 @@ fn self_test_mode(args: &Args) -> ExitCode {
     );
     if missed == 0 {
         println!(
-            "self-test: {}/{} injected mutations detected",
-            args.seeds, args.seeds
+            "self-test: {}/{} injected mutations detected (sim + kernel harnesses)",
+            args.seeds * 2,
+            args.seeds * 2
         );
         ExitCode::SUCCESS
     } else {

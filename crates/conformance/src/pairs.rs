@@ -17,6 +17,11 @@
 //! * **`p1500`** — the `TapDriver` protocol stack (WIR/WBY/WCDR/WDR
 //!   sequences) vs a directly-commanded backend, and `wrap_core`'s
 //!   boundary chain (WBR) vs a reference shift/update/capture model.
+//! * **`kernel`** — the compiled-SoA fault-sim engines
+//!   (`SimEngine::Kernel`) vs the graph-walking reference engines
+//!   (`SimEngine::Graph`) on shared stimulus: first-detection vectors,
+//!   syndrome streams, and per-window survivor trajectories must be
+//!   bit-identical across both observation modes.
 
 use soctest_bist::structural::BistSpec;
 use soctest_bist::{
@@ -25,9 +30,9 @@ use soctest_bist::{
 };
 use soctest_fault::{
     CombFaultSim, FaultKind, FaultUniverse, ObserveMode, ParallelPolicy, PatternSet, SeqFaultSim,
-    SeqFaultSimConfig, VectorStimulus,
+    SeqFaultSimConfig, SimEngine, VectorStimulus,
 };
-use soctest_netlist::Netlist;
+use soctest_netlist::{compile, Netlist};
 use soctest_p1500::{
     structural as p1500_structural, BistBackend, MockBackend, TapDriver, TapInstruction,
 };
@@ -38,8 +43,8 @@ use crate::generator::{random_netlist, GeneratorConfig};
 use crate::reference::{self, RefMachine};
 use crate::report::Mismatch;
 
-/// The four redundant engine pairs, in run order.
-pub const PAIR_NAMES: [&str; 4] = ["sim", "fault", "bist", "p1500"];
+/// The five redundant engine pairs, in run order.
+pub const PAIR_NAMES: [&str; 5] = ["sim", "fault", "bist", "p1500", "kernel"];
 
 /// Lanes sampled out of the 64-lane words when comparing against the
 /// single-bit reference.
@@ -64,6 +69,7 @@ pub fn run_all_pairs(seed: u64, max_gates: usize) -> Vec<Mismatch> {
     out.extend(pair_fault(seed, max_gates));
     out.extend(pair_bist(seed, max_gates));
     out.extend(pair_p1500(seed, max_gates));
+    out.extend(pair_kernel(seed, max_gates));
     out
 }
 
@@ -914,6 +920,170 @@ fn pair_p1500(seed: u64, max_gates: usize) -> Vec<Mismatch> {
             pair: "p1500",
             seed,
             detail: format!("wrap_core: {d}"),
+        });
+    }
+    out
+}
+
+// ------------------------------------------------------------- pair: kernel
+
+/// Compares the compiled-kernel `CombFaultSim` engine on `candidate`
+/// against the graph-walking engine on `golden` under a shared pattern
+/// set, with syndrome collection on so post-detection events are checked
+/// too. With `golden == candidate` this is the plain conformance check;
+/// with a mutated candidate it is the detector the kernel mutation
+/// self-test validates.
+///
+/// The good machine is compared first, lane by lane, against the tier-0
+/// bit-level reference. Fault detections alone are blind to some good
+/// machine bugs: collapsing hoists an output net's stuck-at injections
+/// upstream, so an engine that consistently inverted a primary output
+/// would leave every collapsed detection index untouched.
+pub fn kernel_comb_divergence(
+    golden: &Netlist,
+    candidate: &Netlist,
+    probe_seed: u64,
+) -> Option<String> {
+    assert_eq!(golden.input_width(), candidate.input_width());
+    let mut rng = rng_for(probe_seed, 14);
+    let g_universe = FaultUniverse::stuck_at(golden);
+    let c_universe = FaultUniverse::stuck_at(candidate);
+    assert_eq!(g_universe.len(), c_universe.len());
+    let width = golden.input_width();
+    let rows: Vec<Vec<bool>> = (0..72)
+        .map(|_| (0..width).map(|_| rng.gen_bool(0.5)).collect())
+        .collect();
+    let kernel = compile(candidate).expect("candidate compiles");
+    for (block, chunk) in rows.chunks(64).enumerate() {
+        let mut values = kernel.fresh_values();
+        for (lane, row) in chunk.iter().enumerate() {
+            for (&pi, &bit) in kernel.pis().iter().zip(row) {
+                values[pi as usize] |= (bit as u64) << lane;
+            }
+        }
+        kernel.eval(&mut values);
+        for (lane, row) in chunk.iter().enumerate() {
+            let expect = reference::eval_comb(golden, row);
+            for (oi, &po) in kernel.pos().iter().enumerate() {
+                let got = (values[po as usize] >> lane) & 1 == 1;
+                if got != expect[oi] {
+                    return Some(format!(
+                        "comb good machine: pattern {} output {oi}: kernel={got} reference={}",
+                        block * 64 + lane,
+                        expect[oi]
+                    ));
+                }
+            }
+        }
+    }
+    let patterns = PatternSet::from_rows(width, &rows);
+    let run = |universe: &FaultUniverse, engine: SimEngine| {
+        CombFaultSim::new(universe)
+            .with_engine(engine)
+            .with_parallelism(ParallelPolicy::serial())
+            .with_syndromes()
+            .run_stuck_at(&patterns)
+            .expect("comb fault sim")
+    };
+    let graph = run(&g_universe, SimEngine::Graph);
+    let kernel = run(&c_universe, SimEngine::Kernel);
+    for (fi, (g, k)) in graph.detection.iter().zip(&kernel.detection).enumerate() {
+        if g != k {
+            return Some(format!(
+                "comb fault {fi} ({}): graph={g:?} kernel={k:?}",
+                g_universe.describe(fi)
+            ));
+        }
+    }
+    if graph.syndromes != kernel.syndromes {
+        return Some("comb: syndrome streams diverge".into());
+    }
+    None
+}
+
+/// Compares the kernel `SeqFaultSim` window engine on `candidate` against
+/// the graph engine on `golden` under shared stimulus, across both
+/// observation modes (per-cycle outputs and an off-boundary MISR read
+/// schedule), with and without syndrome collection.
+pub fn kernel_seq_divergence(
+    golden: &Netlist,
+    candidate: &Netlist,
+    probe_seed: u64,
+) -> Option<String> {
+    assert_eq!(golden.input_width(), candidate.input_width());
+    let mut rng = rng_for(probe_seed, 15);
+    let g_universe = FaultUniverse::stuck_at(golden);
+    let c_universe = FaultUniverse::stuck_at(candidate);
+    assert_eq!(g_universe.len(), c_universe.len());
+    let width = golden.input_width();
+    let cycles = 40u64;
+    let words: Vec<u64> = (0..cycles).map(|_| rng.next_u64() & mask(width)).collect();
+    // `read_every: 7` leaves the final read off the boundary grid, and
+    // `window: 16` splits the run so window seams are exercised too.
+    let misr_width = golden.output_width().clamp(2, 16);
+    let modes: [(&str, ObserveMode, bool); 3] = [
+        ("outputs", ObserveMode::Outputs, false),
+        ("outputs+syndromes", ObserveMode::Outputs, true),
+        ("misr", ObserveMode::misr_default(misr_width, 7), true),
+    ];
+    for (what, observe, collect) in modes {
+        let run = |universe: &FaultUniverse, engine: SimEngine| {
+            let config = SeqFaultSimConfig {
+                window: 16,
+                observe: observe.clone(),
+                collect_syndromes: collect,
+                parallel: ParallelPolicy::serial(),
+                engine,
+                ..Default::default()
+            };
+            SeqFaultSim::new(universe, config)
+                .run(&mut VectorStimulus::new(words.clone()))
+                .expect("seq fault sim")
+        };
+        let graph = run(&g_universe, SimEngine::Graph);
+        let kernel = run(&c_universe, SimEngine::Kernel);
+        for (fi, (g, k)) in graph.detection.iter().zip(&kernel.detection).enumerate() {
+            if g != k {
+                return Some(format!(
+                    "seq {what} fault {fi} ({}): graph={g:?} kernel={k:?}",
+                    g_universe.describe(fi)
+                ));
+            }
+        }
+        if graph.syndromes != kernel.syndromes {
+            return Some(format!("seq {what}: syndrome streams diverge"));
+        }
+        if graph.stats.survivors != kernel.stats.survivors {
+            return Some(format!(
+                "seq {what}: survivor trajectories diverge (graph {:?} kernel {:?})",
+                graph.stats.survivors, kernel.stats.survivors
+            ));
+        }
+    }
+    None
+}
+
+fn pair_kernel(seed: u64, max_gates: usize) -> Vec<Mismatch> {
+    let mut out = Vec::new();
+    let mut rng = rng_for(seed, 16);
+    let cfg = GeneratorConfig::sample(&mut rng, max_gates.min(60)).comb();
+    let nl = random_netlist(&mut rng, &cfg);
+    if let Some(d) = kernel_comb_divergence(&nl, &nl, seed) {
+        out.push(Mismatch {
+            pair: "kernel",
+            seed,
+            detail: d,
+        });
+    }
+    let mut rng = rng_for(seed, 17);
+    let cfg = GeneratorConfig::sample(&mut rng, max_gates.min(40));
+    let cfg = cfg.seq(&mut rng);
+    let nl = random_netlist(&mut rng, &cfg);
+    if let Some(d) = kernel_seq_divergence(&nl, &nl, seed) {
+        out.push(Mismatch {
+            pair: "kernel",
+            seed,
+            detail: d,
         });
     }
     out

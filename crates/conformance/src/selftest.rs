@@ -13,7 +13,7 @@ use soctest_netlist::{GateKind, NetId, Netlist};
 use soctest_prng::SplitMix64;
 
 use crate::generator::{inverted_kind, random_netlist, GeneratorConfig};
-use crate::pairs::comb_divergence;
+use crate::pairs::{comb_divergence, kernel_comb_divergence};
 
 /// The result of one mutation run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,6 +55,24 @@ pub fn mutation_self_test(seed: u64, max_gates: usize) -> MutationOutcome {
     }
 }
 
+/// Mutation self-test for the `kernel` pair: the graph engine simulates
+/// the original netlist, the compiled kernel simulates the mutant, and
+/// the differential must fire. The inverted output driver flips a primary
+/// output on every pattern, so the two engines' good machines (and with
+/// them every detection decision) disagree immediately — unless the pair
+/// harness itself is broken.
+pub fn kernel_mutation_self_test(seed: u64, max_gates: usize) -> MutationOutcome {
+    let (original, mutant, site) = mutant_pair(seed, max_gates);
+    let detected = kernel_comb_divergence(&original, &mutant, seed).is_some();
+    MutationOutcome {
+        seed,
+        site,
+        original: original.gate(site).kind,
+        mutated: mutant.gate(site).kind,
+        detected,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,6 +94,26 @@ mod tests {
         for seed in 0..10u64 {
             let (original, _, _) = mutant_pair(seed, 80);
             assert_eq!(comb_divergence(&original, &original, seed), None);
+        }
+    }
+
+    #[test]
+    fn every_injected_mutation_trips_the_kernel_pair() {
+        for seed in 0..15u64 {
+            let outcome = kernel_mutation_self_test(seed, 80);
+            assert!(
+                outcome.detected,
+                "seed {seed}: {:?}→{:?} at {:?} slipped through the kernel pair",
+                outcome.original, outcome.mutated, outcome.site
+            );
+        }
+    }
+
+    #[test]
+    fn unmutated_netlists_are_clean_under_the_kernel_pair() {
+        for seed in 0..6u64 {
+            let (original, _, _) = mutant_pair(seed, 80);
+            assert_eq!(kernel_comb_divergence(&original, &original, seed), None);
         }
     }
 }

@@ -17,7 +17,9 @@ use std::time::Instant;
 use soctest_netlist::{GateKind, NetId, Netlist, NetlistError};
 use soctest_obs::{TraceEvent, TraceHandle};
 
-use crate::{FaultKind, FaultSimResult, FaultSimStats, FaultUniverse, ParallelPolicy, Syndrome};
+use crate::{
+    FaultKind, FaultSimResult, FaultSimStats, FaultUniverse, ParallelPolicy, SimEngine, Syndrome,
+};
 
 /// A set of input patterns for a combinational view, stored bit-parallel:
 /// 64 patterns per block, one word per input position.
@@ -98,7 +100,7 @@ impl PatternSet {
     }
 
     /// Lane mask of valid patterns within block `b`.
-    fn lane_mask(&self, b: usize) -> u64 {
+    pub(crate) fn lane_mask(&self, b: usize) -> u64 {
         let full = self.count / 64;
         if b < full {
             u64::MAX
@@ -134,7 +136,7 @@ pub struct CombCampaign {
     pub syndromes: Option<Vec<Syndrome>>,
     /// Patterns applied so far — the base index of the next batch.
     pub applied: u64,
-    stats: FaultSimStats,
+    pub(crate) stats: FaultSimStats,
 }
 
 impl CombCampaign {
@@ -169,10 +171,11 @@ impl CombCampaign {
 /// converted to pseudo-ports (see `soctest-atpg`).
 #[derive(Debug)]
 pub struct CombFaultSim<'a> {
-    universe: &'a FaultUniverse,
-    collect_syndromes: bool,
-    parallel: ParallelPolicy,
-    trace: TraceHandle,
+    pub(crate) universe: &'a FaultUniverse,
+    pub(crate) collect_syndromes: bool,
+    pub(crate) parallel: ParallelPolicy,
+    pub(crate) trace: TraceHandle,
+    pub(crate) engine: SimEngine,
 }
 
 impl<'a> CombFaultSim<'a> {
@@ -183,7 +186,14 @@ impl<'a> CombFaultSim<'a> {
             collect_syndromes: false,
             parallel: ParallelPolicy::default(),
             trace: TraceHandle::none(),
+            engine: SimEngine::default(),
         }
+    }
+
+    /// Selects the execution engine (default: [`SimEngine::Kernel`]).
+    pub fn with_engine(mut self, engine: SimEngine) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// Attaches a trace handle: one `FaultSimWindow` event per 64-pattern
@@ -287,6 +297,18 @@ impl<'a> CombFaultSim<'a> {
     }
 
     fn run(
+        &self,
+        patterns: &PatternSet,
+        transition: Option<&[(NetId, NetId)]>,
+        campaign: &mut CombCampaign,
+    ) -> Result<(), NetlistError> {
+        match self.engine {
+            SimEngine::Kernel => self.run_kernel(patterns, transition, campaign),
+            SimEngine::Graph => self.run_graph(patterns, transition, campaign),
+        }
+    }
+
+    fn run_graph(
         &self,
         patterns: &PatternSet,
         transition: Option<&[(NetId, NetId)]>,

@@ -1,0 +1,44 @@
+//! Execution-engine selection for the fault simulators.
+
+/// Which execution engine [`crate::CombFaultSim`] and [`crate::SeqFaultSim`]
+/// sweep their hot loops with.
+///
+/// Both engines are bit-identical by contract — detection vectors,
+/// syndromes, coverage curves, and scheduling counters all match — and the
+/// contract is pinned by the `kernel` pair in `crates/conformance` plus the
+/// equivalence asserts in `repro --bench-faultsim`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimEngine {
+    /// The compiled structure-of-arrays kernel
+    /// ([`soctest_netlist::CompiledNetlist`]): levelized contiguous
+    /// schedule, cone-of-influence incremental re-evaluation against the
+    /// cached good trace, and 256-bit pattern lanes in the combinational
+    /// PPSFP loop. The default.
+    #[default]
+    Kernel,
+    /// The original graph-walking engine. Slower; kept as the brute-force
+    /// conformance oracle the kernel is verified against.
+    Graph,
+}
+
+impl SimEngine {
+    /// Short lowercase label (`"kernel"` / `"graph"`) for logs and benches.
+    pub fn label(self) -> &'static str {
+        match self {
+            SimEngine::Kernel => "kernel",
+            SimEngine::Graph => "graph",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_is_the_default_engine() {
+        assert_eq!(SimEngine::default(), SimEngine::Kernel);
+        assert_eq!(SimEngine::Kernel.label(), "kernel");
+        assert_eq!(SimEngine::Graph.label(), "graph");
+    }
+}

@@ -55,17 +55,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod combkernel;
 mod combsim;
 mod diagnosis;
+mod engine;
 mod model;
 mod par;
 mod report;
+mod seqkernel;
 mod seqsim;
 mod stimulus;
 mod universe;
 
 pub use combsim::{CombCampaign, CombFaultSim, PatternSet};
 pub use diagnosis::{DiagnosticMatrix, EquivalentClassStats, Syndrome};
+pub use engine::SimEngine;
 pub use model::{Fault, FaultKind};
 pub use par::ParallelPolicy;
 pub use report::{FaultSimResult, FaultSimStats};

@@ -25,10 +25,11 @@ use std::time::Instant;
 use soctest_netlist::{GateKind, NetId, Netlist, NetlistError};
 use soctest_obs::{TraceEvent, TraceHandle};
 
+use crate::seqkernel::KernelEngine;
 use crate::stimulus::StimulusMatrix;
 use crate::{
     Fault, FaultKind, FaultSimResult, FaultSimStats, FaultUniverse, ParallelPolicy, SeqStimulus,
-    Syndrome,
+    SimEngine, Syndrome,
 };
 
 /// How fault effects are observed.
@@ -92,6 +93,9 @@ pub struct SeqFaultSimConfig {
     /// final `FaultSimDone`, all emitted from the coordinating thread
     /// (disabled by default).
     pub trace: TraceHandle,
+    /// Execution engine (default: the compiled SoA kernel; the graph
+    /// walker remains available as the conformance oracle).
+    pub engine: SimEngine,
 }
 
 impl Default for SeqFaultSimConfig {
@@ -102,6 +106,7 @@ impl Default for SeqFaultSimConfig {
             collect_syndromes: false,
             parallel: ParallelPolicy::default(),
             trace: TraceHandle::none(),
+            engine: SimEngine::default(),
         }
     }
 }
@@ -116,64 +121,75 @@ pub struct SeqFaultSim<'a> {
 }
 
 #[derive(Debug, Clone)]
-struct ActiveFault {
-    idx: usize,
+pub(crate) struct ActiveFault {
+    pub(crate) idx: usize,
     /// Packed state: flip-flop bits, then the fault site's previous value
     /// (for transition faults), then MISR stage bits.
-    state: Vec<u64>,
+    pub(crate) state: Vec<u64>,
 }
 
 #[derive(Debug, Clone, Copy)]
-struct InjEntry {
-    lane: u8,
-    kind: FaultKind,
-    prev: bool,
+pub(crate) struct InjEntry {
+    pub(crate) lane: u8,
+    pub(crate) kind: FaultKind,
+    pub(crate) prev: bool,
 }
 
 /// The good machine's trajectory over one window, computed once and shared
 /// (read-only) by every fault chunk.
-struct GoodTrace {
+pub(crate) struct GoodTrace {
     /// Packed observation values: bit `oi` of cycle `t` (window-relative)
-    /// lives at word `t * obs_words + oi / 64`. Empty in MISR mode.
-    obs: Vec<u64>,
-    obs_words: usize,
+    /// lives at word `t * obs_words + oi / 64`. Empty in MISR mode and
+    /// under the kernel engine (which reads `net_bits` instead).
+    pub(crate) obs: Vec<u64>,
+    pub(crate) obs_words: usize,
     /// Good MISR signature at each read boundary inside the window, in
-    /// boundary order, paired with `(cycle, read_idx)`.
-    sigs: Vec<(u64, u64, u64)>,
+    /// boundary order, paired with `(cycle, read_idx)`. Read indices are
+    /// assigned by a monotone counter — the single source of truth for the
+    /// read schedule that the chunk loops replay.
+    pub(crate) sigs: Vec<(u64, u64, u64)>,
     /// Good flip-flop + MISR state at window end (packed like
     /// `ActiveFault::state`).
-    next_state: Vec<u64>,
+    pub(crate) next_state: Vec<u64>,
+    /// Kernel engine only: the full good value of every net at every cycle
+    /// (post-eval, pre-clock), bit-packed per cycle — net `n` of cycle `t`
+    /// is bit `n % 64` of word `t * net_words + n / 64`, broadcast to a
+    /// 64-lane word on read. Chunks overlay XOR deviations on these rows,
+    /// so every net the deviation sweep never touches provably holds the
+    /// good value. Empty under the graph engine.
+    pub(crate) net_bits: Vec<u64>,
+    pub(crate) net_words: usize,
 }
 
 /// Per-chunk results produced by a worker: merged serially in chunk order.
 #[derive(Default)]
-struct ChunkOut {
+pub(crate) struct ChunkOut {
     /// `(fault index, first in-window detection cycle)`.
-    detections: Vec<(usize, u64)>,
+    pub(crate) detections: Vec<(usize, u64)>,
     /// `(fault index, when, what)` syndrome events in generation order.
-    events: Vec<(usize, u64, u64)>,
+    pub(crate) events: Vec<(usize, u64, u64)>,
 }
 
 /// Read-only context shared by the good pass and every fault chunk.
-struct WindowCtx<'b> {
-    view: &'b Netlist,
-    order: &'b [NetId],
-    dff_pairs: &'b [(NetId, NetId)],
-    pis: &'b [NetId],
-    obs: &'b [NetId],
-    stim: &'b StimulusMatrix,
-    faults: &'b [Fault],
-    misr_width: usize,
-    misr_taps: u64,
-    misr_read: u64,
-    total_cycles: u64,
-    ndff: usize,
-    collect: bool,
+pub(crate) struct WindowCtx<'b> {
+    pub(crate) view: &'b Netlist,
+    pub(crate) order: &'b [NetId],
+    pub(crate) dff_pairs: &'b [(NetId, NetId)],
+    pub(crate) pis: &'b [NetId],
+    pub(crate) obs: &'b [NetId],
+    pub(crate) stim: &'b StimulusMatrix,
+    pub(crate) faults: &'b [Fault],
+    pub(crate) misr_width: usize,
+    pub(crate) misr_taps: u64,
+    pub(crate) misr_read: u64,
+    pub(crate) total_cycles: u64,
+    pub(crate) ndff: usize,
+    pub(crate) collect: bool,
 }
 
 /// Overlays a net's 64-lane word with every fault injected at that net.
 /// Transition faults remember the site's previous-cycle value in `prev`.
-fn apply(w: u64, entries: &mut [InjEntry], first_ever: bool) -> u64 {
+pub(crate) fn apply(w: u64, entries: &mut [InjEntry], first_ever: bool) -> u64 {
     let mut out = w;
     for e in entries.iter_mut() {
         let m = 1u64 << e.lane;
@@ -227,11 +243,11 @@ fn eval_comb_injected(
     }
 }
 
-fn get_bit(state: &[u64], j: usize) -> bool {
+pub(crate) fn get_bit(state: &[u64], j: usize) -> bool {
     (state[j / 64] >> (j % 64)) & 1 == 1
 }
 
-fn set_bit(state: &mut [u64], j: usize, v: bool) {
+pub(crate) fn set_bit(state: &mut [u64], j: usize, v: bool) {
     if v {
         state[j / 64] |= 1u64 << (j % 64);
     } else {
@@ -278,24 +294,7 @@ impl<'a> SeqFaultSim<'a> {
 
         let faults = self.universe.faults();
         let ndff = dff_pairs.len();
-        let nstate = ndff + 1 + misr_width; // +1: previous-value bit
-        let state_words = nstate.div_ceil(64).max(1);
         let cycles = stim.cycles;
-
-        let mut detection: Vec<Option<u64>> = vec![None; faults.len()];
-        let mut syndromes: Vec<Syndrome> = if self.config.collect_syndromes {
-            vec![Syndrome::new(); faults.len()]
-        } else {
-            Vec::new()
-        };
-
-        let mut active: Vec<ActiveFault> = (0..faults.len())
-            .map(|idx| ActiveFault {
-                idx,
-                state: vec![0u64; state_words],
-            })
-            .collect();
-        let mut good_state = vec![0u64; state_words];
 
         let ctx = WindowCtx {
             view,
@@ -312,7 +311,46 @@ impl<'a> SeqFaultSim<'a> {
             ndff,
             collect: self.config.collect_syndromes,
         };
-        let ctx = &ctx;
+        match self.config.engine {
+            SimEngine::Graph => self.run_windows(&ctx, &GraphEngine, start),
+            SimEngine::Kernel => {
+                let kernel = self.universe.kernel()?;
+                self.run_windows(&ctx, &KernelEngine::new(kernel), start)
+            }
+        }
+    }
+
+    /// The engine-generic window loop: good pass, chunk fan-out with a
+    /// deterministic merge, fault dropping, and survivor repacking. Both
+    /// engines share this loop verbatim, so scheduling counters, window
+    /// trace events, and merge order are identical by construction — the
+    /// engines only differ in how a window is *computed*, never in what is
+    /// recorded.
+    fn run_windows<E: WindowEngine>(
+        &self,
+        ctx: &WindowCtx<'_>,
+        engine: &E,
+        start: Instant,
+    ) -> Result<FaultSimResult, NetlistError> {
+        let faults = ctx.faults;
+        let nstate = ctx.ndff + 1 + ctx.misr_width; // +1: previous-value bit
+        let state_words = nstate.div_ceil(64).max(1);
+        let cycles = ctx.total_cycles;
+
+        let mut detection: Vec<Option<u64>> = vec![None; faults.len()];
+        let mut syndromes: Vec<Syndrome> = if self.config.collect_syndromes {
+            vec![Syndrome::new(); faults.len()]
+        } else {
+            Vec::new()
+        };
+
+        let mut active: Vec<ActiveFault> = (0..faults.len())
+            .map(|idx| ActiveFault {
+                idx,
+                state: vec![0u64; state_words],
+            })
+            .collect();
+        let mut good_state = vec![0u64; state_words];
 
         // Clamp the worker count to the campaign's actual fault-lane chunk
         // count up front: a 1-core host (or a tiny universe) resolves to 1
@@ -324,24 +362,16 @@ impl<'a> SeqFaultSim<'a> {
             ..FaultSimStats::default()
         };
 
-        // Per-worker value scratchpads, hoisted across windows: constants
-        // set once, everything else is rewritten every cycle.
-        let fresh_values = || {
-            let mut values = vec![0u64; view.len()];
-            for (id, gate) in view.iter() {
-                if gate.kind == GateKind::Const1 {
-                    values[id.index()] = u64::MAX;
-                }
-            }
-            values
-        };
-        let mut scratches: Vec<Vec<u64>> = (0..nthreads).map(|_| fresh_values()).collect();
-        let mut good_values = fresh_values();
+        // Per-worker scratchpads, hoisted across windows (plus one for the
+        // coordinating thread's good pass).
+        let mut scratches: Vec<E::Scratch> =
+            (0..nthreads).map(|_| engine.new_scratch(ctx)).collect();
+        let mut good_scratch = engine.new_scratch(ctx);
 
         let mut window_start = 0u64;
         while window_start < cycles && !active.is_empty() {
             let wlen = self.config.window.min(cycles - window_start);
-            let trace = good_window(ctx, &good_state, window_start, wlen, &mut good_values);
+            let trace = engine.good_window(ctx, &good_state, window_start, wlen, &mut good_scratch);
             stats.good_cycles += wlen;
             stats.faulty_cycles += wlen * active.chunks(64).count() as u64;
 
@@ -352,7 +382,7 @@ impl<'a> SeqFaultSim<'a> {
                 vec![chunk_slices
                     .iter_mut()
                     .map(|chunk| {
-                        run_chunk(
+                        engine.run_chunk(
                             ctx,
                             chunk,
                             &good_state,
@@ -371,19 +401,19 @@ impl<'a> SeqFaultSim<'a> {
                     let handles: Vec<_> = chunk_slices
                         .chunks_mut(per)
                         .zip(scratches.iter_mut())
-                        .map(|(group, values)| {
+                        .map(|(group, scratch)| {
                             s.spawn(move || {
                                 group
                                     .iter_mut()
                                     .map(|chunk| {
-                                        run_chunk(
+                                        engine.run_chunk(
                                             ctx,
                                             chunk,
                                             good_ref,
                                             trace_ref,
                                             window_start,
                                             wlen,
-                                            values,
+                                            scratch,
                                         )
                                     })
                                     .collect::<Vec<ChunkOut>>()
@@ -454,6 +484,84 @@ impl<'a> SeqFaultSim<'a> {
     }
 }
 
+/// One window-execution strategy: a good-machine pass plus a 64-fault
+/// chunk simulation. Implementations must be bit-identical — the
+/// [`GraphEngine`] is the oracle, [`KernelEngine`] the optimized default —
+/// and the contract is pinned by the `kernel` conformance pair.
+pub(crate) trait WindowEngine: Sync {
+    /// Per-worker scratch memory, reused across windows and chunks.
+    type Scratch: Send;
+
+    /// Allocates one worker's scratchpad.
+    fn new_scratch(&self, ctx: &WindowCtx<'_>) -> Self::Scratch;
+
+    /// Simulates the good machine over one window.
+    fn good_window(
+        &self,
+        ctx: &WindowCtx<'_>,
+        good_state: &[u64],
+        window_start: u64,
+        wlen: u64,
+        scratch: &mut Self::Scratch,
+    ) -> GoodTrace;
+
+    /// Simulates one 64-fault lane chunk over one window.
+    #[allow(clippy::too_many_arguments)]
+    fn run_chunk(
+        &self,
+        ctx: &WindowCtx<'_>,
+        chunk: &mut [ActiveFault],
+        good_state: &[u64],
+        trace: &GoodTrace,
+        window_start: u64,
+        wlen: u64,
+        scratch: &mut Self::Scratch,
+    ) -> ChunkOut;
+}
+
+/// The graph-walking reference engine: levelized order over the gate
+/// graph, full re-evaluation of every gate for every chunk cycle.
+pub(crate) struct GraphEngine;
+
+impl WindowEngine for GraphEngine {
+    type Scratch = Vec<u64>;
+
+    fn new_scratch(&self, ctx: &WindowCtx<'_>) -> Vec<u64> {
+        // Constants are set once; everything else is rewritten per cycle.
+        let mut values = vec![0u64; ctx.view.len()];
+        for (id, gate) in ctx.view.iter() {
+            if gate.kind == GateKind::Const1 {
+                values[id.index()] = u64::MAX;
+            }
+        }
+        values
+    }
+
+    fn good_window(
+        &self,
+        ctx: &WindowCtx<'_>,
+        good_state: &[u64],
+        window_start: u64,
+        wlen: u64,
+        scratch: &mut Vec<u64>,
+    ) -> GoodTrace {
+        good_window(ctx, good_state, window_start, wlen, scratch)
+    }
+
+    fn run_chunk(
+        &self,
+        ctx: &WindowCtx<'_>,
+        chunk: &mut [ActiveFault],
+        good_state: &[u64],
+        trace: &GoodTrace,
+        window_start: u64,
+        wlen: u64,
+        scratch: &mut Vec<u64>,
+    ) -> ChunkOut {
+        run_chunk(ctx, chunk, good_state, trace, window_start, wlen, scratch)
+    }
+}
+
 /// Simulates the good machine alone over one window (bit 0 of the value
 /// words), recording what the fault chunks need: observation values per
 /// cycle, MISR signatures at read boundaries, and the end-of-window state.
@@ -474,6 +582,20 @@ fn good_window(
         obs_words,
         sigs: Vec::new(),
         next_state: vec![0u64; good_state.len()],
+        net_bits: Vec::new(),
+        net_words: 0,
+    };
+    // Monotone read-index counter, seeded with the number of boundary
+    // reads strictly before this window (`t` is absolute, so earlier
+    // windows contributed exactly `window_start / read_every` reads; the
+    // forced off-boundary final read can only occur in the last window).
+    // Assigning indices sequentially instead of re-deriving `t / read_every`
+    // per read makes collisions between a boundary read and the forced
+    // final read structurally impossible.
+    let mut read_idx = if ctx.misr_width == 0 {
+        0
+    } else {
+        window_start / ctx.misr_read
     };
 
     for (j, &(q, _)) in ctx.dff_pairs.iter().enumerate() {
@@ -521,7 +643,8 @@ fn good_window(
             misr = next & misr_mask;
             let is_read = (t + 1) % ctx.misr_read == 0 || t + 1 == ctx.total_cycles;
             if is_read {
-                trace.sigs.push((t, t / ctx.misr_read, misr));
+                trace.sigs.push((t, read_idx, misr));
+                read_idx += 1;
             }
         }
         // Sample every d before writing any q so chained flip-flops see
@@ -669,10 +792,11 @@ fn run_chunk(
                 misr_next[oi % ctx.misr_width] ^= values[o.index()];
             }
             std::mem::swap(&mut misr, &mut misr_next);
-            let is_read = (t + 1) % ctx.misr_read == 0 || t + 1 == ctx.total_cycles;
+            // The good trace's boundary list is the single source of truth
+            // for the read schedule — no re-derivation of the predicate.
+            let is_read = read_cursor < trace.sigs.len() && trace.sigs[read_cursor].0 == t;
             if is_read {
-                let (sig_t, read_idx, good_sig) = trace.sigs[read_cursor];
-                debug_assert_eq!(sig_t, t, "read boundary schedule");
+                let (_, read_idx, good_sig) = trace.sigs[read_cursor];
                 read_cursor += 1;
                 // Per-lane signature extraction and comparison.
                 for (l, af) in chunk.iter().enumerate() {
@@ -899,11 +1023,119 @@ mod tests {
         assert!(r.last_useful_cycle().is_some());
     }
 
+    /// Regression for the MISR read-boundary index bug: read indices were
+    /// recomputed per window from the window base rather than carried by a
+    /// monotone counter, so a window length not divisible by `read_every`
+    /// shifted every later read's `read_idx` — and with it the syndrome
+    /// stream. Off-boundary totals (13 cycles, `read_every = 5`) leave a
+    /// trailing partial read interval that must simply never fire.
+    #[test]
+    fn misr_reads_survive_off_boundary_windows_and_totals() {
+        let nl = small_seq();
+        let u = FaultUniverse::stuck_at(&nl);
+        for engine in [SimEngine::Kernel, SimEngine::Graph] {
+            let run = |window| {
+                let mut stim = VectorStimulus::new(exhaustive_patterns(4, 0)[..13].to_vec());
+                let sim = SeqFaultSim::new(
+                    &u,
+                    SeqFaultSimConfig {
+                        window,
+                        observe: ObserveMode::misr_default(16, 5),
+                        collect_syndromes: true,
+                        engine,
+                        ..Default::default()
+                    },
+                );
+                sim.run(&mut stim).unwrap()
+            };
+            let reference = run(1024); // one window covers all 13 cycles
+            assert!(reference.detected_count() > 0);
+            for window in [3, 4, 5, 7] {
+                let r = run(window);
+                assert_eq!(r.detection, reference.detection, "window={window}");
+                assert_eq!(r.syndromes, reference.syndromes, "window={window}");
+            }
+        }
+    }
+
+    /// Syndrome collection keeps detected faults alive past their first
+    /// detection (to record later events); with it off they are dropped.
+    /// Either way the first-detection indices must be identical.
+    #[test]
+    fn first_detection_is_independent_of_syndrome_collection() {
+        let nl = small_seq();
+        let u = FaultUniverse::stuck_at(&nl);
+        for engine in [SimEngine::Kernel, SimEngine::Graph] {
+            for observe in [ObserveMode::Outputs, ObserveMode::misr_default(16, 5)] {
+                let run = |collect_syndromes| {
+                    let mut stim = VectorStimulus::new(exhaustive_patterns(4, 1));
+                    let sim = SeqFaultSim::new(
+                        &u,
+                        SeqFaultSimConfig {
+                            window: 8,
+                            observe: observe.clone(),
+                            collect_syndromes,
+                            engine,
+                            ..Default::default()
+                        },
+                    );
+                    sim.run(&mut stim).unwrap()
+                };
+                let with = run(true);
+                let without = run(false);
+                assert!(with.detected_count() > 0);
+                assert_eq!(
+                    with.detection, without.detection,
+                    "engine={engine:?} observe={observe:?}"
+                );
+                assert!(with.syndromes.is_some() && without.syndromes.is_none());
+            }
+        }
+    }
+
+    /// The compiled kernel engine must be bit-identical to the graph
+    /// reference across universes and observation modes — detections,
+    /// syndrome streams, and per-window survivor counts alike.
+    #[test]
+    fn kernel_engine_matches_graph_engine() {
+        let nl = small_seq();
+        for universe in [FaultUniverse::stuck_at(&nl), FaultUniverse::transition(&nl)] {
+            for observe in [ObserveMode::Outputs, ObserveMode::misr_default(16, 5)] {
+                let run = |engine| {
+                    let mut stim = VectorStimulus::new(exhaustive_patterns(4, 2));
+                    let sim = SeqFaultSim::new(
+                        &universe,
+                        SeqFaultSimConfig {
+                            window: 8,
+                            observe: observe.clone(),
+                            collect_syndromes: true,
+                            engine,
+                            ..Default::default()
+                        },
+                    );
+                    sim.run(&mut stim).unwrap()
+                };
+                let kernel = run(SimEngine::Kernel);
+                let graph = run(SimEngine::Graph);
+                assert!(kernel.detected_count() > 0);
+                assert_eq!(kernel.detection, graph.detection, "observe={observe:?}");
+                assert_eq!(kernel.syndromes, graph.syndromes, "observe={observe:?}");
+                assert_eq!(kernel.stats.survivors, graph.stats.survivors);
+                assert_eq!(kernel.stats.good_cycles, graph.stats.good_cycles);
+                assert_eq!(kernel.stats.faulty_cycles, graph.stats.faulty_cycles);
+            }
+        }
+    }
+
     #[test]
     fn parallel_run_is_bit_identical_to_serial() {
         let nl = small_seq();
         for universe in [FaultUniverse::stuck_at(&nl), FaultUniverse::transition(&nl)] {
-            for observe in [ObserveMode::Outputs, ObserveMode::misr_default(16, 8)] {
+            for (engine, observe) in [
+                (SimEngine::Kernel, ObserveMode::Outputs),
+                (SimEngine::Kernel, ObserveMode::misr_default(16, 8)),
+                (SimEngine::Graph, ObserveMode::misr_default(16, 8)),
+            ] {
                 let run = |threads: usize| {
                     let mut stim = VectorStimulus::new(exhaustive_patterns(4, 2));
                     let sim = SeqFaultSim::new(
@@ -913,6 +1145,7 @@ mod tests {
                             observe: observe.clone(),
                             collect_syndromes: true,
                             parallel: ParallelPolicy::with_threads(threads),
+                            engine,
                             ..Default::default()
                         },
                     );

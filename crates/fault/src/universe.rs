@@ -1,7 +1,9 @@
 //! Fault universe construction: fanout-branch expansion and structural
 //! equivalence collapsing.
 
-use soctest_netlist::{GateKind, NetId, Netlist};
+use std::sync::{Arc, OnceLock};
+
+use soctest_netlist::{CompiledNetlist, GateKind, NetId, Netlist, NetlistError};
 
 use crate::{Fault, FaultKind};
 
@@ -35,6 +37,9 @@ pub struct FaultUniverse {
     members: Vec<Vec<Fault>>,
     total_sites: usize,
     observe: Vec<NetId>,
+    /// The view's compiled SoA kernel, built on first use and shared by
+    /// every simulator (and worker thread) over this universe.
+    kernel: OnceLock<Arc<CompiledNetlist>>,
 }
 
 impl FaultUniverse {
@@ -141,12 +146,29 @@ impl FaultUniverse {
             members,
             total_sites,
             observe,
+            kernel: OnceLock::new(),
         }
     }
 
     /// The fault-view netlist (original plus fanout-branch buffers).
     pub fn view(&self) -> &Netlist {
         &self.view
+    }
+
+    /// The view's compiled SoA kernel (see [`Netlist::compile`]), compiled
+    /// on first call and cached — repeated campaigns and worker threads all
+    /// share the same `Arc`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the view is cyclic
+    /// (it never is for views built from a valid netlist).
+    pub fn kernel(&self) -> Result<Arc<CompiledNetlist>, NetlistError> {
+        if let Some(k) = self.kernel.get() {
+            return Ok(Arc::clone(k));
+        }
+        let k = self.view.compile()?;
+        Ok(Arc::clone(self.kernel.get_or_init(|| k)))
     }
 
     /// Collapsed representative faults, one per equivalence class.

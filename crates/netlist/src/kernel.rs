@@ -1,0 +1,667 @@
+//! Compiled structure-of-arrays netlist kernel.
+//!
+//! [`compile`] flattens a [`Netlist`] into a [`CompiledNetlist`]: a
+//! levelized, contiguous, `u32`-indexed execution schedule that the fault
+//! simulators (and any other hot loop) can sweep at memory-bandwidth speed
+//! instead of chasing per-gate heap pointers through the graph. The
+//! compiled form is immutable and shared behind an [`Arc`], so one
+//! compilation serves every engine, window, and worker thread of a
+//! campaign.
+//!
+//! The kernel carries three things on top of the plain gate list:
+//!
+//! * **Levelized SoA schedule** — every combinational gate as parallel
+//!   arrays (`kind`, output net, fixed-width pin triple), ordered
+//!   level-major so each level occupies a contiguous range
+//!   ([`CompiledNetlist::level_range`]).
+//! * **Scheduled fanout CSR** — for every net, the ascending schedule
+//!   positions of the combinational gates it feeds
+//!   ([`CompiledNetlist::fanout_ops`]), the seed set for event-driven
+//!   incremental re-evaluation.
+//! * **Cone-of-influence table** — for every schedule position, the bitset
+//!   of downstream schedule positions ([`ConeTable`]), computed once per
+//!   kernel (lazily, cached in the `Arc`-shared structure) by a reverse
+//!   topological bitset sweep. A fault simulator re-evaluates only a fault
+//!   site's cone against the cached good values; everything outside the
+//!   cone provably holds the good-machine value.
+//!
+//! Evaluation over the compiled schedule is bit-identical to walking the
+//! graph with [`crate::GateKind::eval_word`]: same gate semantics, any
+//! topological order. `crates/conformance` pins that contract with a
+//! dedicated kernel-vs-graph engine pair.
+
+use std::ops::Range;
+use std::sync::{Arc, OnceLock};
+
+use crate::{GateKind, NetId, Netlist, NetlistError};
+
+/// Number of 64-bit words in a wide evaluation group (256 pattern lanes).
+pub const LANE_WORDS: usize = 4;
+
+/// A flattened, levelized, structure-of-arrays compile of a [`Netlist`].
+///
+/// Create one with [`compile`] (or [`Netlist::compile`]); see the
+/// [module docs](self) for the layout.
+#[derive(Debug)]
+pub struct CompiledNetlist {
+    nets: usize,
+    // SoA over scheduled (combinational) gates, level-major order.
+    op_kind: Vec<GateKind>,
+    op_arity: Vec<u8>,
+    op_out: Vec<u32>,
+    op_pins: Vec<[u32; 3]>,
+    level_offsets: Vec<u32>,
+    /// Per net: schedule position + 1 of its driving gate (0 = source).
+    sched_of: Vec<u32>,
+    pis: Vec<u32>,
+    pos: Vec<u32>,
+    dff_q: Vec<u32>,
+    dff_d: Vec<u32>,
+    const1: Vec<u32>,
+    // CSR: net -> ascending schedule positions of its combinational sinks.
+    fan_off: Vec<u32>,
+    fan_ops: Vec<u32>,
+    // CSR: net -> indices of flip-flops whose `d` pin it drives.
+    dsink_off: Vec<u32>,
+    dsink_idx: Vec<u32>,
+    cones: OnceLock<ConeTable>,
+}
+
+/// The cone-of-influence table of a compiled kernel: for every schedule
+/// position, the bitset (over schedule positions) of gates downstream of
+/// it within one combinational pass. Built by [`CompiledNetlist::cones`].
+#[derive(Debug)]
+pub struct ConeTable {
+    words: usize,
+    reach: Vec<u64>,
+}
+
+impl ConeTable {
+    /// Words per cone bitset (`ceil(ops / 64)`).
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// The reachability bitset of schedule position `p` (includes `p`).
+    pub fn reach(&self, p: usize) -> &[u64] {
+        &self.reach[p * self.words..(p + 1) * self.words]
+    }
+
+    /// Number of schedule positions in the cone of `p` (including `p`).
+    pub fn cone_len(&self, p: usize) -> usize {
+        self.reach(p).iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// Compiles `netlist` into an [`Arc`]-shared [`CompiledNetlist`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] if the combinational
+/// subgraph cannot be levelized.
+pub fn compile(netlist: &Netlist) -> Result<Arc<CompiledNetlist>, NetlistError> {
+    let n = netlist.len();
+    let levels = netlist.levels()?;
+    // Level-major schedule: stable by net id within a level, so the layout
+    // is deterministic for a given netlist.
+    let mut sched: Vec<u32> = netlist
+        .iter()
+        .filter(|(_, g)| !g.kind.is_source())
+        .map(|(id, _)| id.0)
+        .collect();
+    sched.sort_by_key(|&id| (levels[id as usize], id));
+
+    let max_level = sched.last().map_or(0, |&id| levels[id as usize] as usize);
+    let mut level_offsets = vec![0u32; max_level + 2];
+    let mut op_kind = Vec::with_capacity(sched.len());
+    let mut op_arity = Vec::with_capacity(sched.len());
+    let mut op_out = Vec::with_capacity(sched.len());
+    let mut op_pins = Vec::with_capacity(sched.len());
+    let mut sched_of = vec![0u32; n];
+    for (p, &id) in sched.iter().enumerate() {
+        let gate = netlist.gate(NetId(id));
+        let mut pins = [0u32; 3];
+        for (i, &pin) in gate.pins.iter().enumerate() {
+            pins[i] = pin.0;
+        }
+        op_kind.push(gate.kind);
+        op_arity.push(gate.pins.len() as u8);
+        op_out.push(id);
+        op_pins.push(pins);
+        sched_of[id as usize] = p as u32 + 1;
+        // Scheduled gates are level >= 1; record the end of each level.
+        level_offsets[levels[id as usize] as usize] = p as u32 + 1;
+    }
+    // Turn per-level end positions into monotone offsets.
+    for l in 1..level_offsets.len() {
+        if level_offsets[l] < level_offsets[l - 1] {
+            level_offsets[l] = level_offsets[l - 1];
+        }
+    }
+
+    // Fanout CSR over scheduled sinks, ascending by construction.
+    let mut fan_count = vec![0u32; n];
+    for (p, pins) in op_pins.iter().enumerate() {
+        for (i, &pin) in pins.iter().enumerate().take(op_arity[p] as usize) {
+            // Skip duplicate pins on the same net (count each sink once).
+            if i == 0 || pins[..i].iter().all(|&q| q != pin) {
+                fan_count[pin as usize] += 1;
+            }
+        }
+    }
+    let mut fan_off = vec![0u32; n + 1];
+    for i in 0..n {
+        fan_off[i + 1] = fan_off[i] + fan_count[i];
+    }
+    let mut fan_ops = vec![0u32; fan_off[n] as usize];
+    let mut cursor: Vec<u32> = fan_off[..n].to_vec();
+    for (p, pins) in op_pins.iter().enumerate() {
+        for (i, &pin) in pins.iter().enumerate().take(op_arity[p] as usize) {
+            if i == 0 || pins[..i].iter().all(|&q| q != pin) {
+                fan_ops[cursor[pin as usize] as usize] = p as u32;
+                cursor[pin as usize] += 1;
+            }
+        }
+    }
+
+    let mut pis = Vec::new();
+    let mut pos = Vec::new();
+    for id in netlist.primary_inputs() {
+        pis.push(id.0);
+    }
+    for id in netlist.primary_outputs() {
+        pos.push(id.0);
+    }
+    let mut dff_q = Vec::new();
+    let mut dff_d = Vec::new();
+    for q in netlist.dffs() {
+        dff_q.push(q.0);
+        dff_d.push(netlist.gate(q).pins[0].0);
+    }
+    let const1: Vec<u32> = netlist
+        .iter()
+        .filter(|(_, g)| g.kind == GateKind::Const1)
+        .map(|(id, _)| id.0)
+        .collect();
+
+    // Sequential-sink CSR: net -> flip-flop indices clocked from it (the
+    // complement of the combinational fanout CSR, used by incremental
+    // engines to track which state bits a deviation can reach at the edge).
+    let mut dsink_count = vec![0u32; n];
+    for &d in &dff_d {
+        dsink_count[d as usize] += 1;
+    }
+    let mut dsink_off = vec![0u32; n + 1];
+    for i in 0..n {
+        dsink_off[i + 1] = dsink_off[i] + dsink_count[i];
+    }
+    let mut dsink_idx = vec![0u32; dsink_off[n] as usize];
+    let mut dcursor: Vec<u32> = dsink_off[..n].to_vec();
+    for (j, &d) in dff_d.iter().enumerate() {
+        dsink_idx[dcursor[d as usize] as usize] = j as u32;
+        dcursor[d as usize] += 1;
+    }
+
+    Ok(Arc::new(CompiledNetlist {
+        nets: n,
+        op_kind,
+        op_arity,
+        op_out,
+        op_pins,
+        level_offsets,
+        sched_of,
+        pis,
+        pos,
+        dff_q,
+        dff_d,
+        const1,
+        fan_off,
+        fan_ops,
+        dsink_off,
+        dsink_idx,
+        cones: OnceLock::new(),
+    }))
+}
+
+impl Netlist {
+    /// Compiles this netlist into an [`Arc`]-shared SoA kernel; see
+    /// [`compile`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the combinational
+    /// subgraph cannot be levelized.
+    pub fn compile(&self) -> Result<Arc<CompiledNetlist>, NetlistError> {
+        compile(self)
+    }
+}
+
+/// Evaluates one scheduled gate on single-word operands; identical to
+/// [`GateKind::eval_word`] for combinational kinds.
+#[inline]
+fn eval_op(kind: GateKind, a: u64, b: u64, c: u64) -> u64 {
+    match kind {
+        GateKind::Buf => a,
+        GateKind::Not => !a,
+        GateKind::And => a & b,
+        GateKind::Or => a | b,
+        GateKind::Nand => !(a & b),
+        GateKind::Nor => !(a | b),
+        GateKind::Xor => a ^ b,
+        GateKind::Xnor => !(a ^ b),
+        GateKind::Mux2 => (!a & b) | (a & c),
+        // Sources are never scheduled; Const1 is materialized in the value
+        // array, not evaluated.
+        GateKind::Input | GateKind::Const0 | GateKind::Const1 | GateKind::Dff => 0,
+    }
+}
+
+impl CompiledNetlist {
+    /// Total net (= gate) count of the source netlist.
+    pub fn nets(&self) -> usize {
+        self.nets
+    }
+
+    /// Number of scheduled combinational gates.
+    pub fn ops(&self) -> usize {
+        self.op_kind.len()
+    }
+
+    /// Number of logic levels in the schedule.
+    pub fn levels(&self) -> usize {
+        self.level_offsets.len() - 1
+    }
+
+    /// The contiguous schedule range occupied by level `l` (1-based levels;
+    /// level 0 holds the sources and is always empty).
+    pub fn level_range(&self, l: usize) -> Range<usize> {
+        if l == 0 || l >= self.level_offsets.len() {
+            return 0..0;
+        }
+        self.level_offsets[l - 1] as usize..self.level_offsets[l] as usize
+    }
+
+    /// Gate kind at schedule position `p`.
+    #[inline]
+    pub fn op_kind(&self, p: usize) -> GateKind {
+        self.op_kind[p]
+    }
+
+    /// Output net of the gate at schedule position `p`.
+    #[inline]
+    pub fn op_out(&self, p: usize) -> u32 {
+        self.op_out[p]
+    }
+
+    /// The pin triple of the gate at schedule position `p` (unused pins 0).
+    #[inline]
+    pub fn op_pins(&self, p: usize) -> [u32; 3] {
+        self.op_pins[p]
+    }
+
+    /// Number of used pin slots of the gate at schedule position `p`
+    /// (trailing [`CompiledNetlist::op_pins`] slots beyond it are padding).
+    #[inline]
+    pub fn op_arity(&self, p: usize) -> usize {
+        self.op_arity[p] as usize
+    }
+
+    /// Schedule position of the gate driving `net`, or `None` for sources.
+    #[inline]
+    pub fn sched_of(&self, net: u32) -> Option<usize> {
+        let s = self.sched_of[net as usize];
+        (s != 0).then(|| s as usize - 1)
+    }
+
+    /// Primary-input nets, in port order.
+    pub fn pis(&self) -> &[u32] {
+        &self.pis
+    }
+
+    /// Primary-output nets, in port order.
+    pub fn pos(&self) -> &[u32] {
+        &self.pos
+    }
+
+    /// Flip-flop output (`q`) nets, in [`Netlist::dffs`] order.
+    pub fn dff_q(&self) -> &[u32] {
+        &self.dff_q
+    }
+
+    /// Flip-flop data (`d`) nets, aligned with [`CompiledNetlist::dff_q`].
+    pub fn dff_d(&self) -> &[u32] {
+        &self.dff_d
+    }
+
+    /// Constant-1 nets (their value word must be all-ones).
+    pub fn const1(&self) -> &[u32] {
+        &self.const1
+    }
+
+    /// Ascending schedule positions of the combinational gates fed by
+    /// `net` (flip-flop `d` sinks are sequential and not listed).
+    #[inline]
+    pub fn fanout_ops(&self, net: u32) -> &[u32] {
+        let s = self.fan_off[net as usize] as usize;
+        let e = self.fan_off[net as usize + 1] as usize;
+        &self.fan_ops[s..e]
+    }
+
+    /// Indices (into [`CompiledNetlist::dff_q`] order) of the flip-flops
+    /// whose `d` pin `net` drives — the sequential complement of
+    /// [`CompiledNetlist::fanout_ops`].
+    #[inline]
+    pub fn dff_d_sinks(&self, net: u32) -> &[u32] {
+        let s = self.dsink_off[net as usize] as usize;
+        let e = self.dsink_off[net as usize + 1] as usize;
+        &self.dsink_idx[s..e]
+    }
+
+    /// A value array sized for this kernel with constants materialized.
+    pub fn fresh_values(&self) -> Vec<u64> {
+        let mut values = vec![0u64; self.nets];
+        for &c in &self.const1 {
+            values[c as usize] = u64::MAX;
+        }
+        values
+    }
+
+    /// One full evaluation pass over the schedule (64 lanes per net).
+    pub fn eval(&self, values: &mut [u64]) {
+        for p in 0..self.op_kind.len() {
+            let [a, b, c] = self.op_pins[p];
+            let w = eval_op(
+                self.op_kind[p],
+                values[a as usize],
+                values[b as usize],
+                values[c as usize],
+            );
+            values[self.op_out[p] as usize] = w;
+        }
+    }
+
+    /// One full evaluation pass over [`LANE_WORDS`] interleaved words per
+    /// net (`values[net * LANE_WORDS + w]`): 256 pattern lanes per sweep.
+    pub fn eval_wide(&self, values: &mut [u64]) {
+        const W: usize = LANE_WORDS;
+        for p in 0..self.op_kind.len() {
+            let [a, b, c] = self.op_pins[p];
+            let kind = self.op_kind[p];
+            let (a, b, c) = (a as usize * W, b as usize * W, c as usize * W);
+            let out = self.op_out[p] as usize * W;
+            for w in 0..W {
+                values[out + w] = eval_op(kind, values[a + w], values[b + w], values[c + w]);
+            }
+        }
+    }
+
+    /// Evaluates the single gate at schedule position `p` against `values`
+    /// and returns the result without storing it.
+    #[inline]
+    pub fn eval_pos(&self, p: usize, values: &[u64]) -> u64 {
+        let [a, b, c] = self.op_pins[p];
+        eval_op(
+            self.op_kind[p],
+            values[a as usize],
+            values[b as usize],
+            values[c as usize],
+        )
+    }
+
+    /// Evaluates the gate at schedule position `p` against caller-supplied
+    /// pin words (in `op_pins` slot order; unused slots are ignored) and
+    /// returns the result. Lets incremental engines substitute per-pin
+    /// fallback values without materializing a full `values` array.
+    #[inline]
+    pub fn eval_pins(&self, p: usize, pins: [u64; 3]) -> u64 {
+        eval_op(self.op_kind[p], pins[0], pins[1], pins[2])
+    }
+
+    /// The cone-of-influence table, built on first use and cached in the
+    /// shared kernel (a reverse-schedule bitset sweep, `O(ops · edges/64)`).
+    pub fn cones(&self) -> &ConeTable {
+        self.cones.get_or_init(|| self.build_cones())
+    }
+
+    fn build_cones(&self) -> ConeTable {
+        let n_ops = self.op_kind.len();
+        let words = n_ops.div_ceil(64).max(1);
+        let mut reach = vec![0u64; n_ops * words];
+        for p in (0..n_ops).rev() {
+            reach[p * words + p / 64] |= 1u64 << (p % 64);
+            let out = self.op_out[p] as usize;
+            let (s, e) = (self.fan_off[out] as usize, self.fan_off[out + 1] as usize);
+            for k in s..e {
+                let q = self.fan_ops[k] as usize;
+                debug_assert!(q > p, "schedule must be topological");
+                let (lo, hi) = reach.split_at_mut(q * words);
+                let dst = &mut lo[p * words..p * words + words];
+                let src = &hi[..words];
+                for w in 0..words {
+                    dst[w] |= src[w];
+                }
+            }
+        }
+        ConeTable { words, reach }
+    }
+
+    /// ORs the cone of `net` (the union of its scheduled sinks' reach
+    /// bitsets — the net's own driver is *not* included) into `buf`,
+    /// which must hold [`ConeTable::words`] words and is cleared first.
+    pub fn cone_of_net_into(&self, net: u32, buf: &mut [u64]) {
+        let cones = self.cones();
+        buf.fill(0);
+        for &q in self.fanout_ops(net) {
+            let src = cones.reach(q as usize);
+            for (d, s) in buf.iter_mut().zip(src) {
+                *d |= s;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModuleBuilder;
+
+    fn sample() -> Netlist {
+        let mut mb = ModuleBuilder::new("blk");
+        let a = mb.input_bus("a", 4);
+        let x0 = mb.xor(a[0], a[1]);
+        let x1 = mb.and(a[2], a[3]);
+        let o = mb.or(x0, x1);
+        let q = mb.register(&[x0, x1, o]);
+        mb.output_bus("q", &q);
+        mb.finish().unwrap()
+    }
+
+    #[test]
+    fn compile_schedules_every_comb_gate_in_level_major_order() {
+        let nl = sample();
+        let k = nl.compile().unwrap();
+        let comb = nl.gates().iter().filter(|g| !g.kind.is_source()).count();
+        assert_eq!(k.ops(), comb);
+        assert_eq!(k.nets(), nl.len());
+        let levels = nl.levels().unwrap();
+        // Level-major: levels are non-decreasing along the schedule and
+        // every level occupies exactly its level_range.
+        let mut prev = 0;
+        for p in 0..k.ops() {
+            let l = levels[k.op_out(p) as usize];
+            assert!(l >= prev, "schedule must be level-major");
+            assert!(k.level_range(l as usize).contains(&p));
+            prev = l;
+        }
+        // Topological: every pin is a source or scheduled earlier.
+        for p in 0..k.ops() {
+            let arity = nl.gate(NetId(k.op_out(p))).pins.len();
+            for &pin in k.op_pins(p).iter().take(arity) {
+                match k.sched_of(pin) {
+                    None => {}
+                    Some(q) => assert!(q < p),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_eval_matches_graph_eval_word() {
+        let nl = sample();
+        let k = nl.compile().unwrap();
+        let order = nl.levelize().unwrap();
+        for seed in 0..16u64 {
+            let mut kv = k.fresh_values();
+            let mut gv = k.fresh_values();
+            let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            for &pi in k.pis() {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                kv[pi as usize] = s;
+                gv[pi as usize] = s;
+            }
+            k.eval(&mut kv);
+            let mut pins = [0u64; 3];
+            for &id in &order {
+                let gate = nl.gate(id);
+                for (i, &p) in gate.pins.iter().enumerate() {
+                    pins[i] = gv[p.index()];
+                }
+                gv[id.index()] = gate.kind.eval_word(&pins[..gate.pins.len()]);
+            }
+            assert_eq!(kv, gv, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn eval_wide_matches_four_scalar_passes() {
+        let nl = sample();
+        let k = nl.compile().unwrap();
+        let mut wide = vec![0u64; k.nets() * LANE_WORDS];
+        for &c in k.const1() {
+            for w in 0..LANE_WORDS {
+                wide[c as usize * LANE_WORDS + w] = u64::MAX;
+            }
+        }
+        let mut scalars: Vec<Vec<u64>> = (0..LANE_WORDS).map(|_| k.fresh_values()).collect();
+        let mut s = 0x1234_5678_9ABC_DEF0u64;
+        for &pi in k.pis() {
+            for (w, sc) in scalars.iter_mut().enumerate() {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                sc[pi as usize] = s;
+                wide[pi as usize * LANE_WORDS + w] = s;
+            }
+        }
+        k.eval_wide(&mut wide);
+        for (w, sc) in scalars.iter_mut().enumerate() {
+            k.eval(sc);
+            for net in 0..k.nets() {
+                assert_eq!(wide[net * LANE_WORDS + w], sc[net], "net {net} word {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn fanout_ops_are_ascending_and_complete() {
+        let nl = sample();
+        let k = nl.compile().unwrap();
+        for net in 0..k.nets() as u32 {
+            let ops = k.fanout_ops(net);
+            assert!(ops.windows(2).all(|w| w[0] < w[1]), "ascending, deduped");
+            for &p in ops {
+                assert!(
+                    k.op_pins(p as usize).contains(&net),
+                    "fanout op must read the net"
+                );
+            }
+        }
+        // Every scheduled pin appears in its net's fanout list.
+        for p in 0..k.ops() {
+            let arity = nl.gate(NetId(k.op_out(p))).pins.len();
+            for &pin in k.op_pins(p).iter().take(arity) {
+                assert!(k.fanout_ops(pin).contains(&(p as u32)));
+            }
+        }
+    }
+
+    #[test]
+    fn cones_cover_exact_forward_reachability() {
+        let nl = sample();
+        let k = nl.compile().unwrap();
+        let cones = k.cones();
+        // Reference reachability by DFS over fanout_ops.
+        for p in 0..k.ops() {
+            let mut seen = vec![false; k.ops()];
+            let mut stack = vec![p];
+            while let Some(x) = stack.pop() {
+                if seen[x] {
+                    continue;
+                }
+                seen[x] = true;
+                for &q in k.fanout_ops(k.op_out(x)) {
+                    stack.push(q as usize);
+                }
+            }
+            let bits = cones.reach(p);
+            for (q, &s) in seen.iter().enumerate() {
+                let in_cone = (bits[q / 64] >> (q % 64)) & 1 == 1;
+                assert_eq!(in_cone, s, "op {p} -> {q}");
+            }
+            assert_eq!(cones.cone_len(p), seen.iter().filter(|&&s| s).count());
+        }
+    }
+
+    #[test]
+    fn cone_of_net_excludes_the_driver_and_matches_sinks() {
+        let nl = sample();
+        let k = nl.compile().unwrap();
+        let words = k.cones().words();
+        let mut buf = vec![0u64; words];
+        for net in 0..k.nets() as u32 {
+            k.cone_of_net_into(net, &mut buf);
+            if let Some(p) = k.sched_of(net) {
+                // A net's driver never needs re-evaluation: the site value
+                // is forced, only downstream gates react.
+                if !k.fanout_ops(net).contains(&(p as u32)) {
+                    assert_eq!((buf[p / 64] >> (p % 64)) & 1, 0, "net {net}");
+                }
+            }
+            for &q in k.fanout_ops(net) {
+                let q = q as usize;
+                assert_eq!((buf[q / 64] >> (q % 64)) & 1, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn compile_is_shareable_across_threads() {
+        let nl = sample();
+        let k = nl.compile().unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let k = Arc::clone(&k);
+                s.spawn(move || {
+                    let mut v = k.fresh_values();
+                    k.eval(&mut v);
+                    let _ = k.cones().words();
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn cyclic_netlists_fail_to_compile() {
+        let mut nl = Netlist::new("cyc");
+        let a = nl.add_gate(GateKind::Input, vec![]);
+        let b = nl.add_gate_unchecked(GateKind::And, vec![a, NetId(2)]);
+        let c = nl.add_gate_unchecked(GateKind::Or, vec![b, a]);
+        nl.set_pin(b, 1, c);
+        assert!(matches!(
+            nl.compile(),
+            Err(NetlistError::CombinationalCycle { .. })
+        ));
+    }
+}

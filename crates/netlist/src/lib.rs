@@ -40,10 +40,12 @@ mod builder;
 mod error;
 mod gate;
 mod graph;
+mod kernel;
 mod stats;
 
 pub use builder::{AddResult, FsmSpec, ModuleBuilder, Word};
 pub use error::NetlistError;
 pub use gate::{Gate, GateKind, NetId, PinIndex};
 pub use graph::{Netlist, Port, PortDir};
+pub use kernel::{compile, CompiledNetlist, ConeTable, LANE_WORDS};
 pub use stats::NetlistStats;

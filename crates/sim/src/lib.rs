@@ -43,11 +43,13 @@
 #![warn(missing_docs)]
 
 mod comb;
+mod kernel;
 mod seq;
 mod toggle;
 mod vcd;
 
 pub use comb::CombSim;
+pub use kernel::KernelSim;
 pub use seq::SeqSim;
 pub use toggle::{ToggleMonitor, ToggleReport};
 pub use vcd::VcdProbe;

@@ -29,16 +29,23 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== example smoke: ldpc_bist =="
 cargo run --release --example ldpc_bist
 
-echo "== conformance: fixed-seed differential sweep =="
+echo "== conformance: fixed-seed differential sweep (incl. kernel-vs-graph pair) =="
 cargo run --release -p soctest-conformance --bin difftest -- \
     --seeds 25 --max-gates 80 --out target/difftest_ci.json
 
-echo "== conformance: mutation self-test =="
+echo "== conformance: mutation self-test (sim + kernel harnesses) =="
 cargo run --release -p soctest-conformance --bin difftest -- \
     --seeds 25 --self-test --out target/difftest_selftest_ci.json
 
-echo "== fault-sim bench (serial vs parallel + trace-overhead gate) =="
-cargo run --release -p soctest-bench --bin repro -- --quick --bench-faultsim
+echo "== fault-sim bench (kernel vs graph + serial vs parallel + trace-overhead gate) =="
+cargo run --release -p soctest-bench --bin repro -- --quick --bench-faultsim \
+    | tee target/bench_faultsim.txt
+# Kernel-equivalence gate: every case-study module must report bit-identical
+# results across serial/parallel policies and kernel/graph engines.
+for m in BIT_NODE CHECK_NODE CONTROL_UNIT; do
+    grep -q "^$m: identical: true" target/bench_faultsim.txt \
+        || { echo "$m: kernel/graph or serial/parallel results diverged"; exit 1; }
+done
 
 echo "== observability: traced repro smoke + artifact validation =="
 cargo run --release -p soctest-bench --bin repro -- --quick \

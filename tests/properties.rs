@@ -544,15 +544,25 @@ fn misr64_fault_sim_matches_bist_misr() {
 }
 
 /// The two definitions of the default MISR tap set — the behavioral
-/// register's and the fault simulator's — agree over the whole width range,
-/// including the width-64 overflow boundary.
+/// register's and the fault simulator's — agree at *every* legal width,
+/// including the width-64 overflow boundary. The fault crate cannot depend
+/// on the bist crate, so the formula is duplicated there; this pin is what
+/// keeps the copies from drifting.
 #[test]
 fn misr_default_taps_agree_across_widths() {
-    for w in [2usize, 7, 16, 33, 63, 64] {
-        let ObserveMode::Misr { width, taps, .. } = ObserveMode::misr_default(w, 8) else {
+    for w in 2usize..=64 {
+        let ObserveMode::Misr {
+            width,
+            taps,
+            read_every,
+        } = ObserveMode::misr_default(w, 8)
+        else {
             panic!("misr_default must build a Misr mode");
         };
-        assert_eq!(width, w);
+        assert_eq!((width, read_every), (w, 8));
         assert_eq!(taps, Misr::default_taps(w), "width {w}");
+        assert_eq!(taps & 1, 1, "bit 0 must always feed back (width {w})");
+        // The behavioral register must accept its own default taps.
+        let _ = Misr::new(w);
     }
 }

@@ -3,6 +3,7 @@
 //! ```text
 //! repro [--quick] [--bench-faultsim]
 //!       [--trace=FILE] [--metrics=FILE] [--vcd=FILE] [--report=FILE]
+//!       [--fleet --dies=N --seed=S [--defect-rate=R] [--workers=W]]
 //!       [table1 table2 table3 table4 table5 fig3 fig4 | all]
 //! ```
 //!
@@ -43,6 +44,15 @@
 //! (write the decision trail as validated JSONL). Composes with
 //! `--report=FILE`: the cockpit report then carries an Autopilot section
 //! with the verdicts, the decision table, and the greppable trail.
+//!
+//! `--fleet` runs a population-scale campaign instead of the tables:
+//! `--dies=N` simulated dies (default 10,000) drawing seed-deterministic
+//! defect profiles (`--seed=S`, `--defect-rate=R`) run the full
+//! TAP→P1500→BIST session protocol against the shared signature cache,
+//! fanned over `--workers=W` threads. Prints greppable `fleet:` summary
+//! lines (yield, escapes, overkill, TCK percentiles, throughput), streams
+//! the aggregate into a metrics registry, and with `--report=FILE` writes
+//! the cockpit report with a batch-by-batch Fleet section.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -55,6 +65,7 @@ use soctest_core::autopilot::{Autopilot, AutopilotConfig, Verdict};
 use soctest_core::casestudy::CaseStudy;
 use soctest_core::cockpit;
 use soctest_core::experiments::{self, Budget};
+use soctest_core::fleet::{Fleet, FleetConfig};
 use soctest_core::robust::RobustSession;
 use soctest_fault::{FaultUniverse, ParallelPolicy, SeqFaultSim, SeqFaultSimConfig, SimEngine};
 use soctest_obs::{
@@ -351,6 +362,42 @@ fn bench_faultsim(case: &CaseStudy, patterns: u64) {
     }
     json.push_str("  ],\n");
 
+    // A population-scale fleet flight over the cached replay protocol:
+    // 100k dies is enough for stable percentiles, and the ≥1000 dies/s
+    // line is the bench contract for the shared-cache architecture.
+    let fleet_dies = 100_000u64;
+    let fleet = Fleet::new(case, FleetConfig::new(fleet_dies, 42)).expect("fleet cache builds");
+    let flight = fleet.run();
+    let fr = &flight.report;
+    println!(
+        "fleet: {} dies, yield {:.2}%, {:.0} dies/s, session tck p50={} p99={}",
+        fr.dies,
+        fr.yield_percent(),
+        fr.dies_per_sec(),
+        fr.tck.p50,
+        fr.tck.p99
+    );
+    assert!(
+        fr.dies_per_sec() >= 1000.0,
+        "fleet throughput {:.0} dies/s is below the 1000 dies/s contract",
+        fr.dies_per_sec()
+    );
+    let _ = writeln!(
+        json,
+        "  \"fleet\": {{\"dies\": {}, \"seed\": {}, \"dies_per_s\": {:.1}, \
+         \"yield_percent\": {:.4}, \"escapes\": {}, \"overkill\": {}, \
+         \"session_tck_p50\": {}, \"session_tck_p99\": {}, \"wall_s\": {:.3}}},",
+        fr.dies,
+        fr.seed,
+        fr.dies_per_sec(),
+        fr.yield_percent(),
+        fr.escapes,
+        fr.overkill,
+        fr.tck.p50,
+        fr.tck.p99,
+        fr.elapsed_ns as f64 / 1e9
+    );
+
     // One quick closed-loop flight, so the bench file also records what
     // the controller does with this host's budget: per-module verdicts,
     // rounds consumed, and the final coverage each loop reached.
@@ -488,6 +535,125 @@ fn obs_demo(
         println!(
             "wrote {path} ({} signals, VCD validated)",
             reader.vars.len()
+        );
+    }
+}
+
+/// The population campaign behind `--fleet`: builds the shared signature
+/// cache once, streams every die through the cached session protocol,
+/// prints greppable `fleet:` summary lines, folds the aggregate into a
+/// metrics registry, and (with `--report=FILE`) writes the cockpit report
+/// with its Fleet section. Determinism is asserted structurally: the
+/// aggregate JSON is a pure function of `(dies, seed, config)`.
+fn fleet_demo(
+    budget: &Budget,
+    dies: u64,
+    seed: u64,
+    defect_rate: Option<f64>,
+    workers: Option<usize>,
+    report_path: Option<&str>,
+) {
+    let case = CaseStudy::paper().expect("case study builds");
+    let mut cfg = FleetConfig::new(dies, seed);
+    if let Some(rate) = defect_rate {
+        cfg.mix.defect_rate = rate.clamp(0.0, 1.0);
+    }
+    if let Some(w) = workers {
+        cfg.workers = w;
+    }
+    let build_started = Instant::now();
+    let fleet = Fleet::new(&case, cfg).expect("fleet cache builds");
+    println!(
+        "fleet: cache built in {:.2?} ({} stuck-at sites, {} ladder rungs)",
+        build_started.elapsed(),
+        fleet.sites().len(),
+        fleet.strategies().len()
+    );
+
+    let outcome = fleet.run();
+    let r = &outcome.report;
+    println!(
+        "fleet: dies {} seed {} patterns {} defect-rate {:.4}",
+        r.dies, r.seed, r.patterns, r.defect_rate
+    );
+    println!(
+        "fleet: yield {:.4}% ({} passed / {} dies)",
+        r.yield_percent(),
+        r.passed,
+        r.dies
+    );
+    println!(
+        "fleet: escapes {} ({:.4}% of stuck-at dies)",
+        r.escapes,
+        r.escape_percent()
+    );
+    println!(
+        "fleet: overkill {} ({:.4}% of clean dies)",
+        r.overkill,
+        r.overkill_percent()
+    );
+    println!(
+        "fleet: quarantined {} hung {} protocol {} recovered {}",
+        r.quarantined, r.hung, r.protocol, r.recovered
+    );
+    for c in &r.classes {
+        println!(
+            "fleet: class {} sampled {} passed {} quarantined {} hung {}",
+            c.class.name(),
+            c.sampled,
+            c.passed,
+            c.quarantined,
+            c.hung
+        );
+    }
+    println!(
+        "fleet: tck p50={} p95={} p99={}",
+        r.tck.p50, r.tck.p95, r.tck.p99
+    );
+    println!(
+        "fleet: throughput {:.0} dies/s ({:.3}s wall)",
+        r.dies_per_sec(),
+        r.elapsed_ns as f64 / 1e9
+    );
+
+    // The aggregate streams into the unified metrics registry, same as
+    // sessions and TAP protocol counters do.
+    let registry = MetricsRegistry::new();
+    r.export_metrics(&registry);
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.counters.get("fleet_dies_total"),
+        Some(&r.dies),
+        "metrics registry must carry the fleet aggregate"
+    );
+    println!(
+        "fleet: metrics registry carries {} fleet counters",
+        snap.counters
+            .keys()
+            .filter(|k| k.starts_with("fleet_"))
+            .count()
+    );
+
+    if let Some(path) = report_path {
+        let reference = CaseStudy::paper().expect("case study builds");
+        let mut dut = CaseStudy::paper().expect("case study builds");
+        let victim = dut.modules()[2].primary_outputs()[0];
+        dut.module_mut(2).force_constant(victim, true);
+        let mut data = cockpit::run_campaign(&reference, &dut, budget).expect("campaign runs");
+        data.fleet = Some(r.clone());
+        let html = cockpit::render_report(&data);
+        assert!(
+            soctest_obs::report::is_self_contained(&html),
+            "report carries an external reference"
+        );
+        assert!(
+            html.contains(">Fleet<") && html.contains("Yield per batch"),
+            "report must carry the fleet section"
+        );
+        std::fs::write(path, &html).expect("write report");
+        println!(
+            "wrote {path} ({} bytes; fleet section + self-containment validated)",
+            html.len()
         );
     }
 }
@@ -727,6 +893,25 @@ fn main() {
             seed,
             inject_hang,
             flag_value("--trail=").as_deref(),
+            flag_value("--report=").as_deref(),
+        );
+        return;
+    }
+    if args.iter().any(|a| a == "--fleet") {
+        let dies = flag_value("--dies=")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10_000);
+        let seed = flag_value("--seed=")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(42);
+        let defect_rate = flag_value("--defect-rate=").and_then(|v| v.parse().ok());
+        let workers = flag_value("--workers=").and_then(|v| v.parse().ok());
+        fleet_demo(
+            &budget,
+            dies,
+            seed,
+            defect_rate,
+            workers,
             flag_value("--report=").as_deref(),
         );
         return;

@@ -3,7 +3,7 @@
 //! ```text
 //! difftest [--seeds N] [--max-gates G] [--start-seed S]
 //!          [--self-test] [--replay FILE] [--out FILE] [--vcd-on-failure]
-//!          [--report-on-failure]
+//!          [--report-on-failure] [--fleet] [--fleet-dies N]
 //! ```
 //!
 //! Default mode fuzzes all five engine pairs over `N` seeds and writes a
@@ -15,6 +15,11 @@
 //! table grouped per engine pair) is written next to the JSON one. Exit
 //! status is non-zero on any mismatch (or, with `--self-test`, on any
 //! undetected mutation).
+//!
+//! `--fleet` runs the fleet conformance leg instead: `--fleet-dies` dies
+//! (default 48, seeded from `--start-seed`, 0 → 42) are simulated through
+//! the fleet's cached-signature replay path *and* as standalone gate-level
+//! sessions, and the per-die verdicts must match exactly.
 
 use std::process::ExitCode;
 
@@ -36,6 +41,8 @@ struct Args {
     out: String,
     vcd_on_failure: bool,
     report_on_failure: bool,
+    fleet: bool,
+    fleet_dies: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -48,6 +55,8 @@ fn parse_args() -> Result<Args, String> {
         out: "difftest_report.json".into(),
         vcd_on_failure: false,
         report_on_failure: false,
+        fleet: false,
+        fleet_dies: 48,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -61,6 +70,10 @@ fn parse_args() -> Result<Args, String> {
                 args.start_seed = value("--start-seed")?.parse().map_err(|e| format!("{e}"))?;
             }
             "--self-test" => args.self_test = true,
+            "--fleet" => args.fleet = true,
+            "--fleet-dies" => {
+                args.fleet_dies = value("--fleet-dies")?.parse().map_err(|e| format!("{e}"))?;
+            }
             "--vcd-on-failure" => args.vcd_on_failure = true,
             "--report-on-failure" => args.report_on_failure = true,
             "--replay" => args.replay = Some(value("--replay")?),
@@ -134,6 +147,47 @@ fn replay_mode(file: &str) -> ExitCode {
             println!("replay: netlist is clean against the reference");
             ExitCode::SUCCESS
         }
+    }
+}
+
+fn fleet_mode(args: &Args) -> ExitCode {
+    let seed = if args.start_seed == 0 {
+        42
+    } else {
+        args.start_seed
+    };
+    let outcome = match soctest_conformance::fleet_difftest(args.fleet_dies, seed) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("fleet: cache build failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let classes: Vec<String> = outcome
+        .class_counts
+        .iter()
+        .map(|(c, n)| format!("\"{c}\": {n}"))
+        .collect();
+    println!(
+        "{{\"mode\": \"fleet\", \"dies\": {}, \"seed\": {seed}, \"classes\": {{{}}}, \"mismatches\": {}}}",
+        outcome.dies,
+        classes.join(", "),
+        outcome.mismatches.len()
+    );
+    for m in &outcome.mismatches {
+        eprintln!(
+            "fleet MISMATCH die {}: {} → fleet {:?} vs standalone {:?}",
+            m.die, m.profile, m.fleet, m.standalone
+        );
+    }
+    if outcome.mismatches.is_empty() {
+        println!(
+            "fleet: {} dies replayed standalone, verdicts identical",
+            outcome.dies
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 
@@ -222,6 +276,9 @@ fn main() -> ExitCode {
     }
     if args.self_test {
         return self_test_mode(&args);
+    }
+    if args.fleet {
+        return fleet_mode(&args);
     }
     fuzz_mode(&args)
 }

@@ -1,0 +1,159 @@
+//! Fleet-vs-standalone conformance: the cached-signature replay path must
+//! be verdict-identical to a from-scratch gate-level session.
+//!
+//! The fleet ([`soctest_core::fleet::Fleet`]) runs each die against a
+//! [`soctest_core::fleet::ReplayCore`] fed from a shared golden/faulty
+//! signature cache. That is an *optimization*, and this leg is its oracle:
+//! for a sample of dies it re-runs the identical defect profile the slow,
+//! obviously-correct way — a fresh [`RobustSession::run`] over real
+//! gate-level [`WrappedCore`]s, with the defect planted by
+//! `force_constant`, a pin-fault interposer, or a
+//! [`soctest_p1500::HungBackend`] — and asserts the per-die verdicts
+//! match exactly (including which modules a quarantine names).
+
+use soctest_core::casestudy::CaseStudy;
+use soctest_core::error::SessionError;
+use soctest_core::fleet::{verdict_of, DefectMix, DefectProfile, DieVerdict, Fleet, FleetConfig};
+use soctest_core::robust::RobustSession;
+use soctest_core::session::WrappedCore;
+use soctest_p1500::{HungBackend, PinFault, PinFaults};
+
+/// One die whose fleet and standalone verdicts disagreed.
+#[derive(Debug, Clone)]
+pub struct FleetMismatch {
+    /// Die index.
+    pub die: u64,
+    /// The defect profile the die drew (debug-rendered).
+    pub profile: String,
+    /// What the fleet's replay session concluded.
+    pub fleet: DieVerdict,
+    /// What the standalone gate-level session concluded.
+    pub standalone: DieVerdict,
+}
+
+/// The outcome of one fleet conformance sweep.
+#[derive(Debug, Clone)]
+pub struct FleetDiffOutcome {
+    /// Dies compared.
+    pub dies: u64,
+    /// How many dies drew each profile class, `(class, count)`.
+    pub class_counts: Vec<(&'static str, u64)>,
+    /// Every verdict disagreement (empty = conformant).
+    pub mismatches: Vec<FleetMismatch>,
+}
+
+fn standalone_verdict(
+    case: &CaseStudy,
+    fleet: &Fleet,
+    profile: DefectProfile,
+    patterns: u64,
+) -> Result<DieVerdict, SessionError> {
+    let session = RobustSession::default();
+    let result = match profile {
+        DefectProfile::Clean => session.run(case, case, patterns),
+        DefectProfile::StuckAt { site } => {
+            let st = fleet.sites()[site];
+            let mut defective = case.clone();
+            defective
+                .module_mut(st.module)
+                .force_constant(st.net, st.value);
+            session.run(case, &defective, patterns)
+        }
+        DefectProfile::Transient { period } => {
+            let session = session.with_pin_faults(PinFaults {
+                tdo: Some(PinFault::FlipEvery(period)),
+                ..PinFaults::none()
+            });
+            session.run(case, case, patterns)
+        }
+        DefectProfile::Hung => {
+            let names: Vec<String> = case.module_names().iter().map(|&s| s.to_owned()).collect();
+            session.run_with(&names, patterns, |strategy| {
+                let (variant, seed) = strategy.engine_knobs();
+                let engine = case.engine_variant(variant, seed)?;
+                let mut rehearsal = WrappedCore::with_engine(case, engine)?;
+                let goldens = rehearsal.rehearse(patterns)?;
+                let dut_engine = case.engine_variant(variant, seed)?;
+                let backend = HungBackend::new(WrappedCore::with_engine(case, dut_engine)?);
+                Ok((goldens, backend))
+            })
+        }
+    };
+    Ok(verdict_of(&result))
+}
+
+/// Replays `dies` fleet dies standalone and compares verdicts.
+///
+/// The fleet is configured with an elevated defect rate (50%) so a small
+/// sample exercises every defect class, and with the default
+/// (aliasing-capable) site pool so escapes are covered too.
+///
+/// # Errors
+///
+/// Propagates cache-build and rehearsal errors; a verdict *disagreement*
+/// is not an error — it lands in [`FleetDiffOutcome::mismatches`].
+pub fn fleet_difftest(dies: u64, seed: u64) -> Result<FleetDiffOutcome, SessionError> {
+    let case = CaseStudy::paper()?;
+    let mut cfg = FleetConfig::new(dies, seed);
+    cfg.mix = DefectMix {
+        defect_rate: 0.5,
+        ..DefectMix::default()
+    };
+    let fleet = Fleet::new(&case, cfg)?;
+
+    let mut mismatches = Vec::new();
+    let mut counts = [0u64; 4];
+    for die in 0..dies {
+        let record = fleet.simulate_die(die);
+        counts[match record.profile {
+            DefectProfile::Clean => 0,
+            DefectProfile::StuckAt { .. } => 1,
+            DefectProfile::Transient { .. } => 2,
+            DefectProfile::Hung => 3,
+        }] += 1;
+        let standalone =
+            standalone_verdict(&case, &fleet, record.profile, fleet.config().patterns)?;
+        if standalone != record.verdict {
+            mismatches.push(FleetMismatch {
+                die,
+                profile: format!("{:?}", record.profile),
+                fleet: record.verdict,
+                standalone,
+            });
+        }
+    }
+    Ok(FleetDiffOutcome {
+        dies,
+        class_counts: vec![
+            ("clean", counts[0]),
+            ("stuck_at", counts[1]),
+            ("transient", counts[2]),
+            ("hung", counts[3]),
+        ],
+        mismatches,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_fleet_sample_is_verdict_identical() {
+        let outcome = fleet_difftest(12, 42).unwrap();
+        assert_eq!(outcome.dies, 12);
+        assert!(
+            outcome.mismatches.is_empty(),
+            "fleet replay diverged from standalone sessions: {:?}",
+            outcome.mismatches
+        );
+        // The elevated defect rate actually drew defective dies.
+        let defective: u64 = outcome
+            .class_counts
+            .iter()
+            .filter(|(c, _)| *c != "clean")
+            .map(|&(_, n)| n)
+            .sum();
+        assert!(defective > 0, "sample never drew a defect");
+    }
+}

@@ -15,7 +15,9 @@
 //! * [`pairs`] — one differential runner per redundant engine pair;
 //! * [`selftest`] — mutation self-test that verifies the oracle itself;
 //! * [`report`] — mismatch reports, netlist dump/replay, and the greedy
-//!   minimizer.
+//!   minimizer;
+//! * [`fleet`] — fleet-vs-standalone leg: sampled fleet dies replayed as
+//!   from-scratch gate-level sessions, verdicts compared exactly.
 //!
 //! The `difftest` binary drives everything:
 //!
@@ -27,12 +29,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fleet;
 pub mod generator;
 pub mod pairs;
 pub mod reference;
 pub mod report;
 pub mod selftest;
 
+pub use fleet::{fleet_difftest, FleetDiffOutcome, FleetMismatch};
 pub use generator::{random_netlist, GeneratorConfig};
 pub use pairs::{run_all_pairs, PAIR_NAMES};
 pub use reference::RefMachine;

@@ -25,7 +25,7 @@ use crate::error::SessionError;
 ///   an XOR cascade, reachable through the output selector;
 /// * Control unit: a **12-bit pattern counter** (up to 4,096 patterns per
 ///   execution).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CaseStudy {
     modules: Vec<Netlist>,
     spec: BistSpec,

@@ -22,6 +22,7 @@ use crate::casestudy::CaseStudy;
 use crate::error::SessionError;
 use crate::eval::{self, FaultModel, Step1Report, Step3Report};
 use crate::experiments::Budget;
+use crate::fleet::FleetReport;
 use crate::robust::{RobustSession, SessionReport};
 
 /// One module × fault-model coverage campaign.
@@ -77,6 +78,10 @@ pub struct CampaignData {
     /// one was flown (`run_campaign` itself leaves this `None`; the `repro`
     /// binary attaches it under `--autopilot`).
     pub autopilot: Option<AutopilotReport>,
+    /// A fleet campaign to render alongside, when one was flown
+    /// (`run_campaign` leaves this `None`; the `repro` binary attaches it
+    /// under `--fleet --report=`).
+    pub fleet: Option<FleetReport>,
 }
 
 /// How many drill-down rows (cold nets, undetected faults) the report
@@ -230,6 +235,7 @@ pub fn run_campaign(
         advice,
         patterns,
         autopilot: None,
+        fleet: None,
     })
 }
 
@@ -506,6 +512,109 @@ fn autopilot_section(report: &AutopilotReport) -> String {
     body
 }
 
+fn fleet_section(fleet: &FleetReport) -> String {
+    let mut body = String::new();
+    body.push_str(&report::stat_tiles(&[
+        ("dies".into(), fleet.dies.to_string()),
+        ("yield".into(), format!("{:.2}%", fleet.yield_percent())),
+        ("escapes".into(), fleet.escapes.to_string()),
+        ("overkill".into(), fleet.overkill.to_string()),
+        ("tck p50".into(), fleet.tck.p50.to_string()),
+        ("tck p99".into(), fleet.tck.p99.to_string()),
+    ]));
+
+    // Verdicts per defect class.
+    let class_rows: Vec<Vec<String>> = fleet
+        .classes
+        .iter()
+        .map(|c| {
+            vec![
+                c.class.name().to_owned(),
+                c.sampled.to_string(),
+                c.passed.to_string(),
+                c.quarantined.to_string(),
+                c.hung.to_string(),
+                c.protocol.to_string(),
+            ]
+        })
+        .collect();
+    body.push_str(&report::table(
+        &[
+            "class",
+            "sampled",
+            "passed",
+            "quarantined",
+            "hung",
+            "protocol",
+        ],
+        &class_rows,
+    ));
+
+    // Yield per batch, so drift over the campaign is visible at a glance.
+    let bars: Vec<(String, f64)> = fleet
+        .batches
+        .iter()
+        .map(|b| {
+            let y = if b.dies == 0 {
+                0.0
+            } else {
+                b.passed as f64 / b.dies as f64 * 100.0
+            };
+            (format!("b{}", b.batch), y)
+        })
+        .collect();
+    body.push_str(&svg::vbar_chart("Yield per batch (%)", "batch", &bars));
+
+    // Batch-by-batch verdict table.
+    let batch_rows: Vec<Vec<String>> = fleet
+        .batches
+        .iter()
+        .map(|b| {
+            vec![
+                b.batch.to_string(),
+                b.dies.to_string(),
+                b.passed.to_string(),
+                b.quarantined.to_string(),
+                b.hung.to_string(),
+                b.escapes.to_string(),
+                b.overkill.to_string(),
+            ]
+        })
+        .collect();
+    body.push_str(&report::table(
+        &[
+            "batch",
+            "dies",
+            "passed",
+            "quarantined",
+            "hung",
+            "escapes",
+            "overkill",
+        ],
+        &batch_rows,
+    ));
+    let quarantine: Vec<String> = fleet
+        .quarantine_by_module
+        .iter()
+        .map(|(m, n)| format!("{m}: {n}"))
+        .collect();
+    body.push_str(&report::paragraph(&format!(
+        "seed {} · {} patterns/session · defect rate {:.2}% · escape rate {:.3}% \
+         · overkill rate {:.3}% · quarantines by module: {}",
+        fleet.seed,
+        fleet.patterns,
+        fleet.defect_rate * 100.0,
+        fleet.escape_percent(),
+        fleet.overkill_percent(),
+        if quarantine.is_empty() {
+            "—".to_owned()
+        } else {
+            quarantine.join(", ")
+        },
+    )));
+    body
+}
+
 fn timeline_section(data: &CampaignData) -> String {
     let events = report::timeline_from_jsonl(&data.session_jsonl);
     // Cap the drawn points without dropping any event kind: dense lanes
@@ -601,6 +710,9 @@ pub fn render_report(data: &CampaignData) -> String {
     doc.add_section("Feedback advisor", advisor_section(data));
     if let Some(pilot) = &data.autopilot {
         doc.add_section("Autopilot", autopilot_section(pilot));
+    }
+    if let Some(fleet) = &data.fleet {
+        doc.add_section("Fleet", fleet_section(fleet));
     }
     doc.add_section("Session timeline", timeline_section(data));
     doc.render()
@@ -713,5 +825,30 @@ mod tests {
         assert!(html.contains("Converged"));
         // Every round row made it into the decision table.
         assert!(html.contains("verdict: Converged"));
+    }
+
+    #[test]
+    fn attached_fleet_run_renders_its_own_section() {
+        use crate::fleet::{Fleet, FleetConfig};
+
+        let (reference, dut) = planted_case();
+        let mut budget = Budget::quick();
+        budget.bist_patterns = 64;
+        budget.diag_patterns = 32;
+        let mut data = run_campaign(&reference, &dut, &budget).unwrap();
+        // No fleet flown → no fleet section.
+        let html = render_report(&data);
+        assert!(!html.contains(">Fleet<"));
+
+        let mut cfg = FleetConfig::new(200, 9);
+        cfg.workers = 1;
+        let fleet = Fleet::new(&reference, cfg).unwrap();
+        data.fleet = Some(fleet.run().report);
+        let html = render_report(&data);
+        assert!(report::is_self_contained(&html));
+        assert!(html.contains(">Fleet<"));
+        assert!(html.contains("Yield per batch"));
+        assert!(html.contains("stuck_at"));
+        assert!(html.contains("escape rate"));
     }
 }

@@ -1,0 +1,1223 @@
+//! Fleet-scale campaigns: 10⁵–10⁶ simulated die-sessions through the full
+//! TAP → P1500 → BIST flow on one box.
+//!
+//! The trick that makes a million dies tractable is a shared cache. Every
+//! die on a wafer runs the *same* test program against the *same* netlist;
+//! only its defect (if any) differs. So the fleet rehearses the golden
+//! signatures once per retry-ladder rung, fault-simulates a seeded pool of
+//! candidate stuck-at sites once, and then each die-session replays those
+//! cached signatures through a real [`soctest_p1500::TapDriver`] against a
+//! [`ReplayCore`] — a protocol-exact backend that embeds a genuine
+//! [`ControlUnit`] (so `end_test` timing bit-matches the gate-level
+//! [`crate::session::WrappedCore`]) but presents precomputed signatures
+//! instead of re-simulating gates. Per-die cost is dominated by the TAP
+//! session protocol, which is the point: the fleet measures *test-time*
+//! behavior at population scale.
+//!
+//! Each die draws a [`DefectProfile`] from a seed-deterministic
+//! [`DefectSampler`]: clean, a permanent stuck-at from the site pool, a
+//! transient (a periodically upset TDO pin, which majority-voted status
+//! reads and the retry ladder usually see past), or a hung engine (the
+//! replay core pins `end_test` low, so the session's watchdog fires). The
+//! aggregate [`FleetReport`] carries yield, escapes (defective dies that
+//! pass — stuck-at sites whose signature aliases under every ladder rung),
+//! overkill (clean dies quarantined), per-class verdict counts, TCK
+//! percentiles, batch summaries, and a deterministic JSON rendering.
+//!
+//! Determinism contract: every per-die decision derives from
+//! `(config.seed, die_index)` alone — same config twice gives a
+//! byte-identical [`FleetReport::to_json`], and the worker count never
+//! changes any record (dies are simulated independently and reassembled in
+//! index order). Wall-clock numbers live outside the JSON for that reason.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use soctest_bist::{BistCommand, ControlUnit, EngineError};
+use soctest_netlist::{GateKind, NetId};
+use soctest_obs::MetricsRegistry;
+use soctest_p1500::{BistBackend, PinFault, PinFaults, TapDriver};
+use soctest_prng::SplitMix64;
+
+use crate::casestudy::CaseStudy;
+use crate::error::SessionError;
+use crate::robust::{RetryStrategy, RobustSession, SessionBackend, SessionBudget, SessionReport};
+use crate::session::WrappedCore;
+
+/// Stream-splitting multiplier for per-die RNG derivation. Deliberately
+/// *not* SplitMix64's own Weyl gamma (`0x9E37_79B9_7F4A_7C15`): seeding
+/// die *n* at `seed + n * gamma` would start each die exactly one
+/// generator step after its neighbor, making die *n*'s draw sequence a
+/// shifted copy of die *n+1*'s. A different odd multiplier scatters the
+/// per-die states across the full state space instead.
+const DIE_STREAM: u64 = 0xD1B5_4A32_D192_ED03;
+
+/// Salt for the defect-site pool RNG, so site selection and per-die
+/// sampling draw from unrelated streams of the same fleet seed.
+const SITE_POOL_SALT: u64 = 0x517E_D00D_0BAD_D1E5;
+
+/// A protocol-exact replay backend: a genuine [`ControlUnit`] for
+/// bit-accurate `end_test` timing, with precomputed final signatures in
+/// place of gate simulation. Commands and functional clocks cost the same
+/// TCK schedule as a [`WrappedCore`] session (same WDR width, same done
+/// timing), so pin-fault interposers hit identical pin cycles — but a
+/// functional clock is a counter increment, not a netlist evaluation.
+#[derive(Debug, Clone)]
+pub struct ReplayCore {
+    control: ControlUnit,
+    finals: Vec<u64>,
+    misr_width: usize,
+    hang: bool,
+}
+
+impl ReplayCore {
+    /// A replay core presenting `finals[m]` as module `m`'s signature once
+    /// the embedded control unit finishes. With `hang`, `end_test` is
+    /// pinned low forever — the hung-engine defect class.
+    pub fn new(counter_bits: usize, finals: Vec<u64>, misr_width: usize, hang: bool) -> Self {
+        ReplayCore {
+            control: ControlUnit::new(counter_bits),
+            finals,
+            misr_width,
+            hang,
+        }
+    }
+}
+
+impl BistBackend for ReplayCore {
+    fn command(&mut self, cmd: BistCommand) {
+        self.control.command(cmd);
+    }
+
+    fn functional_clock(&mut self) {
+        self.control.clock();
+    }
+
+    fn end_test(&self) -> bool {
+        !self.hang && self.control.end_test()
+    }
+
+    fn selected_signature(&self) -> u64 {
+        if !self.end_test() || self.finals.is_empty() {
+            return 0;
+        }
+        self.finals[self.control.result_select() as usize % self.finals.len()]
+    }
+
+    fn signature_width(&self) -> usize {
+        self.misr_width
+    }
+}
+
+impl SessionBackend for ReplayCore {}
+
+/// The defect class a die was assigned, for aggregation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DefectClass {
+    /// No defect.
+    Clean,
+    /// A permanent stuck-at on one net of one module.
+    StuckAt,
+    /// A periodically upset TDO pin (reads are corrupted, hardware is good).
+    Transient,
+    /// The BIST engine never raises `end_test`.
+    Hung,
+}
+
+impl DefectClass {
+    /// All classes, in the fixed aggregation/reporting order.
+    pub const ALL: [DefectClass; 4] = [
+        DefectClass::Clean,
+        DefectClass::StuckAt,
+        DefectClass::Transient,
+        DefectClass::Hung,
+    ];
+
+    /// The class mnemonic used in reports and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            DefectClass::Clean => "clean",
+            DefectClass::StuckAt => "stuck_at",
+            DefectClass::Transient => "transient",
+            DefectClass::Hung => "hung",
+        }
+    }
+}
+
+/// One die's concrete defect draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DefectProfile {
+    /// A healthy die.
+    Clean,
+    /// A permanent stuck-at at site `site` of the fleet's site pool.
+    StuckAt {
+        /// Index into [`Fleet::sites`].
+        site: usize,
+    },
+    /// TDO upset every `period`-th TCK cycle.
+    Transient {
+        /// The flip period in TCK cycles (1-based schedule).
+        period: u64,
+    },
+    /// The engine hangs: `end_test` never rises.
+    Hung,
+}
+
+impl DefectProfile {
+    /// The aggregation class of this profile.
+    pub fn class(self) -> DefectClass {
+        match self {
+            DefectProfile::Clean => DefectClass::Clean,
+            DefectProfile::StuckAt { .. } => DefectClass::StuckAt,
+            DefectProfile::Transient { .. } => DefectClass::Transient,
+            DefectProfile::Hung => DefectClass::Hung,
+        }
+    }
+}
+
+/// The population-level defect distribution: what fraction of dies are
+/// defective, and how defective dies split across classes (by integer
+/// weight).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DefectMix {
+    /// Probability a die is defective at all (0.0 ..= 1.0).
+    pub defect_rate: f64,
+    /// Relative weight of permanent stuck-at defects.
+    pub stuck_at_weight: u32,
+    /// Relative weight of transient pin upsets.
+    pub transient_weight: u32,
+    /// Relative weight of hung engines.
+    pub hung_weight: u32,
+}
+
+impl Default for DefectMix {
+    fn default() -> Self {
+        DefectMix {
+            defect_rate: 0.05,
+            stuck_at_weight: 6,
+            transient_weight: 3,
+            hung_weight: 1,
+        }
+    }
+}
+
+impl DefectMix {
+    /// The probability a die draws `class`, given this mix and a site pool
+    /// / period list of the given sizes (empty pools forfeit their weight
+    /// to clean, matching [`DefectSampler::sample`]).
+    pub fn class_probability(&self, class: DefectClass, nsites: usize, nperiods: usize) -> f64 {
+        let sa = if nsites > 0 {
+            u64::from(self.stuck_at_weight)
+        } else {
+            0
+        };
+        let tr = if nperiods > 0 {
+            u64::from(self.transient_weight)
+        } else {
+            0
+        };
+        let hu = u64::from(self.hung_weight);
+        let total = sa + tr + hu;
+        if total == 0 {
+            return if class == DefectClass::Clean {
+                1.0
+            } else {
+                0.0
+            };
+        }
+        let weight = match class {
+            DefectClass::Clean => return 1.0 - self.defect_rate,
+            DefectClass::StuckAt => sa,
+            DefectClass::Transient => tr,
+            DefectClass::Hung => hu,
+        };
+        self.defect_rate * (weight as f64 / total as f64)
+    }
+}
+
+/// Draws per-die defect profiles from a [`DefectMix`]. Pure function of
+/// the RNG handed in: the fleet derives one RNG per `(seed, die)` pair,
+/// so a die's profile never depends on scheduling order.
+#[derive(Debug, Clone)]
+pub struct DefectSampler {
+    mix: DefectMix,
+    nsites: usize,
+    periods: Vec<u64>,
+}
+
+impl DefectSampler {
+    /// A sampler over `nsites` stuck-at sites and the given transient flip
+    /// periods.
+    pub fn new(mix: DefectMix, nsites: usize, periods: Vec<u64>) -> Self {
+        DefectSampler {
+            mix,
+            nsites,
+            periods,
+        }
+    }
+
+    /// Draws one die's profile. A class whose pool is empty (no sites, no
+    /// periods) forfeits its weight; if every defective class is empty the
+    /// die is clean.
+    pub fn sample(&self, rng: &mut SplitMix64) -> DefectProfile {
+        if !rng.gen_bool(self.mix.defect_rate) {
+            return DefectProfile::Clean;
+        }
+        let sa = if self.nsites > 0 {
+            u64::from(self.mix.stuck_at_weight)
+        } else {
+            0
+        };
+        let tr = if self.periods.is_empty() {
+            0
+        } else {
+            u64::from(self.mix.transient_weight)
+        };
+        let hu = u64::from(self.mix.hung_weight);
+        let total = sa + tr + hu;
+        if total == 0 {
+            return DefectProfile::Clean;
+        }
+        let r = rng.gen_below(total);
+        if r < sa {
+            DefectProfile::StuckAt {
+                site: rng.gen_index(self.nsites),
+            }
+        } else if r < sa + tr {
+            DefectProfile::Transient {
+                period: self.periods[rng.gen_index(self.periods.len())],
+            }
+        } else {
+            DefectProfile::Hung
+        }
+    }
+}
+
+/// One stuck-at candidate in the fleet's site pool: a net of one module
+/// forced to a constant, plus whether the defect is *detectable* — i.e.
+/// whether its signature differs from golden under **every** retry-ladder
+/// rung. An undetectable site aliases under at least one rung, so a die
+/// carrying it escapes (passes test while defective).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DefectSite {
+    /// Module index the defect lives in.
+    pub module: usize,
+    /// The forced net.
+    pub net: NetId,
+    /// The forced value.
+    pub value: bool,
+    /// `true` when every ladder rung's signature exposes the defect.
+    pub detectable: bool,
+}
+
+/// Fleet campaign configuration. Everything that affects per-die results
+/// is here; [`FleetConfig::new`] fills in the defaults.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of dies to simulate.
+    pub dies: u64,
+    /// Fleet seed: the sole entropy source for sites and per-die draws.
+    pub seed: u64,
+    /// BIST patterns per session execution.
+    pub patterns: u64,
+    /// Worker threads (`0` = one per available core).
+    pub workers: usize,
+    /// Dies per report batch (`0` = `dies / 8`, at least 1).
+    pub batch: u64,
+    /// The population defect distribution.
+    pub mix: DefectMix,
+    /// Stuck-at candidate sites drawn per module.
+    pub sites_per_module: usize,
+    /// Transient TDO flip periods to draw from.
+    pub transient_periods: Vec<u64>,
+    /// Restrict the site pool to detectable sites (used by escape-free
+    /// screening experiments; the default pool keeps aliasing sites so
+    /// escapes are representable).
+    pub detectable_only: bool,
+    /// Per-session watchdog budget.
+    pub budget: SessionBudget,
+}
+
+impl FleetConfig {
+    /// A config with the campaign defaults: 64 patterns, auto workers,
+    /// auto batches, the default [`DefectMix`], 8 sites per module,
+    /// transient periods {101, 149, 211}, the full (aliasing-capable)
+    /// site pool, and the default [`SessionBudget`].
+    pub fn new(dies: u64, seed: u64) -> Self {
+        FleetConfig {
+            dies,
+            seed,
+            patterns: 64,
+            workers: 0,
+            batch: 0,
+            mix: DefectMix::default(),
+            sites_per_module: 8,
+            transient_periods: vec![101, 149, 211],
+            detectable_only: false,
+            budget: SessionBudget::default(),
+        }
+    }
+
+    /// The batch size actually used (`batch`, or `dies / 8` clamped to 1).
+    pub fn effective_batch(&self) -> u64 {
+        if self.batch > 0 {
+            self.batch
+        } else {
+            (self.dies / 8).max(1)
+        }
+    }
+}
+
+/// One die's verdict after its robust session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DieVerdict {
+    /// Every module cleared.
+    Passed,
+    /// At least one module quarantined; bit `m` set = module `m`.
+    Quarantined {
+        /// Bitmask of quarantined module indices.
+        modules: u8,
+    },
+    /// The session's done-watchdog fired (hung engine).
+    Hung,
+    /// A TAP protocol error (e.g. no status-read majority).
+    Protocol,
+}
+
+/// One die's complete, deterministic record. Wall-clock time is kept out
+/// deliberately so records compare bit-equal across runs and worker
+/// counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DieRecord {
+    /// Die index (0-based).
+    pub die: u64,
+    /// The defect the die drew.
+    pub profile: DefectProfile,
+    /// The session verdict.
+    pub verdict: DieVerdict,
+    /// TCK cycles the session spent (hung dies bill the deterministic
+    /// cost of reaching the watchdog; protocol-error dies bill 0 and are
+    /// excluded from percentiles).
+    pub tck: u64,
+}
+
+/// Maps a robust-session result to a die verdict — shared by the fleet
+/// and the conformance difftest so both sides agree on the mapping.
+pub fn verdict_of(result: &Result<SessionReport, SessionError>) -> DieVerdict {
+    match result {
+        Ok(report) => {
+            if report.all_passed() {
+                DieVerdict::Passed
+            } else {
+                let mut mask = 0u8;
+                for (m, outcome) in report.outcomes.iter().enumerate().take(8) {
+                    if outcome.quarantined {
+                        mask |= 1 << m;
+                    }
+                }
+                DieVerdict::Quarantined { modules: mask }
+            }
+        }
+        Err(SessionError::Engine(EngineError::Hung { .. })) => DieVerdict::Hung,
+        Err(_) => DieVerdict::Protocol,
+    }
+}
+
+/// Per-class verdict counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassStats {
+    /// The defect class.
+    pub class: DefectClass,
+    /// Dies that drew this class.
+    pub sampled: u64,
+    /// ... of which passed.
+    pub passed: u64,
+    /// ... of which quarantined.
+    pub quarantined: u64,
+    /// ... of which hung.
+    pub hung: u64,
+    /// ... of which hit a protocol error.
+    pub protocol: u64,
+}
+
+/// Nearest-rank percentiles over a cycle distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+fn percentile(sorted: &[u64], q: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (sorted.len() as u64 * q).div_ceil(100).max(1) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+impl Percentiles {
+    /// Computes p50/p95/p99 from an unsorted sample (nearest-rank).
+    pub fn from_samples(mut samples: Vec<u64>) -> Self {
+        samples.sort_unstable();
+        Percentiles {
+            p50: percentile(&samples, 50),
+            p95: percentile(&samples, 95),
+            p99: percentile(&samples, 99),
+        }
+    }
+}
+
+/// One report batch: verdicts over a contiguous run of die indices, so a
+/// cockpit can show how the campaign evolved batch by batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchSummary {
+    /// Batch index (0-based).
+    pub batch: u64,
+    /// Dies in the batch.
+    pub dies: u64,
+    /// Passing dies.
+    pub passed: u64,
+    /// Quarantined dies.
+    pub quarantined: u64,
+    /// Hung dies.
+    pub hung: u64,
+    /// Protocol-error dies.
+    pub protocol: u64,
+    /// Defective dies that passed (stuck-at aliasing escapes).
+    pub escapes: u64,
+    /// Clean dies that did not pass.
+    pub overkill: u64,
+}
+
+/// The aggregate outcome of a fleet campaign. Everything in
+/// [`FleetReport::to_json`] is a pure function of the [`FleetConfig`];
+/// wall-clock fields (`elapsed_ns`, `wall_ns`) are carried alongside but
+/// excluded from the JSON so it stays byte-reproducible.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Dies simulated.
+    pub dies: u64,
+    /// The fleet seed.
+    pub seed: u64,
+    /// Patterns per session execution.
+    pub patterns: u64,
+    /// The configured defect rate.
+    pub defect_rate: f64,
+    /// Per-class verdict counts, in [`DefectClass::ALL`] order.
+    pub classes: Vec<ClassStats>,
+    /// Dies that passed.
+    pub passed: u64,
+    /// Dies with at least one quarantined module.
+    pub quarantined: u64,
+    /// Dies whose engine hung.
+    pub hung: u64,
+    /// Dies that hit a TAP protocol error.
+    pub protocol: u64,
+    /// Stuck-at dies that passed — test escapes (signature aliasing under
+    /// every ladder rung).
+    pub escapes: u64,
+    /// Clean dies that did not pass — overkill.
+    pub overkill: u64,
+    /// Transient dies that passed — the retry ladder / vote machinery
+    /// recovered them (correct behavior, counted separately from escapes
+    /// because the hardware is good).
+    pub recovered: u64,
+    /// Quarantine counts per module name.
+    pub quarantine_by_module: Vec<(String, u64)>,
+    /// Session-cost percentiles in TCK cycles (protocol-error dies
+    /// excluded — their sessions abort at an undefined point).
+    pub tck: Percentiles,
+    /// Session-cost percentiles in nanoseconds, derived from the TCK
+    /// distribution at the fleet-average TCK rate of this run. Indicative
+    /// only; not part of the deterministic JSON.
+    pub wall_ns: Percentiles,
+    /// Wall-clock time of the whole campaign (not in the JSON).
+    pub elapsed_ns: u64,
+    /// Dies per batch.
+    pub batch_size: u64,
+    /// Batch-by-batch verdicts.
+    pub batches: Vec<BatchSummary>,
+}
+
+impl FleetReport {
+    /// Yield: passing dies over all dies, in percent.
+    pub fn yield_percent(&self) -> f64 {
+        if self.dies == 0 {
+            return 0.0;
+        }
+        self.passed as f64 / self.dies as f64 * 100.0
+    }
+
+    fn sampled(&self, class: DefectClass) -> u64 {
+        self.classes
+            .iter()
+            .find(|c| c.class == class)
+            .map_or(0, |c| c.sampled)
+    }
+
+    /// Escape rate: stuck-at dies that passed, over stuck-at dies sampled,
+    /// in percent (0 when no stuck-at die was drawn).
+    pub fn escape_percent(&self) -> f64 {
+        let sa = self.sampled(DefectClass::StuckAt);
+        if sa == 0 {
+            return 0.0;
+        }
+        self.escapes as f64 / sa as f64 * 100.0
+    }
+
+    /// Overkill rate: clean dies that did not pass, over clean dies
+    /// sampled, in percent (0 when no clean die was drawn).
+    pub fn overkill_percent(&self) -> f64 {
+        let clean = self.sampled(DefectClass::Clean);
+        if clean == 0 {
+            return 0.0;
+        }
+        self.overkill as f64 / clean as f64 * 100.0
+    }
+
+    /// Campaign throughput in dies per second of wall-clock time.
+    pub fn dies_per_sec(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        self.dies as f64 / (self.elapsed_ns as f64 / 1e9)
+    }
+
+    /// Renders the deterministic JSON document: same config in, same bytes
+    /// out, regardless of worker count or host speed. Wall-clock numbers
+    /// are deliberately absent.
+    pub fn to_json(&self) -> String {
+        let mut j = String::with_capacity(2048);
+        j.push_str("{\n");
+        j.push_str(&format!("  \"dies\": {},\n", self.dies));
+        j.push_str(&format!("  \"seed\": {},\n", self.seed));
+        j.push_str(&format!("  \"patterns\": {},\n", self.patterns));
+        j.push_str(&format!("  \"defect_rate\": {:.4},\n", self.defect_rate));
+        j.push_str(&format!("  \"passed\": {},\n", self.passed));
+        j.push_str(&format!("  \"quarantined\": {},\n", self.quarantined));
+        j.push_str(&format!("  \"hung\": {},\n", self.hung));
+        j.push_str(&format!("  \"protocol\": {},\n", self.protocol));
+        j.push_str(&format!("  \"escapes\": {},\n", self.escapes));
+        j.push_str(&format!("  \"overkill\": {},\n", self.overkill));
+        j.push_str(&format!("  \"recovered\": {},\n", self.recovered));
+        j.push_str(&format!(
+            "  \"yield_percent\": {:.4},\n",
+            self.yield_percent()
+        ));
+        j.push_str(&format!(
+            "  \"escape_percent\": {:.4},\n",
+            self.escape_percent()
+        ));
+        j.push_str(&format!(
+            "  \"overkill_percent\": {:.4},\n",
+            self.overkill_percent()
+        ));
+        j.push_str("  \"classes\": [\n");
+        for (i, c) in self.classes.iter().enumerate() {
+            j.push_str(&format!(
+                "    {{\"class\": \"{}\", \"sampled\": {}, \"passed\": {}, \"quarantined\": {}, \"hung\": {}, \"protocol\": {}}}{}\n",
+                c.class.name(),
+                c.sampled,
+                c.passed,
+                c.quarantined,
+                c.hung,
+                c.protocol,
+                if i + 1 < self.classes.len() { "," } else { "" }
+            ));
+        }
+        j.push_str("  ],\n");
+        j.push_str("  \"quarantine_by_module\": {");
+        for (i, (name, n)) in self.quarantine_by_module.iter().enumerate() {
+            if i > 0 {
+                j.push_str(", ");
+            }
+            j.push_str(&format!("\"{name}\": {n}"));
+        }
+        j.push_str("},\n");
+        j.push_str(&format!(
+            "  \"tck\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}}},\n",
+            self.tck.p50, self.tck.p95, self.tck.p99
+        ));
+        j.push_str(&format!("  \"batch_size\": {},\n", self.batch_size));
+        j.push_str("  \"batches\": [\n");
+        for (i, b) in self.batches.iter().enumerate() {
+            j.push_str(&format!(
+                "    {{\"batch\": {}, \"dies\": {}, \"passed\": {}, \"quarantined\": {}, \"hung\": {}, \"protocol\": {}, \"escapes\": {}, \"overkill\": {}}}{}\n",
+                b.batch,
+                b.dies,
+                b.passed,
+                b.quarantined,
+                b.hung,
+                b.protocol,
+                b.escapes,
+                b.overkill,
+                if i + 1 < self.batches.len() { "," } else { "" }
+            ));
+        }
+        j.push_str("  ]\n}\n");
+        j
+    }
+
+    /// Folds the campaign into the unified metrics registry.
+    pub fn export_metrics(&self, registry: &MetricsRegistry) {
+        registry.inc("fleet_runs_total", 1);
+        registry.inc("fleet_dies_total", self.dies);
+        registry.inc("fleet_passed_total", self.passed);
+        registry.inc("fleet_quarantined_total", self.quarantined);
+        registry.inc("fleet_hung_total", self.hung);
+        registry.inc("fleet_protocol_errors_total", self.protocol);
+        registry.inc("fleet_escapes_total", self.escapes);
+        registry.inc("fleet_overkill_total", self.overkill);
+        registry.inc("fleet_recovered_total", self.recovered);
+        registry.set_gauge("fleet_yield_percent", self.yield_percent());
+        registry.set_gauge("fleet_escape_percent", self.escape_percent());
+        registry.set_gauge("fleet_overkill_percent", self.overkill_percent());
+        registry.set_gauge("fleet_tck_p50", self.tck.p50 as f64);
+        registry.set_gauge("fleet_tck_p95", self.tck.p95 as f64);
+        registry.set_gauge("fleet_tck_p99", self.tck.p99 as f64);
+        for c in &self.classes {
+            registry.inc(
+                &format!("fleet_class_{}_sampled_total", c.class.name()),
+                c.sampled,
+            );
+        }
+    }
+}
+
+/// A finished campaign: the aggregate report plus every die record, in
+/// die order.
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    /// The aggregate report.
+    pub report: FleetReport,
+    /// Every die's record, indexed by die.
+    pub dies: Vec<DieRecord>,
+}
+
+/// The campaign service. [`Fleet::new`] pays the one-time cache cost
+/// (golden rehearsals per ladder rung, fault simulation of the site
+/// pool, the hung-session TCK probe); [`Fleet::run`] then streams dies
+/// through the cached protocol at session-replay speed. The fleet holds
+/// no interior mutability, so one instance serves any number of
+/// concurrent [`Fleet::simulate_die`] callers.
+#[derive(Debug)]
+pub struct Fleet {
+    config: FleetConfig,
+    strategies: Vec<RetryStrategy>,
+    module_names: Vec<String>,
+    goldens: Vec<Vec<u64>>,
+    sites: Vec<DefectSite>,
+    faulty: Vec<Vec<u64>>,
+    sampler: DefectSampler,
+    misr_width: usize,
+    counter_bits: usize,
+    hung_tck: u64,
+}
+
+impl Fleet {
+    /// Builds the shared campaign cache for `case` under `config`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator-construction and rehearsal errors from the
+    /// cache build (golden and per-site signatures).
+    pub fn new(case: &CaseStudy, config: FleetConfig) -> Result<Self, SessionError> {
+        let strategies = RobustSession::new(config.budget).strategies().to_vec();
+        let module_names: Vec<String> = case.module_names().iter().map(|&s| s.to_owned()).collect();
+        let misr_width = case.spec().misr_width;
+        let counter_bits = case.spec().counter_bits;
+
+        // Golden signatures, one rehearsal per ladder rung.
+        let mut goldens = Vec::with_capacity(strategies.len());
+        for &strategy in &strategies {
+            let (variant, seed) = strategy.engine_knobs();
+            let engine = case.engine_variant(variant, seed)?;
+            let mut rehearsal = WrappedCore::with_engine(case, engine)?;
+            goldens.push(rehearsal.rehearse(config.patterns)?);
+        }
+
+        // The stuck-at site pool: a seeded draw per module over nets with
+        // a real driver (forcing an Input or Const just re-states it).
+        let mut pool_rng = SplitMix64::new(config.seed ^ SITE_POOL_SALT);
+        let mut sites = Vec::new();
+        for (m, module) in case.modules().iter().enumerate() {
+            let mut candidates: Vec<NetId> = module
+                .iter()
+                .filter(|(_, g)| {
+                    !matches!(
+                        g.kind,
+                        GateKind::Input | GateKind::Const0 | GateKind::Const1
+                    )
+                })
+                .map(|(id, _)| id)
+                .collect();
+            pool_rng.shuffle(&mut candidates);
+            for &net in candidates.iter().take(config.sites_per_module) {
+                sites.push(DefectSite {
+                    module: m,
+                    net,
+                    value: pool_rng.gen_bool(0.5),
+                    detectable: false,
+                });
+            }
+        }
+
+        // Per-site faulty signatures under every rung, and detectability.
+        let mut faulty = Vec::with_capacity(sites.len());
+        for site in &mut sites {
+            let mut defective = case.clone();
+            defective
+                .module_mut(site.module)
+                .force_constant(site.net, site.value);
+            let mut per_strategy = Vec::with_capacity(strategies.len());
+            for (s, &strategy) in strategies.iter().enumerate() {
+                let (variant, seed) = strategy.engine_knobs();
+                let engine = defective.engine_variant(variant, seed)?;
+                let mut rehearsal = WrappedCore::with_engine(&defective, engine)?;
+                let sigs = rehearsal.rehearse(config.patterns)?;
+                let sig = sigs.get(site.module).copied().unwrap_or(0);
+                let golden = goldens[s].get(site.module).copied().unwrap_or(0);
+                per_strategy.push(sig);
+                if s == 0 {
+                    site.detectable = sig != golden;
+                } else {
+                    site.detectable = site.detectable && sig != golden;
+                }
+            }
+            faulty.push(per_strategy);
+        }
+        if config.detectable_only {
+            let keep: Vec<bool> = sites.iter().map(|s| s.detectable).collect();
+            let mut it = keep.iter();
+            sites.retain(|_| *it.next().unwrap_or(&false));
+            let mut it = keep.iter();
+            faulty.retain(|_| *it.next().unwrap_or(&false));
+        }
+
+        let sampler = DefectSampler::new(config.mix, sites.len(), config.transient_periods.clone());
+
+        // The deterministic TCK bill of a hung die: replicate exactly what
+        // a session spends before its done-watchdog fires.
+        let hung_core = ReplayCore::new(counter_bits, goldens[0].clone(), misr_width, true);
+        let mut probe = TapDriver::new(hung_core);
+        probe.reset();
+        probe.bist_load_pattern_count(config.patterns);
+        probe.bist_start();
+        let _ = probe.wait_for_done(config.budget.burst, config.budget.max_bursts);
+        let hung_tck = probe.tck();
+
+        Ok(Fleet {
+            config,
+            strategies,
+            module_names,
+            goldens,
+            sites,
+            faulty,
+            sampler,
+            misr_width,
+            counter_bits,
+            hung_tck,
+        })
+    }
+
+    /// The campaign configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// The stuck-at site pool (indexed by [`DefectProfile::StuckAt`]).
+    pub fn sites(&self) -> &[DefectSite] {
+        &self.sites
+    }
+
+    /// Module names, in module order.
+    pub fn module_names(&self) -> &[String] {
+        &self.module_names
+    }
+
+    /// The retry ladder fleet sessions run under.
+    pub fn strategies(&self) -> &[RetryStrategy] {
+        &self.strategies
+    }
+
+    fn die_rng(seed: u64, die: u64) -> SplitMix64 {
+        SplitMix64::new(seed ^ (die + 1).wrapping_mul(DIE_STREAM))
+    }
+
+    /// The defect profile die `die` draws — a pure function of
+    /// `(config.seed, die)`.
+    pub fn profile_of(&self, die: u64) -> DefectProfile {
+        let mut rng = Self::die_rng(self.config.seed, die);
+        self.sampler.sample(&mut rng)
+    }
+
+    fn strategy_index(&self, strategy: RetryStrategy) -> usize {
+        self.strategies
+            .iter()
+            .position(|&s| s == strategy)
+            .unwrap_or(0)
+    }
+
+    /// Runs one die's complete robust session against the shared cache and
+    /// returns its deterministic record. Takes `&self`: safe to call from
+    /// any number of threads concurrently.
+    pub fn simulate_die(&self, die: u64) -> DieRecord {
+        let profile = self.profile_of(die);
+        let mut session = RobustSession::new(self.config.budget);
+        if let DefectProfile::Transient { period } = profile {
+            session = session.with_pin_faults(PinFaults {
+                tdo: Some(PinFault::FlipEvery(period)),
+                ..PinFaults::none()
+            });
+        }
+        let result = session.run_with(&self.module_names, self.config.patterns, |strategy| {
+            let s = self.strategy_index(strategy);
+            let mut finals = self.goldens[s].clone();
+            let mut hang = false;
+            match profile {
+                DefectProfile::StuckAt { site } => {
+                    if let (Some(st), Some(sigs)) = (self.sites.get(site), self.faulty.get(site)) {
+                        if let Some(slot) = finals.get_mut(st.module) {
+                            *slot = sigs.get(s).copied().unwrap_or(0);
+                        }
+                    }
+                }
+                DefectProfile::Hung => hang = true,
+                _ => {}
+            }
+            Ok((
+                self.goldens[s].clone(),
+                ReplayCore::new(self.counter_bits, finals, self.misr_width, hang),
+            ))
+        });
+        let verdict = verdict_of(&result);
+        let tck = match (&result, verdict) {
+            (Ok(report), _) => report.tck_spent,
+            (_, DieVerdict::Hung) => self.hung_tck,
+            _ => 0,
+        };
+        DieRecord {
+            die,
+            profile,
+            verdict,
+            tck,
+        }
+    }
+
+    /// Runs the whole campaign: every die in `0..config.dies`, fanned out
+    /// over the worker pool, reassembled in die order, and aggregated.
+    pub fn run(&self) -> FleetOutcome {
+        let start = Instant::now();
+        let dies = self.config.dies;
+        let workers = if self.config.workers == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.config.workers
+        }
+        .min(dies.max(1) as usize)
+        .max(1);
+
+        let records: Vec<DieRecord> = if workers <= 1 {
+            (0..dies).map(|d| self.simulate_die(d)).collect()
+        } else {
+            // Chunked work-stealing: a shared atomic cursor hands out
+            // fixed-size die ranges; chunks are reassembled by index so
+            // the result is identical for any worker count.
+            const CHUNK: u64 = 256;
+            let nchunks = dies.div_ceil(CHUNK);
+            let cursor = AtomicU64::new(0);
+            let done: Mutex<Vec<(u64, Vec<DieRecord>)>> =
+                Mutex::new(Vec::with_capacity(nchunks as usize));
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let c = cursor.fetch_add(1, Ordering::Relaxed);
+                        if c >= nchunks {
+                            break;
+                        }
+                        let lo = c * CHUNK;
+                        let hi = (lo + CHUNK).min(dies);
+                        let recs: Vec<DieRecord> = (lo..hi).map(|d| self.simulate_die(d)).collect();
+                        if let Ok(mut guard) = done.lock() {
+                            guard.push((c, recs));
+                        }
+                    });
+                }
+            });
+            let mut chunks = match done.into_inner() {
+                Ok(v) => v,
+                Err(poison) => poison.into_inner(),
+            };
+            chunks.sort_by_key(|&(c, _)| c);
+            chunks.into_iter().flat_map(|(_, r)| r).collect()
+        };
+        let elapsed_ns = (start.elapsed().as_nanos() as u64).max(1);
+        let report = self.summarize(&records, elapsed_ns);
+        FleetOutcome {
+            report,
+            dies: records,
+        }
+    }
+
+    /// Aggregates die records into a [`FleetReport`]. Public so callers
+    /// that drove [`Fleet::simulate_die`] themselves (tests, samplers) can
+    /// reuse the exact aggregation.
+    pub fn summarize(&self, records: &[DieRecord], elapsed_ns: u64) -> FleetReport {
+        let mut classes: Vec<ClassStats> = DefectClass::ALL
+            .iter()
+            .map(|&class| ClassStats {
+                class,
+                sampled: 0,
+                passed: 0,
+                quarantined: 0,
+                hung: 0,
+                protocol: 0,
+            })
+            .collect();
+        let mut quarantine_by_module: Vec<(String, u64)> =
+            self.module_names.iter().map(|n| (n.clone(), 0)).collect();
+        let (mut passed, mut quarantined, mut hung, mut protocol) = (0u64, 0u64, 0u64, 0u64);
+        let (mut escapes, mut overkill, mut recovered) = (0u64, 0u64, 0u64);
+        let mut tcks: Vec<u64> = Vec::with_capacity(records.len());
+
+        let batch_size = self.config.effective_batch();
+        let nbatches = (records.len() as u64).div_ceil(batch_size).max(1);
+        let mut batches: Vec<BatchSummary> = (0..nbatches)
+            .map(|b| BatchSummary {
+                batch: b,
+                dies: 0,
+                passed: 0,
+                quarantined: 0,
+                hung: 0,
+                protocol: 0,
+                escapes: 0,
+                overkill: 0,
+            })
+            .collect();
+
+        for rec in records {
+            let class = rec.profile.class();
+            let ci = DefectClass::ALL
+                .iter()
+                .position(|&c| c == class)
+                .unwrap_or(0);
+            classes[ci].sampled += 1;
+            let bi = ((rec.die / batch_size) as usize).min(batches.len() - 1);
+            batches[bi].dies += 1;
+            match rec.verdict {
+                DieVerdict::Passed => {
+                    passed += 1;
+                    classes[ci].passed += 1;
+                    batches[bi].passed += 1;
+                    match class {
+                        DefectClass::StuckAt => {
+                            escapes += 1;
+                            batches[bi].escapes += 1;
+                        }
+                        DefectClass::Transient => recovered += 1,
+                        _ => {}
+                    }
+                }
+                DieVerdict::Quarantined { modules } => {
+                    quarantined += 1;
+                    classes[ci].quarantined += 1;
+                    batches[bi].quarantined += 1;
+                    for (m, slot) in quarantine_by_module.iter_mut().enumerate() {
+                        if modules & (1 << m) != 0 {
+                            slot.1 += 1;
+                        }
+                    }
+                    if class == DefectClass::Clean {
+                        overkill += 1;
+                        batches[bi].overkill += 1;
+                    }
+                }
+                DieVerdict::Hung => {
+                    hung += 1;
+                    classes[ci].hung += 1;
+                    batches[bi].hung += 1;
+                    if class == DefectClass::Clean {
+                        overkill += 1;
+                        batches[bi].overkill += 1;
+                    }
+                }
+                DieVerdict::Protocol => {
+                    protocol += 1;
+                    classes[ci].protocol += 1;
+                    batches[bi].protocol += 1;
+                    if class == DefectClass::Clean {
+                        overkill += 1;
+                        batches[bi].overkill += 1;
+                    }
+                }
+            }
+            if rec.verdict != DieVerdict::Protocol {
+                tcks.push(rec.tck);
+            }
+        }
+
+        let total_tck: u64 = tcks.iter().sum();
+        let tck = Percentiles::from_samples(tcks);
+        let ns_per_tck = if total_tck == 0 {
+            0.0
+        } else {
+            elapsed_ns as f64 / total_tck as f64
+        };
+        let wall_ns = Percentiles {
+            p50: (tck.p50 as f64 * ns_per_tck) as u64,
+            p95: (tck.p95 as f64 * ns_per_tck) as u64,
+            p99: (tck.p99 as f64 * ns_per_tck) as u64,
+        };
+
+        FleetReport {
+            dies: records.len() as u64,
+            seed: self.config.seed,
+            patterns: self.config.patterns,
+            defect_rate: self.config.mix.defect_rate,
+            classes,
+            passed,
+            quarantined,
+            hung,
+            protocol,
+            escapes,
+            overkill,
+            recovered,
+            quarantine_by_module,
+            tck,
+            wall_ns,
+            elapsed_ns,
+            batch_size,
+            batches,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_core_matches_wrapped_core_timing() {
+        let case = CaseStudy::paper().unwrap();
+        let goldens = case.golden_signatures(64).unwrap();
+        // Gate-level session.
+        let real = WrappedCore::new(&case).unwrap();
+        let mut a = TapDriver::new(real);
+        a.reset();
+        a.bist_load_pattern_count(64);
+        a.bist_start();
+        let wa = a.wait_for_done(16, 20).unwrap();
+        // Replay session over the same protocol.
+        let replay = ReplayCore::new(
+            case.spec().counter_bits,
+            goldens.clone(),
+            case.spec().misr_width,
+            false,
+        );
+        let mut b = TapDriver::new(replay);
+        b.reset();
+        b.bist_load_pattern_count(64);
+        b.bist_start();
+        let wb = b.wait_for_done(16, 20).unwrap();
+        assert_eq!(wa.cycles_waited, wb.cycles_waited, "identical done timing");
+        assert_eq!(a.tck(), b.tck(), "identical TCK schedule");
+        for (m, &gold) in goldens.iter().enumerate() {
+            a.bist_select_result(m as u8);
+            b.bist_select_result(m as u8);
+            let (da, sa) = a.read_status();
+            let (db, sb) = b.read_status();
+            assert!(da && db);
+            assert_eq!(sa, gold);
+            assert_eq!(sb, gold, "replay presents the cached signature");
+        }
+    }
+
+    #[test]
+    fn hung_replay_core_never_finishes() {
+        let mut core = ReplayCore::new(12, vec![1, 2, 3], 16, true);
+        core.command(BistCommand::LoadPatternCount(4));
+        core.command(BistCommand::Start);
+        for _ in 0..100 {
+            core.functional_clock();
+        }
+        assert!(!core.end_test());
+        assert_eq!(core.selected_signature(), 0);
+    }
+
+    #[test]
+    fn sampler_extremes_are_exact() {
+        let clean_only = DefectSampler::new(
+            DefectMix {
+                defect_rate: 0.0,
+                ..DefectMix::default()
+            },
+            8,
+            vec![101],
+        );
+        let all_defective = DefectSampler::new(
+            DefectMix {
+                defect_rate: 1.0,
+                ..DefectMix::default()
+            },
+            8,
+            vec![101],
+        );
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert_eq!(clean_only.sample(&mut rng), DefectProfile::Clean);
+            assert_ne!(all_defective.sample(&mut rng), DefectProfile::Clean);
+        }
+    }
+
+    #[test]
+    fn empty_pools_forfeit_their_weight() {
+        let s = DefectSampler::new(
+            DefectMix {
+                defect_rate: 1.0,
+                stuck_at_weight: 100,
+                transient_weight: 100,
+                hung_weight: 1,
+            },
+            0,
+            Vec::new(),
+        );
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut rng), DefectProfile::Hung);
+        }
+    }
+
+    #[test]
+    fn small_fleet_is_deterministic_and_plausible() {
+        let case = CaseStudy::paper().unwrap();
+        let mut cfg = FleetConfig::new(300, 42);
+        cfg.workers = 1;
+        let fleet = Fleet::new(&case, cfg).unwrap();
+        let a = fleet.run();
+        let b = fleet.run();
+        assert_eq!(a.report.to_json(), b.report.to_json());
+        assert_eq!(a.dies, b.dies);
+        assert_eq!(a.report.dies, 300);
+        // At a 5% defect rate most dies pass.
+        assert!(a.report.passed > 250, "passed = {}", a.report.passed);
+        assert!(a.report.tck.p50 > 0);
+        assert!(!a.report.batches.is_empty());
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let p = Percentiles::from_samples((1..=100).collect());
+        assert_eq!(p.p50, 50);
+        assert_eq!(p.p95, 95);
+        assert_eq!(p.p99, 99);
+        let single = Percentiles::from_samples(vec![7]);
+        assert_eq!((single.p50, single.p95, single.p99), (7, 7, 7));
+        let empty = Percentiles::from_samples(Vec::new());
+        assert_eq!(empty.p50, 0);
+    }
+}

@@ -25,7 +25,12 @@
 //!   round's coverage-curve facts and *acts* (add patterns, reseed,
 //!   reciprocal polynomial, synthesized weighted constraint generator)
 //!   until every module converges or reaches a typed terminal verdict,
-//!   recording a seed-deterministic decision trail.
+//!   recording a seed-deterministic decision trail;
+//! * [`fleet`] — the population-scale campaign service: 10⁵–10⁶
+//!   die-sessions share one compiled netlist and one precomputed
+//!   golden/faulty signature cache, so each die pays only the TAP session
+//!   protocol; the aggregate report carries yield, escapes, overkill, and
+//!   test-time percentiles.
 //!
 //! # Example: an at-speed BIST session through the TAP
 //!
@@ -64,6 +69,7 @@ pub mod cockpit;
 pub mod error;
 pub mod eval;
 pub mod experiments;
+pub mod fleet;
 pub mod robust;
 pub mod session;
 

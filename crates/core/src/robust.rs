@@ -24,12 +24,45 @@
 use soctest_bist::EngineError;
 use soctest_fault::ParallelPolicy;
 use soctest_obs::{MetricsHandle, MetricsRegistry, TraceEvent, TraceHandle};
-use soctest_p1500::{ProtocolError, TapDriver};
+use soctest_p1500::{BistBackend, HungBackend, PinFaults, ProtocolError, TapDriver};
 
 use crate::casestudy::CaseStudy;
 use crate::error::SessionError;
 use crate::eval::{self, FaultModel, Step3Report};
 use crate::session::WrappedCore;
+
+/// The backend surface a robust session drives beyond the raw
+/// [`BistBackend`] protocol: optional engine-level tracing and waveform
+/// capture. Every method defaults to a no-op, so protocol-only backends
+/// (signature-replay cores, mocks) plug into [`RobustSession::run_with`]
+/// without ceremony, while the gate-level [`WrappedCore`] forwards to its
+/// real implementations.
+pub trait SessionBackend: BistBackend {
+    /// Attaches a trace handle for engine-level events, when supported.
+    fn set_trace(&mut self, _trace: TraceHandle) {}
+
+    /// Starts waveform capture, when supported.
+    fn enable_vcd(&mut self) {}
+
+    /// Returns the captured waveform, when supported.
+    fn take_vcd(&mut self) -> Option<String> {
+        None
+    }
+}
+
+impl<B: SessionBackend> SessionBackend for HungBackend<B> {
+    fn set_trace(&mut self, trace: TraceHandle) {
+        self.inner_mut().set_trace(trace);
+    }
+
+    fn enable_vcd(&mut self) {
+        self.inner_mut().enable_vcd();
+    }
+
+    fn take_vcd(&mut self) -> Option<String> {
+        self.inner_mut().take_vcd()
+    }
+}
 
 /// Watchdog and protocol budgets for one robust session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,8 +115,10 @@ impl RetryStrategy {
     }
 
     /// The `(variant, seed)` engine knobs this strategy turns (see
-    /// [`CaseStudy::engine_variant`]).
-    fn engine_knobs(self) -> (u8, u64) {
+    /// [`CaseStudy::engine_variant`]). Public so shared-cache runners (the
+    /// fleet) can rehearse signatures under the exact knobs a session's
+    /// ladder will replay.
+    pub fn engine_knobs(self) -> (u8, u64) {
         match self {
             RetryStrategy::Rerun => (0, 0),
             RetryStrategy::ReciprocalPolynomial => (1, 0),
@@ -242,6 +277,7 @@ pub struct RobustSession {
     trace: TraceHandle,
     metrics: MetricsHandle,
     vcd: bool,
+    pin_faults: PinFaults,
 }
 
 impl Default for RobustSession {
@@ -265,6 +301,7 @@ impl RobustSession {
             trace: TraceHandle::none(),
             metrics: MetricsHandle::none(),
             vcd: false,
+            pin_faults: PinFaults::none(),
         }
     }
 
@@ -310,9 +347,24 @@ impl RobustSession {
         self
     }
 
+    /// Arms a TAP pin-fault interposer for every attempt of the session:
+    /// each rung's fresh [`TapDriver`] starts with `faults` injected, so
+    /// the interposer's 1-based pin-cycle schedule replays identically per
+    /// attempt. This is how a transient die (e.g. a periodically upset TDO
+    /// line) is modeled at session level.
+    pub fn with_pin_faults(mut self, faults: PinFaults) -> Self {
+        self.pin_faults = faults;
+        self
+    }
+
     /// The configured budget.
     pub fn budget(&self) -> SessionBudget {
         self.budget
+    }
+
+    /// The retry ladder, in rung order.
+    pub fn strategies(&self) -> &[RetryStrategy] {
+        &self.strategies
     }
 
     /// Runs the full session: for each rung of the retry ladder (while any
@@ -337,7 +389,47 @@ impl RobustSession {
         dut: &CaseStudy,
         npatterns: u64,
     ) -> Result<SessionReport, SessionError> {
-        let nmodules = dut.modules().len();
+        let names: Vec<String> = dut.module_names().iter().map(|&s| s.to_owned()).collect();
+        self.run_with(&names, npatterns, |strategy| {
+            let (variant, seed) = strategy.engine_knobs();
+            // Golden signatures: a fresh rehearsal of the fault-free
+            // hardware under this strategy's polynomial and seed.
+            let golden_engine = reference.engine_variant(variant, seed)?;
+            let mut rehearsal = WrappedCore::with_engine(reference, golden_engine)?;
+            let goldens = rehearsal.rehearse(npatterns)?;
+            // The DUT backend the TAP session will drive.
+            let dut_engine = dut.engine_variant(variant, seed)?;
+            let backend = WrappedCore::with_engine(dut, dut_engine)?;
+            Ok((goldens, backend))
+        })
+    }
+
+    /// The generic retry-ladder runner behind [`RobustSession::run`]: for
+    /// each rung (while any module is unresolved), `make` produces that
+    /// strategy's golden signatures and a fresh DUT backend, and the runner
+    /// drives one TAP session against it — watchdogs, pin faults,
+    /// majority-voted status reads, and per-module quarantine all included.
+    ///
+    /// This is the seam that lets very different backends share one session
+    /// discipline: [`run`](RobustSession::run) plugs in gate-level
+    /// [`WrappedCore`]s, the fleet plugs in signature-replay cores fed from
+    /// a shared cache, and test harnesses plug in
+    /// [`soctest_p1500::HungBackend`]-wrapped cores.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`RobustSession::run`], plus whatever `make` returns.
+    pub fn run_with<B, F>(
+        &self,
+        module_names: &[String],
+        npatterns: u64,
+        mut make: F,
+    ) -> Result<SessionReport, SessionError>
+    where
+        B: SessionBackend,
+        F: FnMut(RetryStrategy) -> Result<(Vec<u64>, B), SessionError>,
+    {
+        let nmodules = module_names.len();
         let mut attempts: Vec<Vec<AttemptRecord>> = vec![Vec::new(); nmodules];
         let mut resolved: Vec<bool> = vec![false; nmodules];
         let mut tck_spent = 0u64;
@@ -369,17 +461,7 @@ impl RobustSession {
                     }
                 }
             }
-            let (variant, seed) = strategy.engine_knobs();
-
-            // Golden signatures: a fresh rehearsal of the fault-free
-            // hardware under this strategy's polynomial and seed.
-            let golden_engine = reference.engine_variant(variant, seed)?;
-            let mut rehearsal = WrappedCore::with_engine(reference, golden_engine)?;
-            let goldens = rehearsal.rehearse(npatterns)?;
-
-            // The DUT session, driven over the TAP.
-            let dut_engine = dut.engine_variant(variant, seed)?;
-            let mut backend = WrappedCore::with_engine(dut, dut_engine)?;
+            let (goldens, mut backend) = make(strategy)?;
             backend.set_trace(self.trace.clone());
             if self.vcd {
                 backend.enable_vcd();
@@ -387,6 +469,7 @@ impl RobustSession {
             let mut ate = TapDriver::new(backend);
             ate.set_trace(self.trace.clone());
             ate.set_metrics(self.metrics.clone());
+            ate.inject_pin_faults(self.pin_faults);
             ate.reset();
             ate.bist_load_pattern_count(npatterns);
             ate.bist_start();
@@ -479,13 +562,12 @@ impl RobustSession {
             }
         }
 
-        let outcomes = dut
-            .module_names()
-            .into_iter()
+        let outcomes = module_names
+            .iter()
             .zip(attempts)
             .zip(&resolved)
             .map(|((name, attempts), &passed)| ModuleOutcome {
-                module: name.to_owned(),
+                module: name.clone(),
                 quarantined: !passed,
                 attempts,
             })

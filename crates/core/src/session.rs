@@ -186,6 +186,20 @@ impl BistBackend for WrappedCore<'_> {
     }
 }
 
+impl crate::robust::SessionBackend for WrappedCore<'_> {
+    fn set_trace(&mut self, trace: TraceHandle) {
+        WrappedCore::set_trace(self, trace);
+    }
+
+    fn enable_vcd(&mut self) {
+        WrappedCore::enable_vcd(self);
+    }
+
+    fn take_vcd(&mut self) -> Option<String> {
+        WrappedCore::take_vcd(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

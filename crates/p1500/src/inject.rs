@@ -98,6 +98,57 @@ impl BistBackend for FaultyBackend {
     }
 }
 
+/// A transparent adapter that suppresses `end_test` forever on *any*
+/// backend — the generic analogue of [`FaultyBackend::with_hang`], which
+/// only wraps a [`MockBackend`]. Wrap a real gate-level core in this to
+/// drive a hung-engine scenario through exactly the session code paths a
+/// healthy die takes: commands, functional clocks, and signature captures
+/// all pass straight through; only the done flag is pinned low, so every
+/// `wait_for_done` poll times out.
+#[derive(Debug, Clone)]
+pub struct HungBackend<B> {
+    inner: B,
+}
+
+impl<B: BistBackend> HungBackend<B> {
+    /// Wraps `inner`; the resulting backend never reports `end_test`.
+    pub fn new(inner: B) -> Self {
+        HungBackend { inner }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped backend.
+    pub fn inner_mut(&mut self) -> &mut B {
+        &mut self.inner
+    }
+}
+
+impl<B: BistBackend> BistBackend for HungBackend<B> {
+    fn command(&mut self, cmd: BistCommand) {
+        self.inner.command(cmd);
+    }
+
+    fn functional_clock(&mut self) {
+        self.inner.functional_clock();
+    }
+
+    fn end_test(&self) -> bool {
+        false
+    }
+
+    fn selected_signature(&self) -> u64 {
+        self.inner.selected_signature()
+    }
+
+    fn signature_width(&self) -> usize {
+        self.inner.signature_width()
+    }
+}
+
 /// One misbehaving pin.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PinFault {
@@ -200,6 +251,19 @@ mod tests {
         let second = f.selected_signature();
         assert_eq!(first ^ 0b1010, second, "only the first read is upset");
         assert_eq!(second, f.expected_signature());
+    }
+
+    #[test]
+    fn hung_adapter_pins_done_low_on_any_backend() {
+        let mut h = HungBackend::new(MockBackend::new(8, 2));
+        h.command(BistCommand::LoadPatternCount(2));
+        h.command(BistCommand::Start);
+        for _ in 0..100 {
+            h.functional_clock();
+        }
+        assert!(h.inner().end_test(), "the wrapped core itself finished");
+        assert!(!h.end_test(), "the adapter never raises done");
+        assert_eq!(h.signature_width(), 8);
     }
 
     #[test]

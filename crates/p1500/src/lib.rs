@@ -51,6 +51,6 @@ mod wrapper;
 
 pub use driver::TapDriver;
 pub use error::{ProtocolError, WaitStats};
-pub use inject::{FaultyBackend, PinFault, PinFaults};
+pub use inject::{FaultyBackend, HungBackend, PinFault, PinFaults};
 pub use tap::{TapController, TapInstruction, TapState};
 pub use wrapper::{BistBackend, MockBackend, Wrapper, WrapperInstruction, WrapperPins};

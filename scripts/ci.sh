@@ -114,4 +114,36 @@ grep -q 'AutopilotDecision' target/report_autopilot.html
 grep -q 'AutopilotVerdict' target/report_autopilot.html
 grep -q 'Autopilot' target/report_autopilot.html
 
+echo "== fleet: conformance leg (replay vs standalone verdicts) =="
+cargo run --release -p soctest-conformance --bin difftest -- \
+    --fleet --fleet-dies 64 --start-seed 42
+
+echo "== fleet: quick flight + cockpit fleet section =="
+cargo run --release -p soctest-bench --bin repro -- --quick --fleet \
+    --dies=2000 --seed=42 \
+    --report=target/report_fleet.html | tee target/fleet.txt
+# The greppable population summary must be present and well-formed.
+grep -Eq '^fleet: yield [0-9.]+% \([0-9]+ passed / 2000 dies\)' target/fleet.txt
+grep -Eq '^fleet: escapes [0-9]+ \([0-9.]+% of stuck-at dies\)' target/fleet.txt
+grep -Eq '^fleet: overkill [0-9]+ \([0-9.]+% of clean dies\)' target/fleet.txt
+grep -Eq '^fleet: tck p50=[0-9]+ p95=[0-9]+ p99=[0-9]+' target/fleet.txt
+grep -Eq '^fleet: throughput [0-9]+ dies/s' target/fleet.txt
+# Determinism gate: the same flight twice prints identical fleet: lines
+# (throughput and cache-build wall time are the only nondeterministic rows).
+cargo run --release -p soctest-bench --bin repro -- --quick --fleet \
+    --dies=2000 --seed=42 > target/fleet2.txt
+scrub_fleet() { grep '^fleet:' "$1" | grep -Ev 'throughput|cache built'; }
+diff <(scrub_fleet target/fleet.txt) <(scrub_fleet target/fleet2.txt) \
+    || { echo "fleet flight is not seed-deterministic"; exit 1; }
+# The cockpit report gained a self-contained fleet section.
+test -s target/report_fleet.html
+! grep -q 'http://' target/report_fleet.html
+! grep -q '<script' target/report_fleet.html
+grep -q '>Fleet<' target/report_fleet.html
+grep -q 'Yield per batch' target/report_fleet.html
+# The bench file (written by the --bench-faultsim step above) carries the
+# fleet throughput block with its ≥1000 dies/s contract already asserted.
+grep -q '"fleet": {"dies": 100000' BENCH_faultsim.json
+grep -q '"session_tck_p50"' BENCH_faultsim.json
+
 echo "ci: all green"

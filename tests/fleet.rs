@@ -1,0 +1,172 @@
+//! Population-level pins for the fleet campaign service: determinism
+//! across runs and worker counts, the defect sampler's statistics, the
+//! escape/overkill extremes, re-entrancy under concurrent use, and the
+//! fleet-vs-standalone conformance leg.
+
+use soctest::core::casestudy::CaseStudy;
+use soctest::core::fleet::{DefectClass, DefectMix, DefectProfile, DieVerdict, Fleet, FleetConfig};
+
+fn paper_fleet(mut cfg: FleetConfig) -> Fleet {
+    let case = CaseStudy::paper().unwrap();
+    // Keep CI deterministic regardless of host core count unless a test
+    // overrides workers explicitly.
+    if cfg.workers == 0 {
+        cfg.workers = 1;
+    }
+    Fleet::new(&case, cfg).unwrap()
+}
+
+#[test]
+fn same_config_twice_is_byte_identical() {
+    let fleet = paper_fleet(FleetConfig::new(2000, 42));
+    let a = fleet.run();
+    let b = fleet.run();
+    assert_eq!(
+        a.report.to_json(),
+        b.report.to_json(),
+        "JSON must be byte-stable"
+    );
+    assert_eq!(a.dies, b.dies, "per-die records must be identical");
+
+    // A fresh fleet over the same config — not just the same cache —
+    // reproduces the same bytes too.
+    let again = paper_fleet(FleetConfig::new(2000, 42));
+    assert_eq!(a.report.to_json(), again.run().report.to_json());
+
+    // And a different seed genuinely changes the draw.
+    let other = paper_fleet(FleetConfig::new(2000, 43));
+    assert_ne!(a.report.to_json(), other.run().report.to_json());
+}
+
+#[test]
+fn worker_count_does_not_change_any_record() {
+    let mut serial_cfg = FleetConfig::new(1500, 7);
+    serial_cfg.workers = 1;
+    let serial = paper_fleet(serial_cfg).run();
+
+    let mut par_cfg = FleetConfig::new(1500, 7);
+    par_cfg.workers = 4;
+    let parallel = paper_fleet(par_cfg).run();
+
+    assert_eq!(
+        serial.dies, parallel.dies,
+        "records differ across worker counts"
+    );
+    assert_eq!(serial.report.to_json(), parallel.report.to_json());
+}
+
+#[test]
+fn sampler_hits_the_configured_mix() {
+    for seed in [1u64, 7, 42] {
+        let mut cfg = FleetConfig::new(10_000, seed);
+        cfg.workers = 1;
+        let fleet = paper_fleet(cfg);
+        let mix = fleet.config().mix;
+        let nsites = fleet.sites().len();
+        let nperiods = fleet.config().transient_periods.len();
+        let dies = fleet.config().dies;
+
+        let mut counts = std::collections::HashMap::new();
+        for die in 0..dies {
+            *counts.entry(fleet.profile_of(die).class()).or_insert(0u64) += 1;
+        }
+        for class in DefectClass::ALL {
+            let expected = mix.class_probability(class, nsites, nperiods);
+            let got = *counts.get(&class).unwrap_or(&0) as f64 / dies as f64;
+            assert!(
+                (got - expected).abs() < 0.015,
+                "seed {seed} class {}: empirical {got:.4} vs expected {expected:.4}",
+                class.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn zero_defect_rate_means_zero_escapes_and_overkill() {
+    let mut cfg = FleetConfig::new(500, 11);
+    cfg.mix = DefectMix {
+        defect_rate: 0.0,
+        ..DefectMix::default()
+    };
+    let outcome = paper_fleet(cfg).run();
+    assert_eq!(outcome.report.passed, 500, "every clean die passes");
+    assert_eq!(outcome.report.escapes, 0);
+    assert_eq!(outcome.report.overkill, 0);
+    assert!((outcome.report.yield_percent() - 100.0).abs() < f64::EPSILON);
+    assert!(outcome
+        .dies
+        .iter()
+        .all(|d| d.profile == DefectProfile::Clean && d.verdict == DieVerdict::Passed));
+}
+
+#[test]
+fn saturated_detectable_stuck_at_rate_means_zero_escapes() {
+    let mut cfg = FleetConfig::new(400, 5);
+    cfg.mix = DefectMix {
+        defect_rate: 1.0,
+        stuck_at_weight: 1,
+        transient_weight: 0,
+        hung_weight: 0,
+    };
+    cfg.detectable_only = true;
+    let fleet = paper_fleet(cfg);
+    assert!(
+        !fleet.sites().is_empty() && fleet.sites().iter().all(|s| s.detectable),
+        "detectable_only must filter the pool"
+    );
+    let outcome = fleet.run();
+    assert_eq!(
+        outcome.report.escapes, 0,
+        "a detectable stuck-at cannot pass"
+    );
+    assert_eq!(outcome.report.quarantined, 400, "every die is quarantined");
+    assert_eq!(outcome.report.passed, 0);
+    assert_eq!(outcome.report.overkill, 0, "no clean dies were drawn");
+    assert!(outcome
+        .dies
+        .iter()
+        .all(|d| matches!(d.verdict, DieVerdict::Quarantined { modules } if modules != 0)));
+}
+
+#[test]
+fn concurrent_callers_share_one_fleet_without_cross_talk() {
+    // Re-entrancy pin: N threads walk the same dies of one shared Fleet
+    // in different interleaved orders; every thread must reproduce the
+    // serial baseline record for every die (no verdict cross-talk through
+    // shared caches, injectors, or session state).
+    let mut cfg = FleetConfig::new(48, 42);
+    cfg.mix.defect_rate = 0.5; // make defective sessions common
+    let fleet = paper_fleet(cfg);
+    let baseline: Vec<_> = (0..48).map(|d| fleet.simulate_die(d)).collect();
+
+    std::thread::scope(|scope| {
+        for t in 0..4usize {
+            let fleet = &fleet;
+            let baseline = &baseline;
+            scope.spawn(move || {
+                // Each thread visits the dies with a different stride so
+                // the interleavings across threads genuinely differ.
+                let stride = [1usize, 5, 7, 11][t];
+                for i in 0..48usize {
+                    let die = (i * stride % 48) as u64;
+                    let record = fleet.simulate_die(die);
+                    assert_eq!(
+                        record, baseline[die as usize],
+                        "thread {t} diverged on die {die}"
+                    );
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn fleet_conformance_leg_matches_standalone_sessions() {
+    let outcome = soctest::conformance::fleet_difftest(8, 7).unwrap();
+    assert!(
+        outcome.mismatches.is_empty(),
+        "fleet replay diverged from standalone gate-level sessions: {:?}",
+        outcome.mismatches
+    );
+}

@@ -1,0 +1,298 @@
+//! The perf-regression gate over the committed bench history.
+//!
+//! ```text
+//! bench_gate [--history=BENCH_history.jsonl] [--current=BENCH_current.json]
+//!            [--max-regression-pct=25] [--self-test]
+//! ```
+//!
+//! Reads the slim throughput records `repro --bench-faultsim` emits —
+//! one JSON line per run with per-module `kernel_wall_s` / `faults_per_s`
+//! and the fleet's `dies_per_s` — takes the **median** of every metric
+//! across the committed history (so one noisy historical run cannot move
+//! the baseline), and compares the fresh `BENCH_current.json` against it.
+//!
+//! The gate fails (exit 1) when any metric regresses more than 25 %
+//! beyond the noise floor:
+//!
+//! - a module's `kernel_wall_s` grows past `median × 1.25` **and** the
+//!   absolute growth exceeds 20 ms (short quick-budget runs on a loaded
+//!   host jitter by more than any ratio; the floor matches the trace
+//!   -overhead gate's),
+//! - a module's `faults_per_s` or the fleet's `dies_per_s` falls below
+//!   `median ÷ 1.25`, unless the absolute wall impact is under the same
+//!   20 ms floor.
+//!
+//! Only history records with the same `patterns` budget as the current
+//! run are compared; with no comparable history the gate passes with a
+//! warning so a fresh clone is never blocked.
+//!
+//! `--self-test` skips `BENCH_current.json` and instead synthesizes a
+//! run that is exactly 2× slower than the history median on every
+//! metric. The gate must reject it; the self-test exits 0 **iff** the
+//! rejection fired, proving the gate can actually fail.
+
+use std::process::ExitCode;
+
+use soctest_obs::json::{self, JsonValue};
+
+/// Absolute noise floor: wall-clock deltas below this are measurement
+/// jitter on a loaded host, never a regression.
+const ABS_FLOOR_S: f64 = 0.02;
+
+/// One slim bench record (a single line of `BENCH_history.jsonl`).
+#[derive(Debug, Clone)]
+struct Record {
+    patterns: u64,
+    /// `(module, kernel_wall_s, faults_per_s)`.
+    modules: Vec<(String, f64, f64)>,
+    fleet_dies_per_s: f64,
+}
+
+fn parse_record(line: &str) -> Result<Record, String> {
+    let v = json::parse(line)?;
+    let patterns = v
+        .get("patterns")
+        .and_then(JsonValue::as_u64)
+        .ok_or("record missing \"patterns\"")?;
+    let mut modules = Vec::new();
+    for m in v
+        .get("modules")
+        .and_then(JsonValue::as_array)
+        .ok_or("record missing \"modules\"")?
+    {
+        let name = m
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or("module missing \"name\"")?
+            .to_owned();
+        let wall = m
+            .get("kernel_wall_s")
+            .and_then(JsonValue::as_f64)
+            .ok_or("module missing \"kernel_wall_s\"")?;
+        let rate = m
+            .get("faults_per_s")
+            .and_then(JsonValue::as_f64)
+            .ok_or("module missing \"faults_per_s\"")?;
+        modules.push((name, wall, rate));
+    }
+    let fleet_dies_per_s = v
+        .get("fleet_dies_per_s")
+        .and_then(JsonValue::as_f64)
+        .ok_or("record missing \"fleet_dies_per_s\"")?;
+    Ok(Record {
+        patterns,
+        modules,
+        fleet_dies_per_s,
+    })
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs[xs.len() / 2]
+    }
+}
+
+/// The history baseline: per-metric medians over comparable records.
+struct Baseline {
+    runs: usize,
+    /// `(module, median_wall_s, median_faults_per_s)`.
+    modules: Vec<(String, f64, f64)>,
+    fleet_dies_per_s: f64,
+}
+
+fn baseline(history: &[Record], patterns: u64) -> Option<Baseline> {
+    let comparable: Vec<&Record> = history.iter().filter(|r| r.patterns == patterns).collect();
+    let first = comparable.first()?;
+    let mut modules = Vec::new();
+    for (name, _, _) in &first.modules {
+        let mut walls: Vec<f64> = comparable
+            .iter()
+            .flat_map(|r| r.modules.iter())
+            .filter(|(n, _, _)| n == name)
+            .map(|&(_, w, _)| w)
+            .collect();
+        let mut rates: Vec<f64> = comparable
+            .iter()
+            .flat_map(|r| r.modules.iter())
+            .filter(|(n, _, _)| n == name)
+            .map(|&(_, _, f)| f)
+            .collect();
+        modules.push((name.clone(), median(&mut walls), median(&mut rates)));
+    }
+    let mut fleet: Vec<f64> = comparable.iter().map(|r| r.fleet_dies_per_s).collect();
+    Some(Baseline {
+        runs: comparable.len(),
+        modules,
+        fleet_dies_per_s: median(&mut fleet),
+    })
+}
+
+/// Checks `current` against `base`; prints one greppable verdict line per
+/// metric and returns the number of failed metrics.
+fn gate(base: &Baseline, current: &Record, max_regression_pct: f64) -> usize {
+    let ratio = 1.0 + max_regression_pct / 100.0;
+    let mut failures = 0usize;
+    let mut check = |metric: &str, ok: bool, detail: String| {
+        println!(
+            "bench-gate: {} {metric} — {detail}",
+            if ok { "PASS" } else { "FAIL" }
+        );
+        if !ok {
+            failures += 1;
+        }
+    };
+
+    for (name, wall, rate) in &current.modules {
+        let Some((_, base_wall, base_rate)) = base.modules.iter().find(|(n, _, _)| n == name)
+        else {
+            check(
+                &format!("{name}.kernel_wall_s"),
+                true,
+                "no history for this module, skipped".into(),
+            );
+            continue;
+        };
+        // Wall growth: relative threshold AND the absolute noise floor —
+        // both must be exceeded before a slowdown counts.
+        let wall_ok = *wall <= base_wall * ratio || wall - base_wall < ABS_FLOOR_S;
+        check(
+            &format!("{name}.kernel_wall_s"),
+            wall_ok,
+            format!(
+                "current {wall:.4}s vs median {base_wall:.4}s over {} run(s)",
+                base.runs
+            ),
+        );
+        // Throughput drop: the wall-side noise floor applies here too —
+        // a rate halving on a 5 ms run is jitter, not a regression.
+        let rate_ok = *rate >= base_rate / ratio || wall - base_wall < ABS_FLOOR_S;
+        check(
+            &format!("{name}.faults_per_s"),
+            rate_ok,
+            format!("current {rate:.0} vs median {base_rate:.0}"),
+        );
+    }
+    // The fleet runs long enough (100k dies) that the ratio alone is
+    // trustworthy.
+    let fleet_ok = current.fleet_dies_per_s >= base.fleet_dies_per_s / ratio;
+    check(
+        "fleet.dies_per_s",
+        fleet_ok,
+        format!(
+            "current {:.0} vs median {:.0}",
+            current.fleet_dies_per_s, base.fleet_dies_per_s
+        ),
+    );
+    failures
+}
+
+/// A synthetic run exactly 2× slower than the baseline on every metric —
+/// the self-test input the gate must reject.
+fn synthetic_slowdown(base: &Baseline, patterns: u64) -> Record {
+    Record {
+        patterns,
+        modules: base
+            .modules
+            .iter()
+            // Past both the ratio and the absolute floor, whatever the
+            // baseline's scale.
+            .map(|(n, w, f)| (n.clone(), w * 2.0 + ABS_FLOOR_S * 2.0, f / 2.0))
+            .collect(),
+        fleet_dies_per_s: base.fleet_dies_per_s / 2.0,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag_value = |prefix: &str| {
+        args.iter()
+            .find_map(|a| a.strip_prefix(prefix).map(str::to_owned))
+    };
+    let history_path = flag_value("--history=").unwrap_or_else(|| "BENCH_history.jsonl".into());
+    let current_path = flag_value("--current=").unwrap_or_else(|| "BENCH_current.json".into());
+    let max_regression_pct: f64 = flag_value("--max-regression-pct=")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25.0);
+    let self_test = args.iter().any(|a| a == "--self-test");
+
+    let Ok(history_text) = std::fs::read_to_string(&history_path) else {
+        eprintln!("bench-gate: cannot read history at {history_path}");
+        return ExitCode::FAILURE;
+    };
+    let mut history = Vec::new();
+    for (i, line) in history_text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_record(line) {
+            Ok(r) => history.push(r),
+            Err(e) => {
+                eprintln!("bench-gate: {history_path}:{}: {e}", i + 1);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if history.is_empty() {
+        eprintln!("bench-gate: {history_path} holds no records");
+        return ExitCode::FAILURE;
+    }
+
+    if self_test {
+        // Prove the gate can fail: a 2× slowdown against the history's
+        // own (first) patterns budget must be rejected.
+        let patterns = history[0].patterns;
+        let Some(base) = baseline(&history, patterns) else {
+            eprintln!("bench-gate: self-test found no comparable history");
+            return ExitCode::FAILURE;
+        };
+        let synthetic = synthetic_slowdown(&base, patterns);
+        let failures = gate(&base, &synthetic, max_regression_pct);
+        if failures > 0 {
+            println!(
+                "bench-gate: self-test OK — synthetic 2x slowdown rejected \
+                 ({failures} failing metric(s))"
+            );
+            return ExitCode::SUCCESS;
+        }
+        eprintln!("bench-gate: self-test FAILED — a 2x slowdown passed the gate");
+        return ExitCode::FAILURE;
+    }
+
+    let current = match std::fs::read_to_string(&current_path) {
+        Ok(text) => match parse_record(text.trim()) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("bench-gate: {current_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(_) => {
+            eprintln!(
+                "bench-gate: cannot read {current_path} — run `repro --bench-faultsim` first"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(base) = baseline(&history, current.patterns) else {
+        println!(
+            "bench-gate: PASS (no history at {} patterns to compare against)",
+            current.patterns
+        );
+        return ExitCode::SUCCESS;
+    };
+    let failures = gate(&base, &current, max_regression_pct);
+    if failures == 0 {
+        println!(
+            "bench-gate: PASS — no metric regressed more than {max_regression_pct:.0}% \
+             vs the {}-run history median",
+            base.runs
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench-gate: FAIL — {failures} metric(s) regressed");
+        ExitCode::FAILURE
+    }
+}

@@ -53,6 +53,16 @@
 //! lines (yield, escapes, overkill, TCK percentiles, throughput), streams
 //! the aggregate into a metrics registry, and with `--report=FILE` writes
 //! the cockpit report with a batch-by-batch Fleet section.
+//!
+//! Observatory flags (compose with `--fleet`): `--profile=FILE` attaches
+//! the hierarchical self-profiler and writes the phase tree as JSON plus
+//! a flamegraph-compatible `FILE.collapsed` sibling, asserting the
+//! top-level phases cover ≥ 95 % of the measured build+run wall;
+//! `--sample-dies=N` traces every Nth die (plus a per-class quota of 2,
+//! so rare defect classes are always captured) into bounded rings;
+//! `--traces=FILE` streams the sampled-die traces as validated JSONL.
+//! With `--report=FILE` the cockpit report gains an Observatory section
+//! (phase attribution, sampled-die timeline, dies/s per batch).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -70,7 +80,7 @@ use soctest_core::robust::RobustSession;
 use soctest_fault::{FaultUniverse, ParallelPolicy, SeqFaultSim, SeqFaultSimConfig, SimEngine};
 use soctest_obs::{
     json, CountingSink, JsonLinesSink, MetricsHandle, MetricsRegistry, MetricsSnapshot,
-    TraceHandle, Tracer, VcdReader,
+    ProfileHandle, SamplerPolicy, TraceHandle, Tracer, VcdReader,
 };
 use soctest_tech::Library;
 
@@ -366,7 +376,12 @@ fn bench_faultsim(case: &CaseStudy, patterns: u64) {
     // 100k dies is enough for stable percentiles, and the ≥1000 dies/s
     // line is the bench contract for the shared-cache architecture.
     let fleet_dies = 100_000u64;
-    let fleet = Fleet::new(case, FleetConfig::new(fleet_dies, 42)).expect("fleet cache builds");
+    let fleet = Fleet::new_profiled(
+        case,
+        FleetConfig::new(fleet_dies, 42),
+        ProfileHandle::enabled(),
+    )
+    .expect("fleet cache builds");
     let flight = fleet.run();
     let fr = &flight.report;
     println!(
@@ -397,6 +412,54 @@ fn bench_faultsim(case: &CaseStudy, patterns: u64) {
         fr.tck.p99,
         fr.elapsed_ns as f64 / 1e9
     );
+
+    // The slim bench-history record: only the throughput figures the
+    // regression gate (`bench_gate`) compares, one JSON line. Always
+    // written to BENCH_current.json for the gate to pick up; appended to
+    // the committed BENCH_history.jsonl only under UPDATE_BENCH_HISTORY=1
+    // (same convention as UPDATE_GOLDEN for the conformance vectors).
+    let prof = fleet.profile().snapshot();
+    let mut record = format!("{{\"schema\": 1, \"patterns\": {patterns}, \"modules\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            record,
+            "{}{{\"name\": \"{}\", \"kernel_wall_s\": {:.6}, \"faults_per_s\": {:.1}}}",
+            if i > 0 { ", " } else { "" },
+            r.name,
+            r.parallel_wall_s,
+            r.faults_per_s()
+        );
+    }
+    let _ = write!(
+        record,
+        "], \"fleet_dies_per_s\": {:.1}, \"phase_shares\": {{",
+        fr.dies_per_sec()
+    );
+    if let Some(p) = &prof {
+        let total = p.total_wall_ns().max(1) as f64;
+        for (i, (name, wall, _)) in p.phases().iter().enumerate() {
+            let _ = write!(
+                record,
+                "{}\"{name}\": {:.4}",
+                if i > 0 { ", " } else { "" },
+                *wall as f64 / total
+            );
+        }
+    }
+    record.push_str("}}");
+    json::parse(&record).expect("bench-history record parses");
+    std::fs::write("BENCH_current.json", format!("{record}\n")).expect("write BENCH_current.json");
+    println!("bench: wrote BENCH_current.json");
+    if std::env::var("UPDATE_BENCH_HISTORY").is_ok_and(|v| v == "1") {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open("BENCH_history.jsonl")
+            .expect("open BENCH_history.jsonl");
+        writeln!(f, "{record}").expect("append BENCH_history.jsonl");
+        println!("bench: appended record to BENCH_history.jsonl");
+    }
 
     // One quick closed-loop flight, so the bench file also records what
     // the controller does with this host's budget: per-module verdicts,
@@ -545,6 +608,7 @@ fn obs_demo(
 /// metrics registry, and (with `--report=FILE`) writes the cockpit report
 /// with its Fleet section. Determinism is asserted structurally: the
 /// aggregate JSON is a pure function of `(dies, seed, config)`.
+#[allow(clippy::too_many_arguments)]
 fn fleet_demo(
     budget: &Budget,
     dies: u64,
@@ -552,6 +616,9 @@ fn fleet_demo(
     defect_rate: Option<f64>,
     workers: Option<usize>,
     report_path: Option<&str>,
+    profile_path: Option<&str>,
+    sample_dies: Option<u64>,
+    traces_path: Option<&str>,
 ) {
     let case = CaseStudy::paper().expect("case study builds");
     let mut cfg = FleetConfig::new(dies, seed);
@@ -561,8 +628,20 @@ fn fleet_demo(
     if let Some(w) = workers {
         cfg.workers = w;
     }
+    let profile = if profile_path.is_some() {
+        ProfileHandle::enabled()
+    } else {
+        ProfileHandle::none()
+    };
+    let wall_started = Instant::now();
     let build_started = Instant::now();
-    let fleet = Fleet::new(&case, cfg).expect("fleet cache builds");
+    let mut fleet = Fleet::new_profiled(&case, cfg, profile.clone()).expect("fleet cache builds");
+    if let Some(every) = sample_dies {
+        // Stride sampling plus a per-class quota of 2, so rare Hung /
+        // StuckAt dies are always captured even when the stride misses
+        // every one of them.
+        fleet = fleet.with_trace_sampling(SamplerPolicy::new(every, 2), 0);
+    }
     println!(
         "fleet: cache built in {:.2?} ({} stuck-at sites, {} ladder rungs)",
         build_started.elapsed(),
@@ -571,6 +650,7 @@ fn fleet_demo(
     );
 
     let outcome = fleet.run();
+    let measured_wall_ns = wall_started.elapsed().as_nanos() as u64;
     let r = &outcome.report;
     println!(
         "fleet: dies {} seed {} patterns {} defect-rate {:.4}",
@@ -619,7 +699,7 @@ fn fleet_demo(
     // The aggregate streams into the unified metrics registry, same as
     // sessions and TAP protocol counters do.
     let registry = MetricsRegistry::new();
-    r.export_metrics(&registry);
+    outcome.export_metrics(&registry);
     let snap = registry.snapshot();
     assert_eq!(
         snap.counters.get("fleet_dies_total"),
@@ -634,6 +714,72 @@ fn fleet_demo(
             .count()
     );
 
+    // The self-profiler artifact: phase tree as JSON plus a
+    // flamegraph-compatible collapsed-stack sibling, with the coverage
+    // contract (top-level phases ≥ 95 % of the measured build+run wall)
+    // asserted before either file is trusted.
+    if let Some(path) = profile_path {
+        let prof = fleet
+            .profile()
+            .snapshot()
+            .expect("profiling was enabled for --profile=");
+        let covered = prof.total_wall_ns() as f64 / measured_wall_ns.max(1) as f64 * 100.0;
+        for (name, wall, entries) in prof.phases() {
+            println!(
+                "profile: phase {name} {:.4}s over {entries} entr{}",
+                wall as f64 / 1e9,
+                if entries == 1 { "y" } else { "ies" }
+            );
+        }
+        println!("profile: top-level phases cover {covered:.1}% of measured wall");
+        assert!(
+            covered >= 95.0,
+            "profiler top-level phases cover only {covered:.1}% of the measured wall \
+             (contract: >= 95%)"
+        );
+        let tree = prof.to_json();
+        json::parse(&tree).expect("profile JSON parses");
+        std::fs::write(path, &tree).expect("write profile");
+        let collapsed_path = format!("{}.collapsed", path.strip_suffix(".json").unwrap_or(path));
+        let collapsed = prof.to_collapsed();
+        assert!(
+            collapsed.lines().all(|l| l
+                .rsplit_once(' ')
+                .is_some_and(|(_, us)| us.parse::<u64>().is_ok())),
+            "collapsed-stack lines must end in an integer self-time"
+        );
+        std::fs::write(&collapsed_path, &collapsed).expect("write collapsed stacks");
+        println!(
+            "wrote {path} + {collapsed_path} ({} top-level phases, JSON + collapsed validated)",
+            prof.phases().len()
+        );
+    }
+
+    // Sampled-die traces: one bounded JSONL block per sampled die,
+    // validated line by line with the in-tree parser.
+    if sample_dies.is_some() {
+        println!(
+            "fleet: sampled {} dies for tracing, {} trace event(s) dropped",
+            outcome.traces.len(),
+            outcome.trace_dropped_events()
+        );
+    }
+    if let Some(path) = traces_path {
+        let mut out = String::new();
+        for t in &outcome.traces {
+            out.push_str(&t.to_jsonl());
+        }
+        for line in out.lines() {
+            json::parse(line).expect("every sampled-trace line is valid JSON");
+        }
+        std::fs::write(path, &out).expect("write traces");
+        println!(
+            "wrote {path} ({} sampled dies, {} lines, JSONL validated)",
+            outcome.traces.len(),
+            out.lines().count()
+        );
+    }
+
     if let Some(path) = report_path {
         let reference = CaseStudy::paper().expect("case study builds");
         let mut dut = CaseStudy::paper().expect("case study builds");
@@ -641,6 +787,12 @@ fn fleet_demo(
         dut.module_mut(2).force_constant(victim, true);
         let mut data = cockpit::run_campaign(&reference, &dut, budget).expect("campaign runs");
         data.fleet = Some(r.clone());
+        data.observatory = Some(cockpit::ObservatoryData {
+            profiler: fleet.profile().snapshot(),
+            traces: outcome.traces.clone(),
+            batch_walls: outcome.batch_walls.clone(),
+            trace_dropped_events: outcome.trace_dropped_events(),
+        });
         let html = cockpit::render_report(&data);
         assert!(
             soctest_obs::report::is_self_contained(&html),
@@ -650,12 +802,66 @@ fn fleet_demo(
             html.contains(">Fleet<") && html.contains("Yield per batch"),
             "report must carry the fleet section"
         );
+        assert!(
+            html.contains(">Observatory<"),
+            "report must carry the observatory section"
+        );
+        if !outcome.traces.is_empty() {
+            assert!(
+                html.contains("Sampled die"),
+                "report must carry a sampled-die timeline"
+            );
+        }
         std::fs::write(path, &html).expect("write report");
         println!(
-            "wrote {path} ({} bytes; fleet section + self-containment validated)",
+            "wrote {path} ({} bytes; fleet + observatory sections, self-containment validated)",
             html.len()
         );
     }
+}
+
+/// The profiler-overhead gate behind `--profile-overhead`: the same
+/// fleet flight with the profiler disabled (the no-op handle every
+/// production run takes) vs enabled, min-of-3 interleaved so a load
+/// spike cannot charge one side only. The gate is the same discipline as
+/// the tracer's: ≤ 2 % relative, or under the 20 ms absolute noise floor
+/// of short runs on a loaded host.
+fn profile_overhead_gate(dies: u64, seed: u64) {
+    let case = CaseStudy::paper().expect("case study builds");
+    let cfg = FleetConfig::new(dies, seed);
+    let plain = Fleet::new(&case, cfg.clone()).expect("fleet cache builds");
+    let profiled =
+        Fleet::new_profiled(&case, cfg, ProfileHandle::enabled()).expect("fleet cache builds");
+
+    let timed = |fleet: &Fleet| {
+        let started = Instant::now();
+        let outcome = fleet.run();
+        assert!(outcome.report.dies == dies, "flight must cover every die");
+        started.elapsed().as_secs_f64()
+    };
+    let mut off_wall_s = f64::INFINITY;
+    let mut on_wall_s = f64::INFINITY;
+    for _ in 0..3 {
+        off_wall_s = off_wall_s.min(timed(&plain));
+        on_wall_s = on_wall_s.min(timed(&profiled));
+    }
+    let overhead_pct = if off_wall_s > 0.0 {
+        100.0 * (on_wall_s - off_wall_s) / off_wall_s
+    } else {
+        0.0
+    };
+    let ok = overhead_pct <= 2.0 || on_wall_s - off_wall_s < 0.02;
+    println!(
+        "profile-overhead: {dies} dies, off {off_wall_s:.4}s vs on {on_wall_s:.4}s \
+         ({overhead_pct:+.2}%) — {}",
+        if ok { "within budget" } else { "OVER BUDGET" }
+    );
+    assert!(
+        ok,
+        "profiler overhead {overhead_pct:.2}% exceeds the 2% budget \
+         (absolute delta {:.4}s over the 0.02s floor)",
+        on_wall_s - off_wall_s
+    );
 }
 
 /// The campaign cockpit behind `--report=FILE`: runs the full evaluation
@@ -897,6 +1103,16 @@ fn main() {
         );
         return;
     }
+    if args.iter().any(|a| a == "--profile-overhead") {
+        let dies = flag_value("--dies=")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(20_000);
+        let seed = flag_value("--seed=")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(42);
+        profile_overhead_gate(dies, seed);
+        return;
+    }
     if args.iter().any(|a| a == "--fleet") {
         let dies = flag_value("--dies=")
             .and_then(|v| v.parse().ok())
@@ -906,6 +1122,7 @@ fn main() {
             .unwrap_or(42);
         let defect_rate = flag_value("--defect-rate=").and_then(|v| v.parse().ok());
         let workers = flag_value("--workers=").and_then(|v| v.parse().ok());
+        let sample_dies = flag_value("--sample-dies=").and_then(|v| v.parse().ok());
         fleet_demo(
             &budget,
             dies,
@@ -913,6 +1130,9 @@ fn main() {
             defect_rate,
             workers,
             flag_value("--report=").as_deref(),
+            flag_value("--profile=").as_deref(),
+            sample_dies,
+            flag_value("--traces=").as_deref(),
         );
         return;
     }

@@ -15,14 +15,16 @@ use std::fmt::Write as _;
 use soctest_fault::{FaultUniverse, SeqFaultSim, SeqFaultSimConfig};
 use soctest_obs::analyze::{self, AdvisorInput, CurveFacts, ToggleRow};
 use soctest_obs::svg::{self, escape, Bar, LineSeries, TimelinePoint};
-use soctest_obs::{report, CoverageCurve, HtmlReport, MemorySink, TraceHandle, Tracer};
+use soctest_obs::{
+    report, CoverageCurve, HtmlReport, MemorySink, ProfileHandle, Profiler, TraceHandle, Tracer,
+};
 
 use crate::autopilot::AutopilotReport;
 use crate::casestudy::CaseStudy;
 use crate::error::SessionError;
 use crate::eval::{self, FaultModel, Step1Report, Step3Report};
 use crate::experiments::Budget;
-use crate::fleet::FleetReport;
+use crate::fleet::{BatchWall, DieTrace, FleetReport};
 use crate::robust::{RobustSession, SessionReport};
 
 /// One module × fault-model coverage campaign.
@@ -82,6 +84,26 @@ pub struct CampaignData {
     /// (`run_campaign` leaves this `None`; the `repro` binary attaches it
     /// under `--fleet --report=`).
     pub fleet: Option<FleetReport>,
+    /// Observability data — profiler snapshot, sampled-die traces, and
+    /// batch throughput — rendered as the report's "Observatory" section
+    /// (`run_campaign` leaves this `None`; the `repro` binary attaches it
+    /// under `--profile=` / `--sample-dies=`).
+    pub observatory: Option<ObservatoryData>,
+}
+
+/// Everything the report's "Observatory" section draws from: where the
+/// wall time went, which dies were sampled for tracing, and how die
+/// throughput moved over the campaign.
+#[derive(Debug, Clone, Default)]
+pub struct ObservatoryData {
+    /// The merged self-profiler snapshot (phase-attributed wall time).
+    pub profiler: Option<Profiler>,
+    /// Sampled-die traces, each a bounded JSONL stream.
+    pub traces: Vec<DieTrace>,
+    /// Per-batch wall clocks from the fleet run.
+    pub batch_walls: Vec<BatchWall>,
+    /// Trace-ring events dropped across all sampled dies.
+    pub trace_dropped_events: u64,
 }
 
 /// How many drill-down rows (cold nets, undetected faults) the report
@@ -114,14 +136,36 @@ pub fn run_campaign(
     dut: &CaseStudy,
     budget: &Budget,
 ) -> Result<CampaignData, SessionError> {
+    run_campaign_profiled(reference, dut, budget, &ProfileHandle::none())
+}
+
+/// [`run_campaign`] with a self-profiler attached: each campaign stage
+/// (`step1`, `coverage`, `diagnosis`, `session`, `advise`) becomes a
+/// top-level phase on `profile` with pattern/module counters, so the
+/// report can attribute where the wall time went. The default
+/// [`ProfileHandle::none`] makes this identical to `run_campaign`.
+///
+/// # Errors
+///
+/// Propagates simulator and session errors from the underlying steps.
+pub fn run_campaign_profiled(
+    reference: &CaseStudy,
+    dut: &CaseStudy,
+    budget: &Budget,
+    profile: &ProfileHandle,
+) -> Result<CampaignData, SessionError> {
     let patterns = budget.bist_patterns;
-    let step1 = eval::step1(reference, patterns)?;
+    let step1 = {
+        let _phase = profile.scope("step1");
+        eval::step1(reference, patterns)?
+    };
 
     // Step 2 — the exact BIST-cell configuration of `experiments::table3`:
     // same stimulus, same default window, same parallel policy, so the
     // resulting coverage figures byte-match the rendered tables.
     let pgen = reference.pattern_generator();
     let mut curves = Vec::new();
+    let coverage_phase = profile.scope("coverage");
     for (m, module) in reference.modules().iter().enumerate() {
         for (model, label) in [
             (FaultModel::StuckAt, "SAF"),
@@ -154,13 +198,17 @@ pub fn run_campaign(
                 faults: universe.len(),
                 undetected,
             });
+            profile.count("campaigns", 1);
+            profile.count("patterns", patterns);
         }
     }
+    drop(coverage_phase);
 
     // Step 3 — diagnosis sweep: resolution vs pattern count, keeping the
     // full-budget run as each module's diagnosis.
     let mut diag = Vec::new();
     let mut resolution_points = Vec::new();
+    let diagnosis_phase = profile.scope("diagnosis");
     for (m, module) in reference.modules().iter().enumerate() {
         let mut last: Option<Step3Report> = None;
         for p in [
@@ -190,9 +238,11 @@ pub fn run_campaign(
             diag.push((module.name().to_owned(), r));
         }
     }
+    drop(diagnosis_phase);
 
     // The robust session, traced so the timeline can be reconstructed
     // from the JSONL stream.
+    let session_phase = profile.scope("session");
     let sink = MemorySink::new();
     let records = sink.shared();
     let mut tracer = Tracer::new(soctest_obs::DEFAULT_CAPACITY);
@@ -211,8 +261,10 @@ pub fn run_campaign(
         }
         s
     };
+    drop(session_phase);
 
     // The advisor: session outcome + curve summaries + toggle rows.
+    let _advise_phase = profile.scope("advise");
     let mut input: AdvisorInput = session.advisor_input();
     input.curves = curves
         .iter()
@@ -236,6 +288,7 @@ pub fn run_campaign(
         patterns,
         autopilot: None,
         fleet: None,
+        observatory: None,
     })
 }
 
@@ -615,6 +668,120 @@ fn fleet_section(fleet: &FleetReport) -> String {
     body
 }
 
+fn observatory_section(obs: &ObservatoryData) -> String {
+    let mut body = String::new();
+
+    // Where the wall time went: top-level phase attribution, table +
+    // share chart, straight from the merged profiler snapshot.
+    if let Some(prof) = &obs.profiler {
+        let total = prof.total_wall_ns().max(1);
+        let phases = prof.phases();
+        let rows: Vec<Vec<String>> = phases
+            .iter()
+            .map(|(name, wall, entries)| {
+                vec![
+                    name.clone(),
+                    format!("{:.3}", *wall as f64 / 1e9),
+                    format!("{:.1}%", *wall as f64 / total as f64 * 100.0),
+                    entries.to_string(),
+                ]
+            })
+            .collect();
+        body.push_str("<h3>Phase attribution</h3>");
+        body.push_str(&report::table(
+            &["phase", "wall s", "share", "entries"],
+            &rows,
+        ));
+        let bars: Vec<Bar> = phases
+            .iter()
+            .map(|(name, wall, entries)| {
+                let share = *wall as f64 / total as f64 * 100.0;
+                Bar {
+                    label: name.clone(),
+                    value: (share * 10.0).round() / 10.0,
+                    detail: format!("{name}: {:.3}s over {entries} entries", *wall as f64 / 1e9),
+                    ramp: (share / 100.0 * 7.0).round() as u8,
+                }
+            })
+            .collect();
+        body.push_str(&svg::hbar_chart(
+            "Wall-time share by phase",
+            &bars,
+            100.0,
+            "%",
+        ));
+    }
+
+    // Sampled dies: the bounded-ring drop warning, the per-die summary,
+    // and the first sampled die's timeline reconstructed from its JSONL.
+    if obs.trace_dropped_events > 0 {
+        body.push_str(&report::paragraph(&format!(
+            "warning: trace rings dropped {} event(s) across sampled dies \
+             (oldest-first); raise the ring capacity to keep full timelines.",
+            obs.trace_dropped_events
+        )));
+    }
+    if !obs.traces.is_empty() {
+        let rows: Vec<Vec<String>> = obs
+            .traces
+            .iter()
+            .map(|t| {
+                vec![
+                    t.die.to_string(),
+                    t.class.name().to_owned(),
+                    t.verdict.name().to_owned(),
+                    t.records.to_string(),
+                    t.dropped.to_string(),
+                ]
+            })
+            .collect();
+        body.push_str("<h3>Sampled dies</h3>");
+        body.push_str(&report::table(
+            &["die", "class", "verdict", "records", "dropped"],
+            &rows,
+        ));
+        if let Some(t) = obs.traces.iter().find(|t| !t.jsonl.is_empty()) {
+            let events = report::timeline_from_jsonl(&t.jsonl);
+            let points: Vec<TimelinePoint> = events
+                .iter()
+                .map(|e| TimelinePoint {
+                    cycle: e.cycle,
+                    lane: e.event.clone(),
+                    detail: e.detail.clone(),
+                })
+                .collect();
+            body.push_str(&svg::timeline(
+                &format!("Sampled die {} ({}) timeline", t.die, t.class.name()),
+                "TCK cycles",
+                &points,
+            ));
+        }
+    }
+
+    // Throughput over the campaign: dies/s per batch as a sparkline.
+    if !obs.batch_walls.is_empty() {
+        let series = [LineSeries {
+            label: "dies/s".to_owned(),
+            points: obs
+                .batch_walls
+                .iter()
+                .map(|b| (b.batch as f64, b.dies_per_sec()))
+                .collect(),
+        }];
+        body.push_str(&svg::line_chart(
+            "Die throughput per batch",
+            "batch",
+            "dies/s",
+            &series,
+            None,
+        ));
+    }
+    if body.is_empty() {
+        body = report::paragraph("No observability data captured for this run.");
+    }
+    body
+}
+
 fn timeline_section(data: &CampaignData) -> String {
     let events = report::timeline_from_jsonl(&data.session_jsonl);
     // Cap the drawn points without dropping any event kind: dense lanes
@@ -713,6 +880,9 @@ pub fn render_report(data: &CampaignData) -> String {
     }
     if let Some(fleet) = &data.fleet {
         doc.add_section("Fleet", fleet_section(fleet));
+    }
+    if let Some(obs) = &data.observatory {
+        doc.add_section("Observatory", observatory_section(obs));
     }
     doc.add_section("Session timeline", timeline_section(data));
     doc.render()
@@ -850,5 +1020,54 @@ mod tests {
         assert!(html.contains("Yield per batch"));
         assert!(html.contains("stuck_at"));
         assert!(html.contains("escape rate"));
+    }
+
+    #[test]
+    fn attached_observatory_renders_phases_traces_and_throughput() {
+        use crate::fleet::{Fleet, FleetConfig};
+        use soctest_obs::SamplerPolicy;
+
+        let (reference, dut) = planted_case();
+        let mut budget = Budget::quick();
+        budget.bist_patterns = 64;
+        budget.diag_patterns = 32;
+        let profile = ProfileHandle::enabled();
+        let mut data = run_campaign_profiled(&reference, &dut, &budget, &profile).unwrap();
+        // No observatory attached → no section.
+        assert!(!render_report(&data).contains(">Observatory<"));
+
+        let mut cfg = FleetConfig::new(150, 9);
+        cfg.workers = 1;
+        let fleet = Fleet::new_profiled(&reference, cfg, profile.clone())
+            .unwrap()
+            .with_trace_sampling(SamplerPolicy::new(25, 1), 8);
+        let outcome = fleet.run();
+        assert!(!outcome.traces.is_empty());
+        data.observatory = Some(ObservatoryData {
+            profiler: profile.snapshot(),
+            traces: outcome.traces.clone(),
+            batch_walls: outcome.batch_walls.clone(),
+            trace_dropped_events: outcome.trace_dropped_events(),
+        });
+
+        let html = render_report(&data);
+        assert!(report::is_self_contained(&html));
+        assert!(html.contains(">Observatory<"));
+        assert!(html.contains("Phase attribution"));
+        // The campaign phases and the fleet phases share one profiler.
+        for phase in [
+            "coverage",
+            "diagnosis",
+            "session",
+            "cache_build",
+            "simulate",
+        ] {
+            assert!(html.contains(phase), "missing phase {phase}");
+        }
+        assert!(html.contains("Sampled die"));
+        assert!(html.contains("Die throughput per batch"));
+        // An 8-slot ring overflows a full session → the warning line.
+        assert!(outcome.trace_dropped_events() > 0);
+        assert!(html.contains("trace rings dropped"));
     }
 }

@@ -36,7 +36,9 @@ use std::time::Instant;
 
 use soctest_bist::{BistCommand, ControlUnit, EngineError};
 use soctest_netlist::{GateKind, NetId};
-use soctest_obs::MetricsRegistry;
+use soctest_obs::{
+    MetricsRegistry, ProfileHandle, Profiler, SamplerPolicy, TraceHandle, TraceSampler, Tracer,
+};
 use soctest_p1500::{BistBackend, PinFault, PinFaults, TapDriver};
 use soctest_prng::SplitMix64;
 
@@ -56,6 +58,10 @@ const DIE_STREAM: u64 = 0xD1B5_4A32_D192_ED03;
 /// Salt for the defect-site pool RNG, so site selection and per-die
 /// sampling draw from unrelated streams of the same fleet seed.
 const SITE_POOL_SALT: u64 = 0x517E_D00D_0BAD_D1E5;
+
+/// Default ring-buffer capacity for a sampled die's tracer — the bound on
+/// per-die JSONL output (the ring drops oldest and counts drops).
+pub const TRACE_RING_DEFAULT: usize = 256;
 
 /// A protocol-exact replay backend: a genuine [`ControlUnit`] for
 /// bit-accurate `end_test` timing, with precomputed final signatures in
@@ -689,6 +695,91 @@ impl FleetReport {
     }
 }
 
+/// One sampled die's bounded session trace: the ring-buffer tail of its
+/// TAP→P1500→BIST conversation as JSON Lines, plus overflow accounting.
+/// Everything here is deterministic (cycle stamps are TCK counts, not
+/// wall time), so two runs of the same config emit byte-identical JSONL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DieTrace {
+    /// The sampled die's index.
+    pub die: u64,
+    /// The die's defect class.
+    pub class: DefectClass,
+    /// The die's verdict.
+    pub verdict: DieVerdict,
+    /// Total trace records the session emitted (buffered + dropped).
+    pub records: u64,
+    /// Records the bounded ring dropped (oldest-first) — surfaced as the
+    /// `trace_dropped_events` metric instead of silently truncating.
+    pub dropped: u64,
+    /// The surviving records, one [`soctest_obs::TraceRecord`] JSON line
+    /// each, oldest first.
+    pub jsonl: String,
+}
+
+impl DieVerdict {
+    /// The verdict's lowercase wire name (`passed`, `quarantined`,
+    /// `hung`, `protocol`), as used in trace headers and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DieVerdict::Passed => "passed",
+            DieVerdict::Quarantined { .. } => "quarantined",
+            DieVerdict::Hung => "hung",
+            DieVerdict::Protocol => "protocol",
+        }
+    }
+}
+
+impl DieTrace {
+    /// Renders the trace as a self-describing JSONL block: one header
+    /// line (`die`, `class`, `verdict`, `records`, `dropped`) followed by
+    /// the buffered record lines.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = format!(
+            "{{\"die\": {}, \"class\": \"{}\", \"verdict\": \"{}\", \"records\": {}, \"dropped\": {}}}\n",
+            self.die,
+            self.class.name(),
+            self.verdict.name(),
+            self.records,
+            self.dropped
+        );
+        out.push_str(&self.jsonl);
+        out
+    }
+}
+
+/// One worker chunk's output, reassembled by `lo` so every aggregate is
+/// worker-count-invariant.
+struct ChunkOut {
+    lo: u64,
+    records: Vec<DieRecord>,
+    traces: Vec<DieTrace>,
+    prof: Option<Profiler>,
+    wall_ns: u64,
+}
+
+/// Wall-clock time spent on one report batch's dies — kept beside (not
+/// inside) the deterministic report, for dies/s-over-batches sparklines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchWall {
+    /// Batch index (matches [`BatchSummary::batch`]).
+    pub batch: u64,
+    /// Dies attributed to the batch.
+    pub dies: u64,
+    /// Wall nanoseconds spent on those dies (summed worker time).
+    pub wall_ns: u64,
+}
+
+impl BatchWall {
+    /// Throughput over this batch in dies per second.
+    pub fn dies_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.dies as f64 / (self.wall_ns as f64 / 1e9)
+    }
+}
+
 /// A finished campaign: the aggregate report plus every die record, in
 /// die order.
 #[derive(Debug, Clone)]
@@ -697,6 +788,32 @@ pub struct FleetOutcome {
     pub report: FleetReport,
     /// Every die's record, indexed by die.
     pub dies: Vec<DieRecord>,
+    /// Sampled per-die session traces, in die order (empty unless
+    /// [`Fleet::with_trace_sampling`] armed a plan).
+    pub traces: Vec<DieTrace>,
+    /// Per-batch wall time (worker-time attribution; non-deterministic,
+    /// so kept out of the report JSON like every other wall number).
+    pub batch_walls: Vec<BatchWall>,
+}
+
+impl FleetOutcome {
+    /// Total ring-buffer drops across all sampled-die traces.
+    pub fn trace_dropped_events(&self) -> u64 {
+        self.traces.iter().map(|t| t.dropped).sum()
+    }
+
+    /// Folds the campaign into the metrics registry: the report's
+    /// aggregates, the per-die TCK distribution as a histogram, and the
+    /// sampled-trace overflow counter.
+    pub fn export_metrics(&self, registry: &MetricsRegistry) {
+        self.report.export_metrics(registry);
+        for rec in &self.dies {
+            if rec.verdict != DieVerdict::Protocol {
+                registry.observe("fleet_tck_cycles", rec.tck);
+            }
+        }
+        registry.inc("trace_dropped_events", self.trace_dropped_events());
+    }
 }
 
 /// The campaign service. [`Fleet::new`] pays the one-time cache cost
@@ -717,6 +834,9 @@ pub struct Fleet {
     misr_width: usize,
     counter_bits: usize,
     hung_tck: u64,
+    profile: ProfileHandle,
+    sampling: Option<SamplerPolicy>,
+    trace_capacity: usize,
 }
 
 impl Fleet {
@@ -727,6 +847,23 @@ impl Fleet {
     /// Propagates simulator-construction and rehearsal errors from the
     /// cache build (golden and per-site signatures).
     pub fn new(case: &CaseStudy, config: FleetConfig) -> Result<Self, SessionError> {
+        Self::new_profiled(case, config, ProfileHandle::none())
+    }
+
+    /// Like [`Fleet::new`], but phase-attributes the cache build (and
+    /// every later [`Fleet::run`]) into `profile` under a `cache_build`
+    /// phase with `rehearse_golden` / `site_pool` / `faulty_signatures` /
+    /// `hung_probe` children.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Fleet::new`].
+    pub fn new_profiled(
+        case: &CaseStudy,
+        config: FleetConfig,
+        profile: ProfileHandle,
+    ) -> Result<Self, SessionError> {
+        let build_scope = profile.scope("cache_build");
         let strategies = RobustSession::new(config.budget).strategies().to_vec();
         let module_names: Vec<String> = case.module_names().iter().map(|&s| s.to_owned()).collect();
         let misr_width = case.spec().misr_width;
@@ -734,62 +871,73 @@ impl Fleet {
 
         // Golden signatures, one rehearsal per ladder rung.
         let mut goldens = Vec::with_capacity(strategies.len());
-        for &strategy in &strategies {
-            let (variant, seed) = strategy.engine_knobs();
-            let engine = case.engine_variant(variant, seed)?;
-            let mut rehearsal = WrappedCore::with_engine(case, engine)?;
-            goldens.push(rehearsal.rehearse(config.patterns)?);
+        {
+            let _s = profile.scope("rehearse_golden");
+            for &strategy in &strategies {
+                let (variant, seed) = strategy.engine_knobs();
+                let engine = case.engine_variant(variant, seed)?;
+                let mut rehearsal = WrappedCore::with_engine(case, engine)?;
+                goldens.push(rehearsal.rehearse(config.patterns)?);
+            }
+            profile.count("rungs", strategies.len() as u64);
         }
 
         // The stuck-at site pool: a seeded draw per module over nets with
         // a real driver (forcing an Input or Const just re-states it).
         let mut pool_rng = SplitMix64::new(config.seed ^ SITE_POOL_SALT);
         let mut sites = Vec::new();
-        for (m, module) in case.modules().iter().enumerate() {
-            let mut candidates: Vec<NetId> = module
-                .iter()
-                .filter(|(_, g)| {
-                    !matches!(
-                        g.kind,
-                        GateKind::Input | GateKind::Const0 | GateKind::Const1
-                    )
-                })
-                .map(|(id, _)| id)
-                .collect();
-            pool_rng.shuffle(&mut candidates);
-            for &net in candidates.iter().take(config.sites_per_module) {
-                sites.push(DefectSite {
-                    module: m,
-                    net,
-                    value: pool_rng.gen_bool(0.5),
-                    detectable: false,
-                });
+        {
+            let _s = profile.scope("site_pool");
+            for (m, module) in case.modules().iter().enumerate() {
+                let mut candidates: Vec<NetId> = module
+                    .iter()
+                    .filter(|(_, g)| {
+                        !matches!(
+                            g.kind,
+                            GateKind::Input | GateKind::Const0 | GateKind::Const1
+                        )
+                    })
+                    .map(|(id, _)| id)
+                    .collect();
+                pool_rng.shuffle(&mut candidates);
+                for &net in candidates.iter().take(config.sites_per_module) {
+                    sites.push(DefectSite {
+                        module: m,
+                        net,
+                        value: pool_rng.gen_bool(0.5),
+                        detectable: false,
+                    });
+                }
             }
         }
 
         // Per-site faulty signatures under every rung, and detectability.
         let mut faulty = Vec::with_capacity(sites.len());
-        for site in &mut sites {
-            let mut defective = case.clone();
-            defective
-                .module_mut(site.module)
-                .force_constant(site.net, site.value);
-            let mut per_strategy = Vec::with_capacity(strategies.len());
-            for (s, &strategy) in strategies.iter().enumerate() {
-                let (variant, seed) = strategy.engine_knobs();
-                let engine = defective.engine_variant(variant, seed)?;
-                let mut rehearsal = WrappedCore::with_engine(&defective, engine)?;
-                let sigs = rehearsal.rehearse(config.patterns)?;
-                let sig = sigs.get(site.module).copied().unwrap_or(0);
-                let golden = goldens[s].get(site.module).copied().unwrap_or(0);
-                per_strategy.push(sig);
-                if s == 0 {
-                    site.detectable = sig != golden;
-                } else {
-                    site.detectable = site.detectable && sig != golden;
+        {
+            let _s = profile.scope("faulty_signatures");
+            for site in &mut sites {
+                let mut defective = case.clone();
+                defective
+                    .module_mut(site.module)
+                    .force_constant(site.net, site.value);
+                let mut per_strategy = Vec::with_capacity(strategies.len());
+                for (s, &strategy) in strategies.iter().enumerate() {
+                    let (variant, seed) = strategy.engine_knobs();
+                    let engine = defective.engine_variant(variant, seed)?;
+                    let mut rehearsal = WrappedCore::with_engine(&defective, engine)?;
+                    let sigs = rehearsal.rehearse(config.patterns)?;
+                    let sig = sigs.get(site.module).copied().unwrap_or(0);
+                    let golden = goldens[s].get(site.module).copied().unwrap_or(0);
+                    per_strategy.push(sig);
+                    if s == 0 {
+                        site.detectable = sig != golden;
+                    } else {
+                        site.detectable = site.detectable && sig != golden;
+                    }
                 }
+                faulty.push(per_strategy);
             }
-            faulty.push(per_strategy);
+            profile.count("sites", sites.len() as u64);
         }
         if config.detectable_only {
             let keep: Vec<bool> = sites.iter().map(|s| s.detectable).collect();
@@ -803,13 +951,17 @@ impl Fleet {
 
         // The deterministic TCK bill of a hung die: replicate exactly what
         // a session spends before its done-watchdog fires.
-        let hung_core = ReplayCore::new(counter_bits, goldens[0].clone(), misr_width, true);
-        let mut probe = TapDriver::new(hung_core);
-        probe.reset();
-        probe.bist_load_pattern_count(config.patterns);
-        probe.bist_start();
-        let _ = probe.wait_for_done(config.budget.burst, config.budget.max_bursts);
-        let hung_tck = probe.tck();
+        let hung_tck = {
+            let _s = profile.scope("hung_probe");
+            let hung_core = ReplayCore::new(counter_bits, goldens[0].clone(), misr_width, true);
+            let mut probe = TapDriver::new(hung_core);
+            probe.reset();
+            probe.bist_load_pattern_count(config.patterns);
+            probe.bist_start();
+            let _ = probe.wait_for_done(config.budget.burst, config.budget.max_bursts);
+            probe.tck()
+        };
+        drop(build_scope);
 
         Ok(Fleet {
             config,
@@ -822,7 +974,29 @@ impl Fleet {
             misr_width,
             counter_bits,
             hung_tck,
+            profile,
+            sampling: None,
+            trace_capacity: TRACE_RING_DEFAULT,
         })
+    }
+
+    /// Arms per-die trace sampling for subsequent [`Fleet::run`]s: dies
+    /// selected by `policy` run their session under a bounded
+    /// [`Tracer`] ring of `capacity` records (`0` =
+    /// [`TRACE_RING_DEFAULT`]) and land in [`FleetOutcome::traces`].
+    /// Sampling never changes any [`DieRecord`].
+    pub fn with_trace_sampling(mut self, policy: SamplerPolicy, capacity: usize) -> Self {
+        self.sampling = policy.is_active().then_some(policy);
+        if capacity > 0 {
+            self.trace_capacity = capacity;
+        }
+        self
+    }
+
+    /// The profiler handle the fleet reports into (disabled unless built
+    /// via [`Fleet::new_profiled`]).
+    pub fn profile(&self) -> &ProfileHandle {
+        &self.profile
     }
 
     /// The campaign configuration.
@@ -867,8 +1041,33 @@ impl Fleet {
     /// returns its deterministic record. Takes `&self`: safe to call from
     /// any number of threads concurrently.
     pub fn simulate_die(&self, die: u64) -> DieRecord {
+        self.simulate_die_observed(die, None, &TraceHandle::none())
+    }
+
+    /// [`Fleet::simulate_die`] with observability attached: per-phase
+    /// wall (`sample` / `replay_session` / `score`) and `dies`/`tck`
+    /// counters into a worker-local profiler, and the session's trace
+    /// into `trace`. Neither changes the returned record.
+    fn simulate_die_observed(
+        &self,
+        die: u64,
+        mut prof: Option<&mut Profiler>,
+        trace: &TraceHandle,
+    ) -> DieRecord {
+        let mut stamp = prof.as_ref().map(|_| Instant::now());
+        let lap = |prof: &mut Option<&mut Profiler>, stamp: &mut Option<Instant>, name| {
+            if let (Some(p), Some(t0)) = (prof.as_deref_mut(), stamp.as_mut()) {
+                let now = Instant::now();
+                p.record_ns(name, now.duration_since(*t0).as_nanos() as u64);
+                *t0 = now;
+            }
+        };
         let profile = self.profile_of(die);
+        lap(&mut prof, &mut stamp, "sample");
         let mut session = RobustSession::new(self.config.budget);
+        if trace.is_enabled() {
+            session = session.with_trace(trace.clone());
+        }
         if let DefectProfile::Transient { period } = profile {
             session = session.with_pin_faults(PinFaults {
                 tdo: Some(PinFault::FlipEvery(period)),
@@ -895,17 +1094,67 @@ impl Fleet {
                 ReplayCore::new(self.counter_bits, finals, self.misr_width, hang),
             ))
         });
+        lap(&mut prof, &mut stamp, "replay_session");
         let verdict = verdict_of(&result);
         let tck = match (&result, verdict) {
             (Ok(report), _) => report.tck_spent,
             (_, DieVerdict::Hung) => self.hung_tck,
             _ => 0,
         };
+        lap(&mut prof, &mut stamp, "score");
+        if let Some(p) = prof {
+            p.count("dies", 1);
+            p.count("tck", tck);
+        }
         DieRecord {
             die,
             profile,
             verdict,
             tck,
+        }
+    }
+
+    /// Runs one chunk of dies, capturing sampled traces and (when the
+    /// fleet is profiled) a chunk-local profiler that the caller folds in
+    /// deterministically by chunk index.
+    fn run_chunk(&self, lo: u64, hi: u64, plan: Option<&TraceSampler>) -> ChunkOut {
+        let t0 = Instant::now();
+        let mut prof = self.profile.is_enabled().then(Profiler::new);
+        let mut records = Vec::with_capacity((hi - lo) as usize);
+        let mut traces = Vec::new();
+        for die in lo..hi {
+            if plan.is_some_and(|p| p.is_sampled(die)) {
+                let trace = TraceHandle::new(Tracer::new(self.trace_capacity));
+                let rec = self.simulate_die_observed(die, prof.as_mut(), &trace);
+                let (jsonl, total, dropped) = trace
+                    .with(|t| {
+                        let mut s = String::new();
+                        for r in t.records() {
+                            s.push_str(&r.to_json_line());
+                            s.push('\n');
+                        }
+                        (s, t.total(), t.dropped())
+                    })
+                    .unwrap_or_default();
+                traces.push(DieTrace {
+                    die,
+                    class: rec.profile.class(),
+                    verdict: rec.verdict,
+                    records: total,
+                    dropped,
+                    jsonl,
+                });
+                records.push(rec);
+            } else {
+                records.push(self.simulate_die_observed(die, prof.as_mut(), &TraceHandle::none()));
+            }
+        }
+        ChunkOut {
+            lo,
+            records,
+            traces,
+            prof,
+            wall_ns: t0.elapsed().as_nanos() as u64,
         }
     }
 
@@ -922,45 +1171,90 @@ impl Fleet {
         .min(dies.max(1) as usize)
         .max(1);
 
-        let records: Vec<DieRecord> = if workers <= 1 {
-            (0..dies).map(|d| self.simulate_die(d)).collect()
+        // The sampling plan is precomputed from the pure per-die defect
+        // draw, so it is identical for any worker count or schedule.
+        let plan = self.sampling.map(|policy| {
+            let _s = self.profile.scope("trace_plan");
+            TraceSampler::plan(
+                policy,
+                (0..dies).map(|d| (d, self.profile_of(d).class().name())),
+            )
+        });
+
+        // Chunked execution on 1..N workers: a shared atomic cursor hands
+        // out fixed-size die ranges; chunks are reassembled by index so
+        // records, traces, and profile fingerprints are identical for any
+        // worker count.
+        const CHUNK: u64 = 256;
+        let nchunks = dies.div_ceil(CHUNK).max(1);
+        let simulate_scope = self.profile.scope("simulate");
+        let mut chunks: Vec<ChunkOut> = if workers <= 1 {
+            (0..nchunks)
+                .map(|c| self.run_chunk(c * CHUNK, (c * CHUNK + CHUNK).min(dies), plan.as_ref()))
+                .collect()
         } else {
-            // Chunked work-stealing: a shared atomic cursor hands out
-            // fixed-size die ranges; chunks are reassembled by index so
-            // the result is identical for any worker count.
-            const CHUNK: u64 = 256;
-            let nchunks = dies.div_ceil(CHUNK);
             let cursor = AtomicU64::new(0);
-            let done: Mutex<Vec<(u64, Vec<DieRecord>)>> =
-                Mutex::new(Vec::with_capacity(nchunks as usize));
+            let done: Mutex<Vec<ChunkOut>> = Mutex::new(Vec::with_capacity(nchunks as usize));
             std::thread::scope(|scope| {
                 for _ in 0..workers {
-                    scope.spawn(|| loop {
+                    let plan = plan.as_ref();
+                    let cursor = &cursor;
+                    let done = &done;
+                    scope.spawn(move || loop {
                         let c = cursor.fetch_add(1, Ordering::Relaxed);
                         if c >= nchunks {
                             break;
                         }
                         let lo = c * CHUNK;
-                        let hi = (lo + CHUNK).min(dies);
-                        let recs: Vec<DieRecord> = (lo..hi).map(|d| self.simulate_die(d)).collect();
+                        let out = self.run_chunk(lo, (lo + CHUNK).min(dies), plan);
                         if let Ok(mut guard) = done.lock() {
-                            guard.push((c, recs));
+                            guard.push(out);
                         }
                     });
                 }
             });
-            let mut chunks = match done.into_inner() {
+            match done.into_inner() {
                 Ok(v) => v,
                 Err(poison) => poison.into_inner(),
-            };
-            chunks.sort_by_key(|&(c, _)| c);
-            chunks.into_iter().flat_map(|(_, r)| r).collect()
+            }
         };
-        let elapsed_ns = (start.elapsed().as_nanos() as u64).max(1);
-        let report = self.summarize(&records, elapsed_ns);
+        chunks.sort_by_key(|c| c.lo);
+
+        // Fold chunk-local profilers in chunk order (deterministic) and
+        // attribute chunk walls to report batches for the sparkline.
+        let batch_size = self.config.effective_batch();
+        let nbatches = dies.div_ceil(batch_size).max(1);
+        let mut batch_walls: Vec<BatchWall> = (0..nbatches)
+            .map(|b| BatchWall {
+                batch: b,
+                dies: 0,
+                wall_ns: 0,
+            })
+            .collect();
+        let mut records: Vec<DieRecord> = Vec::with_capacity(dies as usize);
+        let mut traces: Vec<DieTrace> = Vec::new();
+        for chunk in chunks {
+            if let Some(p) = &chunk.prof {
+                self.profile.absorb(p);
+            }
+            let bi = ((chunk.lo / batch_size) as usize).min(batch_walls.len() - 1);
+            batch_walls[bi].dies += chunk.records.len() as u64;
+            batch_walls[bi].wall_ns += chunk.wall_ns;
+            records.extend(chunk.records);
+            traces.extend(chunk.traces);
+        }
+        drop(simulate_scope);
+
+        let report = {
+            let _s = self.profile.scope("aggregate");
+            let elapsed_ns = (start.elapsed().as_nanos() as u64).max(1);
+            self.summarize(&records, elapsed_ns)
+        };
         FleetOutcome {
             report,
             dies: records,
+            traces,
+            batch_walls,
         }
     }
 

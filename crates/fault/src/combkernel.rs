@@ -89,6 +89,11 @@ impl CombFaultSim<'_> {
             (0..nthreads).map(|_| ConeScratch::new(&kernel)).collect();
         let mut empty_syndromes: Vec<Syndrome> = Vec::new();
 
+        let (good0, faulty0, windows0) = (
+            campaign.stats.good_cycles,
+            campaign.stats.faulty_cycles,
+            campaign.stats.windows,
+        );
         let blocks = patterns.blocks();
         for g in 0..blocks.len().div_ceil(W) {
             let b0 = g * W;
@@ -99,27 +104,31 @@ impl CombFaultSim<'_> {
             }
             let base0 = offset + b0 as u64 * 64;
 
-            // Good evaluation, 256 lanes at once (launch pass for
-            // transition mode). Unused trailing words idle at zero.
-            for (i, &pi) in pis.iter().enumerate() {
-                let slot = pi.index() * W;
-                for w in 0..W {
-                    values[slot + w] = if w < gw { blocks[b0 + w][i] } else { 0 };
-                }
-            }
-            kernel.eval_wide(&mut values);
-            campaign.stats.good_cycles += gw as u64;
-            if let Some(map) = transition {
-                launch.copy_from_slice(&values);
-                for &(ppi, ppo) in map {
+            {
+                // Good evaluation, 256 lanes at once (launch pass for
+                // transition mode). Unused trailing words idle at zero.
+                let _p = self.profile.scope("good_trace");
+                for (i, &pi) in pis.iter().enumerate() {
+                    let slot = pi.index() * W;
                     for w in 0..W {
-                        values[ppi.index() * W + w] = launch[ppo.index() * W + w];
+                        values[slot + w] = if w < gw { blocks[b0 + w][i] } else { 0 };
                     }
                 }
                 kernel.eval_wide(&mut values);
                 campaign.stats.good_cycles += gw as u64;
+                if let Some(map) = transition {
+                    launch.copy_from_slice(&values);
+                    for &(ppi, ppo) in map {
+                        for w in 0..W {
+                            values[ppi.index() * W + w] = launch[ppo.index() * W + w];
+                        }
+                    }
+                    kernel.eval_wide(&mut values);
+                    campaign.stats.good_cycles += gw as u64;
+                }
             }
 
+            let eval_scope = self.profile.scope("chunk_eval");
             let syndromes: &mut [Syndrome] = match campaign.syndromes.as_mut() {
                 Some(s) => s,
                 None => &mut empty_syndromes,
@@ -185,6 +194,8 @@ impl CombFaultSim<'_> {
                         .sum::<u64>()
                 })
             };
+            drop(eval_scope);
+            let _p = self.profile.scope("merge");
             campaign.stats.faulty_cycles += propagations;
 
             // Replay the reference's per-block window trace. The survivor
@@ -218,6 +229,7 @@ impl CombFaultSim<'_> {
             }
         }
 
+        self.count_profile(campaign, good0, faulty0, windows0);
         campaign.applied += patterns.len() as u64;
         campaign.stats.wall += start.elapsed();
         Ok(())

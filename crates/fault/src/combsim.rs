@@ -15,7 +15,7 @@ use std::collections::{BinaryHeap, HashMap};
 use std::time::Instant;
 
 use soctest_netlist::{GateKind, NetId, Netlist, NetlistError};
-use soctest_obs::{TraceEvent, TraceHandle};
+use soctest_obs::{ProfileHandle, TraceEvent, TraceHandle};
 
 use crate::{
     FaultKind, FaultSimResult, FaultSimStats, FaultUniverse, ParallelPolicy, SimEngine, Syndrome,
@@ -175,6 +175,7 @@ pub struct CombFaultSim<'a> {
     pub(crate) collect_syndromes: bool,
     pub(crate) parallel: ParallelPolicy,
     pub(crate) trace: TraceHandle,
+    pub(crate) profile: ProfileHandle,
     pub(crate) engine: SimEngine,
 }
 
@@ -186,6 +187,7 @@ impl<'a> CombFaultSim<'a> {
             collect_syndromes: false,
             parallel: ParallelPolicy::default(),
             trace: TraceHandle::none(),
+            profile: ProfileHandle::none(),
             engine: SimEngine::default(),
         }
     }
@@ -200,6 +202,14 @@ impl<'a> CombFaultSim<'a> {
     /// block, emitted from the coordinating thread (disabled by default).
     pub fn with_trace(mut self, trace: TraceHandle) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Attaches a profiler handle: per-block `good_trace` / `chunk_eval` /
+    /// `merge` phase attribution plus cycle counters, recorded from the
+    /// coordinating thread (disabled by default).
+    pub fn with_profile(mut self, profile: ProfileHandle) -> Self {
+        self.profile = profile;
         self
     }
 
@@ -353,24 +363,33 @@ impl<'a> CombFaultSim<'a> {
             (0..nthreads).map(|_| Propagator::new(view.len())).collect();
         let mut empty_syndromes: Vec<Syndrome> = Vec::new();
 
+        let (good0, faulty0, windows0) = (
+            campaign.stats.good_cycles,
+            campaign.stats.faulty_cycles,
+            campaign.stats.windows,
+        );
         for (b, block) in patterns.blocks().iter().enumerate() {
             let mask = patterns.lane_mask(b);
             let base = offset + b as u64 * 64;
-            // Good evaluation (launch pass for transition mode).
-            for (i, &pi) in pis.iter().enumerate() {
-                values[pi.index()] = block[i];
-            }
-            eval_all(view, &order, &mut values);
-            campaign.stats.good_cycles += 1;
-            if let Some(map) = transition {
-                launch.copy_from_slice(&values);
-                for &(ppi, ppo) in map {
-                    values[ppi.index()] = launch[ppo.index()];
+            {
+                // Good evaluation (launch pass for transition mode).
+                let _p = self.profile.scope("good_trace");
+                for (i, &pi) in pis.iter().enumerate() {
+                    values[pi.index()] = block[i];
                 }
                 eval_all(view, &order, &mut values);
                 campaign.stats.good_cycles += 1;
+                if let Some(map) = transition {
+                    launch.copy_from_slice(&values);
+                    for &(ppi, ppo) in map {
+                        values[ppi.index()] = launch[ppo.index()];
+                    }
+                    eval_all(view, &order, &mut values);
+                    campaign.stats.good_cycles += 1;
+                }
             }
 
+            let eval_scope = self.profile.scope("chunk_eval");
             let syndromes: &mut [Syndrome] = match campaign.syndromes.as_mut() {
                 Some(s) => s,
                 None => &mut empty_syndromes,
@@ -438,6 +457,8 @@ impl<'a> CombFaultSim<'a> {
                         .sum::<u64>()
                 })
             };
+            drop(eval_scope);
+            let _p = self.profile.scope("merge");
             campaign.stats.faulty_cycles += propagations;
             let survivors = campaign.detection.iter().filter(|d| d.is_none()).count();
             self.trace.emit(
@@ -454,9 +475,31 @@ impl<'a> CombFaultSim<'a> {
             campaign.stats.survivors.push(survivors);
         }
 
+        self.count_profile(campaign, good0, faulty0, windows0);
         campaign.applied += patterns.len() as u64;
         campaign.stats.wall += start.elapsed();
         Ok(())
+    }
+
+    /// Folds this run's scheduling-counter deltas into the profiler
+    /// (shared by the graph and kernel paths).
+    pub(crate) fn count_profile(
+        &self,
+        campaign: &CombCampaign,
+        good0: u64,
+        faulty0: u64,
+        windows0: u64,
+    ) {
+        if !self.profile.is_enabled() {
+            return;
+        }
+        self.profile.count("faults", self.universe.len() as u64);
+        self.profile
+            .count("good_cycles", campaign.stats.good_cycles - good0);
+        self.profile
+            .count("faulty_cycles", campaign.stats.faulty_cycles - faulty0);
+        self.profile
+            .count("windows", campaign.stats.windows - windows0);
     }
 }
 

@@ -23,7 +23,7 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use soctest_netlist::{GateKind, NetId, Netlist, NetlistError};
-use soctest_obs::{TraceEvent, TraceHandle};
+use soctest_obs::{ProfileHandle, TraceEvent, TraceHandle};
 
 use crate::seqkernel::KernelEngine;
 use crate::stimulus::StimulusMatrix;
@@ -93,6 +93,10 @@ pub struct SeqFaultSimConfig {
     /// final `FaultSimDone`, all emitted from the coordinating thread
     /// (disabled by default).
     pub trace: TraceHandle,
+    /// Profiler handle: per-window `good_trace` / `chunk_eval` / `merge`
+    /// phase attribution plus cycle counters, recorded from the
+    /// coordinating thread (disabled by default).
+    pub profile: ProfileHandle,
     /// Execution engine (default: the compiled SoA kernel; the graph
     /// walker remains available as the conformance oracle).
     pub engine: SimEngine,
@@ -106,6 +110,7 @@ impl Default for SeqFaultSimConfig {
             collect_syndromes: false,
             parallel: ParallelPolicy::default(),
             trace: TraceHandle::none(),
+            profile: ProfileHandle::none(),
             engine: SimEngine::default(),
         }
     }
@@ -371,10 +376,14 @@ impl<'a> SeqFaultSim<'a> {
         let mut window_start = 0u64;
         while window_start < cycles && !active.is_empty() {
             let wlen = self.config.window.min(cycles - window_start);
-            let trace = engine.good_window(ctx, &good_state, window_start, wlen, &mut good_scratch);
+            let trace = {
+                let _p = self.config.profile.scope("good_trace");
+                engine.good_window(ctx, &good_state, window_start, wlen, &mut good_scratch)
+            };
             stats.good_cycles += wlen;
             stats.faulty_cycles += wlen * active.chunks(64).count() as u64;
 
+            let eval_scope = self.config.profile.scope("chunk_eval");
             let mut chunk_slices: Vec<&mut [ActiveFault]> = active.chunks_mut(64).collect();
             let nchunks = chunk_slices.len();
             let workers = nthreads.min(nchunks.max(1));
@@ -426,17 +435,21 @@ impl<'a> SeqFaultSim<'a> {
                         .collect()
                 })
             };
+            drop(eval_scope);
             // Deterministic merge: workers in spawn order, chunks in chunk
             // order; each fault lives in exactly one chunk, so per-fault
             // event order is exactly the serial order.
-            for out in outs.into_iter().flatten() {
-                for (idx, t) in out.detections {
-                    if detection[idx].is_none() {
-                        detection[idx] = Some(t);
+            {
+                let _p = self.config.profile.scope("merge");
+                for out in outs.into_iter().flatten() {
+                    for (idx, t) in out.detections {
+                        if detection[idx].is_none() {
+                            detection[idx] = Some(t);
+                        }
                     }
-                }
-                for (idx, when, what) in out.events {
-                    syndromes[idx].record(when, what);
+                    for (idx, when, what) in out.events {
+                        syndromes[idx].record(when, what);
+                    }
                 }
             }
 
@@ -461,6 +474,14 @@ impl<'a> SeqFaultSim<'a> {
         }
 
         stats.wall = start.elapsed();
+        if self.config.profile.is_enabled() {
+            self.config.profile.count("faults", faults.len() as u64);
+            self.config.profile.count("good_cycles", stats.good_cycles);
+            self.config
+                .profile
+                .count("faulty_cycles", stats.faulty_cycles);
+            self.config.profile.count("windows", stats.windows);
+        }
         self.config.trace.emit(
             cycles,
             TraceEvent::FaultSimDone {

@@ -43,6 +43,7 @@ pub mod curve;
 pub mod event;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod report;
 pub mod sink;
 pub mod svg;
@@ -52,6 +53,7 @@ pub mod vcd;
 pub use curve::{CoverageCurve, CurveSummary, MILESTONE_LADDER};
 pub use event::{FieldValue, TraceEvent, TraceRecord};
 pub use metrics::{Histogram, MetricsHandle, MetricsRegistry, MetricsSnapshot};
+pub use profile::{ProfileHandle, ProfileScope, Profiler, SamplerPolicy, TraceSampler};
 pub use report::HtmlReport;
 pub use sink::{CountingSink, JsonLinesSink, MemorySink, PrettySink, TraceSink};
 pub use tracer::{SpanGuard, TraceHandle, Tracer, DEFAULT_CAPACITY};

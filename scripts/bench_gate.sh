@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Perf-regression gate over the committed bench history.
+#
+# Compares the fresh BENCH_current.json (written by `repro --bench-faultsim`)
+# against the median of BENCH_history.jsonl, failing on any >25% throughput
+# regression beyond the 20 ms noise floor, then proves the gate can actually
+# fail by running its --self-test (a synthetic 2x slowdown that must be
+# rejected). To re-baseline after an intentional perf change:
+#
+#   UPDATE_BENCH_HISTORY=1 cargo run --release -p soctest-bench --bin repro -- \
+#       --quick --bench-faultsim
+#
+# and commit the appended BENCH_history.jsonl line (same convention as
+# UPDATE_GOLDEN for the conformance vectors).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ ! -s BENCH_current.json ]; then
+    echo "bench-gate: no BENCH_current.json — running repro --quick --bench-faultsim"
+    cargo run --release -q -p soctest-bench --bin repro -- --quick --bench-faultsim \
+        > /dev/null
+fi
+
+cargo run --release -q -p soctest-bench --bin bench_gate
+cargo run --release -q -p soctest-bench --bin bench_gate -- --self-test

@@ -47,6 +47,17 @@ for m in BIT_NODE CHECK_NODE CONTROL_UNIT; do
         || { echo "$m: kernel/graph or serial/parallel results diverged"; exit 1; }
 done
 
+echo "== bench gate: history-median regression check + self-test =="
+# BENCH_current.json was just written by the --bench-faultsim step above;
+# the gate compares it against the committed BENCH_history.jsonl median
+# and then proves it can fail on a synthetic 2x slowdown.
+./scripts/bench_gate.sh
+
+echo "== profiler-overhead gate (off vs on, <=2% or 20ms floor) =="
+cargo run --release -p soctest-bench --bin repro -- --profile-overhead \
+    --dies=20000 --seed=42 | tee target/profile_overhead.txt
+grep -q 'within budget' target/profile_overhead.txt
+
 echo "== observability: traced repro smoke + artifact validation =="
 cargo run --release -p soctest-bench --bin repro -- --quick \
     --trace=target/obs_trace.jsonl \
@@ -118,10 +129,17 @@ echo "== fleet: conformance leg (replay vs standalone verdicts) =="
 cargo run --release -p soctest-conformance --bin difftest -- \
     --fleet --fleet-dies 64 --start-seed 42
 
-echo "== fleet: quick flight + cockpit fleet section =="
+echo "== fleet: quick flight + cockpit fleet/observatory sections =="
 cargo run --release -p soctest-bench --bin repro -- --quick --fleet \
     --dies=2000 --seed=42 \
+    --sample-dies=100 --traces=target/fleet_traces.jsonl \
+    --profile=target/fleet_profile.json \
     --report=target/report_fleet.html | tee target/fleet.txt
+# The profiler attributed >=95% of the measured wall (asserted in-process,
+# greppable here) and wrote both artifacts.
+grep -q '^profile: top-level phases cover' target/fleet.txt
+test -s target/fleet_profile.json
+test -s target/fleet_profile.collapsed
 # The greppable population summary must be present and well-formed.
 grep -Eq '^fleet: yield [0-9.]+% \([0-9]+ passed / 2000 dies\)' target/fleet.txt
 grep -Eq '^fleet: escapes [0-9]+ \([0-9.]+% of stuck-at dies\)' target/fleet.txt
@@ -129,18 +147,29 @@ grep -Eq '^fleet: overkill [0-9]+ \([0-9.]+% of clean dies\)' target/fleet.txt
 grep -Eq '^fleet: tck p50=[0-9]+ p95=[0-9]+ p99=[0-9]+' target/fleet.txt
 grep -Eq '^fleet: throughput [0-9]+ dies/s' target/fleet.txt
 # Determinism gate: the same flight twice prints identical fleet: lines
-# (throughput and cache-build wall time are the only nondeterministic rows).
+# (throughput and cache-build wall time are the only nondeterministic rows),
+# and the sampled-die JSONL traces are byte-identical even across a
+# different worker count.
 cargo run --release -p soctest-bench --bin repro -- --quick --fleet \
-    --dies=2000 --seed=42 > target/fleet2.txt
+    --dies=2000 --seed=42 \
+    --sample-dies=100 --traces=target/fleet_traces2.jsonl \
+    --workers=2 > target/fleet2.txt
 scrub_fleet() { grep '^fleet:' "$1" | grep -Ev 'throughput|cache built'; }
 diff <(scrub_fleet target/fleet.txt) <(scrub_fleet target/fleet2.txt) \
     || { echo "fleet flight is not seed-deterministic"; exit 1; }
-# The cockpit report gained a self-contained fleet section.
+cmp target/fleet_traces.jsonl target/fleet_traces2.jsonl \
+    || { echo "sampled-die traces are not byte-deterministic"; exit 1; }
+test -s target/fleet_traces.jsonl
+# The cockpit report gained self-contained fleet + observatory sections.
 test -s target/report_fleet.html
 ! grep -q 'http://' target/report_fleet.html
 ! grep -q '<script' target/report_fleet.html
 grep -q '>Fleet<' target/report_fleet.html
 grep -q 'Yield per batch' target/report_fleet.html
+grep -q '>Observatory<' target/report_fleet.html
+grep -q 'Phase attribution' target/report_fleet.html
+grep -q 'Sampled die' target/report_fleet.html
+grep -q 'Die throughput per batch' target/report_fleet.html
 # The bench file (written by the --bench-faultsim step above) carries the
 # fleet throughput block with its ≥1000 dies/s contract already asserted.
 grep -q '"fleet": {"dies": 100000' BENCH_faultsim.json

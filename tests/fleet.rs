@@ -5,6 +5,7 @@
 
 use soctest::core::casestudy::CaseStudy;
 use soctest::core::fleet::{DefectClass, DefectMix, DefectProfile, DieVerdict, Fleet, FleetConfig};
+use soctest::obs::{MetricsRegistry, ProfileHandle, SamplerPolicy};
 
 fn paper_fleet(mut cfg: FleetConfig) -> Fleet {
     let case = CaseStudy::paper().unwrap();
@@ -159,6 +160,131 @@ fn concurrent_callers_share_one_fleet_without_cross_talk() {
             });
         }
     });
+}
+
+/// The observatory determinism contract: the profiler's phase-tree
+/// *shape* and counter totals are a pure function of `(config, seed)` —
+/// wall time is the only thing a different worker count may change.
+#[test]
+fn profiler_tree_shape_is_worker_count_invariant() {
+    let case = CaseStudy::paper().unwrap();
+    let fingerprint = |workers: usize| {
+        let mut cfg = FleetConfig::new(600, 7);
+        cfg.workers = workers;
+        let handle = ProfileHandle::enabled();
+        let fleet = Fleet::new_profiled(&case, cfg, handle.clone()).unwrap();
+        fleet.run();
+        handle.snapshot().unwrap().fingerprint()
+    };
+    let serial = fingerprint(1);
+    assert!(
+        serial.contains("cache_build") && serial.contains("simulate"),
+        "fingerprint must cover the cache-build and simulate phases: {serial}"
+    );
+    assert!(
+        serial.contains("replay_session") && serial.contains("score"),
+        "per-die replay and scoring must be separately attributed: {serial}"
+    );
+    assert_eq!(serial, fingerprint(4), "1 vs 4 workers changed the tree");
+    assert_eq!(serial, fingerprint(3), "1 vs 3 workers changed the tree");
+}
+
+/// Sampled-die traces are byte-deterministic across runs *and* worker
+/// counts, and the per-class quota guarantees rare classes are captured.
+#[test]
+fn sampled_traces_are_byte_deterministic_and_cover_rare_classes() {
+    let case = CaseStudy::paper().unwrap();
+    let run = |workers: usize| {
+        let mut cfg = FleetConfig::new(800, 7);
+        cfg.workers = workers;
+        let fleet = Fleet::new(&case, cfg)
+            .unwrap()
+            .with_trace_sampling(SamplerPolicy::new(100, 2), 0);
+        let outcome = fleet.run();
+        let jsonl: String = outcome.traces.iter().map(|t| t.to_jsonl()).collect();
+        (outcome, jsonl)
+    };
+    let (outcome, serial) = run(1);
+    assert!(!outcome.traces.is_empty(), "the stride must sample dies");
+    assert_eq!(serial, run(4).1, "worker count changed the trace bytes");
+    assert_eq!(serial, run(1).1, "same config must be byte-stable");
+
+    // Quota coverage: every defect class the population actually drew is
+    // represented among the sampled dies, however rare.
+    let fleet = Fleet::new(&case, FleetConfig::new(800, 7)).unwrap();
+    for class in DefectClass::ALL {
+        let drawn = (0..800).any(|d| fleet.profile_of(d).class() == class);
+        let sampled = outcome.traces.iter().any(|t| t.class == class);
+        assert_eq!(
+            drawn,
+            sampled,
+            "class {} drawn={drawn} but sampled={sampled}",
+            class.name()
+        );
+    }
+}
+
+/// Overflowing a deliberately tiny trace ring surfaces the drop count as
+/// the `trace_dropped_events` metric instead of silently truncating.
+#[test]
+fn tiny_trace_ring_overflow_is_counted_not_silent() {
+    let mut cfg = FleetConfig::new(10, 7);
+    cfg.workers = 1;
+    let case = CaseStudy::paper().unwrap();
+    let fleet = Fleet::new(&case, cfg)
+        .unwrap()
+        .with_trace_sampling(SamplerPolicy::new(1, 0), 4);
+    let outcome = fleet.run();
+    assert_eq!(outcome.traces.len(), 10, "every die is sampled at stride 1");
+    for t in &outcome.traces {
+        assert!(
+            t.jsonl.lines().count() <= 4,
+            "die {}: ring of 4 must bound the surviving records",
+            t.die
+        );
+        assert_eq!(
+            t.records,
+            t.jsonl.lines().count() as u64 + t.dropped,
+            "die {}: total = surviving + dropped",
+            t.die
+        );
+    }
+    let dropped = outcome.trace_dropped_events();
+    assert!(dropped > 0, "a 4-slot ring must overflow a full session");
+
+    let registry = MetricsRegistry::new();
+    outcome.export_metrics(&registry);
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.counters.get("trace_dropped_events"),
+        Some(&dropped),
+        "the drop count must surface as a metric"
+    );
+}
+
+/// The Prometheus exposition of the TCK percentile gauges byte-matches
+/// the integers the report table prints — no float re-formatting drift.
+#[test]
+fn tck_percentile_gauges_byte_match_the_report() {
+    let fleet = paper_fleet(FleetConfig::new(1000, 42));
+    let outcome = fleet.run();
+    let registry = MetricsRegistry::new();
+    outcome.export_metrics(&registry);
+    let prom = registry.snapshot().to_prometheus();
+    for (name, value) in [
+        ("fleet_tck_p50", outcome.report.tck.p50),
+        ("fleet_tck_p95", outcome.report.tck.p95),
+        ("fleet_tck_p99", outcome.report.tck.p99),
+    ] {
+        let line = format!("{name} {value}\n");
+        assert!(
+            prom.contains(&line),
+            "exposition must carry `{}` byte-for-byte:\n{prom}",
+            line.trim()
+        );
+    }
+    // The per-die distribution rides along as a histogram.
+    assert!(prom.contains("fleet_tck_cycles"));
 }
 
 #[test]

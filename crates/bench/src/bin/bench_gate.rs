@@ -20,7 +20,12 @@
 //!   -overhead gate's),
 //! - a module's `faults_per_s` or the fleet's `dies_per_s` falls below
 //!   `median ÷ 1.25`, unless the absolute wall impact is under the same
-//!   20 ms floor.
+//!   20 ms floor,
+//! - the health monitor's `monitor_overhead_pct` grows past
+//!   `max(median × 1.25, 2 %)` with the absolute overhead over the 20 ms
+//!   floor, or its `detect_latency_batches` grows past
+//!   `max(median × 1.25, 8)` — both compared only when the history
+//!   carries the columns, so pre-monitor history lines stay valid.
 //!
 //! Only history records with the same `patterns` budget as the current
 //! run are compared; with no comparable history the gate passes with a
@@ -46,6 +51,11 @@ struct Record {
     /// `(module, kernel_wall_s, faults_per_s)`.
     modules: Vec<(String, f64, f64)>,
     fleet_dies_per_s: f64,
+    /// Health-monitor columns — absent in pre-monitor history lines, so
+    /// optional: the gate only compares them when both sides carry them.
+    monitor_overhead_s: Option<f64>,
+    monitor_overhead_pct: Option<f64>,
+    detect_latency_batches: Option<f64>,
 }
 
 fn parse_record(line: &str) -> Result<Record, String> {
@@ -83,6 +93,9 @@ fn parse_record(line: &str) -> Result<Record, String> {
         patterns,
         modules,
         fleet_dies_per_s,
+        monitor_overhead_s: v.get("monitor_overhead_s").and_then(JsonValue::as_f64),
+        monitor_overhead_pct: v.get("monitor_overhead_pct").and_then(JsonValue::as_f64),
+        detect_latency_batches: v.get("detect_latency_batches").and_then(JsonValue::as_f64),
     })
 }
 
@@ -101,6 +114,10 @@ struct Baseline {
     /// `(module, median_wall_s, median_faults_per_s)`.
     modules: Vec<(String, f64, f64)>,
     fleet_dies_per_s: f64,
+    /// Medians over the history lines that carry the monitor columns
+    /// (None when no comparable line does).
+    monitor_overhead_pct: Option<f64>,
+    detect_latency_batches: Option<f64>,
 }
 
 fn baseline(history: &[Record], patterns: u64) -> Option<Baseline> {
@@ -123,10 +140,20 @@ fn baseline(history: &[Record], patterns: u64) -> Option<Baseline> {
         modules.push((name.clone(), median(&mut walls), median(&mut rates)));
     }
     let mut fleet: Vec<f64> = comparable.iter().map(|r| r.fleet_dies_per_s).collect();
+    let optional_median = |pick: fn(&Record) -> Option<f64>| {
+        let mut xs: Vec<f64> = comparable.iter().filter_map(|r| pick(r)).collect();
+        if xs.is_empty() {
+            None
+        } else {
+            Some(median(&mut xs))
+        }
+    };
     Some(Baseline {
         runs: comparable.len(),
         modules,
         fleet_dies_per_s: median(&mut fleet),
+        monitor_overhead_pct: optional_median(|r| r.monitor_overhead_pct),
+        detect_latency_batches: optional_median(|r| r.detect_latency_batches),
     })
 }
 
@@ -186,6 +213,31 @@ fn gate(base: &Baseline, current: &Record, max_regression_pct: f64) -> usize {
             current.fleet_dies_per_s, base.fleet_dies_per_s
         ),
     );
+    // Health-monitor columns, compared only when both sides carry them.
+    // The overhead gate has an absolute ceiling too: whatever the history
+    // says, the monitor may never cost more than 2 % — unless the whole
+    // delta is under the wall-clock noise floor.
+    if let (Some(pct), Some(base_pct)) = (current.monitor_overhead_pct, base.monitor_overhead_pct) {
+        let under_floor = current.monitor_overhead_s.unwrap_or(f64::INFINITY) < ABS_FLOOR_S;
+        let monitor_ok = pct <= (base_pct * ratio).max(2.0) || under_floor;
+        check(
+            "fleet.monitor_overhead_pct",
+            monitor_ok,
+            format!("current {pct:.2}% vs median {base_pct:.2}% (ceiling 2%)"),
+        );
+    }
+    // Detection latency is measured in batches — deterministic, no noise
+    // floor needed. The 8-batch contract is the absolute ceiling.
+    if let (Some(lat), Some(base_lat)) =
+        (current.detect_latency_batches, base.detect_latency_batches)
+    {
+        let latency_ok = lat <= (base_lat * ratio).max(8.0);
+        check(
+            "fleet.detect_latency_batches",
+            latency_ok,
+            format!("current {lat:.0} vs median {base_lat:.0} (ceiling 8)"),
+        );
+    }
     failures
 }
 
@@ -202,6 +254,11 @@ fn synthetic_slowdown(base: &Baseline, patterns: u64) -> Record {
             .map(|(n, w, f)| (n.clone(), w * 2.0 + ABS_FLOOR_S * 2.0, f / 2.0))
             .collect(),
         fleet_dies_per_s: base.fleet_dies_per_s / 2.0,
+        // Past the 2 % ceiling, the history ratio, and the noise floor.
+        monitor_overhead_s: base.monitor_overhead_pct.map(|_| ABS_FLOOR_S * 2.0),
+        monitor_overhead_pct: base.monitor_overhead_pct.map(|p| (p * 2.0).max(5.0)),
+        // Past both the history ratio and the 8-batch contract.
+        detect_latency_batches: base.detect_latency_batches.map(|l| l * 2.0 + 16.0),
     }
 }
 

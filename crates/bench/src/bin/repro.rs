@@ -3,7 +3,8 @@
 //! ```text
 //! repro [--quick] [--bench-faultsim]
 //!       [--trace=FILE] [--metrics=FILE] [--vcd=FILE] [--report=FILE]
-//!       [--fleet --dies=N --seed=S [--defect-rate=R] [--workers=W]]
+//!       [--fleet --dies=N --seed=S [--defect-rate=R] [--workers=W]
+//!        [--monitor] [--batch=N] [--inject-drift=B:R] [--excursions=FILE]]
 //!       [table1 table2 table3 table4 table5 fig3 fig4 | all]
 //! ```
 //!
@@ -16,7 +17,9 @@
 //! stuck-at campaign each, asserting bit-identical detection before timing
 //! is trusted — and writes the measurements to `BENCH_faultsim.json`,
 //! including traced-vs-untraced wall columns with a ≤ 2 % instrumentation
-//! overhead check.
+//! overhead check, a health-monitor overhead column under the same gate,
+//! and the drift detection-latency column (an injected 3× defect-rate
+//! step must be flagged within 8 batches).
 //!
 //! `--trace=FILE` / `--metrics=FILE` / `--vcd=FILE` skip the tables and
 //! run the observability demo instead: a fault-tolerant session against a
@@ -63,6 +66,17 @@
 //! `--traces=FILE` streams the sampled-die traces as validated JSONL.
 //! With `--report=FILE` the cockpit report gains an Observatory section
 //! (phase attribution, sampled-die timeline, dies/s per batch).
+//!
+//! Health flags (compose with `--fleet`): `--monitor` arms the streaming
+//! SPC health monitor (EWMA + CUSUM on yield and recovered rate, P²
+//! TCK quantile sketch) and prints greppable `health:` lines;
+//! `--batch=N` overrides the monitoring batch size;
+//! `--inject-drift=BATCH:RATE` steps the defect rate at that batch
+//! (implies `--monitor`) and asserts detection within 8 batches with a
+//! quiet clean prefix and a `stuck_at` attribution; `--excursions=FILE`
+//! writes the byte-deterministic excursion ledger as validated JSONL.
+//! With `--report=FILE` the cockpit report gains a Health section
+//! (control charts with signal markers, excursion table, verdict tiles).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -75,7 +89,8 @@ use soctest_core::autopilot::{Autopilot, AutopilotConfig, Verdict};
 use soctest_core::casestudy::CaseStudy;
 use soctest_core::cockpit;
 use soctest_core::experiments::{self, Budget};
-use soctest_core::fleet::{Fleet, FleetConfig};
+use soctest_core::fleet::{DefectMix, DriftSpec, Fleet, FleetConfig};
+use soctest_core::health::HealthConfig;
 use soctest_core::robust::RobustSession;
 use soctest_fault::{FaultUniverse, ParallelPolicy, SeqFaultSim, SeqFaultSimConfig, SimEngine};
 use soctest_obs::{
@@ -397,11 +412,87 @@ fn bench_faultsim(case: &CaseStudy, patterns: u64) {
         "fleet throughput {:.0} dies/s is below the 1000 dies/s contract",
         fr.dies_per_sec()
     );
+    // The monitor-overhead column: the same flight with the health
+    // monitor off vs armed, min-of-3 interleaved so a load spike cannot
+    // charge one side only. Same gate discipline as the tracer and
+    // profiler: ≤ 2 % relative, or under the 20 ms noise floor.
+    let monitor_dies = 20_000u64;
+    let plain = Fleet::new(case, FleetConfig::new(monitor_dies, 42)).expect("fleet cache builds");
+    let monitored = Fleet::new(case, FleetConfig::new(monitor_dies, 42))
+        .expect("fleet cache builds")
+        .with_monitor(HealthConfig::default());
+    let timed = |fleet: &Fleet| {
+        let started = Instant::now();
+        let outcome = fleet.run();
+        assert_eq!(
+            outcome.report.dies, monitor_dies,
+            "flight must cover every die"
+        );
+        started.elapsed().as_secs_f64()
+    };
+    let mut monitor_off_s = f64::INFINITY;
+    let mut monitor_on_s = f64::INFINITY;
+    for _ in 0..3 {
+        monitor_off_s = monitor_off_s.min(timed(&plain));
+        monitor_on_s = monitor_on_s.min(timed(&monitored));
+    }
+    let monitor_overhead_s = monitor_on_s - monitor_off_s;
+    let monitor_overhead_pct = if monitor_off_s > 0.0 {
+        100.0 * monitor_overhead_s / monitor_off_s
+    } else {
+        0.0
+    };
+    let monitor_ok = monitor_overhead_pct <= 2.0 || monitor_overhead_s < 0.02;
+    println!(
+        "fleet: monitor overhead {monitor_dies} dies, off {monitor_off_s:.4}s vs on \
+         {monitor_on_s:.4}s ({monitor_overhead_pct:+.2}%) — {}",
+        if monitor_ok {
+            "within budget"
+        } else {
+            "OVER BUDGET"
+        }
+    );
+    assert!(
+        monitor_ok,
+        "health-monitor overhead {monitor_overhead_pct:.2}% exceeds the 2% budget \
+         (absolute delta {monitor_overhead_s:.4}s over the 0.02s floor)"
+    );
+
+    // The detection-latency column: a drifted monitored flight (3× the
+    // default defect rate stepped mid-run) must flag within 8 batches.
+    let mut drift_cfg = FleetConfig::new(4_000, 42);
+    drift_cfg.batch = 100;
+    drift_cfg.inject_drift = Some(DriftSpec {
+        batch: 20,
+        mix: DefectMix {
+            defect_rate: (drift_cfg.mix.defect_rate * 3.0).min(1.0),
+            ..drift_cfg.mix
+        },
+    });
+    let drifted = Fleet::new(case, drift_cfg)
+        .expect("fleet cache builds")
+        .with_monitor(HealthConfig::default());
+    let health = drifted.run().health.expect("monitor was armed");
+    let detect_latency_batches = health
+        .detection_latency(20)
+        .expect("injected drift must be flagged");
+    println!(
+        "fleet: injected 3x defect-rate drift detected in {detect_latency_batches} batch(es) \
+         ({} excursion(s))",
+        health.excursions.len()
+    );
+    assert!(
+        detect_latency_batches <= 8,
+        "drift detection latency {detect_latency_batches} batches exceeds the 8-batch bound"
+    );
+
     let _ = writeln!(
         json,
         "  \"fleet\": {{\"dies\": {}, \"seed\": {}, \"dies_per_s\": {:.1}, \
          \"yield_percent\": {:.4}, \"escapes\": {}, \"overkill\": {}, \
-         \"session_tck_p50\": {}, \"session_tck_p99\": {}, \"wall_s\": {:.3}}},",
+         \"session_tck_p50\": {}, \"session_tck_p99\": {}, \"wall_s\": {:.3}, \
+         \"monitor_overhead_s\": {:.4}, \"monitor_overhead_pct\": {:.2}, \
+         \"detect_latency_batches\": {}}},",
         fr.dies,
         fr.seed,
         fr.dies_per_sec(),
@@ -410,7 +501,10 @@ fn bench_faultsim(case: &CaseStudy, patterns: u64) {
         fr.overkill,
         fr.tck.p50,
         fr.tck.p99,
-        fr.elapsed_ns as f64 / 1e9
+        fr.elapsed_ns as f64 / 1e9,
+        monitor_overhead_s,
+        monitor_overhead_pct,
+        detect_latency_batches
     );
 
     // The slim bench-history record: only the throughput figures the
@@ -432,7 +526,9 @@ fn bench_faultsim(case: &CaseStudy, patterns: u64) {
     }
     let _ = write!(
         record,
-        "], \"fleet_dies_per_s\": {:.1}, \"phase_shares\": {{",
+        "], \"fleet_dies_per_s\": {:.1}, \"monitor_overhead_s\": {monitor_overhead_s:.4}, \
+         \"monitor_overhead_pct\": {monitor_overhead_pct:.2}, \
+         \"detect_latency_batches\": {detect_latency_batches}, \"phase_shares\": {{",
         fr.dies_per_sec()
     );
     if let Some(p) = &prof {
@@ -602,33 +698,65 @@ fn obs_demo(
     }
 }
 
+/// Everything `--fleet` accepts, parsed once in `main`.
+#[derive(Default)]
+struct FleetArgs {
+    dies: u64,
+    seed: u64,
+    defect_rate: Option<f64>,
+    workers: Option<usize>,
+    batch: Option<u64>,
+    report_path: Option<String>,
+    profile_path: Option<String>,
+    sample_dies: Option<u64>,
+    traces_path: Option<String>,
+    /// Arm the streaming health monitor (`--monitor`).
+    monitor: bool,
+    /// `--inject-drift=BATCH:RATE` — step the defect rate at a batch.
+    inject_drift: Option<(u64, f64)>,
+    /// `--excursions=FILE` — write the excursion ledger JSONL.
+    excursions_path: Option<String>,
+}
+
 /// The population campaign behind `--fleet`: builds the shared signature
 /// cache once, streams every die through the cached session protocol,
 /// prints greppable `fleet:` summary lines, folds the aggregate into a
 /// metrics registry, and (with `--report=FILE`) writes the cockpit report
 /// with its Fleet section. Determinism is asserted structurally: the
 /// aggregate JSON is a pure function of `(dies, seed, config)`.
-#[allow(clippy::too_many_arguments)]
-fn fleet_demo(
-    budget: &Budget,
-    dies: u64,
-    seed: u64,
-    defect_rate: Option<f64>,
-    workers: Option<usize>,
-    report_path: Option<&str>,
-    profile_path: Option<&str>,
-    sample_dies: Option<u64>,
-    traces_path: Option<&str>,
-) {
+///
+/// With `--monitor` the streaming health monitor rides along: greppable
+/// `health:` lines (baseline, excursion count, per-excursion attribution,
+/// sketch-vs-exact TCK percentiles), the excursion ledger
+/// (`--excursions=FILE`), and a Health section in the cockpit report.
+/// With `--inject-drift=BATCH:RATE` the defect rate steps at that batch
+/// and the demo asserts detection within 8 batches, zero excursions on
+/// the clean prefix, and a `stuck_at` attribution (the dominant class of
+/// the default mix).
+fn fleet_demo(budget: &Budget, fa: &FleetArgs) {
+    let (dies, seed) = (fa.dies, fa.seed);
+    let report_path = fa.report_path.as_deref();
     let case = CaseStudy::paper().expect("case study builds");
     let mut cfg = FleetConfig::new(dies, seed);
-    if let Some(rate) = defect_rate {
+    if let Some(rate) = fa.defect_rate {
         cfg.mix.defect_rate = rate.clamp(0.0, 1.0);
     }
-    if let Some(w) = workers {
+    if let Some(w) = fa.workers {
         cfg.workers = w;
     }
-    let profile = if profile_path.is_some() {
+    if let Some(b) = fa.batch {
+        cfg.batch = b;
+    }
+    if let Some((batch, rate)) = fa.inject_drift {
+        cfg.inject_drift = Some(DriftSpec {
+            batch,
+            mix: DefectMix {
+                defect_rate: rate.clamp(0.0, 1.0),
+                ..cfg.mix
+            },
+        });
+    }
+    let profile = if fa.profile_path.is_some() {
         ProfileHandle::enabled()
     } else {
         ProfileHandle::none()
@@ -636,11 +764,14 @@ fn fleet_demo(
     let wall_started = Instant::now();
     let build_started = Instant::now();
     let mut fleet = Fleet::new_profiled(&case, cfg, profile.clone()).expect("fleet cache builds");
-    if let Some(every) = sample_dies {
+    if let Some(every) = fa.sample_dies {
         // Stride sampling plus a per-class quota of 2, so rare Hung /
         // StuckAt dies are always captured even when the stride misses
         // every one of them.
         fleet = fleet.with_trace_sampling(SamplerPolicy::new(every, 2), 0);
+    }
+    if fa.monitor {
+        fleet = fleet.with_monitor(HealthConfig::default());
     }
     println!(
         "fleet: cache built in {:.2?} ({} stuck-at sites, {} ladder rungs)",
@@ -696,6 +827,89 @@ fn fleet_demo(
         r.elapsed_ns as f64 / 1e9
     );
 
+    // The streaming health monitor: greppable `health:` lines, the
+    // excursion ledger, and — under injected drift — the detection
+    // contract (flagged within 8 batches, clean prefix stays quiet,
+    // attribution names the dominant class of the stepped mix).
+    if let Some(health) = &outcome.health {
+        println!(
+            "health: batches={} baseline-yield={:.4} baseline-recovered={:.4} \
+             excursions={} in_control={}",
+            health.batches,
+            health.baseline_yield,
+            health.baseline_recovered,
+            health.excursions.len(),
+            health.in_control()
+        );
+        for e in &health.excursions {
+            println!(
+                "health: excursion batch={} metric={} direction={} magnitude={:.2}sigma \
+                 chart={} attributed_class={} class_delta={:+.2}pp \
+                 attributed_module={} module_delta={:+.2}pp",
+                e.spc.batch,
+                e.spc.metric,
+                e.spc.direction.name(),
+                e.spc.magnitude_sigma,
+                e.spc.chart,
+                e.attributed_class,
+                e.class_delta_pp,
+                e.attributed_module,
+                e.module_delta_pp
+            );
+            println!("health: advice {}", e.advice);
+        }
+        let (p50, p95, p99) = health.tck_sketch;
+        println!(
+            "health: tck sketch p50={p50:.1} p95={p95:.1} p99={p99:.1} \
+             (exact p50={} p95={} p99={})",
+            r.tck.p50, r.tck.p95, r.tck.p99
+        );
+        if let Some((drift_batch, drift_rate)) = fa.inject_drift {
+            println!("health: injected drift batch={drift_batch} defect-rate={drift_rate:.4}");
+            assert!(
+                health.excursions.iter().all(|e| e.spc.batch >= drift_batch),
+                "clean prefix before the injected drift must stay quiet"
+            );
+            let latency = health
+                .detection_latency(drift_batch)
+                .expect("injected drift must be flagged");
+            println!("health: detect_latency_batches={latency}");
+            assert!(
+                latency <= 8,
+                "drift detection latency {latency} batches exceeds the 8-batch bound"
+            );
+            // A defect-rate step moves both charts: the yield drop is a
+            // stuck_at story, the recovered-rate rise a transient one.
+            // The attribution must tell each correctly.
+            for e in &health.excursions {
+                let expected = match e.spc.metric.as_str() {
+                    "yield" => "stuck_at",
+                    _ => "transient",
+                };
+                assert_eq!(
+                    e.attributed_class, expected,
+                    "a defect-rate step must attribute {expected} on the {} chart",
+                    e.spc.metric
+                );
+            }
+            assert!(
+                health.excursions.iter().any(|e| e.spc.metric == "yield"),
+                "a 3x defect-rate step must flag the yield chart"
+            );
+        }
+        if let Some(path) = fa.excursions_path.as_deref() {
+            let ledger = health.to_jsonl();
+            for line in ledger.lines() {
+                json::parse(line).expect("every excursion ledger line is valid JSON");
+            }
+            std::fs::write(path, &ledger).expect("write excursion ledger");
+            println!(
+                "wrote {path} ({} excursion(s), JSONL validated)",
+                ledger.lines().count()
+            );
+        }
+    }
+
     // The aggregate streams into the unified metrics registry, same as
     // sessions and TAP protocol counters do.
     let registry = MetricsRegistry::new();
@@ -706,6 +920,20 @@ fn fleet_demo(
         Some(&r.dies),
         "metrics registry must carry the fleet aggregate"
     );
+    if outcome.health.is_some() {
+        assert!(
+            snap.gauges.contains_key("fleet_health_in_control")
+                && snap.gauges.contains_key("fleet_tck_p95_sketch"),
+            "metrics registry must carry the fleet_health_* family"
+        );
+        println!(
+            "health: metrics registry carries {} fleet_health gauges",
+            snap.gauges
+                .keys()
+                .filter(|k| k.starts_with("fleet_health_"))
+                .count()
+        );
+    }
     println!(
         "fleet: metrics registry carries {} fleet counters",
         snap.counters
@@ -718,7 +946,7 @@ fn fleet_demo(
     // flamegraph-compatible collapsed-stack sibling, with the coverage
     // contract (top-level phases ≥ 95 % of the measured build+run wall)
     // asserted before either file is trusted.
-    if let Some(path) = profile_path {
+    if let Some(path) = fa.profile_path.as_deref() {
         let prof = fleet
             .profile()
             .snapshot()
@@ -757,14 +985,14 @@ fn fleet_demo(
 
     // Sampled-die traces: one bounded JSONL block per sampled die,
     // validated line by line with the in-tree parser.
-    if sample_dies.is_some() {
+    if fa.sample_dies.is_some() {
         println!(
             "fleet: sampled {} dies for tracing, {} trace event(s) dropped",
             outcome.traces.len(),
             outcome.trace_dropped_events()
         );
     }
-    if let Some(path) = traces_path {
+    if let Some(path) = fa.traces_path.as_deref() {
         let mut out = String::new();
         for t in &outcome.traces {
             out.push_str(&t.to_jsonl());
@@ -793,6 +1021,7 @@ fn fleet_demo(
             batch_walls: outcome.batch_walls.clone(),
             trace_dropped_events: outcome.trace_dropped_events(),
         });
+        data.health = outcome.health.clone();
         let html = cockpit::render_report(&data);
         assert!(
             soctest_obs::report::is_self_contained(&html),
@@ -806,6 +1035,12 @@ fn fleet_demo(
             html.contains(">Observatory<"),
             "report must carry the observatory section"
         );
+        if data.health.is_some() {
+            assert!(
+                html.contains(">Health<") && html.contains("control chart"),
+                "report must carry the health section"
+            );
+        }
         if !outcome.traces.is_empty() {
             assert!(
                 html.contains("Sampled die"),
@@ -1120,20 +1355,26 @@ fn main() {
         let seed = flag_value("--seed=")
             .and_then(|v| v.parse().ok())
             .unwrap_or(42);
-        let defect_rate = flag_value("--defect-rate=").and_then(|v| v.parse().ok());
-        let workers = flag_value("--workers=").and_then(|v| v.parse().ok());
-        let sample_dies = flag_value("--sample-dies=").and_then(|v| v.parse().ok());
-        fleet_demo(
-            &budget,
+        let inject_drift = flag_value("--inject-drift=").and_then(|v| {
+            let (b, r) = v.split_once(':')?;
+            Some((b.parse().ok()?, r.parse().ok()?))
+        });
+        let monitor = args.iter().any(|a| a == "--monitor") || inject_drift.is_some();
+        let fa = FleetArgs {
             dies,
             seed,
-            defect_rate,
-            workers,
-            flag_value("--report=").as_deref(),
-            flag_value("--profile=").as_deref(),
-            sample_dies,
-            flag_value("--traces=").as_deref(),
-        );
+            defect_rate: flag_value("--defect-rate=").and_then(|v| v.parse().ok()),
+            workers: flag_value("--workers=").and_then(|v| v.parse().ok()),
+            batch: flag_value("--batch=").and_then(|v| v.parse().ok()),
+            report_path: flag_value("--report="),
+            profile_path: flag_value("--profile="),
+            sample_dies: flag_value("--sample-dies=").and_then(|v| v.parse().ok()),
+            traces_path: flag_value("--traces="),
+            monitor,
+            inject_drift,
+            excursions_path: flag_value("--excursions="),
+        };
+        fleet_demo(&budget, &fa);
         return;
     }
     if let Some(path) = flag_value("--report=") {

@@ -25,6 +25,7 @@ use crate::error::SessionError;
 use crate::eval::{self, FaultModel, Step1Report, Step3Report};
 use crate::experiments::Budget;
 use crate::fleet::{BatchWall, DieTrace, FleetReport};
+use crate::health::HealthReport;
 use crate::robust::{RobustSession, SessionReport};
 
 /// One module × fault-model coverage campaign.
@@ -89,6 +90,11 @@ pub struct CampaignData {
     /// (`run_campaign` leaves this `None`; the `repro` binary attaches it
     /// under `--profile=` / `--sample-dies=`).
     pub observatory: Option<ObservatoryData>,
+    /// A fleet health-monitor record to render as the report's "Health"
+    /// section — control charts, excursion table with attribution, and
+    /// in-control verdict tiles (`run_campaign` leaves this `None`; the
+    /// `repro` binary attaches it under `--fleet --monitor`).
+    pub health: Option<HealthReport>,
 }
 
 /// Everything the report's "Observatory" section draws from: where the
@@ -289,6 +295,7 @@ pub fn run_campaign_profiled(
         autopilot: None,
         fleet: None,
         observatory: None,
+        health: None,
     })
 }
 
@@ -668,6 +675,137 @@ fn fleet_section(fleet: &FleetReport) -> String {
     body
 }
 
+/// One metric's control chart: the raw batch value, its EWMA, the
+/// control limits, and a marker series carrying only the signal onsets.
+fn control_chart(title: &str, points: &[soctest_obs::SpcPoint]) -> String {
+    let pct = |v: f64| v * 100.0;
+    let mut series = vec![
+        LineSeries {
+            label: "value".to_owned(),
+            points: points
+                .iter()
+                .map(|p| (p.batch as f64, pct(p.value)))
+                .collect(),
+        },
+        LineSeries {
+            label: "ewma".to_owned(),
+            points: points
+                .iter()
+                .map(|p| (p.batch as f64, pct(p.ewma)))
+                .collect(),
+        },
+        LineSeries {
+            label: "ucl".to_owned(),
+            points: points
+                .iter()
+                .filter(|p| !p.in_baseline)
+                .map(|p| (p.batch as f64, pct(p.ucl)))
+                .collect(),
+        },
+        LineSeries {
+            label: "lcl".to_owned(),
+            points: points
+                .iter()
+                .filter(|p| !p.in_baseline)
+                .map(|p| (p.batch as f64, pct(p.lcl)))
+                .collect(),
+        },
+    ];
+    let signals: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|p| p.signal.is_some())
+        .map(|p| (p.batch as f64, pct(p.value)))
+        .collect();
+    if !signals.is_empty() {
+        series.push(LineSeries {
+            label: "signal".to_owned(),
+            points: signals,
+        });
+    }
+    svg::line_chart(title, "batch", "%", &series, None)
+}
+
+fn health_section(health: &HealthReport) -> String {
+    let mut body = String::new();
+    body.push_str(&report::stat_tiles(&[
+        (
+            "status".into(),
+            if health.in_control() {
+                "in control".to_owned()
+            } else {
+                format!("{} excursion(s)", health.excursions.len())
+            },
+        ),
+        ("batches".into(), health.batches.to_string()),
+        (
+            "baseline yield".into(),
+            format!("{:.2}%", health.baseline_yield * 100.0),
+        ),
+        (
+            "baseline recovered".into(),
+            format!("{:.2}%", health.baseline_recovered * 100.0),
+        ),
+        (
+            "tck p95 (sketch)".into(),
+            format!("{:.0}", health.tck_sketch.1),
+        ),
+        (
+            "tck p99 (sketch)".into(),
+            format!("{:.0}", health.tck_sketch.2),
+        ),
+    ]));
+
+    body.push_str(&control_chart(
+        "Yield control chart (EWMA + limits)",
+        &health.yield_points,
+    ));
+    body.push_str(&control_chart(
+        "Recovered-rate control chart (EWMA + limits)",
+        &health.recovered_points,
+    ));
+
+    if health.in_control() {
+        body.push_str(&report::paragraph(
+            "No excursion: both charts stayed inside their control limits \
+             for the whole campaign.",
+        ));
+    } else {
+        let rows: Vec<Vec<String>> = health
+            .excursions
+            .iter()
+            .map(|e| {
+                vec![
+                    e.spc.batch.to_string(),
+                    e.spc.metric.clone(),
+                    e.spc.direction.name().to_owned(),
+                    format!("{:.1}σ", e.spc.magnitude_sigma),
+                    e.spc.chart.to_owned(),
+                    e.attributed_class.to_owned(),
+                    format!("{:+.1}pp", e.class_delta_pp),
+                    e.attributed_module.clone(),
+                    escape(&e.advice),
+                ]
+            })
+            .collect();
+        body.push_str("<h3>Excursions</h3>");
+        body.push_str(&report::table(
+            &[
+                "batch",
+                "metric",
+                "dir",
+                "magnitude",
+                "chart",
+                "class",
+                "Δ share",
+                "module",
+                "advice",
+            ],
+            &rows,
+        ));
+    }
+    body
+}
+
 fn observatory_section(obs: &ObservatoryData) -> String {
     let mut body = String::new();
 
@@ -884,6 +1022,9 @@ pub fn render_report(data: &CampaignData) -> String {
     if let Some(obs) = &data.observatory {
         doc.add_section("Observatory", observatory_section(obs));
     }
+    if let Some(health) = &data.health {
+        doc.add_section("Health", health_section(health));
+    }
     doc.add_section("Session timeline", timeline_section(data));
     doc.render()
 }
@@ -1020,6 +1161,73 @@ mod tests {
         assert!(html.contains("Yield per batch"));
         assert!(html.contains("stuck_at"));
         assert!(html.contains("escape rate"));
+    }
+
+    #[test]
+    fn attached_health_record_renders_charts_and_excursions() {
+        use crate::fleet::{DriftSpec, Fleet, FleetConfig};
+        use crate::health::HealthConfig;
+
+        let (reference, dut) = planted_case();
+        let mut budget = Budget::quick();
+        budget.bist_patterns = 64;
+        budget.diag_patterns = 32;
+        let mut data = run_campaign(&reference, &dut, &budget).unwrap();
+        // No monitor armed → no Health section.
+        assert!(!render_report(&data).contains(">Health<"));
+
+        // A drifted monitored flight: 3× defect rate from batch 15 on.
+        let mut cfg = FleetConfig::new(1200, 42);
+        cfg.workers = 1;
+        cfg.batch = 60;
+        cfg.inject_drift = Some(DriftSpec {
+            batch: 15,
+            mix: crate::fleet::DefectMix {
+                defect_rate: 0.20,
+                ..Default::default()
+            },
+        });
+        let fleet = Fleet::new(&reference, cfg)
+            .unwrap()
+            .with_monitor(HealthConfig::default());
+        let outcome = fleet.run();
+        let health = outcome.health.expect("monitor armed");
+        assert!(!health.in_control(), "drift must be flagged");
+        data.health = Some(health);
+
+        let html = render_report(&data);
+        assert!(report::is_self_contained(&html));
+        assert!(html.contains(">Health<"));
+        assert!(html.contains("Yield control chart"));
+        assert!(html.contains("Recovered-rate control chart"));
+        assert!(html.contains("Excursions"));
+        assert!(html.contains("excursion(s)"));
+    }
+
+    #[test]
+    fn in_control_health_record_renders_quiet_verdict() {
+        use crate::fleet::{Fleet, FleetConfig};
+        use crate::health::HealthConfig;
+
+        let (reference, dut) = planted_case();
+        let mut budget = Budget::quick();
+        budget.bist_patterns = 64;
+        budget.diag_patterns = 32;
+        let mut data = run_campaign(&reference, &dut, &budget).unwrap();
+        let mut cfg = FleetConfig::new(600, 42);
+        cfg.workers = 1;
+        cfg.batch = 30;
+        let fleet = Fleet::new(&reference, cfg)
+            .unwrap()
+            .with_monitor(HealthConfig::default());
+        let outcome = fleet.run();
+        let health = outcome.health.expect("monitor armed");
+        assert!(health.in_control(), "clean run must stay quiet");
+        data.health = Some(health);
+        let html = render_report(&data);
+        assert!(report::is_self_contained(&html));
+        assert!(html.contains("in control"));
+        assert!(html.contains("No excursion"));
     }
 
     #[test]

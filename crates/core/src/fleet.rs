@@ -44,6 +44,7 @@ use soctest_prng::SplitMix64;
 
 use crate::casestudy::CaseStudy;
 use crate::error::SessionError;
+use crate::health::{FleetHealthMonitor, HealthConfig, HealthReport};
 use crate::robust::{RetryStrategy, RobustSession, SessionBackend, SessionBudget, SessionReport};
 use crate::session::WrappedCore;
 
@@ -147,6 +148,16 @@ impl DefectClass {
             DefectClass::StuckAt => "stuck_at",
             DefectClass::Transient => "transient",
             DefectClass::Hung => "hung",
+        }
+    }
+
+    /// The class's position in [`DefectClass::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            DefectClass::Clean => 0,
+            DefectClass::StuckAt => 1,
+            DefectClass::Transient => 2,
+            DefectClass::Hung => 3,
         }
     }
 }
@@ -317,6 +328,21 @@ pub struct DefectSite {
     pub detectable: bool,
 }
 
+/// A deterministic mid-campaign process shift: from the first die of
+/// report batch `batch` onward, defect profiles are drawn from `mix`
+/// instead of [`FleetConfig::mix`]. The switch is a pure function of the
+/// die index, so drifted campaigns keep the full determinism contract
+/// (worker-count invariance, byte-identical reports) — this is the
+/// injection hook the health monitor's detection-latency contract is
+/// proved against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftSpec {
+    /// First batch index affected by the shift.
+    pub batch: u64,
+    /// The defect mix in force from that batch onward.
+    pub mix: DefectMix,
+}
+
 /// Fleet campaign configuration. Everything that affects per-die results
 /// is here; [`FleetConfig::new`] fills in the defaults.
 #[derive(Debug, Clone)]
@@ -343,6 +369,8 @@ pub struct FleetConfig {
     pub detectable_only: bool,
     /// Per-session watchdog budget.
     pub budget: SessionBudget,
+    /// An optional mid-campaign defect-mix step change (see [`DriftSpec`]).
+    pub inject_drift: Option<DriftSpec>,
 }
 
 impl FleetConfig {
@@ -362,6 +390,7 @@ impl FleetConfig {
             transient_periods: vec![101, 149, 211],
             detectable_only: false,
             budget: SessionBudget::default(),
+            inject_drift: None,
         }
     }
 
@@ -479,7 +508,9 @@ impl Percentiles {
 }
 
 /// One report batch: verdicts over a contiguous run of die indices, so a
-/// cockpit can show how the campaign evolved batch by batch.
+/// cockpit can show how the campaign evolved batch by batch — and so the
+/// streaming health monitor can score each batch's class and quarantine
+/// mix without recomputing from raw die records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BatchSummary {
     /// Batch index (0-based).
@@ -498,6 +529,74 @@ pub struct BatchSummary {
     pub escapes: u64,
     /// Clean dies that did not pass.
     pub overkill: u64,
+    /// Transient dies that passed (retry-ladder / vote recovery).
+    pub recovered: u64,
+    /// Dies sampled per defect class, in [`DefectClass::ALL`] order.
+    pub sampled: [u64; 4],
+    /// Quarantine counts per module index (the verdict bitmask positions;
+    /// entries past the module count stay zero).
+    pub quarantine: [u64; 8],
+}
+
+impl BatchSummary {
+    /// An all-zero summary for batch `batch`.
+    pub fn empty(batch: u64) -> Self {
+        BatchSummary {
+            batch,
+            dies: 0,
+            passed: 0,
+            quarantined: 0,
+            hung: 0,
+            protocol: 0,
+            escapes: 0,
+            overkill: 0,
+            recovered: 0,
+            sampled: [0; 4],
+            quarantine: [0; 8],
+        }
+    }
+
+    /// Folds one die record in. This is the single accumulation rule —
+    /// shared by [`Fleet::summarize`] and the streaming health monitor —
+    /// so report batch rows and monitor deltas can never disagree.
+    pub fn absorb(&mut self, rec: &DieRecord) {
+        let class = rec.profile.class();
+        self.dies += 1;
+        self.sampled[class.index()] += 1;
+        match rec.verdict {
+            DieVerdict::Passed => {
+                self.passed += 1;
+                match class {
+                    DefectClass::StuckAt => self.escapes += 1,
+                    DefectClass::Transient => self.recovered += 1,
+                    _ => {}
+                }
+            }
+            DieVerdict::Quarantined { modules } => {
+                self.quarantined += 1;
+                for (m, slot) in self.quarantine.iter_mut().enumerate() {
+                    if modules & (1 << m) != 0 {
+                        *slot += 1;
+                    }
+                }
+                if class == DefectClass::Clean {
+                    self.overkill += 1;
+                }
+            }
+            DieVerdict::Hung => {
+                self.hung += 1;
+                if class == DefectClass::Clean {
+                    self.overkill += 1;
+                }
+            }
+            DieVerdict::Protocol => {
+                self.protocol += 1;
+                if class == DefectClass::Clean {
+                    self.overkill += 1;
+                }
+            }
+        }
+    }
 }
 
 /// The aggregate outcome of a fleet campaign. Everything in
@@ -651,9 +750,15 @@ impl FleetReport {
         ));
         j.push_str(&format!("  \"batch_size\": {},\n", self.batch_size));
         j.push_str("  \"batches\": [\n");
+        let nmodules = self.quarantine_by_module.len().min(8);
         for (i, b) in self.batches.iter().enumerate() {
+            let sampled: Vec<String> = b.sampled.iter().map(|n| n.to_string()).collect();
+            let quarantine: Vec<String> = b.quarantine[..nmodules]
+                .iter()
+                .map(|n| n.to_string())
+                .collect();
             j.push_str(&format!(
-                "    {{\"batch\": {}, \"dies\": {}, \"passed\": {}, \"quarantined\": {}, \"hung\": {}, \"protocol\": {}, \"escapes\": {}, \"overkill\": {}}}{}\n",
+                "    {{\"batch\": {}, \"dies\": {}, \"passed\": {}, \"quarantined\": {}, \"hung\": {}, \"protocol\": {}, \"escapes\": {}, \"overkill\": {}, \"recovered\": {}, \"sampled\": [{}], \"quarantine\": [{}]}}{}\n",
                 b.batch,
                 b.dies,
                 b.passed,
@@ -662,6 +767,9 @@ impl FleetReport {
                 b.protocol,
                 b.escapes,
                 b.overkill,
+                b.recovered,
+                sampled.join(", "),
+                quarantine.join(", "),
                 if i + 1 < self.batches.len() { "," } else { "" }
             ));
         }
@@ -794,6 +902,9 @@ pub struct FleetOutcome {
     /// Per-batch wall time (worker-time attribution; non-deterministic,
     /// so kept out of the report JSON like every other wall number).
     pub batch_walls: Vec<BatchWall>,
+    /// The streaming health monitor's report (None unless
+    /// [`Fleet::with_monitor`] armed it).
+    pub health: Option<HealthReport>,
 }
 
 impl FleetOutcome {
@@ -813,6 +924,9 @@ impl FleetOutcome {
             }
         }
         registry.inc("trace_dropped_events", self.trace_dropped_events());
+        if let Some(health) = &self.health {
+            health.export_metrics(registry);
+        }
     }
 }
 
@@ -831,12 +945,15 @@ pub struct Fleet {
     sites: Vec<DefectSite>,
     faulty: Vec<Vec<u64>>,
     sampler: DefectSampler,
+    /// `(first drifted die, drifted sampler)` when a [`DriftSpec`] is set.
+    drift: Option<(u64, DefectSampler)>,
     misr_width: usize,
     counter_bits: usize,
     hung_tck: u64,
     profile: ProfileHandle,
     sampling: Option<SamplerPolicy>,
     trace_capacity: usize,
+    monitor: Option<HealthConfig>,
 }
 
 impl Fleet {
@@ -948,6 +1065,14 @@ impl Fleet {
         }
 
         let sampler = DefectSampler::new(config.mix, sites.len(), config.transient_periods.clone());
+        // The drifted sampler draws from the same site pool and period
+        // list, so only the mix (rate and class weights) steps.
+        let drift = config.inject_drift.map(|d| {
+            (
+                d.batch * config.effective_batch(),
+                DefectSampler::new(d.mix, sites.len(), config.transient_periods.clone()),
+            )
+        });
 
         // The deterministic TCK bill of a hung die: replicate exactly what
         // a session spends before its done-watchdog fires.
@@ -971,12 +1096,14 @@ impl Fleet {
             sites,
             faulty,
             sampler,
+            drift,
             misr_width,
             counter_bits,
             hung_tck,
             profile,
             sampling: None,
             trace_capacity: TRACE_RING_DEFAULT,
+            monitor: None,
         })
     }
 
@@ -1023,11 +1150,26 @@ impl Fleet {
         SplitMix64::new(seed ^ (die + 1).wrapping_mul(DIE_STREAM))
     }
 
+    /// Arms the streaming health monitor for subsequent [`Fleet::run`]s:
+    /// die records are fed to a [`FleetHealthMonitor`] in die order as the
+    /// campaign lands, and the resulting [`HealthReport`] rides in
+    /// [`FleetOutcome::health`]. Monitoring never changes any
+    /// [`DieRecord`] or the [`FleetReport`] JSON.
+    pub fn with_monitor(mut self, cfg: HealthConfig) -> Self {
+        self.monitor = Some(cfg);
+        self
+    }
+
     /// The defect profile die `die` draws — a pure function of
-    /// `(config.seed, die)`.
+    /// `(config.seed, die, config.inject_drift)`. The drifted sampler
+    /// takes over from its first affected die onward; the per-die RNG
+    /// stream is unchanged, so the drift alters only the draw mapping.
     pub fn profile_of(&self, die: u64) -> DefectProfile {
         let mut rng = Self::die_rng(self.config.seed, die);
-        self.sampler.sample(&mut rng)
+        match &self.drift {
+            Some((from, drifted)) if die >= *from => drifted.sample(&mut rng),
+            _ => self.sampler.sample(&mut rng),
+        }
     }
 
     fn strategy_index(&self, strategy: RetryStrategy) -> usize {
@@ -1245,6 +1387,18 @@ impl Fleet {
         }
         drop(simulate_scope);
 
+        // The health monitor consumes the reassembled records in die
+        // order — a pure function of the record stream, so the report is
+        // byte-identical for any worker count.
+        let health = self.monitor.as_ref().map(|cfg| {
+            let _s = self.profile.scope("health_monitor");
+            let mut monitor = FleetHealthMonitor::new(cfg.clone(), batch_size, &self.module_names);
+            for rec in &records {
+                monitor.observe_die(rec);
+            }
+            monitor.finish()
+        });
+
         let report = {
             let _s = self.profile.scope("aggregate");
             let elapsed_ns = (start.elapsed().as_nanos() as u64).max(1);
@@ -1255,6 +1409,7 @@ impl Fleet {
             dies: records,
             traces,
             batch_walls,
+            health,
         }
     }
 
@@ -1275,83 +1430,38 @@ impl Fleet {
             .collect();
         let mut quarantine_by_module: Vec<(String, u64)> =
             self.module_names.iter().map(|n| (n.clone(), 0)).collect();
-        let (mut passed, mut quarantined, mut hung, mut protocol) = (0u64, 0u64, 0u64, 0u64);
-        let (mut escapes, mut overkill, mut recovered) = (0u64, 0u64, 0u64);
         let mut tcks: Vec<u64> = Vec::with_capacity(records.len());
 
         let batch_size = self.config.effective_batch();
         let nbatches = (records.len() as u64).div_ceil(batch_size).max(1);
-        let mut batches: Vec<BatchSummary> = (0..nbatches)
-            .map(|b| BatchSummary {
-                batch: b,
-                dies: 0,
-                passed: 0,
-                quarantined: 0,
-                hung: 0,
-                protocol: 0,
-                escapes: 0,
-                overkill: 0,
-            })
-            .collect();
+        let mut batches: Vec<BatchSummary> = (0..nbatches).map(BatchSummary::empty).collect();
 
         for rec in records {
-            let class = rec.profile.class();
-            let ci = DefectClass::ALL
-                .iter()
-                .position(|&c| c == class)
-                .unwrap_or(0);
+            let ci = rec.profile.class().index();
             classes[ci].sampled += 1;
-            let bi = ((rec.die / batch_size) as usize).min(batches.len() - 1);
-            batches[bi].dies += 1;
             match rec.verdict {
-                DieVerdict::Passed => {
-                    passed += 1;
-                    classes[ci].passed += 1;
-                    batches[bi].passed += 1;
-                    match class {
-                        DefectClass::StuckAt => {
-                            escapes += 1;
-                            batches[bi].escapes += 1;
-                        }
-                        DefectClass::Transient => recovered += 1,
-                        _ => {}
-                    }
-                }
-                DieVerdict::Quarantined { modules } => {
-                    quarantined += 1;
-                    classes[ci].quarantined += 1;
-                    batches[bi].quarantined += 1;
-                    for (m, slot) in quarantine_by_module.iter_mut().enumerate() {
-                        if modules & (1 << m) != 0 {
-                            slot.1 += 1;
-                        }
-                    }
-                    if class == DefectClass::Clean {
-                        overkill += 1;
-                        batches[bi].overkill += 1;
-                    }
-                }
-                DieVerdict::Hung => {
-                    hung += 1;
-                    classes[ci].hung += 1;
-                    batches[bi].hung += 1;
-                    if class == DefectClass::Clean {
-                        overkill += 1;
-                        batches[bi].overkill += 1;
-                    }
-                }
-                DieVerdict::Protocol => {
-                    protocol += 1;
-                    classes[ci].protocol += 1;
-                    batches[bi].protocol += 1;
-                    if class == DefectClass::Clean {
-                        overkill += 1;
-                        batches[bi].overkill += 1;
-                    }
-                }
+                DieVerdict::Passed => classes[ci].passed += 1,
+                DieVerdict::Quarantined { .. } => classes[ci].quarantined += 1,
+                DieVerdict::Hung => classes[ci].hung += 1,
+                DieVerdict::Protocol => classes[ci].protocol += 1,
             }
+            let bi = ((rec.die / batch_size) as usize).min(batches.len() - 1);
+            batches[bi].absorb(rec);
             if rec.verdict != DieVerdict::Protocol {
                 tcks.push(rec.tck);
+            }
+        }
+
+        // Population totals are exactly the batch sums — one accumulation
+        // rule (BatchSummary::absorb) feeds both views.
+        let sum = |f: fn(&BatchSummary) -> u64| batches.iter().map(f).sum::<u64>();
+        let (passed, quarantined) = (sum(|b| b.passed), sum(|b| b.quarantined));
+        let (hung, protocol) = (sum(|b| b.hung), sum(|b| b.protocol));
+        let (escapes, overkill) = (sum(|b| b.escapes), sum(|b| b.overkill));
+        let recovered = sum(|b| b.recovered);
+        for b in &batches {
+            for (m, slot) in quarantine_by_module.iter_mut().enumerate() {
+                slot.1 += b.quarantine[m];
             }
         }
 

@@ -1,0 +1,484 @@
+//! Streaming fleet health monitoring: online SPC over per-batch fleet
+//! deltas, quantile sketches over per-die test time, and excursion
+//! attribution in the advisor's vocabulary.
+//!
+//! This is the paper's detect → attribute → act feedback loop lifted one
+//! level above the die. [`FleetHealthMonitor`] consumes [`DieRecord`]s in
+//! die order as batches land, folds them through the same
+//! [`BatchSummary::absorb`] rule the post-hoc report uses, and scores each
+//! completed batch on two control charts ([`soctest_obs::SpcChart`]):
+//!
+//! - **yield** (`passed / dies`) — the line's headline metric; a defect
+//!   excursion moves it *down*;
+//! - **recovered rate** (`recovered / dies`) — transient dies the retry
+//!   ladder saw past; an environment-noise excursion moves it *up*
+//!   without touching hard yield much.
+//!
+//! Per-die TCK feeds a fixed-size [`QuantileTrio`] (P² sketches), so
+//! p50/p95/p99 of test time are available *during* the run without
+//! buffering the population; the exact nearest-rank percentiles stay in
+//! the post-hoc report and both are exported side by side
+//! (`fleet_tck_p95` vs `fleet_tck_p95_sketch`).
+//!
+//! When a chart signals, the monitor runs **attribution**: the signaling
+//! batch's defect-class mix and per-module quarantine mix are compared
+//! against the frozen baseline window's, and the largest movers are named
+//! in an [`Excursion`] — in the same class vocabulary the defect sampler
+//! speaks (`stuck_at` / `transient` / `hung`) and with an advisory line
+//! built from the retry-ladder strategy names the advisor/autopilot
+//! already use. Excursions land in three sinks: the typed
+//! [`HealthReport`], a byte-deterministic JSONL ledger
+//! ([`HealthReport::to_jsonl`], workers-invariant like the trace
+//! sampler), and the `fleet_health_*` metrics family.
+//!
+//! Determinism contract: everything here is a pure function of the die
+//! records fed in index order — no clocks, no RNG — so the ledger is
+//! byte-identical across runs and worker counts, drift or no drift.
+
+use soctest_obs::{
+    analyze::strategy, MetricsRegistry, QuantileTrio, SpcChart, SpcConfig, SpcExcursion, SpcPoint,
+};
+
+use crate::fleet::{BatchSummary, DefectClass, DieRecord, DieVerdict};
+
+/// Health-monitor configuration: one SPC tuning shared by both charts.
+#[derive(Debug, Clone, Default)]
+pub struct HealthConfig {
+    /// Control-chart tuning (see [`SpcConfig`] for the defaults).
+    pub spc: SpcConfig,
+}
+
+/// A flagged process excursion with attribution: the chart evidence plus
+/// which defect class and which module's quarantine mix moved most
+/// against the in-control baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Excursion {
+    /// The control-chart evidence (metric, onset batch, direction,
+    /// magnitude, chart state).
+    pub spc: SpcExcursion,
+    /// The defect class whose batch share moved most vs. baseline
+    /// (`clean` excluded — its share is the mirror of the others).
+    pub attributed_class: &'static str,
+    /// That class's share move in percentage points (signed).
+    pub class_delta_pp: f64,
+    /// The module whose quarantine rate moved most vs. baseline, or
+    /// `"none"` when no module moved.
+    pub attributed_module: String,
+    /// That module's quarantine-rate move in percentage points (signed).
+    pub module_delta_pp: f64,
+    /// One advisory line in the retry-ladder vocabulary.
+    pub advice: String,
+}
+
+impl Excursion {
+    /// One deterministic ledger line: the chart evidence joined with the
+    /// attribution fields.
+    pub fn to_json_line(&self) -> String {
+        let spc = self.spc.to_json_line();
+        // Splice attribution into the chart record's closing brace.
+        let head = spc.strip_suffix('}').unwrap_or(&spc);
+        format!(
+            "{head}, \"attributed_class\": \"{}\", \"class_delta_pp\": {:.4}, \
+             \"attributed_module\": \"{}\", \"module_delta_pp\": {:.4}, \
+             \"advice\": \"{}\"}}",
+            self.attributed_class,
+            self.class_delta_pp,
+            self.attributed_module,
+            self.module_delta_pp,
+            self.advice,
+        )
+    }
+}
+
+/// The advisory line for an excursion attributed to `class`, phrased with
+/// the retry-ladder strategy names the advisor/autopilot speak.
+fn advice_for(class: &'static str) -> String {
+    match class {
+        "stuck_at" => format!(
+            "permanent-defect population shift; {}/{} guard escapes, audit the attributed module",
+            strategy::RESEED,
+            strategy::MORE_PATTERNS
+        ),
+        "transient" => format!(
+            "environment noise rising; the {} rung absorbs it, watch recovered rate",
+            strategy::RERUN
+        ),
+        "hung" => "hung-engine population shift; watchdog load rising, check engine supply".into(),
+        _ => "no dominant class mover; inspect the batch's quarantine mix".into(),
+    }
+}
+
+/// The finished health record of one monitored campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthReport {
+    /// Batches scored.
+    pub batches: u64,
+    /// Dies observed.
+    pub dies: u64,
+    /// The frozen in-control yield (fraction).
+    pub baseline_yield: f64,
+    /// The frozen in-control recovered rate (fraction).
+    pub baseline_recovered: f64,
+    /// Every flagged excursion, in batch order.
+    pub excursions: Vec<Excursion>,
+    /// The yield chart's per-batch trajectory (value/EWMA/limits/CUSUM).
+    pub yield_points: Vec<SpcPoint>,
+    /// The recovered-rate chart's per-batch trajectory.
+    pub recovered_points: Vec<SpcPoint>,
+    /// Streaming P² estimates of the per-die TCK percentiles
+    /// `(p50, p95, p99)`.
+    pub tck_sketch: (f64, f64, f64),
+}
+
+impl HealthReport {
+    /// `true` when no chart ever signaled.
+    pub fn in_control(&self) -> bool {
+        self.excursions.is_empty()
+    }
+
+    /// The excursion ledger: one deterministic JSON line per excursion,
+    /// in batch order. Byte-identical across runs and worker counts.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.excursions {
+            out.push_str(&e.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Batches from `drift_batch` to the first excursion at or after it,
+    /// inclusive — the detection latency the acceptance contract bounds.
+    /// `None` when no excursion lands at or after `drift_batch`.
+    pub fn detection_latency(&self, drift_batch: u64) -> Option<u64> {
+        self.excursions
+            .iter()
+            .filter(|e| e.spc.batch >= drift_batch)
+            .map(|e| e.spc.batch - drift_batch + 1)
+            .min()
+    }
+
+    /// Folds the health record into the metrics registry as the
+    /// `fleet_health_*` family plus the sketch-vs-exact TCK gauges.
+    pub fn export_metrics(&self, registry: &MetricsRegistry) {
+        registry.inc("fleet_health_batches_total", self.batches);
+        registry.inc(
+            "fleet_health_excursions_total",
+            self.excursions.len() as u64,
+        );
+        registry.set_gauge(
+            "fleet_health_in_control",
+            if self.in_control() { 1.0 } else { 0.0 },
+        );
+        registry.set_gauge("fleet_health_baseline_yield", self.baseline_yield);
+        registry.set_gauge(
+            "fleet_health_baseline_recovered_rate",
+            self.baseline_recovered,
+        );
+        registry.set_gauge("fleet_tck_p50_sketch", self.tck_sketch.0);
+        registry.set_gauge("fleet_tck_p95_sketch", self.tck_sketch.1);
+        registry.set_gauge("fleet_tck_p99_sketch", self.tck_sketch.2);
+    }
+}
+
+/// The streaming monitor. Feed it [`DieRecord`]s in die order
+/// ([`FleetHealthMonitor::observe_die`]); it closes a batch every
+/// `batch_size` dies, scores the charts, attributes any signal, and
+/// [`FleetHealthMonitor::finish`] flushes the final partial batch into
+/// the [`HealthReport`].
+#[derive(Debug, Clone)]
+pub struct FleetHealthMonitor {
+    batch_size: u64,
+    module_names: Vec<String>,
+    yield_chart: SpcChart,
+    recovered_chart: SpcChart,
+    tck: QuantileTrio,
+    /// The batch currently accumulating.
+    current: BatchSummary,
+    /// Dies folded into `current` so far (0 = nothing to flush).
+    current_dies: u64,
+    /// Baseline-window mix accumulators (frozen once the charts arm).
+    baseline_sampled: [u64; 4],
+    baseline_quarantine: [u64; 8],
+    baseline_dies: u64,
+    dies: u64,
+    batches: u64,
+    excursions: Vec<Excursion>,
+}
+
+impl FleetHealthMonitor {
+    /// A monitor for batches of `batch_size` dies over the given modules.
+    pub fn new(cfg: HealthConfig, batch_size: u64, module_names: &[String]) -> Self {
+        FleetHealthMonitor {
+            batch_size: batch_size.max(1),
+            module_names: module_names.to_vec(),
+            yield_chart: SpcChart::new("yield", cfg.spc),
+            recovered_chart: SpcChart::new("recovered_rate", cfg.spc),
+            tck: QuantileTrio::new(),
+            current: BatchSummary::empty(0),
+            current_dies: 0,
+            baseline_sampled: [0; 4],
+            baseline_quarantine: [0; 8],
+            baseline_dies: 0,
+            dies: 0,
+            batches: 0,
+            excursions: Vec::new(),
+        }
+    }
+
+    /// Feeds one die record. Records must arrive in die-index order (the
+    /// fleet reassembles worker chunks before feeding), so batch closure
+    /// is a pure function of the stream.
+    pub fn observe_die(&mut self, rec: &DieRecord) {
+        let batch = rec.die / self.batch_size;
+        if self.current_dies > 0 && batch != self.current.batch {
+            self.close_batch();
+        }
+        if self.current_dies == 0 {
+            self.current = BatchSummary::empty(batch);
+        }
+        self.current.absorb(rec);
+        self.current_dies += 1;
+        self.dies += 1;
+        if rec.verdict != DieVerdict::Protocol {
+            self.tck.insert(rec.tck as f64);
+        }
+    }
+
+    /// Scores the accumulated batch on both charts and attributes any
+    /// onset signal.
+    fn close_batch(&mut self) {
+        let b = self.current;
+        self.batches += 1;
+        // The baseline mixes accumulate while the charts are still
+        // learning, so attribution compares against the same window the
+        // charts froze their mean over.
+        if !self.yield_chart.armed() {
+            for (i, n) in b.sampled.iter().enumerate() {
+                self.baseline_sampled[i] += n;
+            }
+            for (i, n) in b.quarantine.iter().enumerate() {
+                self.baseline_quarantine[i] += n;
+            }
+            self.baseline_dies += b.dies;
+        }
+        let signals = [
+            self.yield_chart.observe(b.batch, b.passed, b.dies),
+            self.recovered_chart.observe(b.batch, b.recovered, b.dies),
+        ];
+        for spc in signals.into_iter().flatten() {
+            let excursion = self.attribute(spc, &b);
+            self.excursions.push(excursion);
+        }
+        self.current_dies = 0;
+    }
+
+    /// Names the defect class and module that moved most in `b` vs. the
+    /// baseline window.
+    fn attribute(&self, spc: SpcExcursion, b: &BatchSummary) -> Excursion {
+        let base_dies = self.baseline_dies.max(1) as f64;
+        let batch_dies = b.dies.max(1) as f64;
+        // Largest class-share mover, clean excluded: its share is one
+        // minus the defective shares, so it can only restate them.
+        let mut attributed_class = "none";
+        let mut class_delta_pp = 0.0f64;
+        for class in DefectClass::ALL {
+            if class == DefectClass::Clean {
+                continue;
+            }
+            let i = class.index();
+            let base = self.baseline_sampled[i] as f64 / base_dies;
+            let now = b.sampled[i] as f64 / batch_dies;
+            let delta = (now - base) * 100.0;
+            if delta.abs() > class_delta_pp.abs() {
+                attributed_class = class.name();
+                class_delta_pp = delta;
+            }
+        }
+        let mut attributed_module = "none".to_owned();
+        let mut module_delta_pp = 0.0f64;
+        for (m, name) in self.module_names.iter().enumerate().take(8) {
+            let base = self.baseline_quarantine[m] as f64 / base_dies;
+            let now = b.quarantine[m] as f64 / batch_dies;
+            let delta = (now - base) * 100.0;
+            if delta.abs() > module_delta_pp.abs() {
+                attributed_module = name.clone();
+                module_delta_pp = delta;
+            }
+        }
+        let advice = advice_for(attributed_class);
+        Excursion {
+            spc,
+            attributed_class,
+            class_delta_pp,
+            attributed_module,
+            module_delta_pp,
+            advice,
+        }
+    }
+
+    /// Flushes the final partial batch and returns the health record.
+    pub fn finish(mut self) -> HealthReport {
+        if self.current_dies > 0 {
+            self.close_batch();
+        }
+        HealthReport {
+            batches: self.batches,
+            dies: self.dies,
+            baseline_yield: self.yield_chart.mean(),
+            baseline_recovered: self.recovered_chart.mean(),
+            excursions: self.excursions,
+            yield_points: self.yield_chart.points().to_vec(),
+            recovered_points: self.recovered_chart.points().to_vec(),
+            tck_sketch: (
+                self.tck.p50.value(),
+                self.tck.p95.value(),
+                self.tck.p99.value(),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::DefectProfile;
+
+    fn die(die: u64, profile: DefectProfile, verdict: DieVerdict, tck: u64) -> DieRecord {
+        DieRecord {
+            die,
+            profile,
+            verdict,
+            tck,
+        }
+    }
+
+    fn modules() -> Vec<String> {
+        vec![
+            "XOR_NETWORK".into(),
+            "CHECK_NODE".into(),
+            "SIGN_LOGIC".into(),
+        ]
+    }
+
+    /// A synthetic stream: `clean_batches` of all-passing dies, then
+    /// batches where `bad_per_batch` dies are quarantined stuck-ats in
+    /// module 1.
+    fn stream(
+        batch: u64,
+        clean_batches: u64,
+        total_batches: u64,
+        bad_per_batch: u64,
+    ) -> Vec<DieRecord> {
+        let mut out = Vec::new();
+        for b in 0..total_batches {
+            for i in 0..batch {
+                let d = b * batch + i;
+                let bad = b >= clean_batches && i < bad_per_batch;
+                if bad {
+                    out.push(die(
+                        d,
+                        DefectProfile::StuckAt { site: 0 },
+                        DieVerdict::Quarantined { modules: 0b010 },
+                        900,
+                    ));
+                } else {
+                    out.push(die(d, DefectProfile::Clean, DieVerdict::Passed, 700));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn clean_stream_stays_in_control() {
+        let mut mon = FleetHealthMonitor::new(HealthConfig::default(), 50, &modules());
+        for rec in stream(50, 40, 40, 0) {
+            mon.observe_die(&rec);
+        }
+        let report = mon.finish();
+        assert!(report.in_control());
+        assert_eq!(report.batches, 40);
+        assert_eq!(report.dies, 2000);
+        assert!((report.baseline_yield - 1.0).abs() < 1e-12);
+        assert_eq!(report.to_jsonl(), "");
+    }
+
+    #[test]
+    fn yield_step_is_flagged_and_attributed() {
+        // 10 baseline + 10 clean batches, then 20% of each batch fails.
+        let mut mon = FleetHealthMonitor::new(HealthConfig::default(), 50, &modules());
+        for rec in stream(50, 20, 40, 10) {
+            mon.observe_die(&rec);
+        }
+        let report = mon.finish();
+        assert!(!report.in_control());
+        let latency = report.detection_latency(20).expect("must detect");
+        assert!(latency <= 8, "latency {latency} batches");
+        let e = &report.excursions[0];
+        assert_eq!(e.spc.metric, "yield");
+        assert_eq!(e.attributed_class, "stuck_at");
+        assert!(e.class_delta_pp > 10.0);
+        assert_eq!(e.attributed_module, "CHECK_NODE");
+        assert!(e.module_delta_pp > 10.0);
+        assert!(e.advice.contains("Reseed"), "advice: {}", e.advice);
+    }
+
+    #[test]
+    fn partial_final_batch_is_scored() {
+        let mut mon = FleetHealthMonitor::new(HealthConfig::default(), 50, &modules());
+        // 20 full batches plus 30 trailing dies.
+        for rec in stream(50, 21, 21, 0).into_iter().take(20 * 50 + 30) {
+            mon.observe_die(&rec);
+        }
+        let report = mon.finish();
+        assert_eq!(report.batches, 21);
+        assert_eq!(report.dies, 1030);
+    }
+
+    #[test]
+    fn monitor_is_a_pure_function_of_the_stream() {
+        let run = || {
+            let mut mon = FleetHealthMonitor::new(HealthConfig::default(), 50, &modules());
+            for rec in stream(50, 20, 40, 10) {
+                mon.observe_die(&rec);
+            }
+            mon.finish()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b);
+        assert_eq!(a.to_jsonl(), b.to_jsonl());
+    }
+
+    #[test]
+    fn ledger_lines_parse_and_carry_attribution() {
+        let mut mon = FleetHealthMonitor::new(HealthConfig::default(), 50, &modules());
+        for rec in stream(50, 20, 30, 10) {
+            mon.observe_die(&rec);
+        }
+        let report = mon.finish();
+        let ledger = report.to_jsonl();
+        assert!(!ledger.is_empty());
+        for line in ledger.lines() {
+            let v = soctest_obs::json::parse(line).expect("ledger line parses");
+            assert!(v.get("metric").is_some());
+            assert_eq!(
+                v.get("attributed_class").and_then(|c| c.as_str()),
+                Some("stuck_at")
+            );
+            assert!(v.get("advice").is_some());
+        }
+    }
+
+    #[test]
+    fn tck_sketch_tracks_the_stream() {
+        let mut mon = FleetHealthMonitor::new(HealthConfig::default(), 50, &modules());
+        for rec in stream(50, 40, 40, 0) {
+            mon.observe_die(&rec);
+        }
+        let report = mon.finish();
+        // Every die cost 700 TCK; the sketch must sit on the atom.
+        assert!((report.tck_sketch.0 - 700.0).abs() < 1e-9);
+        assert!((report.tck_sketch.1 - 700.0).abs() < 1e-9);
+    }
+}

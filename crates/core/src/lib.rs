@@ -70,6 +70,7 @@ pub mod error;
 pub mod eval;
 pub mod experiments;
 pub mod fleet;
+pub mod health;
 pub mod robust;
 pub mod session;
 

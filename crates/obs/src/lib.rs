@@ -41,20 +41,24 @@
 pub mod analyze;
 pub mod curve;
 pub mod event;
+pub mod health;
 pub mod json;
 pub mod metrics;
 pub mod profile;
 pub mod report;
 pub mod sink;
+pub mod sketch;
 pub mod svg;
 pub mod tracer;
 pub mod vcd;
 
 pub use curve::{CoverageCurve, CurveSummary, MILESTONE_LADDER};
 pub use event::{FieldValue, TraceEvent, TraceRecord};
+pub use health::{Direction, SpcChart, SpcConfig, SpcExcursion, SpcPoint};
 pub use metrics::{Histogram, MetricsHandle, MetricsRegistry, MetricsSnapshot};
 pub use profile::{ProfileHandle, ProfileScope, Profiler, SamplerPolicy, TraceSampler};
 pub use report::HtmlReport;
 pub use sink::{CountingSink, JsonLinesSink, MemorySink, PrettySink, TraceSink};
+pub use sketch::{P2Quantile, QuantileTrio};
 pub use tracer::{SpanGuard, TraceHandle, Tracer, DEFAULT_CAPACITY};
 pub use vcd::{VarId, VcdReader, VcdVar, VcdWriter};

@@ -1,0 +1,295 @@
+//! Streaming quantile sketches: the P² algorithm (Jain & Chlamtac 1985).
+//!
+//! A [`P2Quantile`] estimates one quantile of an unbounded stream with
+//! **five markers and zero allocation after construction** — the whole
+//! state is five heights, five positions, and five desired positions.
+//! That makes it the right shape for the fleet health monitor, which
+//! needs p50/p95/p99 of per-die test time *while the campaign runs*,
+//! on the hot path, without buffering the population.
+//!
+//! Determinism contract: the estimate is a pure function of the insert
+//! sequence. All arithmetic is plain `f64` in a fixed order, so two runs
+//! that feed the same values in the same order (the fleet feeds dies in
+//! index order regardless of worker count) produce bit-identical
+//! estimates.
+//!
+//! Accuracy: exact until five observations have arrived (the sketch
+//! falls back to sorting its first five), then an interpolated estimate
+//! whose error on the fleet's TCK distributions is asserted against the
+//! exact nearest-rank percentiles in `tests/health.rs`.
+
+/// A single-quantile P² estimator: fixed five-marker state, O(1) insert.
+#[derive(Debug, Clone, PartialEq)]
+pub struct P2Quantile {
+    /// The target quantile in (0, 1), e.g. `0.95`.
+    q: f64,
+    /// Marker heights (estimated values at the marker positions).
+    heights: [f64; 5],
+    /// Actual marker positions (1-based observation ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired-position increments per observation.
+    increments: [f64; 5],
+    /// Observations seen so far.
+    count: u64,
+}
+
+impl P2Quantile {
+    /// A sketch targeting quantile `q`, clamped into `[0.001, 0.999]`.
+    pub fn new(q: f64) -> Self {
+        let q = q.clamp(0.001, 0.999);
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// The target quantile this sketch tracks.
+    pub fn quantile(&self) -> f64 {
+        self.q
+    }
+
+    /// Observations inserted so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Inserts one observation. O(1), allocation-free.
+    pub fn insert(&mut self, value: f64) {
+        let n = self.count as usize;
+        self.count += 1;
+        // Warm-up: collect the first five observations sorted.
+        if n < 5 {
+            self.heights[n] = value;
+            let filled = &mut self.heights[..=n];
+            filled.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            return;
+        }
+
+        // Find the cell the observation falls into, stretching the end
+        // markers to keep them true extremes.
+        let k = if value < self.heights[0] {
+            self.heights[0] = value;
+            0
+        } else if value < self.heights[1] {
+            0
+        } else if value < self.heights[2] {
+            1
+        } else if value < self.heights[3] {
+            2
+        } else if value <= self.heights[4] {
+            3
+        } else {
+            self.heights[4] = value;
+            3
+        };
+
+        // Shift the actual positions of every marker above the cell.
+        for i in (k + 1)..5 {
+            self.positions[i] += 1.0;
+        }
+        // Advance every desired position by its increment.
+        for i in 0..5 {
+            self.desired[i] += self.increments[i];
+        }
+
+        // Adjust the three interior markers toward their desired
+        // positions — parabolic (P²) when the neighbor spacing allows,
+        // linear otherwise.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right = self.positions[i + 1] - self.positions[i];
+            let left = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
+                let d = d.signum();
+                let candidate = self.parabolic(i, d);
+                self.heights[i] =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, d)
+                    };
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let p = &self.positions;
+        let h = &self.heights;
+        h[i] + d / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + d) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - d) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// The current quantile estimate. Exact (sorted nearest-rank over the
+    /// buffered values) until five observations have arrived; `0.0` on an
+    /// empty sketch.
+    pub fn value(&self) -> f64 {
+        let n = self.count as usize;
+        if n == 0 {
+            return 0.0;
+        }
+        if n < 5 {
+            // Nearest-rank over the sorted warm-up buffer.
+            let rank = ((n as f64 * self.q).ceil() as usize).clamp(1, n);
+            return self.heights[rank - 1];
+        }
+        self.heights[2]
+    }
+}
+
+/// A p50/p95/p99 bundle over one stream — the shape the fleet monitor
+/// feeds per-die TCK into.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileTrio {
+    /// The median estimator.
+    pub p50: P2Quantile,
+    /// The 95th-percentile estimator.
+    pub p95: P2Quantile,
+    /// The 99th-percentile estimator.
+    pub p99: P2Quantile,
+}
+
+impl Default for QuantileTrio {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QuantileTrio {
+    /// A fresh p50/p95/p99 trio.
+    pub fn new() -> Self {
+        QuantileTrio {
+            p50: P2Quantile::new(0.50),
+            p95: P2Quantile::new(0.95),
+            p99: P2Quantile::new(0.99),
+        }
+    }
+
+    /// Feeds one observation to all three estimators.
+    pub fn insert(&mut self, value: f64) {
+        self.p50.insert(value);
+        self.p95.insert(value);
+        self.p99.insert(value);
+    }
+
+    /// Observations inserted so far.
+    pub fn count(&self) -> u64 {
+        self.p50.count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact nearest-rank percentile, the oracle the sketch is judged by.
+    fn nearest_rank(sorted: &[f64], q: f64) -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    fn relative_error(estimate: f64, exact: f64) -> f64 {
+        if exact == 0.0 {
+            estimate.abs()
+        } else {
+            (estimate - exact).abs() / exact.abs()
+        }
+    }
+
+    #[test]
+    fn exact_below_five_observations() {
+        let mut s = P2Quantile::new(0.5);
+        assert_eq!(s.value(), 0.0);
+        s.insert(10.0);
+        assert_eq!(s.value(), 10.0);
+        s.insert(2.0);
+        s.insert(6.0);
+        // Nearest-rank median of {2, 6, 10} is 6.
+        assert_eq!(s.value(), 6.0);
+    }
+
+    #[test]
+    fn uniform_ramp_converges() {
+        // A deterministic scrambled ramp: i * 7919 mod 10007 visits every
+        // residue once, so the exact quantiles are known.
+        let values: Vec<f64> = (0..10_007u64).map(|i| (i * 7919 % 10_007) as f64).collect();
+        for q in [0.5, 0.95, 0.99] {
+            let mut sketch = P2Quantile::new(q);
+            for &v in &values {
+                sketch.insert(v);
+            }
+            let mut sorted = values.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let exact = nearest_rank(&sorted, q);
+            assert!(
+                relative_error(sketch.value(), exact) < 0.02,
+                "q={q}: sketch {} vs exact {exact}",
+                sketch.value()
+            );
+        }
+    }
+
+    #[test]
+    fn heavily_repeated_values_stay_pinned() {
+        // The fleet's TCK distribution is nearly degenerate: most dies
+        // share one value. The sketch must not drift off the atom.
+        let mut trio = QuantileTrio::new();
+        for i in 0..10_000u64 {
+            // 97% at 1000, 3% spread high — mirrors clean vs defective.
+            let v = if i % 100 < 97 {
+                1000.0
+            } else {
+                5000.0 + (i % 7) as f64 * 100.0
+            };
+            trio.insert(v);
+        }
+        assert!(
+            (trio.p50.value() - 1000.0).abs() < 1.0,
+            "{}",
+            trio.p50.value()
+        );
+        // p95 sits inside the 97% atom.
+        assert!((trio.p95.value() - 1000.0).abs() / 1000.0 < 0.05);
+        assert_eq!(trio.count(), 10_000);
+    }
+
+    #[test]
+    fn insert_order_determinism() {
+        let feed = |xs: &[f64]| {
+            let mut s = P2Quantile::new(0.95);
+            for &x in xs {
+                s.insert(x);
+            }
+            s.value()
+        };
+        let values: Vec<f64> = (0..997u64).map(|i| (i * 31 % 997) as f64).collect();
+        assert_eq!(feed(&values).to_bits(), feed(&values).to_bits());
+    }
+
+    #[test]
+    fn extremes_track_min_and_max() {
+        let mut s = P2Quantile::new(0.5);
+        for v in [5.0, 1.0, 9.0, 3.0, 7.0, 0.5, 10.0, 2.0] {
+            s.insert(v);
+        }
+        assert_eq!(s.heights[0], 0.5, "min marker stretches down");
+        assert_eq!(s.heights[4], 10.0, "max marker stretches up");
+        assert!(s.value() >= 0.5 && s.value() <= 10.0);
+    }
+}

@@ -175,4 +175,42 @@ grep -q 'Die throughput per batch' target/report_fleet.html
 grep -q '"fleet": {"dies": 100000' BENCH_faultsim.json
 grep -q '"session_tck_p50"' BENCH_faultsim.json
 
+echo "== fleet health: clean monitored flight stays in control =="
+cargo run --release -p soctest-bench --bin repro -- --quick --fleet \
+    --dies=2000 --seed=42 --monitor --batch=100 \
+    --excursions=target/health_clean.jsonl \
+    --report=target/report_health.html | tee target/health_clean.txt
+grep -Eq '^health: batches=[0-9]+ .* excursions=0 in_control=true' target/health_clean.txt
+grep -q '^health: tck sketch p50=' target/health_clean.txt
+# The empty ledger file is still written (and is genuinely empty).
+test -f target/health_clean.jsonl
+test ! -s target/health_clean.jsonl
+# The cockpit report gains a Health section and stays self-contained.
+test -s target/report_health.html
+! grep -q 'http://' target/report_health.html
+! grep -q 'https://' target/report_health.html
+! grep -q '<script' target/report_health.html
+grep -q '>Health<' target/report_health.html
+grep -q 'control chart' target/report_health.html
+
+echo "== fleet health: injected drift flagged with the right attribution =="
+# A 3x defect-rate step at batch 20: detection within 8 batches and the
+# quiet clean prefix are asserted in-process; the attribution is greppable.
+cargo run --release -p soctest-bench --bin repro -- --quick --fleet \
+    --dies=4000 --seed=42 --batch=100 --inject-drift=20:0.15 \
+    --excursions=target/health_drift.jsonl | tee target/health_drift.txt
+grep -q '^health: detect_latency_batches=' target/health_drift.txt
+grep -Eq '^health: excursion batch=[0-9]+ metric=yield .*attributed_class=stuck_at' \
+    target/health_drift.txt
+test -s target/health_drift.jsonl
+# The excursion ledger is byte-identical across worker counts.
+cargo run --release -p soctest-bench --bin repro -- --quick --fleet \
+    --dies=4000 --seed=42 --batch=100 --inject-drift=20:0.15 \
+    --workers=2 --excursions=target/health_drift2.jsonl > /dev/null
+cmp target/health_drift.jsonl target/health_drift2.jsonl \
+    || { echo "excursion ledger is not byte-deterministic across workers"; exit 1; }
+# The slim bench record carries the monitor columns the gate compares.
+grep -q '"monitor_overhead_pct"' BENCH_current.json
+grep -q '"detect_latency_batches"' BENCH_current.json
+
 echo "ci: all green"
